@@ -1,0 +1,29 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each benchmark regenerates one experiment from DESIGN.md's index and emits
+its table both to stdout and to ``benchmarks/results/<exp>.txt`` so the
+paper-vs-measured record in EXPERIMENTS.md can be refreshed from a run.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(exp_id: str, title: str, lines: List[str]) -> str:
+    """Print and persist an experiment's output table."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    text = "\n".join([f"=== {exp_id}: {title} ==="] + list(lines)) + "\n"
+    path = os.path.join(RESULTS_DIR, f"{exp_id.lower()}.txt")
+    with open(path, "w") as handle:
+        handle.write(text)
+    print("\n" + text)
+    return text
+
+
+def once(benchmark, func):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

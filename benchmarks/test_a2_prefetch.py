@@ -1,0 +1,61 @@
+"""A2 — Code prefetch ablation (DESIGN.md Section 6).
+
+Quantifies the speculative next-line prefetch of the flash code port —
+one of the "pre-fetch buffers" the paper names on the CPU→flash path — on
+the engine workload and on the I-cache-thrash microkernel (its best case:
+a sequential miss stream).
+"""
+
+import pytest
+
+from repro.core.optimization import CpiStack
+from repro.soc.config import tc1797_config
+from repro.soc.device import Soc
+from repro.workloads import micro
+from repro.workloads.engine import EngineControlScenario
+
+from _common import emit, once
+
+CYCLES = 150_000
+
+
+def run_experiment():
+    rows = {}
+    for prefetch in (True, False):
+        config = tc1797_config()
+        config.flash.prefetch_enabled = prefetch
+
+        device = EngineControlScenario().build(config, {}, seed=31)
+        device.run(CYCLES)
+        stack = CpiStack.from_counts(device.oracle(), device.cycle, config)
+
+        soc = Soc(config, seed=31)
+        soc.load_program(micro.icache_thrash_kernel(footprint_kb=24))
+        soc.run(60_000)
+        micro_stack = CpiStack.from_counts(soc.oracle(), soc.cycle, config)
+
+        rows[prefetch] = {
+            "engine_ipc": stack.ipc,
+            "engine_fetch_cpi": stack.components["fetch_stall"],
+            "thrash_ipc": micro_stack.ipc,
+        }
+    return rows
+
+
+@pytest.mark.benchmark(group="a2")
+def test_a2_prefetch_ablation(benchmark):
+    rows = once(benchmark, run_experiment)
+    lines = [f"{'prefetch':<10}{'engine IPC':>12}{'engine fetch CPI':>18}"
+             f"{'thrash-kernel IPC':>19}"]
+    for prefetch, r in rows.items():
+        lines.append(f"{str(prefetch):<10}{r['engine_ipc']:>12.4f}"
+                     f"{r['engine_fetch_cpi']:>18.4f}"
+                     f"{r['thrash_ipc']:>19.4f}")
+    gain = (rows[True]["engine_ipc"] / rows[False]["engine_ipc"] - 1) * 100
+    lines.append(f"prefetch is worth {gain:.1f}% IPC on the engine workload")
+    emit("A2", "flash code-prefetch ablation", lines)
+
+    assert rows[True]["engine_ipc"] > rows[False]["engine_ipc"]
+    assert (rows[True]["engine_fetch_cpi"]
+            < rows[False]["engine_fetch_cpi"] * 0.8)
+    assert rows[True]["thrash_ipc"] > rows[False]["thrash_ipc"]

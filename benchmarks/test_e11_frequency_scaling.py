@@ -1,0 +1,67 @@
+"""E11 — Frequency scaling and the flash wall (paper Section 4).
+
+"Even though the flash access is very fast ... a flash access can take
+several CPU cycles, depending on the CPU frequency.  Due to the high
+amount of CPU access to the flash (data and code) the path from CPU to
+flash is the main lever to increase the CPU system performance."
+
+We sweep the CPU clock on the unchanged architecture, on a flash-path-fixed
+variant (doubled I-cache + deeper buffers), and compare with the analytic
+forward model derived from a single 180 MHz profile — the architect's view
+of a future device before silicon exists.
+"""
+
+import pytest
+
+from repro.core.optimization import (OptionEvaluator, predict_scaling,
+                                     scaling_table, simulate_scaling)
+from repro.soc.config import tc1797_config
+from repro.workloads.engine import EngineControlScenario
+
+from _common import emit, once
+
+FREQS = (90, 133, 180, 270, 360)
+WORK = 80_000
+
+
+def fix_flash_path(config):
+    config.icache.size_bytes *= 2
+    config.flash.code_buffer_lines = 4
+    config.flash.data_buffer_lines = 4
+
+
+def run_experiment():
+    scenario = EngineControlScenario()
+    base = simulate_scaling(scenario, tc1797_config(), FREQS,
+                            work_instructions=WORK, seed=11)
+    fixed = simulate_scaling(scenario, tc1797_config(), FREQS,
+                             work_instructions=WORK, seed=11,
+                             configure=fix_flash_path)
+    evaluator = OptionEvaluator(scenario, tc1797_config(), [],
+                                work_instructions=WORK, seed=11)
+    context = evaluator.run_baseline()
+    predicted = predict_scaling(context, FREQS)
+    return base, fixed, predicted, context
+
+
+@pytest.mark.benchmark(group="e11")
+def test_e11_frequency_scaling(benchmark):
+    base, fixed, predicted, context = once(benchmark, run_experiment)
+    lines = ["baseline architecture (simulated vs analytic forward model):"]
+    lines.extend(scaling_table(base, predicted).splitlines())
+    lines.append("")
+    lines.append("flash path fixed (2x I-cache, 4-line buffers):")
+    lines.extend(scaling_table(fixed).splitlines())
+    emit("E11", "CPU frequency scaling against the flash wall", lines)
+
+    # performance rises sub-linearly on the unchanged architecture
+    by_freq = {p.frequency_mhz: p for p in base}
+    ideal = 360 / FREQS[0]
+    assert by_freq[360].relative_performance < 0.8 * ideal
+    # the analytic model predicts the curve from one profile
+    for sim, pred in zip(base, predicted):
+        assert pred.relative_performance == pytest.approx(
+            sim.relative_performance, rel=0.15)
+    # fixing the flash path recovers scaling headroom at high frequency
+    fixed_by_freq = {p.frequency_mhz: p for p in fixed}
+    assert fixed_by_freq[360].cpi < by_freq[360].cpi

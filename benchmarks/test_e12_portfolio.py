@@ -1,0 +1,60 @@
+"""E12 — Portfolio ranking across the customer population (Sec. 4/5).
+
+The architect's final deliverable: the option ranking aggregated over the
+whole customer base with volume weights, checked for "negative side
+effects for other possible use cases" (paper Section 4 — an option that
+regresses any customer is flagged), and reduced to the Pareto frontier in
+(area cost, weighted gain) space.
+"""
+
+import pytest
+
+from repro.core.optimization import (PortfolioEvaluator, hardware_options,
+                                     pareto_frontier, portfolio_table)
+from repro.soc.config import tc1797_config
+from repro.workloads import CustomerGenerator
+
+from _common import emit, once
+
+N_CUSTOMERS = 6
+WORK = 60_000
+
+
+def run_experiment():
+    customers = CustomerGenerator(seed=42).generate(N_CUSTOMERS)
+    # powertrain sells more chips: weight engine customers 3x
+    weights = {c.name: (3.0 if c.domain == "engine" else 1.0)
+               for c in customers}
+    evaluator = PortfolioEvaluator(customers, tc1797_config(),
+                                   hardware_options(), weights=weights,
+                                   work_instructions=WORK, seed=12)
+    entries = evaluator.evaluate()
+    frontier = pareto_frontier(entries)
+    return customers, entries, frontier
+
+
+@pytest.mark.benchmark(group="e12")
+def test_e12_portfolio_ranking(benchmark):
+    customers, entries, frontier = once(benchmark, run_experiment)
+    lines = [f"population: {len(customers)} customers "
+             f"({', '.join(sorted({c.domain for c in customers}))}); "
+             f"engine weighted 3x", ""]
+    lines.extend(portfolio_table(entries).splitlines())
+    lines.append("")
+    lines.append("Pareto frontier (cost-ascending): "
+                 + " -> ".join(e.option.key for e in frontier))
+    emit("E12", "portfolio option ranking with Pareto frontier", lines)
+
+    assert len(entries) == len(hardware_options())
+    # aggregation covered every customer for every option
+    for entry in entries:
+        assert len(entry.per_customer_gain) == len(customers)
+    # no catalog option may regress any customer beyond noise
+    assert not any(entry.has_regression for entry in entries)
+    # the frontier is non-trivial and cost-monotone
+    assert 1 <= len(frontier) <= len(entries)
+    costs = [e.option.area_cost for e in frontier]
+    assert costs == sorted(costs)
+    # flash-path options carry the portfolio
+    best = entries[0]
+    assert best.weighted_gain > 0

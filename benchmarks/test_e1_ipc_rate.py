@@ -1,0 +1,74 @@
+"""E1 — Dynamic IPC rate measurement (paper Section 5, Fig. 5 usage).
+
+Regenerates the paper's headline example: the TriCore IPC (up to 3
+instructions per clock) measured every *x* clock cycles by MCDS counter
+pairs, in parallel with the PCP IPC, entirely from trace messages.
+Resolution sweep shows the resolution/bandwidth trade.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.profiling import ProfilingSession, spec
+from repro.soc.config import tc1797_config
+from repro.workloads.engine import EngineControlScenario
+
+from _common import emit, once
+
+CYCLES = 200_000
+
+
+def run_experiment():
+    rows = []
+    for resolution in (64, 256, 1024):
+        device = EngineControlScenario().build(tc1797_config(), {}, seed=1)
+        session = ProfilingSession(device, [
+            spec.ipc(resolution=resolution),
+            spec.ipc(resolution=resolution, core="pcp"),
+        ])
+        result = session.run(CYCLES)
+        tc = result["tc.ipc"]
+        pcp = result["pcp.ipc"]
+        oracle_ipc = device.soc.ipc()
+        rows.append({
+            "resolution": resolution,
+            "samples": len(tc),
+            "tc_mean": tc.mean_rate(),
+            "tc_min": float(tc.rates.min()),
+            "tc_max": float(tc.rates.max()),
+            "pcp_mean": pcp.mean_rate(),
+            "oracle": oracle_ipc,
+            "mbps": result.bandwidth_mbps(),
+        })
+    return rows
+
+
+def render(rows):
+    lines = [f"{'res':>6}{'samples':>9}{'TC IPC':>9}{'min':>7}{'max':>7}"
+             f"{'PCP IPC':>9}{'oracle':>8}{'Mbit/s':>8}"]
+    for r in rows:
+        lines.append(f"{r['resolution']:>6}{r['samples']:>9}"
+                     f"{r['tc_mean']:>9.3f}{r['tc_min']:>7.2f}"
+                     f"{r['tc_max']:>7.2f}{r['pcp_mean']:>9.4f}"
+                     f"{r['oracle']:>8.3f}{r['mbps']:>8.3f}")
+    lines.append("IPC measured per x clock cycles; finer resolution = more "
+                 "dynamics visible and more trace bandwidth.")
+    return lines
+
+
+@pytest.mark.benchmark(group="e1")
+def test_e1_dynamic_ipc_rate(benchmark):
+    rows = once(benchmark, run_experiment)
+    emit("E1", "dynamic IPC rate over the time axis", render(rows))
+    for r in rows:
+        # measured mean must track the oracle at every resolution
+        assert r["tc_mean"] == pytest.approx(r["oracle"], rel=0.03)
+        assert 0 < r["tc_mean"] < 3.0
+    # the finest windows expose the multi-scalar bursts (>1 instr/cycle)
+    # that coarser windows average away — the reason resolution matters
+    assert rows[0]["tc_max"] > 1.0
+    assert rows[0]["tc_max"] > rows[-1]["tc_max"]
+    assert rows[0]["tc_min"] < rows[-1]["tc_min"] + 1e-9
+    # finer resolution costs strictly more tool bandwidth
+    mbps = [r["mbps"] for r in rows]
+    assert mbps[0] > mbps[1] > mbps[2]

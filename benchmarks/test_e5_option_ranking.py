@@ -1,0 +1,57 @@
+"""E5 — Architecture-option ranking by performance-gain/cost ratio.
+
+The methodology's deliverable (paper Sections 1, 4, 6): "This allows an
+objective assessment of improvement options by comparing their performance
+cost ratios."  Profiles the engine-control workload on the TC1797-like
+baseline, evaluates the full hardware + software option catalog, and
+regenerates the ranking table.
+
+Shape expectation from DESIGN.md: flash-path options dominate the hardware
+ranking — "the path from CPU to flash is the main lever" (Section 4).
+"""
+
+import pytest
+
+from repro.core.optimization import (OptionEvaluator, full_catalog, report)
+from repro.soc.config import tc1797_config
+from repro.workloads.engine import EngineControlScenario
+
+from _common import emit, once
+
+WORK_INSTRUCTIONS = 150_000
+FLASH_PATH_OPTIONS = {"icache_x2", "flash_25ns", "prefetch_x4", "dbuf_x4",
+                      "dcache_4k", "banks_x4"}
+
+
+def run_experiment():
+    evaluator = OptionEvaluator(EngineControlScenario(), tc1797_config(),
+                                full_catalog(),
+                                work_instructions=WORK_INSTRUCTIONS,
+                                seed=5)
+    context = evaluator.run_baseline()
+    results = evaluator.evaluate()
+    return context, results
+
+
+@pytest.mark.benchmark(group="e5")
+def test_e5_option_ranking(benchmark):
+    context, results = once(benchmark, run_experiment)
+    lines = [f"baseline: CPI {context.stack.cpi:.3f} "
+             f"(IPC {context.stack.ipc:.3f}) over {context.cycles} cycles",
+             "", "CPI stack:"]
+    lines.extend(context.stack.as_table().splitlines())
+    lines.extend(["", report.ranking_table(results)])
+    emit("E5", "option ranking by performance-gain/cost ratio", lines)
+
+    # ranking is strictly by the methodology's metric
+    ratios = [r.gain_cost_ratio for r in results]
+    assert ratios == sorted(ratios, reverse=True)
+    # flash-path dominance: best absolute hardware gain is a flash-path fix
+    hw = [r for r in results if r.option.kind == "hardware"]
+    best_hw = max(hw, key=lambda r: r.measured_gain_percent)
+    assert best_hw.option.key in FLASH_PATH_OPTIONS
+    assert best_hw.measured_gain_percent > 5.0
+    # the flash-dominated CPI stack motivates it
+    flash_cpi = (context.stack.components["fetch_stall"]
+                 + context.stack.components["load_stall"])
+    assert flash_cpi > 0.25

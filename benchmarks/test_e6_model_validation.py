@@ -1,0 +1,55 @@
+"""E6 — Analytic model validation: predicted vs re-simulated gains.
+
+The paper's architects quantify options *analytically* from statistical ED
+data ("With an analytical methodology and based on this statistical data,
+the performance improvements ... can be quantified", abstract).  Here the
+simulator provides what the authors' silicon provided — ground truth — so
+the analytic predictions can be scored.  The trace-replay predictions
+(DESIGN.md ablation) should land within a few gain points.
+"""
+
+import pytest
+
+from repro.core.optimization import (OptionEvaluator, full_catalog, report)
+from repro.soc.config import tc1797_config
+from repro.workloads.engine import EngineControlScenario
+from repro.workloads.transmission import TransmissionScenario
+
+from _common import emit, once
+
+WORK_INSTRUCTIONS = 120_000
+
+
+def run_experiment():
+    outputs = {}
+    for scenario in (EngineControlScenario(), TransmissionScenario()):
+        evaluator = OptionEvaluator(scenario, tc1797_config(),
+                                    full_catalog(),
+                                    work_instructions=WORK_INSTRUCTIONS,
+                                    seed=6)
+        outputs[scenario.name] = evaluator.evaluate()
+    return outputs
+
+
+@pytest.mark.benchmark(group="e6")
+def test_e6_analytic_model_validation(benchmark):
+    outputs = once(benchmark, run_experiment)
+    lines = []
+    maes = {}
+    for name, results in outputs.items():
+        lines.append(f"--- workload: {name} ---")
+        lines.extend(report.validation_table(results).splitlines())
+        lines.append("")
+        maes[name] = (sum(r.prediction_error for r in results)
+                      / len(results))
+    emit("E6", "analytic prediction vs re-simulated speedup", lines)
+    for name, mae in maes.items():
+        assert mae < 3.0, f"{name}: MAE {mae:.2f} gain points"
+    # predictions must preserve the *ordering* of the top options
+    for results in outputs.values():
+        by_measured = sorted(results, key=lambda r: -r.measured_gain_percent)
+        top_measured = by_measured[0].option.key
+        by_predicted = sorted(results,
+                              key=lambda r: -r.predicted_gain_percent)
+        top3_predicted = {r.option.key for r in by_predicted[:3]}
+        assert top_measured in top3_predicted

@@ -1,0 +1,81 @@
+"""E8 — Non-intrusiveness of the full measurement stack (paper Section 5).
+
+"all these parameters can be dynamically and in parallel measured,
+non-intrusively with a configurable resolution."
+
+Runs the engine workload bare and under the heaviest observation load the
+EEC supports (full parameter set, coupled counters, cycle-accurate program
+trace, qualified data trace, bus trace, function profiler) and demands
+cycle-exact identity of every product-chip observable.
+"""
+
+import pytest
+
+from repro.core.profiling import (FunctionProfiler, MultiResolutionRate,
+                                  ProfilingSession, spec)
+from repro.mcds.counters import CYCLES as CYCLE_BASIS
+from repro.soc.config import tc1797_config
+from repro.soc.memory import map as amap
+from repro.workloads.engine import EngineControlScenario
+
+from _common import emit, once
+
+CYCLES = 250_000
+
+
+def run_once(observe):
+    device = EngineControlScenario().build(tc1797_config(),
+                                           {"anomaly": True}, seed=8)
+    measurement = {}
+    if observe:
+        ProfilingSession(device, spec.engine_parameter_set())
+        MultiResolutionRate(device, "gate", ["tc.instr_executed"],
+                            1024, 64, 0.5, basis=CYCLE_BASIS)
+        device.mcds.add_program_trace(cycle_accurate=True)
+        device.mcds.add_data_trace(
+            (amap.PFLASH_BASE, amap.PFLASH_BASE + 0x40_0000))
+        device.mcds.add_bus_trace("spb.transfer")
+        profiler = FunctionProfiler(device.cpu.program)
+        device.cpu.trace.add(profiler)
+        measurement["profiler"] = profiler
+    device.run(CYCLES)
+    return device, measurement
+
+
+def run_experiment():
+    bare, _ = run_once(False)
+    observed, measurement = run_once(True)
+    return {
+        "retired": (bare.cpu.retired, observed.cpu.retired),
+        "pc": (bare.cpu.pc, observed.cpu.pc),
+        "pcp": (bare.pcp.retired, observed.pcp.retired),
+        "dma": (bare.soc.dma.transfers_done,
+                observed.soc.dma.transfers_done),
+        "oracle_equal": bare.oracle() == observed.oracle(),
+        "messages": observed.mcds.total_messages,
+        "bits": observed.mcds.total_bits,
+        "hot": measurement["profiler"].hotspots(top=1)[0].name,
+    }
+
+
+@pytest.mark.benchmark(group="e8")
+def test_e8_nonintrusive_measurement(benchmark):
+    r = once(benchmark, run_experiment)
+    lines = [
+        f"{'observable':<22}{'bare':>12}{'observed':>12}",
+        f"{'TC retired':<22}{r['retired'][0]:>12}{r['retired'][1]:>12}",
+        f"{'TC final PC':<22}{hex(r['pc'][0]):>12}{hex(r['pc'][1]):>12}",
+        f"{'PCP retired':<22}{r['pcp'][0]:>12}{r['pcp'][1]:>12}",
+        f"{'DMA transfers':<22}{r['dma'][0]:>12}{r['dma'][1]:>12}",
+        f"oracle snapshots identical: {r['oracle_equal']}",
+        f"meanwhile the EEC generated {r['messages']} messages "
+        f"({r['bits']} bits); hottest function: {r['hot']}",
+    ]
+    emit("E8", "cycle-exact non-intrusiveness under full observation",
+         lines)
+    assert r["retired"][0] == r["retired"][1]
+    assert r["pc"][0] == r["pc"][1]
+    assert r["pcp"][0] == r["pcp"][1]
+    assert r["dma"][0] == r["dma"][1]
+    assert r["oracle_equal"]
+    assert r["messages"] > 10_000     # the observation was real

@@ -1,0 +1,107 @@
+"""E9 — Multi-customer application profiles (paper Section 4).
+
+"from a microcontroller manufacturer perspective there are many customers
+and many applications ... Analysis of the application profiles of the
+different customer applications (different access rates, access localities,
+access dependencies due to the different HW/SW mappings) with the target of
+further optimization of the hardware for the future automotive
+applications."
+
+Profiles a generated population of customers, prints the profile matrix,
+and checks that the architect's conclusion (which option family wins) is a
+population property, stable across the powertrain customers.
+"""
+
+import pytest
+
+from repro.core.optimization import (CpiStack, OptionEvaluator,
+                                     hardware_options)
+from repro.soc.config import tc1797_config
+from repro.soc.kernel import signals
+from repro.workloads import CustomerGenerator
+
+from _common import emit, once
+
+CYCLES = 120_000
+N_CUSTOMERS = 8
+RANK_WORK = 80_000
+
+PROFILE_COLUMNS = [
+    ("I$miss", signals.ICACHE_MISS),
+    ("flashD", signals.PFLASH_DATA_ACCESS),
+    ("dspr", signals.DSPR_ACCESS),
+    ("lmu", signals.LMU_ACCESS),
+    ("irq", signals.IRQ_TAKEN),
+]
+
+
+def run_experiment():
+    customers = CustomerGenerator(seed=42).generate(N_CUSTOMERS)
+    profiles = []
+    for customer in customers:
+        device = customer.build(tc1797_config(), seed=9)
+        device.run(CYCLES)
+        counts = device.oracle()
+        instr = max(1, counts[signals.TC_INSTR])
+        stack = CpiStack.from_counts(counts, device.cycle, tc1797_config())
+        profiles.append({
+            "name": customer.name,
+            "ipc": stack.ipc,
+            "rates": {label: 100.0 * counts[sig] / instr
+                      for label, sig in PROFILE_COLUMNS},
+            "pcp_share": counts[signals.PCP_INSTR] / instr,
+            "flash_cpi": (stack.components.get("fetch_stall", 0)
+                          + stack.components.get("load_stall", 0)),
+            "domain": customer.domain,
+            "scenario": customer.scenario,
+            "params": customer.params,
+        })
+
+    # architect step: rank hardware options for the engine customers
+    rankings = {}
+    engine_profiles = [p for p in profiles if p["domain"] == "engine"][:3]
+    for p in engine_profiles:
+        evaluator = OptionEvaluator(p["scenario"], tc1797_config(),
+                                    hardware_options(),
+                                    work_instructions=RANK_WORK, seed=9)
+        evaluator.scenario.default_params = dict(
+            evaluator.scenario.default_params)
+        evaluator.scenario.default_params.update(p["params"])
+        results = evaluator.evaluate()
+        rankings[p["name"]] = [r.option.key for r in results]
+    return profiles, rankings
+
+
+@pytest.mark.benchmark(group="e9")
+def test_e9_customer_profile_matrix(benchmark):
+    profiles, rankings = once(benchmark, run_experiment)
+    header = (f"{'customer':<26}{'IPC':>6}"
+              + "".join(f"{label:>8}" for label, _ in PROFILE_COLUMNS)
+              + f"{'pcp%':>7}{'flashCPI':>9}")
+    lines = [header]
+    for p in profiles:
+        lines.append(
+            f"{p['name']:<26}{p['ipc']:>6.2f}"
+            + "".join(f"{p['rates'][label]:>8.2f}"
+                      for label, _ in PROFILE_COLUMNS)
+            + f"{100 * p['pcp_share']:>7.2f}{p['flash_cpi']:>9.3f}")
+    lines.append("")
+    lines.append("top-3 hardware options per engine customer "
+                 "(by gain/cost):")
+    for name, ranking in rankings.items():
+        lines.append(f"  {name:<26}{', '.join(ranking[:3])}")
+    emit("E9", "customer application profile matrix", lines)
+
+    # diversity: customers differ materially in their profiles
+    ipcs = [p["ipc"] for p in profiles]
+    assert max(ipcs) - min(ipcs) > 0.1
+    assert len({p["domain"] for p in profiles}) >= 2
+    # HW/SW split visible: some customers offload to the PCP, some don't
+    pcp_shares = [p["pcp_share"] for p in profiles]
+    assert any(s > 0 for s in pcp_shares)
+    # the architect's conclusion is stable: every engine customer's top-3
+    # contains a flash-path option
+    flash_path = {"icache_x2", "flash_25ns", "prefetch_x4", "dbuf_x4",
+                  "dcache_4k", "banks_x4"}
+    for name, ranking in rankings.items():
+        assert set(ranking[:3]) & flash_path, name

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Calibration + streaming profiling + the monitor access path.
+
+The development-phase workflow the ED exists for (paper Section 3):
+
+1. reserve a calibration share of the EMEM and overlay the fuel map;
+2. tune parameters on the working page while the engine model runs;
+3. stream the profiling rates continuously over the DAP, letting the
+   adaptive controller pick the finest sustainable resolution;
+4. compare the external DAP access path with the in-vehicle monitor
+   routine (TriCore → MLI → EEC, results over CAN) — including the CPU
+   cycles the monitor steals.
+"""
+
+from repro.core.profiling import (AdaptiveResolutionController,
+                                  StreamingSession, spec)
+from repro.ed import CalibrationSession
+from repro.ed.tool_access import compare_paths
+from repro.soc.config import tc1797_config
+from repro.soc.memory import map as amap
+from repro.workloads import EngineControlScenario
+
+FUEL_MAP = amap.PFLASH_BASE + 0x20_0000
+
+
+def build_streaming_device():
+    scenario = EngineControlScenario(
+        ed_config_overrides={"dap_streaming": True, "emem_kb": 64,
+                             "dap_bandwidth_mbps": 8.0})
+    return scenario.build(tc1797_config(), {}, seed=13)
+
+
+def main():
+    # -- calibration setup ---------------------------------------------------
+    device = build_streaming_device()
+    calibration = CalibrationSession(device, reserve_kb=32)
+    calibration.map_block("fuel_map", FUEL_MAP, 0x4000)
+    calibration.switch_to_working_page()
+    for offset in range(0, 64, 4):
+        calibration.write_parameter("fuel_map", offset, 0x4000 + offset)
+    print(calibration.summary())
+
+    # -- adaptive streaming profiling -----------------------------------------
+    base_specs = [sp for sp in spec.engine_parameter_set(ipc_resolution=256,
+                                                         rate_per=500)]
+    controller = AdaptiveResolutionController(
+        build_streaming_device, base_specs, trial_cycles=40_000)
+    scale = controller.calibrate()
+    print(f"\nadaptive controller: resolution scale x{scale} "
+          f"({len(controller.trials)} trials)")
+    for trial in controller.trials:
+        print(f"  scale x{trial['scale']}: lost={trial['lost']} "
+              f"peak fill={trial['peak_fill']:.1%} "
+              f"sustainable={trial['sustainable']}")
+
+    session_device = build_streaming_device()
+    session = StreamingSession(session_device, controller.specs_for(scale))
+    stats = session.run(200_000)
+    result = session.result()
+    print(f"\nstreamed {stats.messages_received} messages "
+          f"({stats.bits_transferred} bits) over the live DAP; "
+          f"EMEM peaked at {stats.emem_peak_fill:.1%}, "
+          f"lost {stats.messages_lost}")
+    print(f"mean IPC from the stream: {result.mean_rate('tc.ipc'):.3f}")
+
+    # -- access-path comparison -------------------------------------------------
+    print("\n" + compare_paths(session_device, words=1024))
+    print("\nthe monitor path needs no debug cable in the car, but its CPU "
+          "cycles are visible in the profile (see tests/test_tool_access.py)")
+
+
+if __name__ == "__main__":
+    main()

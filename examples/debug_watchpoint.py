@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Debugging a shared-variable corruption with watchpoints and trace.
+
+Paper Section 3: the MCDS enables "accurate tracing of concurrency-related
+bugs, including shared variable-access problems".  Scenario: a DSPR flag
+is being clobbered; we guard it with a watchpoint, let the system run at
+full speed, and when the core halts we read the trigger-stopped trace to
+see who wrote it and what executed just before.
+"""
+
+from repro.analysis import TraceDecoder
+from repro.ed.device import EdConfig, EmulationDevice
+from repro.mcds.debug import resume
+from repro.soc.config import tc1797_config
+from repro.soc.cpu import isa
+from repro.soc.memory import map as amap
+from repro.workloads.program import ProgramBuilder
+
+GUARDED = amap.DSPR_BASE + 0x7F0
+
+
+def build_program():
+    builder = ProgramBuilder()
+    main = builder.function("main")
+    top = main.label("top")
+    main.alu(12)
+    main.call("worker_a")
+    main.alu(8)
+    main.call("worker_b")
+    main.jump(top)
+
+    worker_a = builder.function("worker_a")
+    worker_a.alu(6)
+    worker_a.store(isa.FixedAddr(amap.DSPR_BASE + 0x100))
+    worker_a.ret()
+
+    # worker_b occasionally writes the guarded flag — the "bug"
+    worker_b = builder.function("worker_b")
+    worker_b.alu(4)
+    worker_b.branch(isa.TakenPeriodic(37), "oops")
+    worker_b.store(isa.FixedAddr(amap.DSPR_BASE + 0x104))
+    worker_b.ret()
+    worker_b.label("oops")
+    worker_b.store(isa.FixedAddr(GUARDED))
+    worker_b.ret()
+    return builder.assemble()
+
+
+def main():
+    program = build_program()
+    device = EmulationDevice(EdConfig(soc=tc1797_config(), emem_kb=32),
+                             seed=2026)
+    device.load_program(program)
+    device.mcds.add_program_trace(sync_period=64)
+    watchpoint = device.mcds.add_watchpoint((GUARDED, GUARDED + 4),
+                                            writes_only=True)
+
+    device.run(500_000)
+
+    if not device.cpu.debug_halt:
+        print("watchpoint never hit")
+        return
+    cycle, addr, master = watchpoint.hits[0]
+    print(f"core halted: write to 0x{addr:08x} by '{master}' "
+          f"at cycle {cycle}")
+    print(f"stopped at PC 0x{device.cpu.pc:08x} in "
+          f"'{program.function_of(device.cpu.pc)}'")
+
+    decoded = TraceDecoder(program).decode(device.emem.contents())
+    recent = [d for d in decoded.discontinuities if d[0] <= cycle][-5:]
+    print("control flow leading to the write:")
+    for event_cycle, target in recent:
+        print(f"  cycle {event_cycle:>7}: -> "
+              f"{program.function_of(target)} (0x{target:08x})")
+
+    watchpoint.enabled = False
+    resume(device.cpu)
+    device.run(1000)
+    print(f"resumed; core retired {device.cpu.retired} instructions total")
+
+
+if __name__ == "__main__":
+    main()

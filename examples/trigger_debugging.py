@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Complex triggers: catching a sporadic anomaly in a small trace buffer.
+
+Paper Section 3: the on-chip trace memory is limited, so the MCDS trigger
+block (boolean expressions, counters, state machines, missing-event
+watchdogs) exists to freeze the capture *around* the interesting moment.
+
+This example arms a two-stage trigger program — armed until an IPC dip is
+seen, then capturing until the post-trigger budget is spent — and compares
+what the buffer holds against a free-running capture.
+"""
+
+from repro.ed.device import EdConfig
+from repro.mcds.counters import CYCLES
+from repro.mcds.trigger import RateThreshold, Trigger, WindowWatchdog
+from repro.soc.config import tc1797_config
+from repro.workloads import EngineControlScenario
+
+RUN_CYCLES = 300_000
+PARAMS = {"anomaly": True, "anomaly_period": 60_000, "anomaly_len": 400}
+
+
+def build_device():
+    scenario = EngineControlScenario(ed_config_overrides={"emem_kb": 16})
+    return scenario.build(tc1797_config(), PARAMS, seed=99)
+
+
+def capture(triggered):
+    device = build_device()
+    device.mcds.add_program_trace(cycle_accurate=True)
+    if triggered:
+        ipc = device.mcds.add_rate_counter(
+            "ipc.gate", ["tc.instr_executed"], 256, basis=CYCLES)
+        dip = RateThreshold(ipc, int(0.5 * 256))
+        device.mcds.add_trigger(Trigger(
+            "freeze-on-dip", dip,
+            on_enter=lambda cycle: device.emem.trigger_stop(cycle, 0.5)))
+    watchdog = WindowWatchdog(device.hub, "dflash.access", window=50_000)
+    device.mcds.add_trigger(Trigger("eeprom-heartbeat-missing", watchdog))
+    device.run(RUN_CYCLES)
+    return device, watchdog
+
+
+def main():
+    free, _ = capture(triggered=False)
+    trig, watchdog = capture(triggered=True)
+
+    print("16 KB EMEM, 300k-cycle run, anomaly burst every 60k cycles\n")
+    span = free.emem.history_cycles()
+    print(f"free-running ring buffer: holds the last {span} cycles "
+          f"({free.emem.message_count} messages) — the anomaly is long gone")
+
+    first = trig.emem.contents()[0].cycle
+    last = trig.emem.contents()[-1].cycle
+    print(f"trigger-stop capture: frozen at cycle {trig.emem.trigger_cycle}, "
+          f"buffer spans cycles {first}..{last} — half before the dip, "
+          f"half after (post-trigger share 0.5)")
+
+    print(f"\nmissing-event watchdog fired {watchdog.timeouts} times "
+          f"(EEPROM heartbeat slower than its 50k-cycle window)")
+    print("\ntrigger conditions compose: e.g. "
+          "(ipc_low & ~in_isr) | heartbeat_missing")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+from setuptools import setup
+
+# Offline environments lack the `wheel` package that PEP 660 editable
+# installs require; this stub enables `pip install -e . --no-use-pep517`.
+setup()

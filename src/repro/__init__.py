@@ -1,0 +1,14 @@
+"""repro: reproduction of Infineon's system performance optimization
+methodology (Mayer & Hellwig, DATE 2008).
+
+Public API tiers:
+
+* :mod:`repro.soc` — the TriCore-like product-chip timing simulator.
+* :mod:`repro.mcds` / :mod:`repro.ed` — the Emulation Device substrate
+  (trace, triggers, counters, EMEM, DAP).
+* :mod:`repro.core` — the paper's contribution: Enhanced System Profiling
+  and the analytic architecture-optimization methodology.
+* :mod:`repro.workloads` — synthetic automotive application software.
+"""
+
+__version__ = "0.1.0"

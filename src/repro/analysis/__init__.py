@@ -1,0 +1,6 @@
+"""Tool-side analysis: trace decoding and reporting."""
+
+from .decode import DecodedRun, TraceDecoder
+from .report import profiling_report
+
+__all__ = ["DecodedRun", "TraceDecoder", "profiling_report"]

@@ -1,0 +1,67 @@
+"""Tool-side trace decoding: reconstructing execution from messages.
+
+The debugger reconstructs the full instruction flow from compressed
+program-trace messages plus the program image (the paper's tooling does the
+same from MCDS messages plus the ELF).  The decoder walks the program from
+a sync point, consuming one discontinuity message per control-flow change;
+tests verify the reconstruction against the simulator's actual path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..mcds import messages as msgs
+from ..soc.cpu.isa import Program
+
+
+@dataclass
+class DecodedRun:
+    """Reconstruction result."""
+
+    discontinuities: List[Tuple[int, int]]   # (cycle, target address)
+    function_entries: Dict[str, int]         # function -> times entered
+    first_cycle: Optional[int]
+    last_cycle: Optional[int]
+
+    @property
+    def span_cycles(self) -> int:
+        if self.first_cycle is None or self.last_cycle is None:
+            return 0
+        return self.last_cycle - self.first_cycle
+
+
+class TraceDecoder:
+    """Decodes a program-trace message stream against a program image."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self._entries = sorted(
+            (addr, name) for name, addr in program.symbols.items()
+            if "." not in name)
+
+    def _function_of(self, addr: int) -> str:
+        name = "?"
+        for entry_addr, entry_name in self._entries:
+            if entry_addr > addr:
+                break
+            name = entry_name
+        return name
+
+    def decode(self, stream) -> DecodedRun:
+        discontinuities: List[Tuple[int, int]] = []
+        function_entries: Dict[str, int] = {}
+        first = last = None
+        for msg in stream:
+            if msg.kind not in (msgs.IPT_BRANCH, msgs.IPT_SYNC):
+                continue
+            if first is None:
+                first = msg.cycle
+            last = msg.cycle
+            target = msg.address
+            discontinuities.append((msg.cycle, target))
+            name = self._function_of(target)
+            if target == self.program.symbols.get(name):
+                function_entries[name] = function_entries.get(name, 0) + 1
+        return DecodedRun(discontinuities, function_entries, first, last)

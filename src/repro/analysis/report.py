@@ -1,0 +1,85 @@
+"""Consolidated profiling report: everything a session learned, one text.
+
+Bundles the outputs a tooling front-end would present after an ED
+measurement run — device identification, the parallel parameter summary,
+the rate timeline, poor-IPC diagnoses, the function-level profile, the CPI
+stack, and the trace/bandwidth accounting — into a single report string
+(used by ``repro report``-style tooling and by the examples).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.optimization.cpi import CpiStack
+from ..core.profiling import analysis
+from ..core.profiling.functions import FunctionProfiler
+from ..core.profiling.session import ProfileResult
+from ..ed.device import EmulationDevice
+
+_RULE = "-" * 64
+
+
+def profiling_report(device: EmulationDevice, result: ProfileResult,
+                     profiler: Optional[FunctionProfiler] = None,
+                     ipc_name: str = "tc.ipc",
+                     dip_threshold_fraction: float = 0.8) -> str:
+    """Render the full post-measurement report."""
+    soc_cfg = device.config.soc
+    sections: List[str] = []
+
+    sections.append(
+        f"Enhanced System Profiling report — {soc_cfg.name}ED @ "
+        f"{soc_cfg.cpu.frequency_mhz} MHz, {result.cycles_run} cycles "
+        f"({result.cycles_run / (soc_cfg.cpu.frequency_mhz * 1e6) * 1e3:.2f}"
+        f" ms)")
+
+    sections.append(_RULE)
+    sections.append("parallel parameter measurement:")
+    sections.append(result.summary_table())
+
+    if ipc_name in result and len(result[ipc_name]):
+        threshold = result[ipc_name].mean_rate() * dip_threshold_fraction
+        diagnoses = analysis.diagnose(result, ipc_name=ipc_name,
+                                      ipc_threshold=threshold)
+        sections.append(_RULE)
+        if diagnoses:
+            sections.append(
+                f"poor-IPC windows (IPC below {threshold:.2f}):")
+            for diag in diagnoses:
+                suspects = ", ".join(
+                    f"{name} ({score:+.1f}σ)"
+                    for name, score in diag.causes[:3])
+                sections.append(
+                    f"  cycles {diag.window.start}..{diag.window.end}: "
+                    f"IPC {diag.ipc_inside:.2f} — {suspects}")
+        else:
+            sections.append(
+                f"no windows below {dip_threshold_fraction:.0%} of mean IPC")
+        period = analysis.estimate_periodicity(result[ipc_name])
+        if period is not None:
+            freq_mhz = soc_cfg.cpu.frequency_mhz
+            sections.append(
+                f"IPC disturbance recurs every ~{period} cycles "
+                f"({period / (freq_mhz * 1e6) * 1e6:.0f} µs) — "
+                f"check tasks at that raster")
+
+    if profiler is not None and profiler.stats:
+        sections.append(_RULE)
+        sections.append("function-level profile:")
+        sections.append(profiler.flat_profile())
+
+    counts = device.oracle()
+    stack = CpiStack.from_counts(counts, device.cycle, soc_cfg)
+    sections.append(_RULE)
+    sections.append("CPI stack (oracle view):")
+    sections.append(stack.as_table())
+
+    sections.append(_RULE)
+    sections.append(
+        f"trace accounting: {device.mcds.total_messages} messages, "
+        f"{device.mcds.total_bits} bits "
+        f"({result.bandwidth_mbps():.2f} Mbit/s sustained); EMEM "
+        f"{device.emem.fill_ratio:.1%} full, {result.lost_messages} "
+        f"messages lost")
+    return "\n".join(sections)

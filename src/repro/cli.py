@@ -1,0 +1,226 @@
+"""Command-line interface: the tool-vendor front-end in miniature.
+
+Subcommands map to the workflows of the paper::
+
+    repro topology   — device block inventory and tool access paths
+    repro profile    — Enhanced System Profiling run + dip diagnosis
+    repro trace      — program-trace capture statistics and decode summary
+    repro explore    — CPI stack, option prediction, gain/cost ranking
+    repro customers  — profile matrix over a generated customer population
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .soc.config import tc1767_config, tc1797_config
+
+
+def _scenario(name: str):
+    from .workloads import (BodyGatewayScenario, EngineControlScenario,
+                            TransmissionScenario)
+    scenarios = {
+        "engine": EngineControlScenario,
+        "transmission": TransmissionScenario,
+        "body": BodyGatewayScenario,
+    }
+    try:
+        return scenarios[name]()
+    except KeyError:
+        raise SystemExit(f"unknown scenario {name!r}; "
+                         f"choose from {sorted(scenarios)}")
+
+
+def _config(name: str):
+    configs = {"tc1797": tc1797_config, "tc1767": tc1767_config}
+    try:
+        return configs[name]()
+    except KeyError:
+        raise SystemExit(f"unknown device {name!r}; "
+                         f"choose from {sorted(configs)}")
+
+
+# --- subcommands ------------------------------------------------------------
+def cmd_topology(args) -> int:
+    from .ed.device import EdConfig, EmulationDevice
+    device = EmulationDevice(EdConfig(soc=_config(args.device)))
+    print(f"{args.device}ED block inventory:")
+    for block in device.block_inventory():
+        print(f"  {block}")
+    print("tool access paths:")
+    for path in device.access_paths():
+        print("  " + " -> ".join(path))
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from .core.profiling import ProfilingSession, analysis, spec
+    scenario = _scenario(args.scenario)
+    params = {"anomaly": True} if args.anomaly else {}
+    device = scenario.build(_config(args.device), params, seed=args.seed)
+    session = ProfilingSession(
+        device, spec.engine_parameter_set(ipc_resolution=args.resolution))
+    result = session.run(args.cycles)
+    print(result.summary_table())
+    threshold = result["tc.ipc"].mean_rate() * 0.8
+    diagnoses = analysis.diagnose(result, ipc_threshold=threshold)
+    if diagnoses:
+        print(f"\npoor-IPC windows (IPC < {threshold:.2f}):")
+        for diag in diagnoses:
+            top = ", ".join(name for name, _ in diag.causes[:2])
+            print(f"  {diag.window.start}..{diag.window.end} "
+                  f"IPC {diag.ipc_inside:.2f}, suspects: {top}")
+    else:
+        print("\nno poor-IPC windows below 80% of mean")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from .analysis import TraceDecoder
+    scenario = _scenario(args.scenario)
+    device = scenario.build(_config(args.device), {}, seed=args.seed)
+    ptu = device.mcds.add_program_trace(cycle_accurate=args.cycle_accurate)
+    device.run(args.cycles)
+    print(f"traced {ptu.instructions_traced} instructions in "
+          f"{ptu.messages} messages ({ptu.bits} bits, "
+          f"{ptu.bits_per_instruction:.2f} bits/instr)")
+    print(f"EMEM: {device.emem.message_count} messages buffered, "
+          f"{device.emem.fill_ratio:.1%} full, "
+          f"{device.emem.lost_oldest} wrapped away")
+    decoded = TraceDecoder(device.cpu.program).decode(
+        device.emem.contents())
+    print(f"decoded {len(decoded.discontinuities)} discontinuities "
+          f"spanning {decoded.span_cycles} cycles")
+    entries = sorted(decoded.function_entries.items(),
+                     key=lambda item: -item[1])[:5]
+    for name, count in entries:
+        print(f"  {name:<20} {count} entries")
+    return 0
+
+
+def cmd_explore(args) -> int:
+    from .core.optimization import (OptionEvaluator, full_catalog,
+                                    hardware_options, report)
+    scenario = _scenario(args.scenario)
+    options = hardware_options() if args.hardware_only else full_catalog()
+    evaluator = OptionEvaluator(scenario, _config(args.device), options,
+                                work_instructions=args.work, seed=args.seed)
+    context = evaluator.run_baseline()
+    print("CPI stack:")
+    print(context.stack.as_table())
+    results = evaluator.evaluate()
+    print("\noption ranking:")
+    print(report.ranking_table(results))
+    print("\nprediction accuracy:")
+    print(report.validation_table(results))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .analysis import profiling_report
+    from .core.profiling import (FunctionProfiler, ProfilingSession, spec)
+    from .core.profiling.export import result_to_json, summary_to_csv
+    from .mcds.trace import TraceFanout
+    scenario = _scenario(args.scenario)
+    params = {"anomaly": True} if args.anomaly else {}
+    device = scenario.build(_config(args.device), params, seed=args.seed)
+    session = ProfilingSession(
+        device, spec.engine_parameter_set(ipc_resolution=args.resolution))
+    profiler = FunctionProfiler(device.cpu.program)
+    if device.cpu.trace is None:
+        device.cpu.trace = TraceFanout()
+    device.cpu.trace.add(profiler)
+    result = session.run(args.cycles)
+    print(profiling_report(device, result, profiler))
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(result_to_json(result))
+        print(f"\nfull series exported to {args.json}")
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            handle.write(summary_to_csv(result))
+        print(f"summary exported to {args.csv}")
+    return 0
+
+
+def cmd_customers(args) -> int:
+    from .core.optimization import CpiStack
+    from .soc.kernel import signals
+    from .workloads import CustomerGenerator
+    customers = CustomerGenerator(seed=args.seed).generate(args.count)
+    config = _config(args.device)
+    print(f"{'customer':<28}{'IPC':>6}{'I$miss%':>9}{'flashD%':>9}"
+          f"{'pcp%':>7}")
+    for customer in customers:
+        device = customer.build(config, seed=args.seed)
+        device.run(args.cycles)
+        counts = device.oracle()
+        instr = max(1, counts[signals.TC_INSTR])
+        stack = CpiStack.from_counts(counts, device.cycle, config)
+        print(f"{customer.name:<28}{stack.ipc:>6.2f}"
+              f"{100 * counts[signals.ICACHE_MISS] / instr:>9.2f}"
+              f"{100 * counts[signals.PFLASH_DATA_ACCESS] / instr:>9.2f}"
+              f"{100 * counts[signals.PCP_INSTR] / instr:>7.2f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Infineon system-performance-optimization methodology "
+                    "(DATE 2008) reproduction")
+    parser.add_argument("--device", default="tc1797",
+                        help="tc1797 or tc1767 (default tc1797)")
+    parser.add_argument("--seed", type=int, default=2008)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("topology", help="block inventory and access paths")
+
+    p = sub.add_parser("profile", help="enhanced system profiling run")
+    p.add_argument("--scenario", default="engine")
+    p.add_argument("--cycles", type=int, default=200_000)
+    p.add_argument("--resolution", type=int, default=512)
+    p.add_argument("--anomaly", action="store_true")
+
+    p = sub.add_parser("trace", help="program trace capture")
+    p.add_argument("--scenario", default="engine")
+    p.add_argument("--cycles", type=int, default=100_000)
+    p.add_argument("--cycle-accurate", action="store_true")
+
+    p = sub.add_parser("explore", help="architecture-option ranking")
+    p.add_argument("--scenario", default="engine")
+    p.add_argument("--work", type=int, default=120_000)
+    p.add_argument("--hardware-only", action="store_true")
+
+    p = sub.add_parser("customers", help="customer profile matrix")
+    p.add_argument("--count", type=int, default=6)
+    p.add_argument("--cycles", type=int, default=100_000)
+
+    p = sub.add_parser("report", help="full profiling report (+export)")
+    p.add_argument("--scenario", default="engine")
+    p.add_argument("--cycles", type=int, default=200_000)
+    p.add_argument("--resolution", type=int, default=512)
+    p.add_argument("--anomaly", action="store_true")
+    p.add_argument("--json", help="write full series JSON to this path")
+    p.add_argument("--csv", help="write summary CSV to this path")
+    return parser
+
+
+COMMANDS = {
+    "topology": cmd_topology,
+    "profile": cmd_profile,
+    "trace": cmd_trace,
+    "explore": cmd_explore,
+    "customers": cmd_customers,
+    "report": cmd_report,
+}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,1 @@
+"""The paper's contribution: Enhanced System Profiling + optimization."""

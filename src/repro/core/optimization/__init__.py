@@ -1,0 +1,18 @@
+"""Analytic architecture-option evaluation and ranking."""
+
+from .cpi import CpiStack
+from .evaluate import OptionEvaluator, OptionResult
+from .options import (ArchOption, ProfileContext, full_catalog,
+                      hardware_options, software_options)
+from .portfolio import (PortfolioEntry, PortfolioEvaluator, pareto_frontier,
+                        portfolio_table)
+from .scaling import (ScalingPoint, predict_scaling, scaling_table,
+                      simulate_scaling)
+from . import model, report
+
+__all__ = ["CpiStack", "OptionEvaluator", "OptionResult", "ArchOption",
+           "ProfileContext", "full_catalog", "hardware_options",
+           "software_options", "PortfolioEntry", "PortfolioEvaluator",
+           "pareto_frontier", "portfolio_table", "model", "report",
+           "ScalingPoint", "predict_scaling", "scaling_table",
+           "simulate_scaling"]

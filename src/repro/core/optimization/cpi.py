@@ -1,0 +1,76 @@
+"""CPI-stack decomposition from measured event rates.
+
+Turns the profiling output into an additive cycles-per-instruction stack:
+
+    CPI = CPI_base + fetch stalls + load stalls + store stalls
+        + control-flow overhead + interrupt-entry overhead
+
+Each stall class is a directly tapped event source (stall cycles per
+cause), so the stack is exact for the simulated core — the analytic
+optimization model then predicts how an architecture option shrinks
+individual components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ...soc.config import SoCConfig
+from ...soc.kernel import signals
+
+
+@dataclass
+class CpiStack:
+    """Additive CPI decomposition over one measured run."""
+
+    cycles: int
+    instructions: int
+    components: Dict[str, float]    # name -> CPI contribution
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @classmethod
+    def from_counts(cls, counts: Dict[str, int], cycles: int,
+                    config: SoCConfig) -> "CpiStack":
+        """Build the stack from event totals (oracle or summed rate samples)."""
+        instructions = counts.get(signals.TC_INSTR, 0)
+        if instructions == 0:
+            return cls(cycles, 0, {})
+        fetch = counts.get(signals.TC_STALL_FETCH, 0)
+        load = counts.get(signals.TC_STALL_LOAD, 0)
+        store = counts.get(signals.TC_STALL_STORE, 0)
+        taken = counts.get(signals.TC_BRANCH_TAKEN, 0)
+        csa = counts.get(signals.TC_CSA, 0)
+        irq = counts.get(signals.TC_IRQ_ENTRY, 0)
+        control = taken * config.cpu.branch_penalty
+        context = csa * config.cpu.context_switch_cycles
+        irq_entry = irq * config.cpu.irq_entry_cycles
+        accounted = fetch + load + store + control + context + irq_entry
+        base = max(0, cycles - accounted)
+        divide = float(instructions)
+        components = {
+            "base": base / divide,
+            "fetch_stall": fetch / divide,
+            "load_stall": load / divide,
+            "store_stall": store / divide,
+            "control_flow": control / divide,
+            "context_switch": context / divide,
+            "irq_entry": irq_entry / divide,
+        }
+        return cls(cycles, instructions, components)
+
+    def as_table(self) -> str:
+        lines = [f"{'component':<18}{'CPI':>9}{'share':>9}"]
+        total = sum(self.components.values()) or 1.0
+        for name, value in sorted(self.components.items(),
+                                  key=lambda item: -item[1]):
+            lines.append(f"{name:<18}{value:>9.4f}{100 * value / total:>8.1f}%")
+        lines.append(f"{'total':<18}{self.cpi:>9.4f}")
+        return "\n".join(lines)

@@ -1,0 +1,140 @@
+"""Option evaluation: analytic prediction vs re-simulated measurement.
+
+Implements the paper's quantitative loop: profile the current device under
+a representative workload, predict each architecture option's gain
+analytically from the statistical data, then (here, where the paper's
+authors built silicon) validate by re-simulating the modified
+configuration, and finally rank everything by performance-gain/cost ratio
+("comparing their performance cost ratios", Section 1).
+
+Performance is time-to-complete a fixed amount of application work (a
+fixed retired-instruction budget), which matches how an ECU experiences a
+faster microcontroller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Protocol
+
+from ...ed.device import EmulationDevice
+from ...soc.config import SoCConfig
+from ...soc.kernel import signals
+from .cpi import CpiStack
+from .model import TraceCaptures
+from .options import ArchOption, ProfileContext
+
+
+class Scenario(Protocol):
+    """A reproducible workload: device construction + work definition."""
+
+    name: str
+    default_params: Dict
+
+    def build(self, config: SoCConfig, params: Dict,
+              seed: int) -> EmulationDevice:
+        """Return a device with program loaded and peripherals attached."""
+        ...
+
+
+@dataclass
+class OptionResult:
+    option: ArchOption
+    predicted_speedup: float
+    measured_speedup: float
+    baseline_cycles: int
+    option_cycles: int
+
+    @property
+    def measured_gain_percent(self) -> float:
+        return (self.measured_speedup - 1.0) * 100.0
+
+    @property
+    def predicted_gain_percent(self) -> float:
+        return (self.predicted_speedup - 1.0) * 100.0
+
+    @property
+    def gain_cost_ratio(self) -> float:
+        """Measured gain percent per area-cost unit — the ranking metric."""
+        return self.measured_gain_percent / max(self.option.area_cost, 1e-9)
+
+    @property
+    def prediction_error(self) -> float:
+        """Absolute error of the analytic prediction, in gain points."""
+        return abs(self.predicted_gain_percent - self.measured_gain_percent)
+
+
+class OptionEvaluator:
+    """Runs baseline + one re-simulation per option and ranks the results."""
+
+    def __init__(self, scenario: Scenario, base_config: SoCConfig,
+                 options: Iterable[ArchOption],
+                 work_instructions: int = 150_000,
+                 seed: int = 2008, max_cycles: int = 20_000_000) -> None:
+        self.scenario = scenario
+        self.base_config = base_config
+        self.options = list(options)
+        self.work_instructions = work_instructions
+        self.seed = seed
+        self.max_cycles = max_cycles
+        self.context: Optional[ProfileContext] = None
+        self.baseline_cycles: Optional[int] = None
+
+    # -- execution -----------------------------------------------------------
+    def _run(self, config: SoCConfig, params: Dict) -> EmulationDevice:
+        device = self.scenario.build(config, params, self.seed)
+        target = self.work_instructions
+        device.soc._ensure_order()
+        device.soc.sim.run_until(
+            lambda sim: device.cpu.retired >= target,
+            max_cycles=self.max_cycles)
+        return device
+
+    def run_baseline(self) -> ProfileContext:
+        """Profile the current device and capture the replay traces.
+
+        The capture corresponds to a qualified MCDS trace session on the
+        flash address space, downloaded for tool-side replay analysis.
+        """
+        params = dict(self.scenario.default_params)
+        config = self.base_config.copy()
+        device = self.scenario.build(config, params, self.seed)
+        flash_region = device.soc.map.region("pflash")
+        captures = TraceCaptures((flash_region.base, flash_region.end))
+        captures.install(device.soc.memory)
+        target = self.work_instructions
+        device.soc._ensure_order()
+        device.soc.sim.run_until(
+            lambda sim: device.cpu.retired >= target,
+            max_cycles=self.max_cycles)
+        counts = device.oracle()
+        stack = CpiStack.from_counts(counts, device.cycle, self.base_config)
+        hot_ranges = ()
+        hot_fn = getattr(self.scenario, "hot_table_ranges", None)
+        if hot_fn is not None:
+            hot_ranges = tuple(hot_fn(params))
+        self.context = ProfileContext(self.base_config, device.cycle,
+                                      counts, stack, captures, hot_ranges)
+        self.baseline_cycles = device.cycle
+        return self.context
+
+    def evaluate(self) -> List[OptionResult]:
+        if self.context is None:
+            self.run_baseline()
+        results: List[OptionResult] = []
+        for option in self.options:
+            config = self.base_config.copy()
+            params = dict(self.scenario.default_params)
+            option.apply(config, params)
+            device = self._run(config, params)
+            measured = self.baseline_cycles / device.cycle
+            predicted = option.predict(self.context)
+            results.append(OptionResult(
+                option=option,
+                predicted_speedup=predicted,
+                measured_speedup=measured,
+                baseline_cycles=self.baseline_cycles,
+                option_cycles=device.cycle,
+            ))
+        results.sort(key=lambda r: -r.gain_cost_ratio)
+        return results

@@ -1,0 +1,126 @@
+"""Trace-driven analytic models: replaying captured access traces through
+candidate memory geometries.
+
+This is the "detailed analysis as a second analysis task" of paper Section
+1 put to work for the SoC architect: once the statistical profile has
+flagged the flash path, a short MCDS trace capture of fetch lines and data
+addresses is replayed — offline, on the tool side — through alternative
+cache/buffer configurations to *quantify* each option before any silicon
+exists.  The replay models are deliberately the same structures as the
+hardware models (:class:`~repro.soc.memory.cache.Cache`,
+FIFO line buffers), so prediction error comes only from trace length and
+timing second-order effects, which experiment E6 measures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from ...soc.config import CacheConfig
+from ...soc.memory.cache import Cache
+
+LINE_BYTES = 32
+LINE_SHIFT = 5
+
+
+def replay_cache(addresses: Sequence[int], size_bytes: int, ways: int = 2,
+                 line_bytes: int = LINE_BYTES) -> Tuple[int, int]:
+    """Replay an address trace through a cache; returns (hits, misses)."""
+    cache = Cache(CacheConfig(size_bytes=size_bytes, line_bytes=line_bytes,
+                              ways=ways))
+    for addr in addresses:
+        if not cache.lookup(addr):
+            cache.fill(addr)
+    return cache.hits, cache.misses
+
+
+def replay_line_buffer(addresses: Sequence[int], lines: int,
+                       prefetch: bool = False,
+                       line_bytes: int = LINE_BYTES) -> Tuple[int, int]:
+    """Replay through a FIFO line buffer (the flash port read buffers)."""
+    shift = line_bytes.bit_length() - 1
+    capacity = max(1, lines)
+    present: dict = {}
+    order: List[int] = []
+    hits = misses = 0
+
+    def insert(line: int) -> None:
+        if line in present:
+            return
+        if len(order) >= capacity:
+            del present[order.pop(0)]
+        order.append(line)
+        present[line] = True
+
+    for addr in addresses:
+        line = addr >> shift
+        if line in present:
+            hits += 1
+        else:
+            misses += 1
+            insert(line)
+            if prefetch:
+                insert(line + 1)
+    return hits, misses
+
+
+def miss_stream(addresses: Sequence[int], size_bytes: int, ways: int = 2,
+                line_bytes: int = LINE_BYTES) -> List[int]:
+    """Addresses that miss a cache of the given geometry (its flash traffic)."""
+    cache = Cache(CacheConfig(size_bytes=size_bytes, line_bytes=line_bytes,
+                              ways=ways))
+    misses: List[int] = []
+    for addr in addresses:
+        if not cache.lookup(addr):
+            cache.fill(addr)
+            misses.append(addr)
+    return misses
+
+
+def share_in_ranges(addresses: Sequence[int],
+                    ranges: Iterable[Tuple[int, int]]) -> float:
+    """Fraction of trace addresses falling into any of the given ranges."""
+    ranges = tuple(ranges)
+    if not addresses or not ranges:
+        return 0.0
+    inside = 0
+    for addr in addresses:
+        for lo, hi in ranges:
+            if lo <= addr < hi:
+                inside += 1
+                break
+    return inside / len(addresses)
+
+
+class TraceCaptures:
+    """Bounded capture of fetch-line and data-read addresses.
+
+    Installed during the baseline profiling run; corresponds to a short
+    qualified MCDS trace download.  Bounded so that the capture matches
+    what a real EMEM-sized buffer could hold.
+    """
+
+    def __init__(self, flash_range: Tuple[int, int],
+                 max_fetch: int = 200_000, max_data: int = 200_000) -> None:
+        self.flash_lo, self.flash_hi = flash_range
+        self.max_fetch = max_fetch
+        self.max_data = max_data
+        self.fetch_addresses: List[int] = []
+        self.data_addresses: List[int] = []
+
+    # memory-system hook signatures
+    def on_fetch(self, cycle: int, addr: int, master: str) -> None:
+        if master == "tc" and len(self.fetch_addresses) < self.max_fetch:
+            if self.flash_lo <= addr < self.flash_hi:
+                self.fetch_addresses.append(addr)
+
+    def on_data(self, cycle: int, addr: int, is_write: bool,
+                master: str) -> None:
+        if (not is_write and master == "tc"
+                and len(self.data_addresses) < self.max_data
+                and self.flash_lo <= addr < self.flash_hi):
+            self.data_addresses.append(addr)
+
+    def install(self, memory) -> None:
+        memory.fetch_watchers.append(self.on_fetch)
+        memory.watchers.append(self.on_data)

@@ -1,0 +1,356 @@
+"""Architecture-option catalog with area costs and analytic predictions.
+
+The methodology's deliverable (paper Sections 4 and 6): candidate
+improvements for the next microcontroller generation, each with
+
+* an ``apply`` action — a delta on the :class:`SoCConfig` (hardware
+  options) or on the workload mapping parameters (software options such as
+  "map data structures to scratch pad memory");
+* a relative **area cost** in kGE-equivalent units (SRAM ≈ 6 units/KB plus
+  control logic; the absolute scale is irrelevant because the output is a
+  performance-gain/cost *ratio* ranking);
+* an **analytic speedup prediction** computed purely from the statistical
+  profile of the *current* device — the quantity the paper derives from ED
+  measurements before any next-generation silicon exists.
+
+Prediction models are deliberately first-order (√2 miss-rate rule,
+wait-state proportionality, measured-conflict removal): experiment E6
+quantifies their error against re-simulation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ...soc.config import SoCConfig
+from ...soc.kernel import signals
+from . import model
+from .cpi import CpiStack
+
+#: relative area cost of one KB of on-chip SRAM
+SRAM_COST_PER_KB = 6.0
+
+
+@dataclass
+class ProfileContext:
+    """Everything an analytic prediction may consume about the baseline.
+
+    ``captures`` holds the short qualified trace download (fetch lines and
+    flash data addresses) used by the trace-replay predictions; when absent
+    the predictions fall back to first-order closed-form models.
+    ``hot_ranges`` are the address ranges of the application's hot
+    calibration structures (known to the customer from the link map).
+    """
+
+    config: SoCConfig
+    cycles: int
+    counts: Dict[str, int]
+    stack: CpiStack
+    captures: Optional[model.TraceCaptures] = None
+    hot_ranges: tuple = ()
+
+    def per_instr(self, signal: str) -> float:
+        instr = self.counts.get(signals.TC_INSTR, 0)
+        if instr == 0:
+            return 0.0
+        return self.counts.get(signal, 0) / instr
+
+    @property
+    def flash_wait_states(self) -> int:
+        return self.config.flash.wait_states(self.config.cpu.frequency_mhz)
+
+    def flash_load_stall_cpi(self) -> float:
+        """CPI share of load stalls attributable to flash data misses."""
+        misses = (self.counts.get(signals.PFLASH_DATA_ACCESS, 0)
+                  - self.counts.get(signals.PFLASH_BUF_HIT_DATA, 0))
+        instr = self.counts.get(signals.TC_INSTR, 0)
+        if instr == 0:
+            return 0.0
+        per_miss = self.flash_wait_states  # stall beyond the 1-cycle hit
+        estimate = misses * per_miss / instr
+        return min(estimate, self.stack.components.get("load_stall", 0.0))
+
+    def speedup_from_cpi_delta(self, delta: float) -> float:
+        """Speedup factor if ``delta`` CPI were removed (floor at no-change)."""
+        cpi = self.stack.cpi
+        if cpi <= 0 or delta <= 0:
+            return 1.0
+        return cpi / max(cpi - delta, 1e-9)
+
+
+@dataclass
+class ArchOption:
+    """One candidate improvement, hardware or software."""
+
+    key: str
+    title: str
+    kind: str                      # "hardware" or "software"
+    area_cost: float               # relative units, >= 1
+    predict: Callable[[ProfileContext], float]
+    apply_config: Optional[Callable[[SoCConfig], None]] = None
+    apply_params: Optional[Callable[[dict], None]] = None
+    description: str = ""
+
+    def apply(self, config: SoCConfig, params: dict) -> None:
+        if self.apply_config is not None:
+            self.apply_config(config)
+        if self.apply_params is not None:
+            self.apply_params(params)
+
+
+# --- analytic models -----------------------------------------------------------
+def _predict_icache_double(ctx: ProfileContext) -> float:
+    """Replay the captured fetch-line trace through a doubled cache.
+
+    Falls back to the √2 miss-rate rule when no trace was captured.
+    """
+    fetch = ctx.stack.components.get("fetch_stall", 0.0)
+    captures = ctx.captures
+    if captures is not None and len(captures.fetch_addresses) > 1000:
+        size = ctx.config.icache.size_bytes
+        ways = ctx.config.icache.ways
+        _, miss_cur = model.replay_cache(captures.fetch_addresses, size, ways)
+        _, miss_new = model.replay_cache(captures.fetch_addresses, 2 * size,
+                                         ways)
+        if miss_cur == 0:
+            return 1.0
+        removed = fetch * (1.0 - miss_new / miss_cur)
+    else:
+        removed = fetch * (1.0 - 1.0 / math.sqrt(2.0))
+    return ctx.speedup_from_cpi_delta(removed)
+
+
+def _predict_flash_faster(ctx: ProfileContext, new_ns: float) -> float:
+    """Fewer wait states shrink every flash-induced stall proportionally."""
+    ws_old = ctx.flash_wait_states
+    cfg = ctx.config.copy()
+    cfg.flash.access_time_ns = new_ns
+    ws_new = cfg.flash.wait_states(cfg.cpu.frequency_mhz)
+    if ws_old <= 0:
+        return 1.0
+    factor = (ws_new + 1) / (ws_old + 1)
+    fetch = ctx.stack.components.get("fetch_stall", 0.0)
+    flash_load = ctx.flash_load_stall_cpi()
+    removed = (fetch + flash_load) * (1.0 - factor)
+    return ctx.speedup_from_cpi_delta(removed)
+
+
+def _predict_prefetch_deeper(ctx: ProfileContext) -> float:
+    """Replay the I-cache miss stream through deeper code-port buffers.
+
+    The flash code traffic of the next generation is the miss stream of the
+    current I-cache over the captured fetch trace; the buffer replay then
+    gives the array-access reduction from extra lines.
+    """
+    fetch = ctx.stack.components.get("fetch_stall", 0.0)
+    captures = ctx.captures
+    if captures is None or len(captures.fetch_addresses) <= 1000:
+        return ctx.speedup_from_cpi_delta(fetch * 0.25)
+    cfg = ctx.config
+    misses = model.miss_stream(captures.fetch_addresses,
+                               cfg.icache.size_bytes, cfg.icache.ways)
+    if not misses:
+        return 1.0
+    _, arr_cur = model.replay_line_buffer(misses, cfg.flash.code_buffer_lines,
+                                          prefetch=cfg.flash.prefetch_enabled)
+    _, arr_new = model.replay_line_buffer(misses,
+                                          2 * cfg.flash.code_buffer_lines,
+                                          prefetch=cfg.flash.prefetch_enabled)
+    if arr_cur == 0:
+        return 1.0
+    removed = fetch * (1.0 - arr_new / arr_cur)
+    return ctx.speedup_from_cpi_delta(removed)
+
+
+def _predict_data_buffer(ctx: ProfileContext) -> float:
+    """Replay the flash data-read trace through a wider read buffer."""
+    captures = ctx.captures
+    flash_load = ctx.flash_load_stall_cpi()
+    if captures is None or len(captures.data_addresses) <= 200:
+        return ctx.speedup_from_cpi_delta(flash_load * 0.2)
+    cfg = ctx.config
+    _, miss_cur = model.replay_line_buffer(captures.data_addresses,
+                                           cfg.flash.data_buffer_lines)
+    _, miss_new = model.replay_line_buffer(captures.data_addresses,
+                                           4 * cfg.flash.data_buffer_lines)
+    if miss_cur == 0:
+        return 1.0
+    removed = flash_load * (1.0 - miss_new / miss_cur)
+    return ctx.speedup_from_cpi_delta(removed)
+
+
+def _predict_dcache(ctx: ProfileContext) -> float:
+    """Replay the flash data-read trace through the candidate data cache."""
+    flash_load = ctx.flash_load_stall_cpi()
+    captures = ctx.captures
+    if captures is None or len(captures.data_addresses) <= 200:
+        return ctx.speedup_from_cpi_delta(flash_load * 0.85)
+    cfg = ctx.config
+    hits, misses = model.replay_cache(captures.data_addresses,
+                                      cfg.dcache.size_bytes, cfg.dcache.ways)
+    total = hits + misses
+    if total == 0:
+        return 1.0
+    removed = flash_load * (hits / total)
+    return ctx.speedup_from_cpi_delta(removed)
+
+
+def _predict_more_banks(ctx: ProfileContext) -> float:
+    """Doubling the banks removes most code/data port conflicts."""
+    conflict_cpi = ctx.per_instr(signals.PFLASH_PORT_CONFLICT)
+    return ctx.speedup_from_cpi_delta(conflict_cpi * 0.6)
+
+
+def _predict_tables_to_dspr(ctx: ProfileContext) -> float:
+    """Mapping the hot tables to DSPR removes *their* flash load stalls.
+
+    The share of flash data traffic hitting the hot calibration structures
+    comes from the captured data trace and the link map (``hot_ranges``).
+    """
+    flash_load = ctx.flash_load_stall_cpi()
+    captures = ctx.captures
+    if captures is None:
+        return ctx.speedup_from_cpi_delta(flash_load)
+    if not ctx.hot_ranges:
+        return 1.0        # link map says nothing is left to move
+    share = model.share_in_ranges(captures.data_addresses, ctx.hot_ranges)
+    return ctx.speedup_from_cpi_delta(flash_load * share)
+
+
+def _predict_isr_to_pspr(ctx: ProfileContext) -> float:
+    """ISR code in PSPR removes the fetch stalls of interrupt bursts.
+
+    The interrupt-cycle share of execution approximates the fetch stalls
+    attributable to ISR code.
+    """
+    if ctx.cycles == 0:
+        return 1.0
+    irq_share = ctx.counts.get(signals.TC_IRQ_CYCLES, 0) / ctx.cycles
+    fetch = ctx.stack.components.get("fetch_stall", 0.0)
+    return ctx.speedup_from_cpi_delta(fetch * min(1.0, irq_share))
+
+
+def _predict_fast_spb(ctx: ProfileContext) -> float:
+    """A full-speed peripheral bus halves SPB latency and contention."""
+    spb_cpi = ctx.per_instr(signals.SPB_CONTENTION)
+    store = ctx.stack.components.get("store_stall", 0.0)
+    return ctx.speedup_from_cpi_delta(0.5 * (spb_cpi + store))
+
+
+def _predict_crossbar(ctx: ProfileContext) -> float:
+    """An SRI-style crossbar removes cross-target LMB arbitration waits.
+
+    First-order: all measured LMB contention disappears (same-target
+    conflicts remain but are a small residue in these workloads).
+    """
+    return ctx.speedup_from_cpi_delta(ctx.per_instr(signals.LMB_CONTENTION))
+
+
+# --- the catalog ------------------------------------------------------------------
+def _set_icache_double(cfg: SoCConfig) -> None:
+    cfg.icache.size_bytes *= 2
+
+
+def _set_flash_25ns(cfg: SoCConfig) -> None:
+    cfg.flash.access_time_ns = 25.0
+
+
+def _set_prefetch4(cfg: SoCConfig) -> None:
+    cfg.flash.code_buffer_lines = 4
+
+
+def _set_data_buffer4(cfg: SoCConfig) -> None:
+    cfg.flash.data_buffer_lines = 4
+
+
+def _set_dcache_on(cfg: SoCConfig) -> None:
+    cfg.dcache.enabled = True
+
+
+def _set_banks4(cfg: SoCConfig) -> None:
+    cfg.flash.banks = 4
+
+
+def _set_spb_fast(cfg: SoCConfig) -> None:
+    cfg.bus.spb_occupancy = 1
+    cfg.bus.spb_latency = 2
+
+
+def _set_crossbar(cfg: SoCConfig) -> None:
+    cfg.bus.lmb_crossbar = True
+
+
+def hardware_options() -> List[ArchOption]:
+    """The SoC architect's next-generation candidates."""
+    return [
+        ArchOption("icache_x2", "double I-cache", "hardware",
+                   area_cost=16 * SRAM_COST_PER_KB + 10,
+                   predict=_predict_icache_double,
+                   apply_config=_set_icache_double,
+                   description="16 KB -> 32 KB instruction cache"),
+        ArchOption("flash_25ns", "faster flash array", "hardware",
+                   area_cost=80.0,
+                   predict=lambda ctx: _predict_flash_faster(ctx, 25.0),
+                   apply_config=_set_flash_25ns,
+                   description="30 ns -> 25 ns flash access time"),
+        ArchOption("prefetch_x4", "deeper code prefetch buffer", "hardware",
+                   area_cost=2 * 8.0,
+                   predict=_predict_prefetch_deeper,
+                   apply_config=_set_prefetch4,
+                   description="2 -> 4 code-port line buffers"),
+        ArchOption("dbuf_x4", "wider data read buffer", "hardware",
+                   area_cost=3 * 8.0,
+                   predict=_predict_data_buffer,
+                   apply_config=_set_data_buffer4,
+                   description="1 -> 4 data-port line buffers"),
+        ArchOption("dcache_4k", "add 4 KB data cache", "hardware",
+                   area_cost=4 * SRAM_COST_PER_KB + 15,
+                   predict=_predict_dcache,
+                   apply_config=_set_dcache_on,
+                   description="enable a 4 KB write-through data cache"),
+        ArchOption("banks_x4", "four flash banks", "hardware",
+                   area_cost=60.0,
+                   predict=_predict_more_banks,
+                   apply_config=_set_banks4,
+                   description="2 -> 4 banks, fewer port conflicts"),
+        ArchOption("spb_fast", "full-speed peripheral bus", "hardware",
+                   area_cost=40.0,
+                   predict=_predict_fast_spb,
+                   apply_config=_set_spb_fast,
+                   description="SPB at CPU clock"),
+        ArchOption("lmb_xbar", "LMB crossbar (SRI)", "hardware",
+                   area_cost=55.0,
+                   predict=_predict_crossbar,
+                   apply_config=_set_crossbar,
+                   description="per-target interconnect lanes"),
+    ]
+
+
+def _param_tables_dspr(params: dict) -> None:
+    params["tables_in_dspr"] = True
+
+
+def _param_isr_pspr(params: dict) -> None:
+    params["isr_in_pspr"] = True
+
+
+def software_options() -> List[ArchOption]:
+    """The customer's software-mapping levers (paper Section 5)."""
+    return [
+        ArchOption("tables_dspr", "map hot tables to DSPR", "software",
+                   area_cost=1.0,
+                   predict=_predict_tables_to_dspr,
+                   apply_params=_param_tables_dspr,
+                   description="calibration maps copied into scratchpad"),
+        ArchOption("isr_pspr", "map ISR code to PSPR", "software",
+                   area_cost=1.0,
+                   predict=_predict_isr_to_pspr,
+                   apply_params=_param_isr_pspr,
+                   description="crank/ADC handlers in program scratchpad"),
+    ]
+
+
+def full_catalog() -> List[ArchOption]:
+    return hardware_options() + software_options()

@@ -1,0 +1,119 @@
+"""Portfolio evaluation: ranking options across a customer population.
+
+The SoC architect does not optimise for one customer: "Analysis of the
+application profiles of the different customer applications ... with the
+target of further optimization of the hardware for the future automotive
+applications" (paper Section 5), under the constraint of "no negative side
+effects for other possible use cases" (Section 4).
+
+A portfolio evaluation runs the option catalog against every customer,
+aggregates gains with volume weights, flags options that *regress* any
+customer (the forbidden negative side effects), and computes the Pareto
+frontier in (area cost, weighted gain) space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ...soc.config import SoCConfig
+from .evaluate import OptionEvaluator, OptionResult
+from .options import ArchOption
+
+
+@dataclass
+class PortfolioEntry:
+    """One option's aggregated result across the population."""
+
+    option: ArchOption
+    per_customer_gain: Dict[str, float]     # customer name -> gain percent
+    weighted_gain: float
+    worst_gain: float
+
+    @property
+    def has_regression(self) -> bool:
+        """True if any customer loses more than measurement noise."""
+        return self.worst_gain < -0.5
+
+    @property
+    def gain_cost_ratio(self) -> float:
+        return self.weighted_gain / max(self.option.area_cost, 1e-9)
+
+
+class PortfolioEvaluator:
+    """Runs option evaluation per customer and aggregates."""
+
+    def __init__(self, customers: Sequence, base_config: SoCConfig,
+                 options: Iterable[ArchOption],
+                 weights: Optional[Dict[str, float]] = None,
+                 work_instructions: int = 80_000, seed: int = 2008) -> None:
+        self.customers = list(customers)
+        self.base_config = base_config
+        self.options = list(options)
+        self.weights = weights or {}
+        self.work_instructions = work_instructions
+        self.seed = seed
+
+    def _weight(self, customer) -> float:
+        return self.weights.get(customer.name, 1.0)
+
+    def evaluate(self) -> List[PortfolioEntry]:
+        per_option: Dict[str, Dict[str, float]] = {
+            option.key: {} for option in self.options}
+        for customer in self.customers:
+            scenario = customer.scenario
+            # pin this customer's parameters onto the scenario
+            scenario = type(scenario)()
+            scenario.default_params = dict(scenario.default_params)
+            scenario.default_params.update(customer.params)
+            evaluator = OptionEvaluator(
+                scenario, self.base_config, self.options,
+                work_instructions=self.work_instructions, seed=self.seed)
+            for result in evaluator.evaluate():
+                per_option[result.option.key][customer.name] = (
+                    result.measured_gain_percent)
+
+        total_weight = sum(self._weight(c) for c in self.customers) or 1.0
+        entries: List[PortfolioEntry] = []
+        for option in self.options:
+            gains = per_option[option.key]
+            weighted = sum(gains[c.name] * self._weight(c)
+                           for c in self.customers) / total_weight
+            worst = min(gains.values()) if gains else 0.0
+            entries.append(PortfolioEntry(option, gains, weighted, worst))
+        entries.sort(key=lambda e: -e.gain_cost_ratio)
+        return entries
+
+
+def pareto_frontier(entries: Iterable[PortfolioEntry]
+                    ) -> List[PortfolioEntry]:
+    """Options not dominated in (lower cost, higher weighted gain)."""
+    pool = [e for e in entries if e.weighted_gain > 0]
+    frontier: List[PortfolioEntry] = []
+    for entry in pool:
+        dominated = any(
+            other.option.area_cost <= entry.option.area_cost
+            and other.weighted_gain >= entry.weighted_gain
+            and (other.option.area_cost < entry.option.area_cost
+                 or other.weighted_gain > entry.weighted_gain)
+            for other in pool)
+        if not dominated:
+            frontier.append(entry)
+    frontier.sort(key=lambda e: e.option.area_cost)
+    return frontier
+
+
+def portfolio_table(entries: Iterable[PortfolioEntry]) -> str:
+    entries = list(entries)
+    frontier_keys = {e.option.key for e in pareto_frontier(entries)}
+    lines = [f"{'option':<14}{'weighted gain':>14}{'worst':>8}{'cost':>7}"
+             f"{'gain/cost':>11}{'pareto':>8}{'regress':>9}"]
+    for entry in entries:
+        lines.append(
+            f"{entry.option.key:<14}{entry.weighted_gain:>13.2f}%"
+            f"{entry.worst_gain:>7.2f}%{entry.option.area_cost:>7.0f}"
+            f"{entry.gain_cost_ratio:>11.4f}"
+            f"{'*' if entry.option.key in frontier_keys else '':>8}"
+            f"{'YES' if entry.has_regression else '-':>9}")
+    return "\n".join(lines)

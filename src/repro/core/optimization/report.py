@@ -1,0 +1,36 @@
+"""Text reports for the optimization methodology outputs."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from .evaluate import OptionResult
+
+
+def ranking_table(results: Iterable[OptionResult]) -> str:
+    """The paper's deliverable: options ranked by performance/cost ratio."""
+    lines = [f"{'option':<14}{'kind':<10}{'pred gain':>10}{'meas gain':>10}"
+             f"{'cost':>7}{'gain/cost':>11}"]
+    for result in results:
+        lines.append(
+            f"{result.option.key:<14}{result.option.kind:<10}"
+            f"{result.predicted_gain_percent:>9.2f}%"
+            f"{result.measured_gain_percent:>9.2f}%"
+            f"{result.option.area_cost:>7.0f}"
+            f"{result.gain_cost_ratio:>11.4f}")
+    return "\n".join(lines)
+
+
+def validation_table(results: Iterable[OptionResult]) -> str:
+    """Analytic-prediction accuracy per option (experiment E6)."""
+    results = list(results)
+    lines = [f"{'option':<14}{'predicted':>10}{'measured':>10}{'abs err':>9}"]
+    for result in sorted(results, key=lambda r: -r.measured_gain_percent):
+        lines.append(
+            f"{result.option.key:<14}{result.predicted_gain_percent:>9.2f}%"
+            f"{result.measured_gain_percent:>9.2f}%"
+            f"{result.prediction_error:>8.2f}%")
+    if results:
+        mae = sum(r.prediction_error for r in results) / len(results)
+        lines.append(f"mean absolute error: {mae:.2f} gain points")
+    return "\n".join(lines)

@@ -1,0 +1,13 @@
+"""Enhanced System Profiling: parallel, non-intrusive rate measurement."""
+
+from . import analysis, export, spec
+from .functions import FunctionProfiler
+from .multires import MultiResolutionRate
+from .session import ProfileResult, ProfilingSession, SeriesData
+from .streaming import (AdaptiveResolutionController, StreamingSession,
+                        StreamingStats)
+
+__all__ = ["analysis", "export", "spec", "FunctionProfiler", "MultiResolutionRate",
+           "ProfileResult", "ProfilingSession", "SeriesData",
+           "AdaptiveResolutionController", "StreamingSession",
+           "StreamingStats"]

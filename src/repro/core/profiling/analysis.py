@@ -1,0 +1,191 @@
+"""Profile analysis: finding and explaining performance anomalies.
+
+Implements the paper's analysis loop (Section 5): scan the parallel rate
+series for "the interesting spaces of time where the system performance is
+not optimal" (poor-IPC windows), then explain each window by asking which
+other measured rate deviates most strongly inside it ("high cache miss
+rate?  Which cache?  ...  High interrupt load?  And so on").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .session import ProfileResult, SeriesData
+
+
+@dataclass
+class Window:
+    """A span of cycles in which a condition held."""
+
+    start: int
+    end: int
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class Diagnosis:
+    """Root-cause ranking for one poor-performance window."""
+
+    window: Window
+    ipc_inside: float
+    ipc_overall: float
+    causes: List[Tuple[str, float]]   # (parameter, deviation score), sorted
+
+    @property
+    def primary_cause(self) -> Optional[str]:
+        return self.causes[0][0] if self.causes else None
+
+
+def find_low_windows(series: SeriesData, threshold_rate: float,
+                     min_samples: int = 1) -> List[Window]:
+    """Spans where the measured rate stayed below ``threshold_rate``."""
+    cycles = series.cycles
+    rates = series.rates
+    windows: List[Window] = []
+    start_idx: Optional[int] = None
+    for i, value in enumerate(rates):
+        if value < threshold_rate:
+            if start_idx is None:
+                start_idx = i
+        elif start_idx is not None:
+            if i - start_idx >= min_samples:
+                windows.append(Window(int(cycles[start_idx]), int(cycles[i - 1])))
+            start_idx = None
+    if start_idx is not None and len(rates) - start_idx >= min_samples:
+        windows.append(Window(int(cycles[start_idx]), int(cycles[-1])))
+    return windows
+
+
+def _mean_in_window(series: SeriesData, window: Window) -> float:
+    cycles = series.cycles
+    mask = (cycles >= window.start) & (cycles <= window.end)
+    if not mask.any():
+        return float("nan")
+    return float(series.rates[mask].mean())
+
+
+def diagnose(result: ProfileResult, ipc_name: str = "tc.ipc",
+             ipc_threshold: float = 1.0,
+             cause_names: Optional[List[str]] = None,
+             min_samples: int = 1) -> List[Diagnosis]:
+    """Find poor-IPC windows and rank the likely causes for each.
+
+    The deviation score of a candidate parameter is how many overall
+    standard deviations its in-window mean lies away from its overall mean
+    (higher rate inside the bad window == stronger suspicion).
+    """
+    ipc_series = result[ipc_name]
+    if cause_names is None:
+        cause_names = [n for n in result.names if n != ipc_name]
+    overall_ipc = ipc_series.mean_rate()
+    diagnoses: List[Diagnosis] = []
+    for window in find_low_windows(ipc_series, ipc_threshold, min_samples):
+        scored: List[Tuple[str, float]] = []
+        for name in cause_names:
+            series = result[name]
+            if len(series) == 0:
+                continue
+            rates = series.rates
+            mean = float(rates.mean())
+            std = float(rates.std())
+            inside = _mean_in_window(series, window)
+            if np.isnan(inside):
+                continue
+            score = (inside - mean) / std if std > 1e-12 else 0.0
+            scored.append((name, score))
+        scored.sort(key=lambda item: -item[1])
+        diagnoses.append(Diagnosis(
+            window=window,
+            ipc_inside=_mean_in_window(ipc_series, window),
+            ipc_overall=overall_ipc,
+            causes=scored,
+        ))
+    return diagnoses
+
+
+def compare_profiles(before: ProfileResult, after: ProfileResult,
+                     label_before: str = "before",
+                     label_after: str = "after") -> str:
+    """Quantify an optimization by diffing two measurement runs.
+
+    Paper Section 5: "Additionally system profiling allows measuring the
+    result of the improvement quantitatively."  Parameters present in both
+    profiles are compared by mean rate; the delta column is the engineer's
+    receipt for the change.
+    """
+    names = sorted(set(before.names) & set(after.names))
+    lines = [f"{'parameter':<28}{label_before:>12}{label_after:>12}"
+             f"{'delta':>10}"]
+    for name in names:
+        rate_before = before.mean_rate(name)
+        rate_after = after.mean_rate(name)
+        delta = rate_after - rate_before
+        lines.append(f"{name:<28}{rate_before:>12.4f}{rate_after:>12.4f}"
+                     f"{delta:>+10.4f}")
+    only = sorted(set(before.names) ^ set(after.names))
+    if only:
+        lines.append(f"(not compared: {', '.join(only)})")
+    return "\n".join(lines)
+
+
+def estimate_periodicity(series: SeriesData,
+                         min_lag_samples: int = 2) -> Optional[int]:
+    """Estimate the dominant recurrence period of a rate series, in cycles.
+
+    Hard real-time anomalies are usually periodic (a task at a fixed
+    raster, a wrapped counter, a beat between two rates); knowing the
+    period tells the engineer *which* activity to trace next.  Uses the
+    autocorrelation of the mean-removed series; returns None when no lag
+    beats the significance floor.
+    """
+    values = series.rates
+    n = len(values)
+    if n < 8:
+        return None
+    centred = values - values.mean()
+    denominator = float(np.dot(centred, centred))
+    if denominator < 1e-12:
+        return None
+    correlation = np.correlate(centred, centred, mode="full")[n - 1:]
+    correlation = correlation / denominator
+    lags = correlation[min_lag_samples:n // 2]
+    if lags.size == 0:
+        return None
+    best = int(np.argmax(lags)) + min_lag_samples
+    if correlation[best] < 0.25:        # not convincingly periodic
+        return None
+    cycles = series.cycles
+    if len(cycles) < 2:
+        return None
+    sample_spacing = float(np.median(np.diff(cycles)))
+    return int(round(best * sample_spacing))
+
+
+def rate_timeline_table(result: ProfileResult, names: List[str],
+                        buckets: int = 10) -> str:
+    """Coarse text timeline of selected rates (tooling-style display)."""
+    if not names:
+        return ""
+    end = max(int(result[n].cycles[-1]) for n in names if len(result[n]))
+    edges = np.linspace(0, end, buckets + 1)
+    header = "cycle".ljust(12) + "".join(n[-18:].rjust(20) for n in names)
+    lines = [header]
+    for b in range(buckets):
+        lo, hi = edges[b], edges[b + 1]
+        row = [f"{int(lo):<12}"]
+        for name in names:
+            series = result[name]
+            mask = (series.cycles >= lo) & (series.cycles < hi)
+            if mask.any():
+                row.append(f"{float(series.rates[mask].mean()):>20.4f}")
+            else:
+                row.append(" " * 19 + "-")
+        lines.append("".join(row))
+    return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""Profile export: CSV and JSON serialisation of measurement results.
+
+Calibration/measurement tool chains ingest rate series for display and
+archival (the MCD/ASAM world the real ED tooling lives in); these
+exporters produce the equivalent interchange artifacts.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, Optional
+
+from .session import ProfileResult
+
+
+def result_to_json(result: ProfileResult, include_series: bool = True) -> str:
+    """Serialise a profile to JSON (summary plus optional full series)."""
+    payload: Dict = {
+        "cycles_run": result.cycles_run,
+        "frequency_mhz": result.frequency_mhz,
+        "trace_bits": result.trace_bits,
+        "bandwidth_mbps": result.bandwidth_mbps(),
+        "lost_messages": result.lost_messages,
+        "parameters": {},
+    }
+    for name, data in result.series.items():
+        entry: Dict = {
+            "events": list(data.spec.events),
+            "basis": data.spec.basis,
+            "resolution": data.spec.resolution,
+            "samples": len(data),
+            "mean_rate": data.mean_rate(),
+        }
+        if include_series:
+            entry["cycles"] = data.cycles.tolist()
+            entry["values"] = data.values.tolist()
+        payload["parameters"][name] = entry
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def result_from_json(text: str) -> Dict:
+    """Parse an exported profile back into plain dictionaries.
+
+    Round-trip helper for archival tests and offline analysis scripts; the
+    live :class:`ProfileResult` object is not reconstructed (its specs are
+    code, not data).
+    """
+    payload = json.loads(text)
+    required = ("cycles_run", "frequency_mhz", "parameters")
+    for key in required:
+        if key not in payload:
+            raise ValueError(f"not a profile export: missing {key!r}")
+    return payload
+
+
+def series_to_csv(result: ProfileResult,
+                  names: Optional[List[str]] = None) -> str:
+    """Long-format CSV: parameter, sample cycle, counted value, rate."""
+    if names is None:
+        names = sorted(result.series)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["parameter", "cycle", "value", "rate"])
+    for name in names:
+        data = result[name]
+        resolution = data.spec.resolution
+        for cycle, value in zip(data.cycles, data.values):
+            writer.writerow([name, int(cycle), int(value),
+                             value / resolution])
+    return buffer.getvalue()
+
+
+def summary_to_csv(result: ProfileResult) -> str:
+    """Wide one-row-per-parameter summary CSV."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["parameter", "samples", "resolution", "basis",
+                     "mean_rate", "mean_percent"])
+    for name in sorted(result.series):
+        data = result[name]
+        writer.writerow([name, len(data), data.spec.resolution,
+                         data.spec.basis, data.mean_rate(),
+                         data.mean_percent()])
+    return buffer.getvalue()

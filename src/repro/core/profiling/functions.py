@@ -1,0 +1,88 @@
+"""Function-level system profiling from the program trace.
+
+"System Profiling is the analysis of the application software on function
+level to find out where in the system the performance is consumed and
+how/why it is consumed" (paper Section 5).  The profiler consumes the same
+CPU trace hook as the MCDS program-trace unit (fanout), attributing
+executed instructions and elapsed cycles to the function containing the
+program counter — what the tool reconstructs offline from flow-trace
+messages plus the ELF symbol table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ...soc.cpu.isa import Program
+
+
+@dataclass
+class FunctionStats:
+    name: str
+    instructions: int = 0
+    active_cycles: int = 0     # cycles in which this function retired instructions
+    entries: int = 0           # times entered via call/interrupt
+
+
+class FunctionProfiler:
+    """Trace-sink building a flat per-function profile."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.stats: Dict[str, FunctionStats] = {}
+        self._current: Optional[str] = None
+        # sorted function entry points (dot-prefixed local labels excluded)
+        self._func_entries = sorted(
+            (addr, name) for name, addr in program.symbols.items()
+            if "." not in name)
+        self._cache: Dict[int, str] = {}
+
+    def _function_of(self, pc: int) -> str:
+        line = pc >> 5
+        cached = self._cache.get(line)
+        if cached is not None:
+            return cached
+        name = "?"
+        for addr, fname in self._func_entries:
+            if addr > pc:
+                break
+            name = fname
+        self._cache[line] = name
+        return name
+
+    def _get(self, name: str) -> FunctionStats:
+        stats = self.stats.get(name)
+        if stats is None:
+            stats = FunctionStats(name)
+            self.stats[name] = stats
+        return stats
+
+    # -- trace hook ------------------------------------------------------------
+    def on_cycle(self, cycle: int, start_pc: int, issued: int) -> None:
+        name = self._function_of(start_pc)
+        stats = self._get(name)
+        stats.instructions += issued
+        stats.active_cycles += 1
+        self._current = name
+
+    def on_discontinuity(self, cycle: int, src: int, dst: int, kind: str) -> None:
+        if kind in ("call", "irq"):
+            self._get(self._function_of(dst)).entries += 1
+
+    # -- reporting ----------------------------------------------------------------
+    def hotspots(self, top: int = 10) -> List[FunctionStats]:
+        """Functions ranked by instruction share (the optimization targets)."""
+        ranked = sorted(self.stats.values(), key=lambda s: -s.instructions)
+        return ranked[:top]
+
+    def flat_profile(self) -> str:
+        total = sum(s.instructions for s in self.stats.values()) or 1
+        lines = [f"{'function':<24}{'instr':>12}{'share':>9}"
+                 f"{'activecyc':>12}{'entries':>9}"]
+        for stats in sorted(self.stats.values(), key=lambda s: -s.instructions):
+            share = 100.0 * stats.instructions / total
+            lines.append(f"{stats.name:<24}{stats.instructions:>12}"
+                         f"{share:>8.2f}%{stats.active_cycles:>12}"
+                         f"{stats.entries:>9}")
+        return "\n".join(lines)

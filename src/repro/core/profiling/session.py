@@ -1,0 +1,153 @@
+"""Profiling sessions: configure MCDS, run, decode rate-sample series.
+
+A session maps parameter specs onto MCDS counter structures, runs the
+device, and decodes the resulting rate-sample messages back into per-
+parameter time series — the workflow a tool vendor's profiling front-end
+performs over the DAP on real EDs.
+
+Everything the session learns comes out of trace messages, never out of
+simulator internals; the oracle totals are only used by tests to check the
+decoded values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from ...ed.device import EmulationDevice
+from ...mcds import messages as msgs
+from .spec import ParameterSpec
+
+
+class SeriesData:
+    """One decoded rate series: sample cycles and counted-event values."""
+
+    def __init__(self, spec: ParameterSpec) -> None:
+        self.spec = spec
+        self._cycles: List[int] = []
+        self._values: List[int] = []
+
+    def append(self, cycle: int, value: int) -> None:
+        self._cycles.append(cycle)
+        self._values.append(value)
+
+    @property
+    def cycles(self) -> np.ndarray:
+        return np.asarray(self._cycles, dtype=np.int64)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values, dtype=np.int64)
+
+    @property
+    def rates(self) -> np.ndarray:
+        """Values normalised by the resolution (events per basis unit)."""
+        return self.values / float(self.spec.resolution)
+
+    def mean_rate(self) -> float:
+        if not self._values:
+            return 0.0
+        return float(np.mean(self.values)) / self.spec.resolution
+
+    def mean_percent(self) -> float:
+        return self.mean_rate() * 100.0
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+class ProfileResult:
+    """Decoded output of one profiling run."""
+
+    def __init__(self, series: Dict[str, SeriesData], cycles_run: int,
+                 trace_bits: int, frequency_mhz: int,
+                 lost_messages: int) -> None:
+        self.series = series
+        self.cycles_run = cycles_run
+        self.trace_bits = trace_bits
+        self.frequency_mhz = frequency_mhz
+        self.lost_messages = lost_messages
+
+    def __getitem__(self, name: str) -> SeriesData:
+        return self.series[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.series
+
+    @property
+    def names(self):
+        return tuple(self.series)
+
+    def mean_rate(self, name: str) -> float:
+        return self.series[name].mean_rate()
+
+    def bandwidth_mbps(self) -> float:
+        """Sustained tool-interface rate this measurement needs."""
+        if self.cycles_run == 0:
+            return 0.0
+        seconds = self.cycles_run / (self.frequency_mhz * 1e6)
+        return self.trace_bits / seconds / 1e6
+
+    def summary(self) -> Dict[str, float]:
+        return {name: data.mean_rate() for name, data in self.series.items()}
+
+    def summary_table(self) -> str:
+        lines = [f"{'parameter':<28}{'samples':>8}{'mean rate':>12}"]
+        for name, data in sorted(self.series.items()):
+            lines.append(f"{name:<28}{len(data):>8}{data.mean_rate():>12.4f}")
+        lines.append(f"trace: {self.trace_bits} bits over {self.cycles_run} "
+                     f"cycles = {self.bandwidth_mbps():.3f} Mbit/s")
+        return "\n".join(lines)
+
+
+class ProfilingSession:
+    """Allocates counter structures for a spec set and decodes the capture."""
+
+    def __init__(self, device: EmulationDevice,
+                 specs: Iterable[ParameterSpec]) -> None:
+        self.device = device
+        self.specs = list(specs)
+        names = [s.name for s in self.specs]
+        if len(set(names)) != len(names):
+            raise ValueError("parameter names must be unique")
+        self.structures = {}
+        for spec in self.specs:
+            self.structures[spec.name] = device.mcds.add_rate_counter(
+                spec.name, spec.events, spec.resolution, spec.basis)
+        self._start_cycle = device.cycle
+        self._start_bits = device.mcds.total_bits
+
+    def run(self, cycles: int) -> "ProfileResult":
+        self.device.run(cycles)
+        return self.result()
+
+    def result(self) -> ProfileResult:
+        """Decode all rate-sample messages captured so far."""
+        device = self.device
+        series = {spec.name: SeriesData(spec) for spec in self.specs}
+        stream = list(device.dap.received) + device.emem.contents()
+        for msg in stream:
+            if msg.kind != msgs.RATE_SAMPLE:
+                continue
+            data = series.get(msg.source)
+            if data is not None:
+                data.append(msg.cycle, msg.value)
+        lost = device.emem.lost_oldest + device.emem.lost_new
+        return ProfileResult(
+            series,
+            cycles_run=device.cycle - self._start_cycle,
+            trace_bits=device.mcds.total_bits - self._start_bits,
+            frequency_mhz=device.config.soc.cpu.frequency_mhz,
+            lost_messages=lost,
+        )
+
+    def detach(self) -> None:
+        """Free the counter structures (end of session)."""
+        for structure in self.structures.values():
+            structure.detach()
+            self.device.mcds.rate_counters.remove(structure)
+            if structure in self.device.mcds._cycle_basis:
+                self.device.mcds._cycle_basis.remove(structure)
+        self.structures.clear()

@@ -1,0 +1,12 @@
+"""Emulation Device: product chip + Emulation Extension Chip (EEC)."""
+
+from .calibration import CalibrationSession, ParameterBlock
+from .dap import DapInterface
+from .device import (EdConfig, EmulationDevice, tc1767ed_config,
+                     tc1797ed_config)
+from .emem import EmulationMemory
+from . import tool_access
+
+__all__ = ["CalibrationSession", "ParameterBlock", "DapInterface",
+           "EdConfig", "EmulationDevice", "EmulationMemory",
+           "tc1767ed_config", "tc1797ed_config", "tool_access"]

@@ -1,0 +1,120 @@
+"""Calibration workflow: overlay pages, working/reference switching.
+
+The ED concept "was driven by the requirement for a large overlay RAM for
+calibration.  Calibration is used for example to optimize the parameters,
+which determine the characteristics of an engine (torque, exhaust gas,
+etc.) during the development phase of a car" (paper Section 3).
+
+A calibration session manages *parameter blocks*: named flash ranges
+(fuel maps, ignition maps) redirected into EMEM overlay RAM so the tool
+can tune values while the application runs.  The classic page model is
+implemented — a **working page** (overlay active, tool-writable) and a
+**reference page** (original flash contents) that the calibrator can flip
+between to A/B the tune — plus DAP wire-time accounting for the writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .device import EmulationDevice
+
+
+@dataclass
+class ParameterBlock:
+    """One named, overlaid calibration structure."""
+
+    name: str
+    flash_addr: int
+    size: int
+    #: tool-side shadow of the tuned values (offset -> value)
+    values: Dict[int, int] = field(default_factory=dict)
+    writes: int = 0
+
+
+class CalibrationSession:
+    """Tool-side calibration manager for one Emulation Device."""
+
+    #: DAP write transaction: command + address + 32-bit data
+    WRITE_BITS = 96
+
+    def __init__(self, device: EmulationDevice, reserve_kb: int = 128) -> None:
+        self.device = device
+        device.reserve_calibration(reserve_kb)
+        self.blocks: Dict[str, ParameterBlock] = {}
+        self._on_working_page = False
+        self.bits_written = 0
+
+    # -- block management ---------------------------------------------------
+    def map_block(self, name: str, flash_addr: int, size: int
+                  ) -> ParameterBlock:
+        """Declare a calibration structure; overlays it on the working page."""
+        if name in self.blocks:
+            raise ValueError(f"block {name!r} already mapped")
+        used = sum(b.size for b in self.blocks.values())
+        budget = self.device.emem.calibration_kb * 1024
+        if used + size > budget:
+            raise ValueError(
+                f"calibration share exhausted: {used + size} bytes needed, "
+                f"{budget} reserved")
+        block = ParameterBlock(name, flash_addr, size)
+        self.blocks[name] = block
+        if self._on_working_page:
+            self.device.soc.map.add_overlay(flash_addr, size)
+        return block
+
+    # -- page switching -------------------------------------------------------
+    def switch_to_working_page(self) -> None:
+        """Activate all overlays: accesses hit the tool-tuned EMEM copies."""
+        if self._on_working_page:
+            return
+        for block in self.blocks.values():
+            self.device.soc.map.add_overlay(block.flash_addr, block.size)
+        self._on_working_page = True
+
+    def switch_to_reference_page(self) -> None:
+        """Deactivate overlays: the application sees the original flash."""
+        self.device.soc.map.clear_overlays()
+        self._on_working_page = False
+
+    @property
+    def on_working_page(self) -> bool:
+        return self._on_working_page
+
+    # -- tool writes --------------------------------------------------------------
+    def write_parameter(self, block_name: str, offset: int,
+                        value: int) -> None:
+        """Tune one 32-bit parameter word (tool-side, over the DAP).
+
+        When the DAP is streaming trace, the write spends the shared wire
+        budget and delays the drain accordingly.
+        """
+        block = self.blocks[block_name]
+        if not 0 <= offset < block.size:
+            raise ValueError(
+                f"offset {offset} outside block {block_name!r} "
+                f"(size {block.size})")
+        block.values[offset] = value
+        block.writes += 1
+        self.bits_written += self.WRITE_BITS
+        if self.device.dap.streaming:
+            self.device.dap.consume_wire(self.WRITE_BITS)
+
+    def read_parameter(self, block_name: str, offset: int) -> Optional[int]:
+        return self.blocks[block_name].values.get(offset)
+
+    # -- accounting ----------------------------------------------------------------
+    def wire_seconds(self) -> float:
+        """DAP time spent on calibration writes so far."""
+        return self.bits_written / (self.device.dap.bandwidth_mbps * 1e6)
+
+    def summary(self) -> str:
+        lines = [f"{'block':<16}{'flash addr':>12}{'size':>8}{'writes':>8}"]
+        for block in self.blocks.values():
+            lines.append(f"{block.name:<16}{block.flash_addr:>#12x}"
+                         f"{block.size:>8}{block.writes:>8}")
+        page = "working (overlay)" if self._on_working_page else "reference"
+        lines.append(f"page: {page}; calibration wire time "
+                     f"{self.wire_seconds() * 1e3:.3f} ms")
+        return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""DAP/JTAG tool interface: the bandwidth-limited drain.
+
+"The bandwidth of the tool interface does not scale with the CPU frequency
+and ... the sizes of on chip trace memories are limited" (paper Section 5).
+The DAP is modelled as a fixed bit-rate channel: its per-CPU-cycle budget
+*shrinks* as the CPU clock rises, which is exactly the scaling pressure
+experiment E4 reproduces.
+
+Two usage modes:
+
+* **post-mortem** — the run fills the EMEM; afterwards ``download_all``
+  reports the upload and how long it would take on the wire;
+* **streaming** — each cycle the DAP drains whole messages up to its
+  accumulated bit credit; if producers outrun it the EMEM fills and
+  messages are lost, which the profiling session reports as overflow.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..mcds.messages import TraceMessage
+from ..soc.kernel.simulator import Component
+from .emem import EmulationMemory
+
+
+class DapInterface(Component):
+    name = "dap"
+
+    def __init__(self, emem: EmulationMemory, bandwidth_mbps: float,
+                 cpu_frequency_mhz: int, streaming: bool = False) -> None:
+        if bandwidth_mbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.emem = emem
+        self.bandwidth_mbps = bandwidth_mbps
+        self.cpu_frequency_mhz = cpu_frequency_mhz
+        self.streaming = streaming
+        #: bits the wire can move per CPU cycle
+        self.bits_per_cycle = bandwidth_mbps / cpu_frequency_mhz
+        self._credit = 0.0
+        self.received: List[TraceMessage] = []
+        self.bits_transferred = 0
+
+    def consume_wire(self, bits: int) -> None:
+        """Account foreign traffic (calibration writes, register polls).
+
+        The DAP is one wire: tool-initiated writes spend the same budget
+        the trace drain would have used, so heavy calibration slows the
+        streaming download — visible as EMEM back-pressure.
+        """
+        self._credit -= bits
+        self.bits_transferred += bits
+
+    def tick(self, cycle: int) -> None:
+        if not self.streaming:
+            return
+        self._credit += self.bits_per_cycle
+        if self._credit < 1.0:
+            return
+        messages, bits = self.emem.pop_front(int(self._credit))
+        if messages:
+            self._credit -= bits
+            self.bits_transferred += bits
+            self.received.extend(messages)
+
+    # -- post-mortem -----------------------------------------------------------
+    def download_all(self) -> Tuple[List[TraceMessage], float]:
+        """Upload the whole EMEM; returns (messages, wire seconds)."""
+        messages = self.emem.contents()
+        bits = sum(m.bits for m in messages)
+        self.emem.pop_front(bits + 1)
+        self.received.extend(messages)
+        self.bits_transferred += bits
+        seconds = bits / (self.bandwidth_mbps * 1e6)
+        return messages, seconds
+
+    def required_bandwidth_mbps(self, bits: int, cycles: int) -> float:
+        """Sustained wire rate needed to stream ``bits`` over ``cycles``."""
+        if cycles == 0:
+            return 0.0
+        seconds = cycles / (self.cpu_frequency_mhz * 1e6)
+        return bits / seconds / 1e6
+
+    def reset(self) -> None:
+        self._credit = 0.0
+        self.received.clear()
+        self.bits_transferred = 0

@@ -1,0 +1,131 @@
+"""Emulation Device: the product chip plus the Emulation Extension Chip.
+
+Models the ED concept of paper Section 3: "an unchanged product chip part
+extended by several hundred Kbytes of overlay RAM and a powerful trigger
+and trace unit (Emulation Extension Chip EEC)".  The product chip part is a
+plain :class:`~repro.soc.device.Soc`; the EEC adds the MCDS, the EMEM, and
+the DAP access path.  Nothing in the EEC feeds timing back into the product
+part — profiling is non-intrusive by construction, and experiment E8
+verifies it cycle-exactly.
+
+The calibration overlay is the one *deliberate* intrusion: mapping a flash
+range into EMEM changes data-access timing, exactly as it does on silicon.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..mcds.mcds import Mcds
+from ..soc.config import SoCConfig, tc1767_config, tc1797_config
+from ..soc.cpu.isa import Program
+from ..soc.device import Soc
+from .dap import DapInterface
+from .emem import EmulationMemory, RING
+
+
+@dataclass
+class EdConfig:
+    """Emulation Device configuration: product part + EEC sizing."""
+
+    soc: SoCConfig = dataclasses.field(default_factory=tc1797_config)
+    emem_kb: int = 512            # TC1797ED: 512 KB, TC1767ED: 256 KB
+    calibration_kb: int = 0       # EMEM share reserved for overlay RAM
+    emem_mode: str = RING
+    dap_bandwidth_mbps: float = 16.0
+    dap_streaming: bool = False
+    timestamps: bool = True
+
+
+def tc1797ed_config() -> EdConfig:
+    return EdConfig(soc=tc1797_config(), emem_kb=512)
+
+
+def tc1767ed_config() -> EdConfig:
+    return EdConfig(soc=tc1767_config(), emem_kb=256)
+
+
+#: EEC blocks of Figure 4, for topology checks
+EEC_BLOCKS = ("mcds", "emem", "bbb", "ecerberus", "dap", "mli_bridge")
+
+#: the tool access paths of Figure 4
+ACCESS_PATHS = (
+    ("dap", "ecerberus", "bbb", "emem"),           # external tool path
+    ("tricore", "mli_bridge", "bbb", "emem"),      # monitor-routine path
+)
+
+
+class EmulationDevice:
+    """A TC17x7ED-style device: SoC + EEC, ready for profiling sessions."""
+
+    def __init__(self, config: Optional[EdConfig] = None,
+                 seed: int = 2008) -> None:
+        self.config = config if config is not None else tc1797ed_config()
+        self.soc = Soc(self.config.soc, seed)
+        self.mcds = Mcds(self.soc, self.config.timestamps)
+        self.emem = EmulationMemory(self.config.emem_kb,
+                                    self.config.calibration_kb,
+                                    self.config.emem_mode)
+        self.mcds.sink = self.emem.store
+        self.dap = DapInterface(self.emem, self.config.dap_bandwidth_mbps,
+                                self.config.soc.cpu.frequency_mhz,
+                                self.config.dap_streaming)
+        self.soc.add_observer(self.mcds)
+        self.soc.add_observer(self.dap)
+
+    # -- product-part passthroughs -------------------------------------------
+    @property
+    def cpu(self):
+        return self.soc.cpu
+
+    @property
+    def pcp(self):
+        return self.soc.pcp
+
+    @property
+    def hub(self):
+        return self.soc.hub
+
+    @property
+    def cycle(self) -> int:
+        return self.soc.cycle
+
+    def load_program(self, program: Program) -> None:
+        self.soc.load_program(program)
+
+    def run(self, cycles: int) -> None:
+        self.soc.run(cycles)
+
+    def oracle(self) -> dict:
+        return self.soc.oracle()
+
+    # -- calibration overlay -------------------------------------------------------
+    def map_calibration_overlay(self, flash_addr: int, size: int) -> None:
+        """Redirect a flash range into EMEM overlay RAM (tool-writable).
+
+        Requires a reserved calibration share large enough for the range.
+        """
+        if size > self.emem.calibration_kb * 1024:
+            raise ValueError(
+                f"overlay of {size} bytes exceeds the reserved calibration "
+                f"share ({self.emem.calibration_kb} KB); call "
+                f"reserve_calibration first")
+        self.soc.map.add_overlay(flash_addr, size)
+
+    def reserve_calibration(self, kb: int) -> None:
+        self.emem.reserve_calibration(kb)
+
+    # -- topology (Figures 2/4/5) ----------------------------------------------------
+    def block_inventory(self) -> List[str]:
+        return self.soc.block_inventory() + list(EEC_BLOCKS)
+
+    def access_paths(self):
+        return ACCESS_PATHS
+
+    def reset(self) -> None:
+        self.soc.reset()
+        self.mcds.reset()
+        self.emem.reset()
+        self.dap.reset()

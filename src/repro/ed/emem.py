@@ -1,0 +1,130 @@
+"""Emulation memory (EMEM): shared calibration overlay and trace buffer.
+
+"The EEC consists of the MCDS ... and the Emulation Memory, which is shared
+between calibration overlay and trace" (paper Section 3).  The trace share
+is a bounded message FIFO with three capture disciplines:
+
+* ``ring`` — wrap, overwriting the oldest messages (free-running capture);
+* ``fill`` — stop accepting once full (capture from start);
+* trigger-stop — keep ringing until a trigger fires, then store a
+  configured post-trigger amount and freeze ("trigger close to the point of
+  interest", Section 3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional, Tuple
+
+from ..mcds.messages import TraceMessage
+
+RING = "ring"
+FILL = "fill"
+
+
+class EmulationMemory:
+    """Bounded trace store plus a calibration-overlay allocation."""
+
+    def __init__(self, total_kb: int, calibration_kb: int = 0,
+                 mode: str = RING) -> None:
+        if calibration_kb > total_kb:
+            raise ValueError("calibration share exceeds EMEM size")
+        if mode not in (RING, FILL):
+            raise ValueError(f"unknown EMEM mode {mode!r}")
+        self.total_kb = total_kb
+        self.calibration_kb = calibration_kb
+        self.mode = mode
+        self.capacity_bits = (total_kb - calibration_kb) * 1024 * 8
+        self._fifo: deque = deque()
+        self.stored_bits = 0
+        self.frozen = False
+        self._post_trigger_bits: Optional[int] = None
+        self.lost_oldest = 0       # overwritten in ring mode
+        self.lost_new = 0          # rejected in fill mode / after freeze
+        self.total_stored = 0
+        self.trigger_cycle: Optional[int] = None
+
+    # -- calibration share ---------------------------------------------------
+    def reserve_calibration(self, kb: int) -> None:
+        """Grow the calibration share; shrinks the trace capacity."""
+        if kb > self.total_kb:
+            raise ValueError("calibration share exceeds EMEM size")
+        self.calibration_kb = kb
+        self.capacity_bits = (self.total_kb - kb) * 1024 * 8
+        self._evict_to_capacity()
+
+    # -- store path --------------------------------------------------------------
+    def store(self, msg: TraceMessage) -> None:
+        if self.frozen:
+            self.lost_new += 1
+            return
+        self._fifo.append(msg)
+        self.stored_bits += msg.bits
+        self.total_stored += 1
+        self._evict_to_capacity()
+        if self._post_trigger_bits is not None:
+            self._post_trigger_bits -= msg.bits
+            if self._post_trigger_bits <= 0:
+                self.frozen = True
+                self._post_trigger_bits = None
+
+    def _evict_to_capacity(self) -> None:
+        while self.stored_bits > self.capacity_bits and self._fifo:
+            if self.mode == FILL:
+                dropped = self._fifo.pop()      # reject the newest
+                self.stored_bits -= dropped.bits
+                self.lost_new += 1
+                return
+            oldest = self._fifo.popleft()
+            self.stored_bits -= oldest.bits
+            self.lost_oldest += 1
+
+    # -- trigger interaction --------------------------------------------------------
+    def trigger_stop(self, cycle: int, post_trigger_fraction: float = 0.5) -> None:
+        """Trigger action: freeze after a post-trigger share of the buffer."""
+        if self.trigger_cycle is None:
+            self.trigger_cycle = cycle
+            self._post_trigger_bits = int(
+                self.capacity_bits * post_trigger_fraction)
+
+    # -- tool-side access --------------------------------------------------------------
+    def pop_front(self, max_bits: int) -> Tuple[List[TraceMessage], int]:
+        """Remove up to ``max_bits`` of whole messages from the front (DAP)."""
+        popped: List[TraceMessage] = []
+        bits = 0
+        while self._fifo and bits + self._fifo[0].bits <= max_bits:
+            msg = self._fifo.popleft()
+            bits += msg.bits
+            self.stored_bits -= msg.bits
+            popped.append(msg)
+        return popped, bits
+
+    def contents(self) -> List[TraceMessage]:
+        """Snapshot of buffered messages, oldest first (post-mortem upload)."""
+        return list(self._fifo)
+
+    @property
+    def message_count(self) -> int:
+        return len(self._fifo)
+
+    @property
+    def fill_ratio(self) -> float:
+        if self.capacity_bits == 0:
+            return 1.0
+        return self.stored_bits / self.capacity_bits
+
+    def history_cycles(self) -> int:
+        """Cycles of execution covered by the buffered messages."""
+        if len(self._fifo) < 2:
+            return 0
+        return self._fifo[-1].cycle - self._fifo[0].cycle
+
+    def reset(self) -> None:
+        self._fifo.clear()
+        self.stored_bits = 0
+        self.frozen = False
+        self._post_trigger_bits = None
+        self.lost_oldest = 0
+        self.lost_new = 0
+        self.total_stored = 0
+        self.trigger_cycle = None

@@ -1,0 +1,111 @@
+"""Tool access paths to the EEC (paper Figure 4 and Section 3).
+
+Two ways into the emulation extension chip:
+
+* **External path** — DAP/JTAG → ECerberus → Back Bone Bus → EMEM/MCDS.
+  Zero CPU involvement, limited by the wire bit-rate; "requires no
+  additional pins".
+* **Monitor path** — "in a later development phase a tool can communicate
+  over a user interface like CAN or FlexRay with a monitor routine,
+  running on TriCore, which then accesses the EEC" over the MLI bridge.
+  No debug cable in the vehicle, but the monitor steals CPU cycles.
+
+:func:`install_monitor` builds that monitor routine as real application
+code (an ISR doing EMEM reads through the MLI-mapped address space), so
+its intrusiveness is *measured*, not asserted; :func:`compare_paths`
+produces the engineering trade-off table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..soc.cpu import isa
+from ..soc.memory import map as amap
+from ..soc.peripherals.basic import PeriodicTimer
+from ..workloads.program import FunctionBuilder
+from .device import EmulationDevice
+
+
+@dataclass
+class AccessPathTiming:
+    """Cost of moving one EMEM block out of the device over a path."""
+
+    path: str
+    words: int
+    wire_seconds: float          # time on the external medium
+    cpu_cycles: int              # product-CPU cycles consumed (intrusiveness)
+
+
+def external_path_timing(device: EmulationDevice, words: int
+                         ) -> AccessPathTiming:
+    """DAP → ECerberus → BBB: pure wire time, zero CPU cycles."""
+    read_bits = 96               # command + address + 32-bit data per word
+    seconds = words * read_bits / (device.dap.bandwidth_mbps * 1e6)
+    return AccessPathTiming("dap/ecerberus/bbb", words, seconds, 0)
+
+
+def monitor_path_timing(device: EmulationDevice, words: int,
+                        can_bitrate: float = 500e3) -> AccessPathTiming:
+    """TriCore monitor → MLI → BBB, results shipped over CAN.
+
+    CPU cost: one EMEM read per word through the MLI bridge (latency from
+    the bus config) plus monitor framing overhead.  Wire cost: CAN frames
+    of 8 payload bytes, ~135 bits each at the configured bit-rate.
+    """
+    mli_read = device.config.soc.bus.mli_latency + 2
+    framing = 12                 # loop + packing instructions per word
+    cpu_cycles = words * (mli_read + framing)
+    frames = (words * 4 + 7) // 8
+    wire_seconds = frames * 135 / can_bitrate
+    return AccessPathTiming("tricore/mli/bbb + CAN", words, wire_seconds,
+                            cpu_cycles)
+
+
+def compare_paths(device: EmulationDevice, words: int = 1024) -> str:
+    """The trade-off table a tooling engineer reads."""
+    freq_hz = device.config.soc.cpu.frequency_mhz * 1e6
+    rows = [external_path_timing(device, words),
+            monitor_path_timing(device, words)]
+    lines = [f"moving {words} EMEM words off-chip:",
+             f"{'path':<26}{'wire ms':>9}{'CPU cycles':>12}{'CPU ms':>8}"]
+    for row in rows:
+        lines.append(f"{row.path:<26}{row.wire_seconds * 1e3:>9.3f}"
+                     f"{row.cpu_cycles:>12}"
+                     f"{row.cpu_cycles / freq_hz * 1e3:>8.3f}")
+    return "\n".join(lines)
+
+
+def install_monitor(device: EmulationDevice, builder, period: int = 50_000,
+                    words_per_service: int = 16, priority: int = 3):
+    """Add a real monitor routine to an application under construction.
+
+    Appends a ``monitor_isr`` function (EMEM reads over the MLI path) to
+    the given :class:`~repro.workloads.program.ProgramBuilder` and returns
+    a hook that wires the timer + vector once the program is loaded::
+
+        builder = ...                # application being built
+        finish = install_monitor(device, builder)
+        device.load_program(builder.assemble())
+        finish()                     # binds SRN, vector, timer
+
+    The CPU cycles this steals are visible in the profile — the measured
+    intrusiveness of the monitor path.
+    """
+    monitor = builder.function("monitor_isr")
+    monitor.alu(4)                                     # frame header
+    monitor.loop(words_per_service, lambda f: f
+                 .load(isa.StrideAddr(amap.EMEM_BASE, 4, 4096))
+                 .alu(2))                              # pack + checksum
+    monitor.store(isa.FixedAddr(amap.PERIPH_BASE + 0x600))  # CAN TX reg
+    monitor.rfe()
+
+    def finish():
+        srn = device.soc.icu.add_srn("monitor", priority)
+        device.cpu.set_vector(srn.id, "monitor_isr")
+        device.soc.add_peripheral(PeriodicTimer(
+            "monitor_timer", device.hub, device.soc.icu, srn.id, period))
+        return srn
+
+    return finish

@@ -1,0 +1,7 @@
+"""MCDS: Multi-Core Debug Solution — trigger, trace, counter structures."""
+
+from . import counters, debug, messages, trace, trigger
+from .latency import LatencyProbe
+from .mcds import Mcds
+
+__all__ = ["Mcds", "LatencyProbe", "counters", "debug", "messages", "trace", "trigger"]

@@ -1,0 +1,131 @@
+"""MCDS counter structures: on-chip rate generation.
+
+The heart of the Enhanced System Profiling method (paper Section 5): one
+counter accumulates occurrences of an event source, another counts the
+*resolution basis* — clock cycles for IPC, executed instructions for every
+other event rate.  Each time the basis counter reaches the configured
+resolution, the event count is emitted as a single compact trace message
+and both counters reset.
+
+A structure can be disabled and re-enabled at runtime by trigger logic;
+that is what "connect multiple counter structures" means — a
+high-resolution structure armed only while a low-resolution one crosses a
+threshold (see :mod:`repro.core.profiling.multires`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+from ..soc.kernel.hub import EventHub
+
+#: pseudo basis meaning "per clock cycle" (IPC-style measurement)
+CYCLES = "cycles"
+
+
+class RateCounterStructure:
+    """One event counter + one resolution-basis counter + message emit."""
+
+    def __init__(self, name: str, hub: EventHub, events: Iterable[str],
+                 resolution: int, basis: str = "tc.instr_executed",
+                 enabled: bool = True) -> None:
+        if resolution < 1:
+            raise ValueError("resolution must be >= 1")
+        self.name = name
+        self.hub = hub
+        self.events = tuple(events)
+        self.basis = basis
+        self.resolution = resolution
+        self.enabled = enabled
+        self.event_count = 0
+        self.basis_count = 0
+        self.samples_emitted = 0
+        #: value of the most recent emitted sample — comparator input
+        self.last_sample: Optional[int] = None
+        #: sink receiving ``(cycle, structure, value)`` on every sample
+        self.sink: Optional[Callable[[int, "RateCounterStructure", int], None]] = None
+
+        for event in self.events:
+            hub.subscribe(event, self._on_event)
+        if basis != CYCLES:
+            hub.subscribe(basis, self._on_basis)
+
+    # -- hub callbacks -----------------------------------------------------
+    def _on_event(self, count: int) -> None:
+        if self.enabled:
+            self.event_count += count
+
+    def _on_basis(self, count: int) -> None:
+        if not self.enabled:
+            return
+        self.basis_count += count
+        while self.basis_count >= self.resolution:
+            self._sample()
+
+    def on_cycle(self, cycle: int) -> None:
+        """Called by the MCDS once per cycle; drives cycle-basis structures."""
+        if self.basis == CYCLES and self.enabled:
+            self.basis_count += 1
+            if self.basis_count >= self.resolution:
+                self._sample()
+
+    # -- sampling -------------------------------------------------------------
+    def _sample(self) -> None:
+        value = self.event_count
+        self.last_sample = value
+        self.samples_emitted += 1
+        self.event_count = 0
+        self.basis_count -= self.resolution
+        if self.sink is not None:
+            self.sink(self.hub.cycle, self, value)
+
+    # -- trigger-side control ----------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Disable and clear partial counts (a fresh window on re-arm)."""
+        self.enabled = False
+        self.event_count = 0
+        self.basis_count = 0
+
+    def detach(self) -> None:
+        """Unsubscribe from the hub (free the counter resources)."""
+        for event in self.events:
+            self.hub.unsubscribe(event, self._on_event)
+        if self.basis != CYCLES:
+            self.hub.unsubscribe(self.basis, self._on_basis)
+
+    def reset(self) -> None:
+        self.event_count = 0
+        self.basis_count = 0
+        self.samples_emitted = 0
+        self.last_sample = None
+
+
+class RawCounter:
+    """A plain free-running event counter (no rate generation).
+
+    Models the conventional approach the paper improves upon: the external
+    tool periodically samples two such counters over the debug interface to
+    compute a rate — the costly baseline of experiment E4.  Also used as a
+    trigger input ("counters" in the MCDS trigger block).
+    """
+
+    def __init__(self, name: str, hub: EventHub, events: Iterable[str]) -> None:
+        self.name = name
+        self.hub = hub
+        self.events = tuple(events)
+        self.value = 0
+        for event in self.events:
+            hub.subscribe(event, self._on_event)
+
+    def _on_event(self, count: int) -> None:
+        self.value += count
+
+    def detach(self) -> None:
+        for event in self.events:
+            self.hub.unsubscribe(event, self._on_event)
+
+    def reset(self) -> None:
+        self.value = 0

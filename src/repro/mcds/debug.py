@@ -1,0 +1,89 @@
+"""Debug run control: watchpoints and breakpoints.
+
+The MCDS is first a *debug* solution ("accurate tracing of
+concurrency-related bugs, including shared variable-access problems",
+paper Section 3).  Beyond tracing, its comparators drive run control: a
+watchpoint halts the core when a guarded address is touched, a breakpoint
+when execution reaches a code window.
+
+Run control is the one *intentionally* intrusive MCDS function — it exists
+to stop the system — so it is kept strictly separate from the profiling
+path, and `debug_halt` freezes the core against interrupts too (unlike the
+application-level ``halt`` idle state).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..soc.kernel.hub import EventHub
+from .trigger import Condition, PcInRange, Trigger
+
+
+class Watchpoint:
+    """Halts (or notifies) when a data access touches a guarded range."""
+
+    def __init__(self, cpu, address_range: Tuple[int, int],
+                 writes_only: bool = False,
+                 masters: Optional[Tuple[str, ...]] = None,
+                 action: Optional[Callable[[int, int, str], None]] = None
+                 ) -> None:
+        self.cpu = cpu
+        self.lo, self.hi = address_range
+        if self.lo >= self.hi:
+            raise ValueError("address range must be non-empty")
+        self.writes_only = writes_only
+        self.masters = masters
+        self.action = action
+        self.hits: List[Tuple[int, int, str]] = []
+        self.enabled = True
+
+    # memory-system watcher signature
+    def __call__(self, cycle: int, addr: int, is_write: bool,
+                 master: str) -> None:
+        if not self.enabled:
+            return
+        if not self.lo <= addr < self.hi:
+            return
+        if self.writes_only and not is_write:
+            return
+        if self.masters is not None and master not in self.masters:
+            return
+        self.hits.append((cycle, addr, master))
+        if self.action is not None:
+            self.action(cycle, addr, master)
+        else:
+            self.cpu.debug_halt = True
+
+    @property
+    def hit_count(self) -> int:
+        return len(self.hits)
+
+
+class Breakpoint:
+    """Halts the core once execution enters a code window.
+
+    Evaluated by the MCDS each cycle (trace-based break: the core stops at
+    the end of the cycle in which it entered the window).
+    """
+
+    def __init__(self, cpu, address: int, length: int = 4) -> None:
+        self.cpu = cpu
+        self.condition = PcInRange(cpu, address, address + length)
+        self.trigger = Trigger(
+            f"bp@0x{address:08x}", self.condition,
+            on_enter=self._on_hit)
+        self.hit_cycles: List[int] = []
+
+    def _on_hit(self, cycle: int) -> None:
+        self.hit_cycles.append(cycle)
+        self.cpu.debug_halt = True
+
+    @property
+    def hit_count(self) -> int:
+        return len(self.hit_cycles)
+
+
+def resume(cpu) -> None:
+    """Release a debug-halted core (the tool's 'go' command)."""
+    cpu.debug_halt = False

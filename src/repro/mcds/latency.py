@@ -1,0 +1,91 @@
+"""Event-to-event latency measurement on MCDS timestamps.
+
+A classic use of the trigger block plus cycle-level timestamping (paper
+Section 3: "conserving the order of events down to cycle level"): measure
+the distribution of the delay between a *start* event (a service request
+being raised by a peripheral) and an *end* event (the core entering the
+handler).  Interrupt-entry latency is the quantity a hard-real-time
+integrator signs off on, and contention from DMA or a second core shows up
+directly in its tail.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..soc.kernel.hub import EventHub
+
+
+class LatencyProbe:
+    """Records start→end latencies between two event signals.
+
+    Pairs each start with the *next* end (single-outstanding semantics,
+    correct when the start source is the highest-priority requester, e.g.
+    the crank-angle interrupt).  ``max_pending`` bounds the start queue so
+    a misconfigured probe cannot grow without limit.
+    """
+
+    def __init__(self, hub: EventHub, start_signal: str, end_signal: str,
+                 max_pending: int = 64) -> None:
+        self.hub = hub
+        self.start_signal = start_signal
+        self.end_signal = end_signal
+        self.max_pending = max_pending
+        self.samples: List[int] = []
+        self._pending: List[int] = []
+        self.dropped_starts = 0
+        hub.subscribe(start_signal, self._on_start)
+        hub.subscribe(end_signal, self._on_end)
+
+    def _on_start(self, count: int) -> None:
+        for _ in range(count):
+            if len(self._pending) >= self.max_pending:
+                self.dropped_starts += 1
+            else:
+                self._pending.append(self.hub.cycle)
+
+    def _on_end(self, count: int) -> None:
+        for _ in range(count):
+            if self._pending:
+                self.samples.append(self.hub.cycle - self._pending.pop(0))
+
+    # -- statistics -----------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def min(self) -> Optional[int]:
+        return min(self.samples) if self.samples else None
+
+    def max(self) -> Optional[int]:
+        return max(self.samples) if self.samples else None
+
+    def mean(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(self.samples) / len(self.samples)
+
+    def percentile(self, p: float) -> Optional[int]:
+        """p in [0, 100]; nearest-rank percentile."""
+        if not self.samples:
+            return None
+        ordered = sorted(self.samples)
+        rank = max(0, min(len(ordered) - 1,
+                          int(round(p / 100.0 * (len(ordered) - 1)))))
+        return ordered[rank]
+
+    def summary(self) -> str:
+        if not self.samples:
+            return f"{self.start_signal} -> {self.end_signal}: no samples"
+        return (f"{self.start_signal} -> {self.end_signal}: "
+                f"n={self.count} min={self.min()} mean={self.mean():.1f} "
+                f"p95={self.percentile(95)} max={self.max()} cycles")
+
+    def detach(self) -> None:
+        self.hub.unsubscribe(self.start_signal, self._on_start)
+        self.hub.unsubscribe(self.end_signal, self._on_end)
+
+    def reset(self) -> None:
+        self.samples.clear()
+        self._pending.clear()
+        self.dropped_starts = 0

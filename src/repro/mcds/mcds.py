@@ -1,0 +1,175 @@
+"""The MCDS block: trigger, trace qualification, and trace generation.
+
+Owns the counter structures, raw counters, trigger programs, and trace
+units, and routes every generated trace message into the emulation memory.
+It is a pure observer: it subscribes to event signals and the CPU trace
+hook but never initiates bus traffic or changes component state, which is
+what makes profiling non-intrusive (experiment E8 checks this property
+cycle-exactly).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..soc.device import Soc
+from ..soc.kernel.simulator import Component
+from . import counters as counters_mod
+from .messages import MessageFactory, TraceMessage
+from .trace import BusTraceUnit, DataTraceUnit, ProgramTraceUnit, TraceFanout
+from .trigger import Trigger, TriggerStateMachine
+
+
+class Mcds(Component):
+    name = "mcds"
+
+    #: counter structures available in hardware (the MCDS is "configurable
+    #: and scalable"; this is the AUDO FUTURE sizing)
+    MAX_COUNTER_STRUCTURES = 16
+
+    def __init__(self, soc: Soc, timestamp_enabled: bool = True) -> None:
+        self.soc = soc
+        self.hub = soc.hub
+        self.factory = MessageFactory(timestamp_enabled)
+        self.rate_counters: List[counters_mod.RateCounterStructure] = []
+        self.raw_counters: List[counters_mod.RawCounter] = []
+        self.triggers: List[Trigger] = []
+        self.state_machines: List[TriggerStateMachine] = []
+        self.program_traces: List[ProgramTraceUnit] = []
+        self.data_traces: List[DataTraceUnit] = []
+        self.bus_traces: List[BusTraceUnit] = []
+        self._cycle_basis: List[counters_mod.RateCounterStructure] = []
+        self.sink = None                 # EMEM store callable, set by the ED
+        self.messages_by_kind: Dict[str, int] = {}
+        self.bits_by_kind: Dict[str, int] = {}
+
+    # -- message path -----------------------------------------------------
+    def deliver(self, msg: TraceMessage) -> None:
+        self.messages_by_kind[msg.kind] = self.messages_by_kind.get(msg.kind, 0) + 1
+        self.bits_by_kind[msg.kind] = self.bits_by_kind.get(msg.kind, 0) + msg.bits
+        if self.sink is not None:
+            self.sink(msg)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.messages_by_kind.values())
+
+    @property
+    def total_bits(self) -> int:
+        return sum(self.bits_by_kind.values())
+
+    # -- configuration ---------------------------------------------------------
+    def add_rate_counter(self, name: str, events, resolution: int,
+                         basis: str = "tc.instr_executed",
+                         enabled: bool = True
+                         ) -> counters_mod.RateCounterStructure:
+        """Allocate a counter structure that emits rate-sample messages."""
+        if len(self.rate_counters) >= self.MAX_COUNTER_STRUCTURES:
+            raise RuntimeError(
+                f"all {self.MAX_COUNTER_STRUCTURES} counter structures in use")
+        structure = counters_mod.RateCounterStructure(
+            name, self.hub, events, resolution, basis, enabled)
+        structure.sink = self._on_rate_sample
+        self.rate_counters.append(structure)
+        if basis == counters_mod.CYCLES:
+            self._cycle_basis.append(structure)
+        return structure
+
+    def _on_rate_sample(self, cycle: int, structure, value: int) -> None:
+        self.deliver(self.factory.rate_sample(cycle, structure.name, value))
+
+    def add_raw_counter(self, name: str, events) -> counters_mod.RawCounter:
+        counter = counters_mod.RawCounter(name, self.hub, events)
+        self.raw_counters.append(counter)
+        return counter
+
+    def add_trigger(self, trigger: Trigger) -> Trigger:
+        self.triggers.append(trigger)
+        return trigger
+
+    def add_state_machine(self, machine: TriggerStateMachine
+                          ) -> TriggerStateMachine:
+        self.state_machines.append(machine)
+        return machine
+
+    def add_program_trace(self, core: str = "tc", cycle_accurate: bool = False,
+                          sync_period: int = 256,
+                          enabled: bool = True) -> ProgramTraceUnit:
+        """Attach a program-trace unit to a core's trace hook.
+
+        Both cores can be traced in parallel (paper Figure 5: "can record
+        the trace of one or several cores in parallel"); their messages
+        share the EMEM with a common, order-preserving timestamp stream.
+        """
+        ptu = ProgramTraceUnit(f"ptu.{core}", self.factory, self.deliver,
+                               cycle_accurate, sync_period, enabled)
+        if core == "tc":
+            cpu = self.soc.cpu
+        elif core == "pcp":
+            cpu = self.soc.pcp
+        else:
+            raise ValueError(
+                f"program trace supports cores 'tc' and 'pcp', got {core!r}")
+        if cpu.trace is None:
+            cpu.trace = TraceFanout()
+        cpu.trace.add(ptu)
+        self.program_traces.append(ptu)
+        return ptu
+
+    def add_data_trace(self, address_range: Tuple[int, int],
+                       masters: Optional[Tuple[str, ...]] = None,
+                       writes_only: bool = False,
+                       enabled: bool = True) -> DataTraceUnit:
+        dtu = DataTraceUnit(f"dtu{len(self.data_traces)}", self.factory,
+                            self.deliver, address_range, masters, writes_only,
+                            enabled)
+        self.soc.memory.watchers.append(dtu)
+        self.data_traces.append(dtu)
+        return dtu
+
+    def add_bus_trace(self, signal: str, enabled: bool = True) -> BusTraceUnit:
+        btu = BusTraceUnit(f"btu.{signal}", self.hub, signal, self.factory,
+                           self.deliver, enabled)
+        self.bus_traces.append(btu)
+        return btu
+
+    # -- run control (debug) ----------------------------------------------------
+    def add_watchpoint(self, address_range, writes_only: bool = False,
+                       masters=None, action=None):
+        """Data watchpoint: halts the TriCore on a guarded access."""
+        from .debug import Watchpoint
+        watchpoint = Watchpoint(self.soc.cpu, address_range, writes_only,
+                                masters, action)
+        self.soc.memory.watchers.append(watchpoint)
+        return watchpoint
+
+    def add_breakpoint(self, address: int, length: int = 4):
+        """Code breakpoint: halts the TriCore when execution reaches it."""
+        from .debug import Breakpoint
+        breakpoint_ = Breakpoint(self.soc.cpu, address, length)
+        self.triggers.append(breakpoint_.trigger)
+        return breakpoint_
+
+    # -- per-cycle work -----------------------------------------------------------
+    def tick(self, cycle: int) -> None:
+        for structure in self._cycle_basis:
+            structure.on_cycle(cycle)
+        for trigger in self.triggers:
+            trigger.evaluate(cycle)
+        for machine in self.state_machines:
+            machine.evaluate(cycle)
+
+    def reset(self) -> None:
+        self.factory.reset()
+        for structure in self.rate_counters:
+            structure.reset()
+        for counter in self.raw_counters:
+            counter.reset()
+        for trigger in self.triggers:
+            trigger.reset()
+        for machine in self.state_machines:
+            machine.reset()
+        for unit in (self.program_traces + self.data_traces + self.bus_traces):
+            unit.reset()
+        self.messages_by_kind.clear()
+        self.bits_by_kind.clear()

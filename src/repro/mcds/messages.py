@@ -1,0 +1,128 @@
+"""Trace message formats with bit-accurate size accounting.
+
+The paper's bandwidth argument (Section 5, last paragraph) is quantitative
+over message sizes: "Instead of sampling by the external tool at least two
+long counters ... only a single trace message with the counted events is
+stored."  Every message therefore carries its encoded size in bits, so EMEM
+occupancy, DAP bandwidth, and compression ratios can be computed exactly.
+
+Sizes follow the spirit of Nexus/MCDS message encoding: a short header
+(TCODE + source), variable-length payload in 8-bit chunks, and a
+variable-length timestamp delta.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+# message kinds
+RATE_SAMPLE = "rate_sample"      # counter-structure sample (the paper's new message)
+COUNTER_RAW = "counter_raw"      # full raw counter value (old-approach model)
+IPT_BRANCH = "ipt_branch"        # program-flow discontinuity, compressed address
+IPT_SYNC = "ipt_sync"            # periodic full-address synchronisation
+IPT_TICK = "ipt_tick"            # cycle-accurate executed-count message
+DATA_ACCESS = "data_access"      # qualified data-trace message
+BUS_XFER = "bus_xfer"            # bus observation message
+TRIGGER_EVT = "trigger"          # trigger/watchdog fired
+OVERFLOW = "overflow"            # trace FIFO overflowed, messages lost
+
+_HEADER_BITS = 6                 # TCODE
+_SOURCE_BITS = 3                 # originating observation block / counter id
+
+
+def _varlen_bits(value: int, chunk: int = 8) -> int:
+    """Bits for a variable-length field packed in ``chunk``-bit groups."""
+    if value < 0:
+        value = -value
+    needed = max(1, value.bit_length())
+    groups = (needed + chunk - 1) // chunk
+    return groups * chunk
+
+
+@dataclass
+class TraceMessage:
+    """One encoded trace message."""
+
+    kind: str
+    cycle: int
+    bits: int
+    source: str = ""
+    value: int = 0
+    address: Optional[int] = None
+    extra: dict = field(default_factory=dict)
+
+
+class MessageFactory:
+    """Builds messages with consistent size accounting and timestamp deltas.
+
+    Timestamps are delta-encoded against the previous message of the same
+    stream (scalable time-stamping, paper Section 3).
+    """
+
+    def __init__(self, timestamp_enabled: bool = True) -> None:
+        self.timestamp_enabled = timestamp_enabled
+        self._last_cycle = 0
+
+    def _stamp_bits(self, cycle: int) -> int:
+        if not self.timestamp_enabled:
+            return 0
+        delta = cycle - self._last_cycle
+        self._last_cycle = cycle
+        return _varlen_bits(delta)
+
+    def rate_sample(self, cycle: int, counter: str, value: int) -> TraceMessage:
+        """The paper's enhanced-profiling message: one counted-events value."""
+        bits = (_HEADER_BITS + _SOURCE_BITS + _varlen_bits(value)
+                + self._stamp_bits(cycle))
+        return TraceMessage(RATE_SAMPLE, cycle, bits, counter, value)
+
+    def counter_raw(self, cycle: int, counter: str, value: int) -> TraceMessage:
+        """Old approach: a full-width counter sampled by the external tool.
+
+        Two 32-bit counters (events + basis) must be read to form one rate
+        value, so the conventional flow costs two of these per sample.
+        """
+        bits = _HEADER_BITS + _SOURCE_BITS + 32 + self._stamp_bits(cycle)
+        return TraceMessage(COUNTER_RAW, cycle, bits, counter, value)
+
+    def branch(self, cycle: int, source_addr: int, target_addr: int,
+               last_reported: int) -> TraceMessage:
+        """Program-flow message with relative address compression."""
+        relative = target_addr ^ last_reported
+        bits = (_HEADER_BITS + _SOURCE_BITS + _varlen_bits(relative)
+                + self._stamp_bits(cycle))
+        return TraceMessage(IPT_BRANCH, cycle, bits, "ptu", address=target_addr)
+
+    def sync(self, cycle: int, address: int) -> TraceMessage:
+        bits = _HEADER_BITS + _SOURCE_BITS + 32 + self._stamp_bits(cycle)
+        return TraceMessage(IPT_SYNC, cycle, bits, "ptu", address=address)
+
+    def tick(self, cycle: int, executed: int) -> TraceMessage:
+        """Cycle-accurate mode: executed-instruction count for one cycle."""
+        bits = _HEADER_BITS + 2 + self._stamp_bits(cycle)
+        return TraceMessage(IPT_TICK, cycle, bits, "ptu", value=executed)
+
+    def data_access(self, cycle: int, address: int, is_write: bool,
+                    last_reported: int) -> TraceMessage:
+        relative = address ^ last_reported
+        bits = (_HEADER_BITS + _SOURCE_BITS + 1 + _varlen_bits(relative)
+                + self._stamp_bits(cycle))
+        return TraceMessage(DATA_ACCESS, cycle, bits, "dtu", address=address,
+                            extra={"write": is_write})
+
+    def bus_xfer(self, cycle: int, bus: str, master: str) -> TraceMessage:
+        bits = _HEADER_BITS + _SOURCE_BITS + 4 + self._stamp_bits(cycle)
+        return TraceMessage(BUS_XFER, cycle, bits, bus,
+                            extra={"master": master})
+
+    def trigger(self, cycle: int, name: str) -> TraceMessage:
+        bits = _HEADER_BITS + _SOURCE_BITS + self._stamp_bits(cycle)
+        return TraceMessage(TRIGGER_EVT, cycle, bits, name)
+
+    def overflow(self, cycle: int, lost: int) -> TraceMessage:
+        bits = _HEADER_BITS + _varlen_bits(lost) + self._stamp_bits(cycle)
+        return TraceMessage(OVERFLOW, cycle, bits, "fifo", value=lost)
+
+    def reset(self) -> None:
+        self._last_cycle = 0

@@ -1,0 +1,197 @@
+"""Trace units: program flow, data access, and bus observation.
+
+The MCDS observes one or several cores in parallel (paper Figure 5) plus
+the multi-master buses.  Program trace is compressed: only control-flow
+discontinuities produce messages (with relative address encoding and
+periodic full-address syncs), and an optional cycle-accurate mode adds
+per-cycle executed-instruction ticks — "to the extent which is possible for
+a pipelined, multi-scalar, speculative processor" (Section 3).
+
+Trace qualification (address-range filters on the data side, on/off control
+from the trigger block everywhere) keeps bandwidth inside the EMEM/DAP
+budget.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .messages import MessageFactory
+
+
+class TraceFanout:
+    """Duplicates the CPU trace hook to several sinks (PTU + profilers)."""
+
+    def __init__(self) -> None:
+        self.sinks: List = []
+
+    def add(self, sink) -> None:
+        self.sinks.append(sink)
+
+    def on_cycle(self, cycle: int, start_pc: int, issued: int) -> None:
+        for sink in self.sinks:
+            sink.on_cycle(cycle, start_pc, issued)
+
+    def on_discontinuity(self, cycle: int, src: int, dst: int, kind: str) -> None:
+        for sink in self.sinks:
+            sink.on_discontinuity(cycle, src, dst, kind)
+
+
+class ProgramTraceUnit:
+    """Compressed program-flow trace for one core."""
+
+    def __init__(self, name: str, factory: MessageFactory, deliver,
+                 cycle_accurate: bool = False, sync_period: int = 256,
+                 enabled: bool = True) -> None:
+        self.name = name
+        self.factory = factory
+        self.deliver = deliver          # callable(msg) — the MCDS message path
+        self.cycle_accurate = cycle_accurate
+        self.sync_period = sync_period
+        self.enabled = enabled
+        self._last_reported = 0
+        self._since_sync = 0
+        self.instructions_traced = 0
+        self.messages = 0
+        self.bits = 0
+
+    # -- CPU hook ------------------------------------------------------------
+    def on_cycle(self, cycle: int, start_pc: int, issued: int) -> None:
+        if not self.enabled:
+            return
+        self.instructions_traced += issued
+        if self.cycle_accurate:
+            msg = self.factory.tick(cycle, issued)
+            self._account(msg)
+
+    def on_discontinuity(self, cycle: int, src: int, dst: int, kind: str) -> None:
+        if not self.enabled:
+            return
+        self._since_sync += 1
+        if self._since_sync >= self.sync_period:
+            msg = self.factory.sync(cycle, dst)
+            self._since_sync = 0
+        else:
+            msg = self.factory.branch(cycle, src, dst, self._last_reported)
+        self._last_reported = dst
+        self._account(msg)
+
+    def _account(self, msg) -> None:
+        self.messages += 1
+        self.bits += msg.bits
+        self.deliver(msg)
+
+    # -- trigger-side control -----------------------------------------------------
+    def start(self, cycle: int = 0) -> None:
+        self.enabled = True
+
+    def stop(self, cycle: int = 0) -> None:
+        self.enabled = False
+
+    @property
+    def bits_per_instruction(self) -> float:
+        if self.instructions_traced == 0:
+            return 0.0
+        return self.bits / self.instructions_traced
+
+    def reset(self) -> None:
+        self._last_reported = 0
+        self._since_sync = 0
+        self.instructions_traced = 0
+        self.messages = 0
+        self.bits = 0
+
+
+class DataTraceUnit:
+    """Qualified data-access trace (selected address ranges, selected masters).
+
+    Installed as a memory-system watcher; qualification happens here, so an
+    idle unit with a narrow range costs almost nothing — the hardware
+    analogue is the trace-qualification comparators in front of the DTU.
+    """
+
+    def __init__(self, name: str, factory: MessageFactory, deliver,
+                 address_range: Tuple[int, int],
+                 masters: Optional[Tuple[str, ...]] = None,
+                 writes_only: bool = False, enabled: bool = True) -> None:
+        self.name = name
+        self.factory = factory
+        self.deliver = deliver
+        self.lo, self.hi = address_range
+        if self.lo >= self.hi:
+            raise ValueError("address range must be non-empty")
+        self.masters = masters
+        self.writes_only = writes_only
+        self.enabled = enabled
+        self._last_reported = 0
+        self.messages = 0
+        self.bits = 0
+
+    def __call__(self, cycle: int, addr: int, is_write: bool, master: str) -> None:
+        if not self.enabled:
+            return
+        if not self.lo <= addr < self.hi:
+            return
+        if self.writes_only and not is_write:
+            return
+        if self.masters is not None and master not in self.masters:
+            return
+        msg = self.factory.data_access(cycle, addr, is_write,
+                                       self._last_reported)
+        self._last_reported = addr
+        self.messages += 1
+        self.bits += msg.bits
+        self.deliver(msg)
+
+    def start(self, cycle: int = 0) -> None:
+        self.enabled = True
+
+    def stop(self, cycle: int = 0) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        self._last_reported = 0
+        self.messages = 0
+        self.bits = 0
+
+
+class BusTraceUnit:
+    """Bus observation: one message per observed transfer signal.
+
+    "The onchip multi-master system buses ... can also be traced
+    independently from the cores" (Section 3) — this is how DMA activity
+    becomes visible without passing through a CPU.
+    """
+
+    def __init__(self, name: str, hub, signal: str, factory: MessageFactory,
+                 deliver, enabled: bool = True) -> None:
+        self.name = name
+        self.hub = hub
+        self.signal = signal
+        self.factory = factory
+        self.deliver = deliver
+        self.enabled = enabled
+        self.messages = 0
+        self.bits = 0
+        hub.subscribe(signal, self._on_event)
+
+    def _on_event(self, count: int) -> None:
+        if not self.enabled:
+            return
+        msg = self.factory.bus_xfer(self.hub.cycle, self.signal, "-")
+        self.messages += 1
+        self.bits += msg.bits
+        self.deliver(msg)
+
+    def start(self, cycle: int = 0) -> None:
+        self.enabled = True
+
+    def stop(self, cycle: int = 0) -> None:
+        self.enabled = False
+
+    def detach(self) -> None:
+        self.hub.unsubscribe(self.signal, self._on_event)
+
+    def reset(self) -> None:
+        self.messages = 0
+        self.bits = 0

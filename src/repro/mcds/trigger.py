@@ -1,0 +1,226 @@
+"""MCDS trigger block: comparators, boolean expressions, state machines.
+
+Paper Section 3: "MCDS allows to define very complex conditions using
+Boolean expressions, counters and state machines.  It is for instance
+possible to trigger on events not happening in a defined time window."
+
+Conditions are small objects with an ``evaluate(cycle) -> bool`` method;
+the MCDS evaluates the installed trigger programs once per cycle and runs
+their actions on rising edges.  Actions are plain callables — enable a
+counter structure, start/stop a trace unit, freeze the EMEM capture — so
+trigger programs compose without a dedicated action language.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..soc.kernel.hub import EventHub
+
+BELOW = "below"
+ABOVE = "above"
+
+
+class Condition:
+    """Base class: a boolean signal evaluated every cycle."""
+
+    def evaluate(self, cycle: int) -> bool:
+        raise NotImplementedError
+
+    # -- composition sugar ---------------------------------------------------
+    def __and__(self, other: "Condition") -> "Condition":
+        return BoolExpr(all, [self, other])
+
+    def __or__(self, other: "Condition") -> "Condition":
+        return BoolExpr(any, [self, other])
+
+    def __invert__(self) -> "Condition":
+        return NotExpr(self)
+
+
+class RateThreshold(Condition):
+    """Compares the latest sample of a rate counter against a threshold.
+
+    This is the paper's coupling condition: "the IPC rate measurement with
+    the high resolution ... is only activated when the IPC rate with the low
+    resolution is below a configurable threshold."
+    """
+
+    def __init__(self, structure, threshold: int, direction: str = BELOW) -> None:
+        if direction not in (BELOW, ABOVE):
+            raise ValueError("direction must be 'below' or 'above'")
+        self.structure = structure
+        self.threshold = threshold
+        self.direction = direction
+
+    def evaluate(self, cycle: int) -> bool:
+        sample = self.structure.last_sample
+        if sample is None:
+            return False
+        if self.direction == BELOW:
+            return sample < self.threshold
+        return sample > self.threshold
+
+
+class CountThreshold(Condition):
+    """True once a raw event counter passes a threshold (one-shot arming)."""
+
+    def __init__(self, counter, threshold: int) -> None:
+        self.counter = counter
+        self.threshold = threshold
+
+    def evaluate(self, cycle: int) -> bool:
+        return self.counter.value >= self.threshold
+
+
+class SignalActive(Condition):
+    """True in any cycle in which the named event signal occurred."""
+
+    def __init__(self, hub: EventHub, signal: str) -> None:
+        self.hub = hub
+        self.signal = signal
+        self._seen_cycle = -1
+        hub.subscribe(signal, self._on_event)
+
+    def _on_event(self, count: int) -> None:
+        self._seen_cycle = self.hub.cycle
+
+    def evaluate(self, cycle: int) -> bool:
+        return self._seen_cycle == cycle
+
+    def detach(self) -> None:
+        self.hub.unsubscribe(self.signal, self._on_event)
+
+
+class PcInRange(Condition):
+    """True while a core's program counter lies in an address window.
+
+    The hardware analogue is the trace-qualification address comparators in
+    front of the observation blocks: combined with a trigger that starts
+    and stops a trace unit, it implements "trace only function X".
+    """
+
+    def __init__(self, core, lo: int, hi: int) -> None:
+        if lo >= hi:
+            raise ValueError("address window must be non-empty")
+        self.core = core
+        self.lo = lo
+        self.hi = hi
+
+    def evaluate(self, cycle: int) -> bool:
+        return self.lo <= self.core.pc < self.hi
+
+
+class WindowWatchdog(Condition):
+    """Fires when an event does NOT happen within a time window.
+
+    The paper's example of a complex condition.  The watchdog re-arms on
+    every occurrence of the event; if ``window`` cycles elapse without one,
+    the condition becomes true for one evaluation.
+    """
+
+    def __init__(self, hub: EventHub, signal: str, window: int) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1 cycle")
+        self.hub = hub
+        self.signal = signal
+        self.window = window
+        self._deadline = window
+        self.timeouts = 0
+        hub.subscribe(signal, self._on_event)
+
+    def _on_event(self, count: int) -> None:
+        self._deadline = self.hub.cycle + self.window
+
+    def evaluate(self, cycle: int) -> bool:
+        if cycle >= self._deadline:
+            self.timeouts += 1
+            self._deadline = cycle + self.window  # re-arm after firing
+            return True
+        return False
+
+    def detach(self) -> None:
+        self.hub.unsubscribe(self.signal, self._on_event)
+
+
+class BoolExpr(Condition):
+    """AND/OR over sub-conditions (``combiner`` is ``all`` or ``any``)."""
+
+    def __init__(self, combiner: Callable, conditions: Iterable[Condition]) -> None:
+        self.combiner = combiner
+        self.conditions = list(conditions)
+
+    def evaluate(self, cycle: int) -> bool:
+        results = [c.evaluate(cycle) for c in self.conditions]
+        return self.combiner(results)
+
+
+class NotExpr(Condition):
+    def __init__(self, condition: Condition) -> None:
+        self.condition = condition
+
+    def evaluate(self, cycle: int) -> bool:
+        return not self.condition.evaluate(cycle)
+
+
+class Trigger:
+    """Edge-detected condition with enter/leave actions."""
+
+    def __init__(self, name: str, condition: Condition,
+                 on_enter: Optional[Callable[[int], None]] = None,
+                 on_leave: Optional[Callable[[int], None]] = None) -> None:
+        self.name = name
+        self.condition = condition
+        self.on_enter = on_enter
+        self.on_leave = on_leave
+        self.active = False
+        self.fire_count = 0
+
+    def evaluate(self, cycle: int) -> None:
+        state = self.condition.evaluate(cycle)
+        if state and not self.active:
+            self.active = True
+            self.fire_count += 1
+            if self.on_enter is not None:
+                self.on_enter(cycle)
+        elif not state and self.active:
+            self.active = False
+            if self.on_leave is not None:
+                self.on_leave(cycle)
+
+    def reset(self) -> None:
+        self.active = False
+        self.fire_count = 0
+
+
+class TriggerStateMachine:
+    """Explicit state machine over conditions (sequenced trigger programs).
+
+    ``transitions`` maps ``(state, condition)`` to ``(next_state, action)``;
+    the first matching transition per cycle wins.  Used for staged captures:
+    e.g. *armed* → (anomaly seen) → *capturing* → (N samples) → *frozen*.
+    """
+
+    def __init__(self, name: str, initial: str) -> None:
+        self.name = name
+        self.initial = initial
+        self.state = initial
+        self._transitions: List[tuple] = []
+        self.transitions_taken = 0
+
+    def add_transition(self, state: str, condition: Condition, next_state: str,
+                       action: Optional[Callable[[int], None]] = None) -> None:
+        self._transitions.append((state, condition, next_state, action))
+
+    def evaluate(self, cycle: int) -> None:
+        for state, condition, next_state, action in self._transitions:
+            if state == self.state and condition.evaluate(cycle):
+                self.state = next_state
+                self.transitions_taken += 1
+                if action is not None:
+                    action(cycle)
+                return
+
+    def reset(self) -> None:
+        self.state = self.initial
+        self.transitions_taken = 0

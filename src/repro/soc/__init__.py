@@ -1,0 +1,6 @@
+"""SoC substrate: TriCore-like product-chip timing simulator."""
+
+from .config import SoCConfig, tc1797_config, tc1767_config
+from .device import Soc
+
+__all__ = ["SoCConfig", "tc1797_config", "tc1767_config", "Soc"]

@@ -1,0 +1,5 @@
+"""Bus layers and arbitration."""
+
+from .layers import Bus
+
+__all__ = ["Bus"]

@@ -1,0 +1,121 @@
+"""Multi-master bus layers (LMB and SPB/FPI).
+
+A bus layer is a serially-granted resource shared by the TriCore, the PCP,
+and the DMA move engines.  Grant order within a cycle follows the
+simulator's tick order, which the device builder arranges to match the
+hardware's fixed-priority arbitration (DMA before CPU for the SPB, CPU
+first on the LMB).  Contention wait cycles are published as event sources —
+one of the paper's headline profiling parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..kernel.hub import EventHub
+from ..kernel.resource import TimedResource
+
+
+class Bus:
+    """One bus layer with transfer/contention event accounting."""
+
+    def __init__(self, name: str, hub: EventHub, occupancy: int, latency: int,
+                 transfer_signal: str, contention_signal: str) -> None:
+        self.name = name
+        self.hub = hub
+        self.latency = latency
+        self._resource = TimedResource(
+            name, occupancy, latency, hub=hub,
+            contention_signal=contention_signal)
+        self._sid_xfer = hub.register(transfer_signal)
+        self.per_master_grants: Dict[str, int] = {}
+        self.per_master_waits: Dict[str, int] = {}
+
+    def transfer(self, now: int, master: str,
+                 latency: Optional[int] = None,
+                 target: str = "default") -> Tuple[int, int]:
+        """Request one beat; returns ``(wait_cycles, response_cycle)``.
+
+        ``target`` is accepted for API compatibility with
+        :class:`CrossbarBus`; a shared bus serialises all targets.
+        """
+        wait, done = self._resource.access(now, latency=latency)
+        self.hub.emit(self._sid_xfer)
+        self.per_master_grants[master] = self.per_master_grants.get(master, 0) + 1
+        if wait:
+            self.per_master_waits[master] = (
+                self.per_master_waits.get(master, 0) + wait)
+        return wait, done
+
+    @property
+    def total_contention(self) -> int:
+        return self._resource.total_waits
+
+    @property
+    def total_transfers(self) -> int:
+        return self._resource.total_grants
+
+    def reset(self) -> None:
+        self._resource.reset()
+        self.per_master_grants.clear()
+        self.per_master_waits.clear()
+
+
+class CrossbarBus:
+    """Crossbar interconnect: one independent layer per *target*.
+
+    A shared bus serialises every transfer; a crossbar (the SRI of the
+    AUDO successors) only serialises transfers to the *same* target, so a
+    CPU access to the LMU and a DMA stream into the EMEM proceed in
+    parallel.  Exposes the same ``transfer`` API as :class:`Bus` plus a
+    ``target`` parameter; unknown targets are lanes created on first use.
+
+    Evaluated as the ``lmb_xbar`` architecture option: the profiling
+    methodology measures shared-bus contention on the current device and
+    predicts what a crossbar would remove.
+    """
+
+    def __init__(self, name: str, hub: EventHub, occupancy: int,
+                 latency: int, transfer_signal: str,
+                 contention_signal: str) -> None:
+        self.name = name
+        self.hub = hub
+        self.occupancy = occupancy
+        self.latency = latency
+        self._transfer_signal = transfer_signal
+        self._contention_signal = contention_signal
+        self._lanes: Dict[str, Bus] = {}
+
+    def _lane(self, target: str) -> Bus:
+        lane = self._lanes.get(target)
+        if lane is None:
+            lane = Bus(f"{self.name}.{target}", self.hub, self.occupancy,
+                       self.latency, self._transfer_signal,
+                       self._contention_signal)
+            self._lanes[target] = lane
+        return lane
+
+    def transfer(self, now: int, master: str,
+                 latency: Optional[int] = None,
+                 target: str = "default") -> Tuple[int, int]:
+        return self._lane(target).transfer(now, master, latency)
+
+    @property
+    def total_contention(self) -> int:
+        return sum(lane.total_contention for lane in self._lanes.values())
+
+    @property
+    def total_transfers(self) -> int:
+        return sum(lane.total_transfers for lane in self._lanes.values())
+
+    @property
+    def per_master_grants(self) -> Dict[str, int]:
+        merged: Dict[str, int] = {}
+        for lane in self._lanes.values():
+            for master, count in lane.per_master_grants.items():
+                merged[master] = merged.get(master, 0) + count
+        return merged
+
+    def reset(self) -> None:
+        for lane in self._lanes.values():
+            lane.reset()

@@ -1,0 +1,6 @@
+"""TriCore-like CPU core and instruction model."""
+
+from . import isa
+from .tricore import TriCoreCpu
+
+__all__ = ["isa", "TriCoreCpu"]

@@ -1,0 +1,212 @@
+"""Timing-level instruction model for the TriCore-like CPU.
+
+The profiling methodology observes *when* instructions execute and *where*
+they access memory — it never inspects register values.  The instruction
+model is therefore functional-lite: control flow and memory addressing are
+fully modelled (with deterministic, seeded behaviour generators standing in
+for data-dependent outcomes), while arithmetic results are not computed.
+
+Instructions occupy 4 bytes each; a 32-byte flash line thus holds 8
+instructions, which matches the fetch-group behaviour that drives the
+I-cache and prefetch-buffer statistics.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+INSTR_BYTES = 4
+
+# --- opcode classes ---------------------------------------------------------
+IP = "ip"        # integer pipeline (ALU, MAC, shifts)
+LD = "ld"        # load (load/store pipeline)
+ST = "st"        # store (load/store pipeline)
+BR = "br"        # conditional branch
+JUMP = "jump"    # unconditional jump
+LOOP = "loop"    # hardware loop (TriCore loop pipeline: 0-cycle taken)
+CALL = "call"
+RET = "ret"
+RFE = "rfe"      # return from interrupt
+
+#: op classes that end an issue group because they redirect fetch
+CONTROL_OPS = frozenset((BR, JUMP, LOOP, CALL, RET, RFE))
+#: op classes handled by the load/store pipeline
+LS_OPS = frozenset((LD, ST))
+
+
+class Instr:
+    """One decoded instruction with its behaviour parameters."""
+
+    __slots__ = ("op", "addr", "target", "addr_gen", "pattern", "label")
+
+    def __init__(self, op: str, target: Optional[int] = None,
+                 addr_gen=None, pattern=None, label: Optional[str] = None):
+        self.op = op
+        self.addr = 0            # assigned by the assembler
+        self.target = target     # control-flow destination
+        self.addr_gen = addr_gen  # memory address generator for LD/ST
+        self.pattern = pattern   # branch/loop behaviour generator
+        self.label = label       # symbolic target, resolved at assembly
+
+    def __repr__(self) -> str:
+        return f"<{self.op} @0x{self.addr:08x}>"
+
+
+# --- behaviour generators ----------------------------------------------------
+class LoopCount:
+    """Hardware-loop trip count: taken ``count - 1`` times, then falls through.
+
+    TriCore LOOP instructions iterate a fixed number of times per entry; the
+    counter re-arms when the loop is next entered.
+    """
+
+    def __init__(self, count: int) -> None:
+        if count < 1:
+            raise ValueError("loop count must be >= 1")
+        self.count = count
+
+    def make_state(self) -> list:
+        return [self.count - 1]
+
+    def taken(self, state: list, rng: random.Random) -> bool:
+        if state[0] > 0:
+            state[0] -= 1
+            return True
+        state[0] = self.count - 1
+        return False
+
+
+class TakenProbability:
+    """Conditional branch taken with probability ``p`` (seeded stream)."""
+
+    def __init__(self, p: float) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("probability must be within [0, 1]")
+        self.p = p
+
+    def make_state(self) -> None:
+        return None
+
+    def taken(self, state, rng: random.Random) -> bool:
+        return rng.random() < self.p
+
+
+class TakenPeriodic:
+    """Branch taken every ``period``-th execution (deterministic)."""
+
+    def __init__(self, period: int, phase: int = 0) -> None:
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        self.period = period
+        self.phase = phase
+
+    def make_state(self) -> list:
+        return [self.phase]
+
+    def taken(self, state: list, rng: random.Random) -> bool:
+        state[0] += 1
+        if state[0] >= self.period:
+            state[0] = 0
+            return True
+        return False
+
+
+# --- address generators -------------------------------------------------------
+class FixedAddr:
+    """Always the same address (a scalar variable or peripheral register)."""
+
+    def __init__(self, addr: int) -> None:
+        self.addr = addr
+
+    def make_state(self) -> None:
+        return None
+
+    def next(self, state, rng: random.Random) -> int:
+        return self.addr
+
+
+class StrideAddr:
+    """Sequential walk: arrays, buffers, filter delay lines."""
+
+    def __init__(self, base: int, stride: int, count: int) -> None:
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        self.base = base
+        self.stride = stride
+        self.count = count
+
+    def make_state(self) -> list:
+        return [0]
+
+    def next(self, state: list, rng: random.Random) -> int:
+        addr = self.base + (state[0] % self.count) * self.stride
+        state[0] += 1
+        return addr
+
+
+class TableAddr:
+    """Look-up-table access with temporal locality.
+
+    Engine-control software interpolates 2-D calibration maps: successive
+    lookups land near the current operating point and drift slowly.  With
+    probability ``locality`` the next access stays within ``window`` entries
+    of the previous one; otherwise the operating point jumps.
+    """
+
+    def __init__(self, base: int, entry_bytes: int, entries: int,
+                 locality: float = 0.9, window: int = 8) -> None:
+        if entries < 1:
+            raise ValueError("table must have at least one entry")
+        self.base = base
+        self.entry_bytes = entry_bytes
+        self.entries = entries
+        self.locality = locality
+        self.window = max(1, window)
+
+    def make_state(self) -> list:
+        return [0]
+
+    def next(self, state: list, rng: random.Random) -> int:
+        if rng.random() < self.locality:
+            index = state[0] + rng.randint(-self.window, self.window)
+        else:
+            index = rng.randrange(self.entries)
+        index %= self.entries
+        state[0] = index
+        return self.base + index * self.entry_bytes
+
+
+class Program:
+    """Assembled instruction image with symbol table."""
+
+    def __init__(self, instructions: Dict[int, Instr], entry: int,
+                 symbols: Dict[str, int]) -> None:
+        self.instructions = instructions
+        self.entry = entry
+        self.symbols = symbols
+
+    def at(self, addr: int) -> Instr:
+        try:
+            return self.instructions[addr]
+        except KeyError:
+            raise KeyError(f"no instruction at 0x{addr:08x}") from None
+
+    def symbol(self, name: str) -> int:
+        return self.symbols[name]
+
+    def function_of(self, addr: int) -> str:
+        """Name of the function whose entry is the closest symbol <= addr.
+
+        Dot-prefixed local labels are not functions and are skipped.
+        """
+        best_name, best_addr = "?", -1
+        for name, sym in self.symbols.items():
+            if "." in name:
+                continue
+            if best_addr < sym <= addr:
+                best_name, best_addr = name, sym
+        return best_name
+
+    def __len__(self) -> int:
+        return len(self.instructions)

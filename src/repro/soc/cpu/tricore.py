@@ -1,0 +1,298 @@
+"""TriCore-like CPU timing model.
+
+A pipelined, multi-scalar core: up to three instructions retire per cycle —
+one integer-pipeline op, one load/store-pipeline op, and one loop/control
+op, matching the TriCore 1.3 issue rules the paper leans on ("up to 3
+within a clock cycle for TriCore").  Hardware loops close with zero taken
+penalty (the loop pipeline); other taken control flow pays a refill
+penalty.
+
+The core publishes every performance-relevant event the MCDS can tap:
+executed-instruction counts, stall cycles by cause, branch and context
+switch events, interrupt entries.  A program-trace sink can additionally be
+attached for MCDS program tracing; when detached the core runs identically
+(non-intrusiveness is experiment E8).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..config import CpuConfig
+from ..kernel import signals
+from ..kernel.hub import EventHub
+from ..kernel.simulator import Component
+from ..memory.system import MemorySystem
+from . import isa
+
+
+class TriCoreCpu(Component):
+    name = "tricore"
+
+    def __init__(self, cfg: CpuConfig, hub: EventHub, memory: MemorySystem,
+                 icu=None, rng=None) -> None:
+        self.cfg = cfg
+        self.hub = hub
+        self.memory = memory
+        self.icu = icu
+        self.rng = rng
+        self.program: Optional[isa.Program] = None
+        self.vectors: Dict[int, int] = {}   # srn id -> handler address
+        self.trace = None                   # optional MCDS program-trace sink
+
+        self.pc = 0
+        self.halted = False
+        #: debug run-control freeze (MCDS watch/breakpoints); unlike
+        #: ``halted`` it also blocks interrupt entry
+        self.debug_halt = False
+        self.stall_until = 0
+        self.current_priority = 0
+        self._call_stack = []
+        self._irq_stack = []
+        self._states: Dict[int, object] = {}  # per-instruction behaviour state
+        self._line = -1
+        self._line_shift = 5  # 32-byte fetch groups
+
+        self.retired = 0
+        self.halt_cycles = 0
+
+        register = hub.register
+        self._sid_instr = register(signals.TC_INSTR)
+        self._sid_stall_fetch = register(signals.TC_STALL_FETCH)
+        self._sid_stall_load = register(signals.TC_STALL_LOAD)
+        self._sid_stall_store = register(signals.TC_STALL_STORE)
+        self._sid_branch = register(signals.TC_BRANCH)
+        self._sid_branch_taken = register(signals.TC_BRANCH_TAKEN)
+        self._sid_csa = register(signals.TC_CSA)
+        self._sid_irq_entry = register(signals.TC_IRQ_ENTRY)
+        self._sid_irq_cycles = register(signals.TC_IRQ_CYCLES)
+
+    # -- setup ---------------------------------------------------------------
+    def load_program(self, program: isa.Program) -> None:
+        self.program = program
+        self.pc = program.entry
+        self.halted = False
+        self._line = -1
+
+    def set_vector(self, srn_id: int, handler: str) -> None:
+        """Bind a service request to a handler function (by symbol name)."""
+        if self.program is None:
+            raise RuntimeError("load a program before binding vectors")
+        self.vectors[srn_id] = self.program.symbol(handler)
+
+    # -- behaviour-state helper -----------------------------------------------
+    def _state_of(self, instr: isa.Instr, behaviour) -> object:
+        key = id(instr)
+        state = self._states.get(key)
+        if state is None or key not in self._states:
+            state = behaviour.make_state()
+            self._states[key] = state
+        return state
+
+    # -- interrupt entry --------------------------------------------------------
+    def _try_interrupt(self, cycle: int) -> bool:
+        if self.icu is None:
+            return False
+        srn = self.icu.highest("tc")
+        if srn is None or srn.priority <= self.current_priority:
+            return False
+        handler = self.vectors.get(srn.id)
+        if handler is None:
+            return False
+        self.icu.take(srn)
+        src = self.pc
+        self._irq_stack.append((self.pc, self.current_priority, self.halted))
+        self.current_priority = srn.priority
+        self.pc = handler
+        self.halted = False
+        self._line = -1
+        entry = self.cfg.irq_entry_cycles + self.cfg.context_switch_cycles
+        self.stall_until = cycle + entry
+        self.hub.emit(self._sid_irq_entry)
+        self.hub.emit(self._sid_csa)
+        if self.trace is not None:
+            self.trace.on_discontinuity(cycle, src, handler, "irq")
+        return True
+
+    # -- main clock tick ----------------------------------------------------------
+    def tick(self, cycle: int) -> None:
+        if self.debug_halt:
+            return
+        if self.current_priority > 0:
+            self.hub.emit(self._sid_irq_cycles)
+        if cycle < self.stall_until:
+            return
+        if self._try_interrupt(cycle):
+            return
+        if self.halted:
+            self.halt_cycles += 1
+            return
+
+        program = self.program
+        if program is None:
+            return
+        issued = 0
+        ip_used = False
+        ls_used = False
+        ctl_used = False
+        pc = self.pc
+        start_pc = pc
+        width = self.cfg.issue_width
+        memory = self.memory
+        hub = self.hub
+        rng = self.rng
+
+        while issued < width:
+            line = pc >> self._line_shift
+            if line != self._line:
+                done = memory.fetch(cycle, pc, "tc")
+                self._line = line
+                if done > cycle + 1:
+                    self.stall_until = done
+                    hub.emit(self._sid_stall_fetch, done - cycle - 1)
+                    break
+            instr = program.at(pc)
+            op = instr.op
+
+            if op == isa.IP:
+                # one integer-pipeline op per cycle (dual-pipeline issue:
+                # IP + LS + loop can retire together, never two IP ops)
+                if ip_used:
+                    break
+                ip_used = True
+                pc += isa.INSTR_BYTES
+                issued += 1
+                continue
+
+            if op == isa.LD or op == isa.ST:
+                if ls_used:
+                    break
+                ls_used = True
+                gen = instr.addr_gen
+                addr = gen.next(self._state_of(instr, gen), rng)
+                issued += 1
+                if op == isa.LD:
+                    done = memory.read(cycle, addr, "tc")
+                    pc += isa.INSTR_BYTES
+                    if done > cycle + 1:
+                        self.stall_until = done
+                        hub.emit(self._sid_stall_load, done - cycle - 1)
+                        break
+                else:
+                    done = memory.write(cycle, addr, "tc")
+                    pc += isa.INSTR_BYTES
+                    if done > cycle + 1:
+                        self.stall_until = done
+                        hub.emit(self._sid_stall_store, done - cycle - 1)
+                        break
+                continue
+
+            if op == "halt":
+                self.halted = True
+                issued_halt_pc = pc
+                pc = issued_halt_pc  # resume at the halt on wakeup-return
+                break
+
+            # control ops
+            if ctl_used:
+                break
+            ctl_used = True
+            issued += 1
+            src = pc
+
+            if op == isa.BR:
+                pattern = instr.pattern
+                taken = pattern.taken(self._state_of(instr, pattern), rng)
+                hub.emit(self._sid_branch)
+                if taken:
+                    hub.emit(self._sid_branch_taken)
+                    pc = instr.target
+                    self._line = -1
+                    self.stall_until = cycle + 1 + self.cfg.branch_penalty
+                    if self.trace is not None:
+                        self.trace.on_discontinuity(cycle, src, pc, "br")
+                    break
+                pc += isa.INSTR_BYTES
+                continue
+
+            if op == isa.JUMP:
+                hub.emit(self._sid_branch)
+                hub.emit(self._sid_branch_taken)
+                pc = instr.target
+                self._line = -1
+                self.stall_until = cycle + 1 + self.cfg.branch_penalty
+                if self.trace is not None:
+                    self.trace.on_discontinuity(cycle, src, pc, "br")
+                break
+
+            if op == isa.LOOP:
+                pattern = instr.pattern
+                taken = pattern.taken(self._state_of(instr, pattern), rng)
+                hub.emit(self._sid_branch)
+                if taken:
+                    # loop pipeline: zero-cycle taken loop-close
+                    hub.emit(self._sid_branch_taken)
+                    pc = instr.target
+                    self._line = -1
+                    if self.trace is not None:
+                        self.trace.on_discontinuity(cycle, src, pc, "loop")
+                    break
+                pc += isa.INSTR_BYTES
+                continue
+
+            if op == isa.CALL:
+                self._call_stack.append(pc + isa.INSTR_BYTES)
+                pc = instr.target
+                self._line = -1
+                hub.emit(self._sid_csa)
+                self.stall_until = cycle + 1 + self.cfg.context_switch_cycles
+                if self.trace is not None:
+                    self.trace.on_discontinuity(cycle, src, pc, "call")
+                break
+
+            if op == isa.RET:
+                if not self._call_stack:
+                    raise RuntimeError(
+                        f"RET with empty call stack at 0x{pc:08x}")
+                pc = self._call_stack.pop()
+                self._line = -1
+                hub.emit(self._sid_csa)
+                self.stall_until = cycle + 1 + self.cfg.context_switch_cycles
+                if self.trace is not None:
+                    self.trace.on_discontinuity(cycle, src, pc, "ret")
+                break
+
+            if op == isa.RFE:
+                if not self._irq_stack:
+                    raise RuntimeError(
+                        f"RFE with empty interrupt stack at 0x{pc:08x}")
+                pc, self.current_priority, self.halted = self._irq_stack.pop()
+                self._line = -1
+                hub.emit(self._sid_csa)
+                self.stall_until = cycle + 1 + self.cfg.context_switch_cycles
+                if self.trace is not None:
+                    self.trace.on_discontinuity(cycle, src, pc, "rfe")
+                break
+
+            raise ValueError(f"unknown opcode {op!r} at 0x{pc:08x}")
+
+        self.pc = pc
+        if issued:
+            self.retired += issued
+            hub.emit(self._sid_instr, issued)
+            if self.trace is not None:
+                self.trace.on_cycle(cycle, start_pc, issued)
+
+    def reset(self) -> None:
+        if self.program is not None:
+            self.pc = self.program.entry
+        self.halted = False
+        self.debug_halt = False
+        self.stall_until = 0
+        self.current_priority = 0
+        self._call_stack.clear()
+        self._irq_stack.clear()
+        self._states.clear()
+        self._line = -1
+        self.retired = 0
+        self.halt_cycles = 0

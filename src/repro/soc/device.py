@@ -1,0 +1,115 @@
+"""Product-chip assembly: wires cores, memory fabric, DMA, and peripherals.
+
+This is the "Product Chip Part (SoC)" of the paper's Figure 4.  The
+Emulation Device (:mod:`repro.ed`) wraps an instance of this class and adds
+the EEC (MCDS + EMEM + tool access) around it without touching it — the
+structural property that makes ED-based profiling non-intrusive.
+
+Tick order encodes arbitration priority for same-cycle requests:
+peripherals raise requests first, then the DMA move engine, the PCP, and
+finally the TriCore; observers (MCDS) tick last so they see the completed
+cycle.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .config import SoCConfig, tc1797_config
+from .cpu.isa import Program
+from .cpu.tricore import TriCoreCpu
+from .dma.controller import DmaController
+from .interrupts.icu import InterruptRouter
+from .kernel import signals
+from .kernel.simulator import Component, Simulator
+from .memory.map import AddressMap
+from .memory.system import MemorySystem
+
+
+class Soc:
+    """One configured product chip, ready to run application software."""
+
+    def __init__(self, config: Optional[SoCConfig] = None,
+                 seed: int = 2008) -> None:
+        self.config = config if config is not None else tc1797_config()
+        self.sim = Simulator(seed)
+        self.hub = self.sim.hub
+        self.hub.register_all(signals.STANDARD_SIGNALS)
+        self.map = AddressMap.for_config(self.config)
+        self.memory = MemorySystem(self.config, self.hub, self.map)
+        self.icu = InterruptRouter(self.hub)
+        self.dma = DmaController(self.config.dma, self.hub, self.memory,
+                                 self.icu)
+        self.icu.dma_controller = self.dma
+        from .pcp.core import PcpCore  # late import avoids a cycle
+        self.pcp = PcpCore(self.config.pcp, self.hub, self.memory, self.icu,
+                           self.sim.rng("pcp"))
+        self.cpu = TriCoreCpu(self.config.cpu, self.hub, self.memory,
+                              self.icu, self.sim.rng("tc"))
+        self.peripherals: List[Component] = []
+        self.observers: List[Component] = []
+        self._ordered = False
+
+    # -- construction -----------------------------------------------------
+    def add_peripheral(self, peripheral: Component) -> Component:
+        if self._ordered:
+            raise RuntimeError("cannot add peripherals after the first run")
+        self.peripherals.append(peripheral)
+        return peripheral
+
+    def add_observer(self, observer: Component) -> Component:
+        """Attach a purely-observing component (MCDS, DAP drain)."""
+        if self._ordered:
+            raise RuntimeError("cannot add observers after the first run")
+        self.observers.append(observer)
+        return observer
+
+    def load_program(self, program: Program) -> None:
+        self.cpu.load_program(program)
+
+    # -- execution -----------------------------------------------------------
+    def _ensure_order(self) -> None:
+        if self._ordered:
+            return
+        for comp in self.peripherals:
+            self.sim.add(comp)
+        self.sim.add(self.dma)
+        self.sim.add(self.pcp)
+        self.sim.add(self.cpu)
+        for comp in self.observers:
+            self.sim.add(comp)
+        self._ordered = True
+
+    def run(self, cycles: int) -> None:
+        self._ensure_order()
+        self.sim.step(cycles)
+
+    @property
+    def cycle(self) -> int:
+        return self.sim.cycle
+
+    # -- inspection -------------------------------------------------------------
+    def oracle(self) -> dict:
+        """Ground-truth event totals (not available on real silicon)."""
+        return self.hub.snapshot()
+
+    def ipc(self) -> float:
+        """Overall TriCore IPC since reset (oracle view)."""
+        cycles = self.sim.cycle
+        return self.cpu.retired / cycles if cycles else 0.0
+
+    def block_inventory(self) -> List[str]:
+        """Names of the structural blocks, for topology checks (Fig. 2/4)."""
+        blocks = ["tricore", "pcp", "dma", "icu", "pflash", "dflash",
+                  "dspr", "pspr", "lmu", "lmb", "spb"]
+        if self.memory.icache is not None:
+            blocks.append("icache")
+        if self.memory.dcache is not None:
+            blocks.append("dcache")
+        blocks.extend(p.name for p in self.peripherals)
+        return blocks
+
+    def reset(self) -> None:
+        self.sim.reset()
+        self.memory.reset()
+        self.icu.reset()

@@ -1,0 +1,5 @@
+"""DMA controller."""
+
+from .controller import DmaChannelConfig, DmaController
+
+__all__ = ["DmaChannelConfig", "DmaController"]

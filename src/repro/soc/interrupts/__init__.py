@@ -1,0 +1,5 @@
+"""Interrupt router and service request nodes."""
+
+from .icu import InterruptRouter, ServiceRequestNode
+
+__all__ = ["InterruptRouter", "ServiceRequestNode"]

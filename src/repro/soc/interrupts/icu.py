@@ -1,0 +1,105 @@
+"""Interrupt system: service request nodes and per-core arbitration.
+
+Automotive workloads are interrupt-driven ("most of the processing
+activities are triggered directly by interrupts", paper Section 1).  Every
+peripheral owns one or more Service Request Nodes (SRNs); each SRN has a
+priority and a target service provider — the TriCore, the PCP, or a DMA
+channel — exactly the TriCore interrupt-router structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..kernel import signals
+from ..kernel.hub import EventHub
+from ..kernel.simulator import Component
+
+
+@dataclass
+class ServiceRequestNode:
+    id: int
+    name: str
+    priority: int
+    core: str = "tc"            # "tc", "pcp", or "dma"
+    dma_channel: Optional[int] = None
+    pending: bool = False
+    raised_count: int = 0
+    taken_count: int = 0
+    #: per-SRN observation wires (the MCDS taps individual request lines)
+    raised_sid: int = -1
+    taken_sid: int = -1
+
+
+def srn_raised_signal(name: str) -> str:
+    """Hub signal fired when the named SRN raises a request."""
+    return f"irq.raised.{name}"
+
+
+def srn_taken_signal(name: str) -> str:
+    """Hub signal fired when the named SRN is taken for service."""
+    return f"irq.taken.{name}"
+
+
+class InterruptRouter(Component):
+    """Holds all SRNs and answers 'highest pending request for core X'."""
+
+    name = "icu"
+
+    def __init__(self, hub: EventHub) -> None:
+        self.hub = hub
+        self.srns: Dict[int, ServiceRequestNode] = {}
+        self._by_core: Dict[str, List[ServiceRequestNode]] = {}
+        self._sid_raised = hub.register(signals.IRQ_RAISED)
+        self._sid_taken = hub.register(signals.IRQ_TAKEN)
+        self.dma_controller = None   # wired by the device builder
+
+    def add_srn(self, name: str, priority: int, core: str = "tc",
+                dma_channel: Optional[int] = None) -> ServiceRequestNode:
+        if priority < 1:
+            raise ValueError("SRN priority must be >= 1 (0 = no request)")
+        srn = ServiceRequestNode(len(self.srns) + 1, name, priority, core,
+                                 dma_channel)
+        srn.raised_sid = self.hub.register(srn_raised_signal(name))
+        srn.taken_sid = self.hub.register(srn_taken_signal(name))
+        self.srns[srn.id] = srn
+        self._by_core.setdefault(core, []).append(srn)
+        # keep highest priority first so lookup is a linear scan to first hit
+        self._by_core[core].sort(key=lambda s: -s.priority)
+        return srn
+
+    def raise_request(self, srn_id: int) -> None:
+        """Peripheral-side: set the request flag (idempotent while pending)."""
+        srn = self.srns[srn_id]
+        srn.raised_count += 1
+        self.hub.emit(self._sid_raised)
+        self.hub.emit(srn.raised_sid)
+        if srn.core == "dma":
+            # DMA requests bypass the CPU entirely (paper Section 3: activity
+            # without any data passing through a processor core)
+            srn.taken_count += 1
+            self.hub.emit(self._sid_taken)
+            self.hub.emit(srn.taken_sid)
+            if self.dma_controller is not None:
+                self.dma_controller.trigger(srn.dma_channel)
+            return
+        srn.pending = True
+
+    def highest(self, core: str) -> Optional[ServiceRequestNode]:
+        for srn in self._by_core.get(core, ()):
+            if srn.pending:
+                return srn
+        return None
+
+    def take(self, srn: ServiceRequestNode) -> None:
+        srn.pending = False
+        srn.taken_count += 1
+        self.hub.emit(self._sid_taken)
+        self.hub.emit(srn.taken_sid)
+
+    def reset(self) -> None:
+        for srn in self.srns.values():
+            srn.pending = False
+            srn.raised_count = 0
+            srn.taken_count = 0

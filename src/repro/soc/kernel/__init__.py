@@ -1,0 +1,8 @@
+"""Simulation kernel: clocking, event wiring, shared-resource timing."""
+
+from .hub import EventHub
+from .resource import TimedResource
+from .simulator import Component, Simulator
+from . import signals
+
+__all__ = ["EventHub", "TimedResource", "Component", "Simulator", "signals"]

@@ -1,0 +1,91 @@
+"""Catalog of performance-relevant event signals.
+
+The paper's Enhanced System Profiling methodology taps "performance relevant
+event sources like cache hits/misses, bus contentions, etc." directly in
+hardware (Section 3).  Every component of the SoC model publishes its events
+onto the :class:`~repro.soc.kernel.hub.EventHub` under one of the names
+defined here, and MCDS counter structures subscribe to them by name.
+
+The catalog is intentionally flat strings (not an enum) so that device
+variants can register additional, device-specific sources without touching
+this module; names use a ``block.event`` convention.
+"""
+
+from __future__ import annotations
+
+# --- TriCore CPU -----------------------------------------------------------
+TC_INSTR = "tc.instr_executed"          # executed instructions (count per cycle, up to 3)
+TC_STALL_FETCH = "tc.stall.fetch"       # cycles stalled waiting on instruction fetch
+TC_STALL_LOAD = "tc.stall.load"         # cycles stalled on data-load latency
+TC_STALL_STORE = "tc.stall.store"       # cycles stalled on store-buffer/bus backpressure
+TC_STALL_CONTENTION = "tc.stall.contention"  # stall cycles attributable to arbitration waits
+TC_BRANCH = "tc.branch"                 # branches executed
+TC_BRANCH_TAKEN = "tc.branch_taken"     # taken branches (pipeline refill)
+TC_CSA = "tc.context_switch"            # fast context switch events (call/interrupt)
+TC_IRQ_ENTRY = "tc.irq_entry"           # interrupt service entries on TriCore
+TC_IRQ_CYCLES = "tc.irq_cycles"         # cycles spent at interrupt priority > 0
+
+# --- Instruction cache / program fetch path --------------------------------
+ICACHE_ACCESS = "icache.access"
+ICACHE_HIT = "icache.hit"
+ICACHE_MISS = "icache.miss"
+
+DCACHE_ACCESS = "dcache.access"
+DCACHE_HIT = "dcache.hit"
+DCACHE_MISS = "dcache.miss"
+
+# --- Program memory unit / embedded flash ----------------------------------
+PFLASH_CODE_ACCESS = "pflash.code_access"    # code-port line fetches reaching the flash
+PFLASH_DATA_ACCESS = "pflash.data_access"    # CPU/PCP/DMA data reads from program flash
+PFLASH_BUF_HIT_CODE = "pflash.buffer_hit.code"
+PFLASH_BUF_HIT_DATA = "pflash.buffer_hit.data"
+PFLASH_PORT_CONFLICT = "pflash.port_conflict"  # code/data port bank arbitration conflicts
+PFLASH_PREFETCH = "pflash.prefetch"          # speculative line prefetches issued
+DFLASH_ACCESS = "dflash.access"              # EEPROM-emulation flash accesses
+
+# --- SRAMs ------------------------------------------------------------------
+DSPR_ACCESS = "dspr.access"             # data scratchpad accesses
+PSPR_ACCESS = "pspr.access"             # program scratchpad fetches
+LMU_ACCESS = "lmu.access"               # on-chip SRAM (local memory unit) accesses
+
+# --- Buses ------------------------------------------------------------------
+LMB_XFER = "lmb.transfer"
+LMB_CONTENTION = "lmb.contention"       # wait cycles caused by LMB arbitration
+SPB_XFER = "spb.transfer"
+SPB_CONTENTION = "spb.contention"       # wait cycles caused by SPB/FPI arbitration
+
+# --- PCP --------------------------------------------------------------------
+PCP_INSTR = "pcp.instr_executed"
+PCP_STALL = "pcp.stall"
+PCP_IRQ_ENTRY = "pcp.irq_entry"
+
+# --- DMA --------------------------------------------------------------------
+DMA_MOVE = "dma.move"                   # single data moves completed
+DMA_XFER_DONE = "dma.transfer_done"     # whole channel transfers completed
+
+# --- Interrupt system -------------------------------------------------------
+IRQ_RAISED = "irq.raised"               # service requests raised by peripherals
+IRQ_TAKEN = "irq.taken"                 # service requests dispatched (either core)
+
+# --- Peripherals -------------------------------------------------------------
+ADC_CONVERSION = "adc.conversion"
+CAN_RX = "can.rx"
+TIMER_EVENT = "timer.event"
+
+
+#: every signal a stock device registers at build time, in a stable order
+STANDARD_SIGNALS = (
+    TC_INSTR, TC_STALL_FETCH, TC_STALL_LOAD, TC_STALL_STORE,
+    TC_STALL_CONTENTION, TC_BRANCH, TC_BRANCH_TAKEN, TC_CSA,
+    TC_IRQ_ENTRY, TC_IRQ_CYCLES,
+    ICACHE_ACCESS, ICACHE_HIT, ICACHE_MISS,
+    DCACHE_ACCESS, DCACHE_HIT, DCACHE_MISS,
+    PFLASH_CODE_ACCESS, PFLASH_DATA_ACCESS, PFLASH_BUF_HIT_CODE,
+    PFLASH_BUF_HIT_DATA, PFLASH_PORT_CONFLICT, PFLASH_PREFETCH, DFLASH_ACCESS,
+    DSPR_ACCESS, PSPR_ACCESS, LMU_ACCESS,
+    LMB_XFER, LMB_CONTENTION, SPB_XFER, SPB_CONTENTION,
+    PCP_INSTR, PCP_STALL, PCP_IRQ_ENTRY,
+    DMA_MOVE, DMA_XFER_DONE,
+    IRQ_RAISED, IRQ_TAKEN,
+    ADC_CONVERSION, CAN_RX, TIMER_EVENT,
+)

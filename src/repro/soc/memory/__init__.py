@@ -1,0 +1,9 @@
+"""Memory fabric: flash, caches, scratchpads, address map."""
+
+from .cache import Cache
+from .eeprom import EepromEmulation
+from .flash import EmbeddedFlash
+from .system import MemorySystem
+from . import map
+
+__all__ = ["Cache", "EepromEmulation", "EmbeddedFlash", "MemorySystem", "map"]

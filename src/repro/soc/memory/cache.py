@@ -1,0 +1,74 @@
+"""Set-associative cache model (tags only).
+
+Only hit/miss behaviour matters for the profiling methodology, so the model
+keeps tag state and true-LRU replacement but no data.  Used for the TriCore
+ICACHE and the optional data cache evaluated as an architecture option.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..config import CacheConfig
+
+
+class Cache:
+    """Tag-state set-associative cache with true LRU replacement."""
+
+    def __init__(self, cfg: CacheConfig) -> None:
+        self.cfg = cfg
+        self.line_shift = cfg.line_bytes.bit_length() - 1
+        if (1 << self.line_shift) != cfg.line_bytes:
+            raise ValueError("cache line size must be a power of two")
+        self.sets = cfg.sets
+        self.ways = cfg.ways
+        # per-set list of line tags, most-recently-used last
+        self._sets: List[List[int]] = [[] for _ in range(self.sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _index(self, addr: int) -> int:
+        return (addr >> self.line_shift) % self.sets
+
+    def lookup(self, addr: int) -> bool:
+        """Access the cache; returns True on hit.  Misses do NOT allocate."""
+        line = addr >> self.line_shift
+        ways = self._sets[line % self.sets]
+        if line in ways:
+            self.hits += 1
+            # refresh LRU position
+            ways.remove(line)
+            ways.append(line)
+            return True
+        self.misses += 1
+        return False
+
+    def fill(self, addr: int) -> Optional[int]:
+        """Allocate a line; returns the evicted line tag, if any."""
+        line = addr >> self.line_shift
+        ways = self._sets[line % self.sets]
+        if line in ways:
+            return None
+        victim = None
+        if len(ways) >= self.ways:
+            victim = ways.pop(0)
+        ways.append(line)
+        return victim
+
+    def contains(self, addr: int) -> bool:
+        """Non-destructive probe (does not touch LRU or counters)."""
+        line = addr >> self.line_shift
+        return line in self._sets[line % self.sets]
+
+    def invalidate_all(self) -> None:
+        for ways in self._sets:
+            ways.clear()
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def reset(self) -> None:
+        self.invalidate_all()
+        self.hits = 0
+        self.misses = 0

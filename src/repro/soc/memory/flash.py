@@ -1,0 +1,167 @@
+"""Embedded program flash with buffered code and data ports.
+
+Paper Section 4: "the path from CPU to flash is the main lever to increase
+the CPU system performance ... the behavior of this path is very complex due
+to code and data caches, multimaster bus, pre-fetch buffers for, and
+arbitration between, the code and data ports of the flash."
+
+This module models exactly those mechanisms:
+
+* a flash array with a fixed access time in nanoseconds, so CPU-cycle wait
+  states grow with CPU frequency;
+* multiple banks — code and data accesses to different banks overlap, same
+  bank accesses arbitrate (the ``pflash.port_conflict`` event source);
+* a code-port read/prefetch buffer holding whole lines, with optional
+  next-line speculative prefetch;
+* a data-port read buffer for constants and calibration tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..config import FlashConfig
+from ..kernel import signals
+from ..kernel.hub import EventHub
+from ..kernel.resource import TimedResource
+
+_OFFSET_MASK = 0x0FFF_FFFF  # strips the cached/uncached segment prefix
+
+
+class _LineBuffer:
+    """FIFO buffer of flash lines with per-line availability times."""
+
+    def __init__(self, lines: int) -> None:
+        self.capacity = max(1, lines)
+        self.ready: Dict[int, int] = {}
+        self.order: List[int] = []
+
+    def get(self, line: int) -> Optional[int]:
+        """Cycle at which the line's data is valid, or None if absent."""
+        return self.ready.get(line)
+
+    def put(self, line: int, ready_cycle: int) -> None:
+        if line in self.ready:
+            self.ready[line] = min(self.ready[line], ready_cycle)
+            return
+        if len(self.order) >= self.capacity:
+            evicted = self.order.pop(0)
+            del self.ready[evicted]
+        self.order.append(line)
+        self.ready[line] = ready_cycle
+
+    def clear(self) -> None:
+        self.ready.clear()
+        self.order.clear()
+
+
+class EmbeddedFlash:
+    """Banked flash array seen through a code port and a data port."""
+
+    def __init__(self, cfg: FlashConfig, frequency_mhz: int, hub: EventHub) -> None:
+        self.cfg = cfg
+        self.hub = hub
+        self.line_shift = cfg.line_bytes.bit_length() - 1
+        self.wait_states = cfg.wait_states(frequency_mhz)
+        occupancy = self.wait_states + 1
+        self.banks = [
+            TimedResource(f"pflash.bank{i}", occupancy) for i in range(cfg.banks)
+        ]
+        self._bank_last_port: List[Optional[str]] = [None] * cfg.banks
+        # in-flight speculative prefetch per bank: (start, end, line) —
+        # abortable if the data port needs the bank (data_port_priority)
+        self._bank_prefetch: List[Optional[tuple]] = [None] * cfg.banks
+        self._bank_span = max(1, (cfg.size_kb * 1024) // cfg.banks)
+        self.code_buffer = _LineBuffer(cfg.code_buffer_lines)
+        self.data_buffer = _LineBuffer(cfg.data_buffer_lines)
+
+        register = hub.register
+        self._sid_code_access = register(signals.PFLASH_CODE_ACCESS)
+        self._sid_data_access = register(signals.PFLASH_DATA_ACCESS)
+        self._sid_buf_hit_code = register(signals.PFLASH_BUF_HIT_CODE)
+        self._sid_buf_hit_data = register(signals.PFLASH_BUF_HIT_DATA)
+        self._sid_conflict = register(signals.PFLASH_PORT_CONFLICT)
+        self._sid_prefetch = register(signals.PFLASH_PREFETCH)
+
+    # -- helpers -------------------------------------------------------------
+    def _bank_of(self, offset: int) -> int:
+        index = offset // self._bank_span
+        return index if index < len(self.banks) else len(self.banks) - 1
+
+    def _array_access(self, now: int, line: int, port: str) -> int:
+        """Read one line from the array; returns the completion cycle."""
+        offset = line << self.line_shift
+        bank_index = self._bank_of(offset)
+        bank = self.banks[bank_index]
+        if port == "data" and self.cfg.data_port_priority:
+            self._abort_prefetch(bank_index, now)
+        wait, done = bank.access(now)
+        if wait and self._bank_last_port[bank_index] not in (None, port):
+            self.hub.emit(self._sid_conflict, wait)
+        self._bank_last_port[bank_index] = port
+        return done
+
+    def _abort_prefetch(self, bank_index: int, now: int) -> None:
+        """Cancel an in-flight speculative prefetch to free the bank.
+
+        Demand data reads are latency critical (calibration tables on the
+        hot path); a speculative code prefetch occupying the bank is
+        dropped and its buffer entry invalidated.
+        """
+        inflight = self._bank_prefetch[bank_index]
+        if inflight is None:
+            return
+        start, end, line = inflight
+        if start <= now < end:
+            bank = self.banks[bank_index]
+            bank.busy_until = now        # bank freed for the demand access
+            entry = self.code_buffer.ready.get(line)
+            if entry == end and line in self.code_buffer.order:
+                self.code_buffer.order.remove(line)
+                del self.code_buffer.ready[line]
+        self._bank_prefetch[bank_index] = None
+
+    # -- code port ------------------------------------------------------------
+    def fetch_line(self, now: int, addr: int) -> int:
+        """Instruction-side line fetch; returns data-valid cycle."""
+        line = (addr & _OFFSET_MASK) >> self.line_shift
+        ready = self.code_buffer.get(line)
+        if ready is not None:
+            self.hub.emit(self._sid_buf_hit_code)
+            return ready if ready > now + 1 else now + 1
+        self.hub.emit(self._sid_code_access)
+        done = self._array_access(now, line, "code")
+        self.code_buffer.put(line, done)
+        if self.cfg.prefetch_enabled:
+            next_line = line + 1
+            if self.code_buffer.get(next_line) is None:
+                pf_start = self.banks[self._bank_of(
+                    next_line << self.line_shift)].busy_until
+                pf_done = self._array_access(done, next_line, "code")
+                self.code_buffer.put(next_line, pf_done)
+                self._bank_prefetch[self._bank_of(
+                    next_line << self.line_shift)] = (
+                    max(pf_start, done), pf_done, next_line)
+                self.hub.emit(self._sid_prefetch)
+        return done
+
+    # -- data port --------------------------------------------------------------
+    def read_data(self, now: int, addr: int) -> int:
+        """Data-side read (constants, tables); returns data-valid cycle."""
+        line = (addr & _OFFSET_MASK) >> self.line_shift
+        self.hub.emit(self._sid_data_access)
+        ready = self.data_buffer.get(line)
+        if ready is not None:
+            self.hub.emit(self._sid_buf_hit_data)
+            return ready if ready > now + 1 else now + 1
+        done = self._array_access(now, line, "data")
+        self.data_buffer.put(line, done)
+        return done
+
+    def reset(self) -> None:
+        for bank in self.banks:
+            bank.reset()
+        self._bank_last_port = [None] * len(self.banks)
+        self._bank_prefetch = [None] * len(self.banks)
+        self.code_buffer.clear()
+        self.data_buffer.clear()

@@ -1,0 +1,117 @@
+"""TriCore-like address map.
+
+Addresses follow the TriCore segmented layout: the top nibble selects a
+segment, which is what the hardware's address decoders key on.  Workload
+programs place code, calibration tables, and data into these regions, and
+the memory system dispatches accesses by segment — one dictionary lookup on
+the hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+# region kinds
+PFLASH_CACHED = "pflash_cached"      # segment 0x8: program flash, cacheable
+PFLASH_UNCACHED = "pflash_uncached"  # segment 0xA: same flash, uncached view
+DFLASH = "dflash"                    # EEPROM-emulation data flash
+PSPR = "pspr"                        # program scratchpad (single cycle)
+DSPR = "dspr"                        # data scratchpad (single cycle)
+LMU = "lmu"                          # on-chip SRAM behind the LMB
+PERIPH = "periph"                    # SPB/FPI peripheral space
+EMEM = "emem"                        # emulation memory (EEC, ED only)
+OVERLAY = "overlay"                  # flash ranges redirected to EMEM (calibration)
+
+# segment base addresses (TriCore style)
+PFLASH_BASE = 0x8000_0000
+PFLASH_UNCACHED_BASE = 0xA000_0000
+DFLASH_BASE = 0xAF00_0000
+PSPR_BASE = 0xC000_0000
+DSPR_BASE = 0xD000_0000
+LMU_BASE = 0xE800_0000
+PERIPH_BASE = 0xF000_0000
+EMEM_BASE = 0xBE00_0000
+
+
+@dataclass(frozen=True)
+class Region:
+    name: str
+    kind: str
+    base: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+
+class AddressMap:
+    """Segment-indexed address decoder with optional overlay ranges."""
+
+    def __init__(self, regions) -> None:
+        self.regions = list(regions)
+        self._by_segment: Dict[int, list] = {}
+        for region in self.regions:
+            first = region.base >> 28
+            last = (region.end - 1) >> 28
+            for seg in range(first, last + 1):
+                self._by_segment.setdefault(seg, []).append(region)
+        # calibration overlay ranges: list of (start, end) within flash that
+        # the ED redirects into EMEM; empty on the production device
+        self._overlay_ranges: list = []
+
+    @classmethod
+    def for_config(cls, cfg) -> "AddressMap":
+        """Build the map matching a :class:`~repro.soc.config.SoCConfig`."""
+        mem = cfg.memory
+        return cls([
+            Region("pflash", PFLASH_CACHED, PFLASH_BASE, cfg.flash.size_kb * 1024),
+            Region("pflash_nc", PFLASH_UNCACHED, PFLASH_UNCACHED_BASE,
+                   cfg.flash.size_kb * 1024),
+            Region("dflash", DFLASH, DFLASH_BASE, mem.dflash_kb * 1024),
+            Region("pspr", PSPR, PSPR_BASE, mem.pspr_kb * 1024),
+            Region("dspr", DSPR, DSPR_BASE, mem.dspr_kb * 1024),
+            Region("lmu", LMU, LMU_BASE, mem.lmu_kb * 1024),
+            Region("periph", PERIPH, PERIPH_BASE, 0x0100_0000),
+            Region("emem", EMEM, EMEM_BASE, 1024 * 1024),
+        ])
+
+    def classify(self, addr: int) -> str:
+        """Return the region *kind* an address belongs to.
+
+        Overlay redirection is checked only for flash addresses, keeping the
+        common path one segment lookup.
+        """
+        for region in self._by_segment.get(addr >> 28, ()):
+            if region.contains(addr):
+                if region.kind == PFLASH_CACHED and self._overlay_ranges:
+                    for start, end in self._overlay_ranges:
+                        if start <= addr < end:
+                            return OVERLAY
+                return region.kind
+        raise ValueError(f"address 0x{addr:08x} maps to no region")
+
+    def region(self, name: str) -> Region:
+        for region in self.regions:
+            if region.name == name:
+                return region
+        raise KeyError(name)
+
+    # -- calibration overlay (ED feature) -----------------------------------
+    def add_overlay(self, start: int, size: int) -> None:
+        """Redirect ``[start, start+size)`` of program flash into EMEM."""
+        pflash = self.region("pflash")
+        if not (pflash.contains(start) and pflash.contains(start + size - 1)):
+            raise ValueError("overlay range must lie inside program flash")
+        self._overlay_ranges.append((start, start + size))
+
+    def clear_overlays(self) -> None:
+        self._overlay_ranges.clear()
+
+    @property
+    def overlay_ranges(self):
+        return tuple(self._overlay_ranges)

@@ -1,0 +1,189 @@
+"""Unified memory system: the timing fabric every master goes through.
+
+Dispatches fetches, reads, and writes by address-map region kind and charges
+the correct latency chain (scratchpad, cache, flash port buffer, bus layer,
+EEPROM-emulation flash, calibration overlay).  All masters — TriCore, PCP,
+DMA — share the same instance, so cross-master contention on the flash
+banks and bus layers emerges naturally and becomes visible to the MCDS
+event taps.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..bus.layers import Bus, CrossbarBus
+from ..config import SoCConfig
+from ..kernel import signals
+from ..kernel.hub import EventHub
+from ..kernel.resource import TimedResource
+from .cache import Cache
+from .flash import EmbeddedFlash
+from . import map as amap
+
+
+class MemorySystem:
+    """Address-routed timing model of the whole on-chip memory fabric."""
+
+    #: latency of an EMEM access once on the Back Bone Bus (SRAM speed)
+    EMEM_LATENCY = 2
+
+    def __init__(self, cfg: SoCConfig, hub: EventHub,
+                 address_map: amap.AddressMap) -> None:
+        self.cfg = cfg
+        self.hub = hub
+        self.map = address_map
+        freq = cfg.cpu.frequency_mhz
+        self.flash = EmbeddedFlash(cfg.flash, freq, hub)
+        self.icache = Cache(cfg.icache) if cfg.icache.enabled else None
+        self.dcache = Cache(cfg.dcache) if cfg.dcache.enabled else None
+        lmb_cls = CrossbarBus if cfg.bus.lmb_crossbar else Bus
+        self.lmb = lmb_cls("lmb", hub, cfg.bus.lmb_occupancy,
+                           cfg.memory.lmu_latency,
+                           signals.LMB_XFER, signals.LMB_CONTENTION)
+        self.spb = Bus("spb", hub, cfg.bus.spb_occupancy, cfg.bus.spb_latency,
+                       signals.SPB_XFER, signals.SPB_CONTENTION)
+        self.dflash = TimedResource("dflash", cfg.memory.dflash_latency)
+
+        #: MCDS data-trace observers: callables ``(cycle, addr, is_write, master)``
+        self.watchers = []
+        #: instruction-fetch observers: callables ``(cycle, addr, master)``
+        self.fetch_watchers = []
+
+        register = hub.register
+        self._sid_icache_access = register(signals.ICACHE_ACCESS)
+        self._sid_icache_hit = register(signals.ICACHE_HIT)
+        self._sid_icache_miss = register(signals.ICACHE_MISS)
+        self._sid_dcache_access = register(signals.DCACHE_ACCESS)
+        self._sid_dcache_hit = register(signals.DCACHE_HIT)
+        self._sid_dcache_miss = register(signals.DCACHE_MISS)
+        self._sid_dspr = register(signals.DSPR_ACCESS)
+        self._sid_pspr = register(signals.PSPR_ACCESS)
+        self._sid_lmu = register(signals.LMU_ACCESS)
+        self._sid_dflash = register(signals.DFLASH_ACCESS)
+
+    # -- instruction side -------------------------------------------------
+    def fetch(self, now: int, addr: int, master: str = "tc") -> int:
+        """Fetch the instruction line containing ``addr``.
+
+        Returns the cycle at which decode can proceed.  Called by the CPU
+        fetch unit once per line crossed, matching the line-granular fetch
+        groups of the hardware.
+        """
+        if self.fetch_watchers:
+            for watcher in self.fetch_watchers:
+                watcher(now, addr, master)
+        kind = self.map.classify(addr)
+        if kind == amap.PSPR:
+            self.hub.emit(self._sid_pspr)
+            return now + 1
+        if kind == amap.PFLASH_CACHED and self.icache is not None:
+            self.hub.emit(self._sid_icache_access)
+            if self.icache.lookup(addr):
+                self.hub.emit(self._sid_icache_hit)
+                return now + 1
+            self.hub.emit(self._sid_icache_miss)
+            done = self.flash.fetch_line(now, addr)
+            self.icache.fill(addr)
+            return done
+        if kind in (amap.PFLASH_CACHED, amap.PFLASH_UNCACHED):
+            return self.flash.fetch_line(now, addr)
+        if kind == amap.OVERLAY:
+            wait, done = self.lmb.transfer(now, master,
+                                           latency=self.EMEM_LATENCY,
+                                           target="emem")
+            return done
+        raise ValueError(f"cannot fetch instructions from {kind} "
+                         f"(0x{addr:08x})")
+
+    # -- data side ------------------------------------------------------------
+    def read(self, now: int, addr: int, master: str = "tc") -> int:
+        """Data read; returns the data-valid cycle."""
+        if self.watchers:
+            for watcher in self.watchers:
+                watcher(now, addr, False, master)
+        kind = self.map.classify(addr)
+        if kind == amap.DSPR:
+            self.hub.emit(self._sid_dspr)
+            return now + 1
+        if kind == amap.PFLASH_CACHED and self.dcache is not None:
+            self.hub.emit(self._sid_dcache_access)
+            if self.dcache.lookup(addr):
+                self.hub.emit(self._sid_dcache_hit)
+                return now + 1
+            self.hub.emit(self._sid_dcache_miss)
+            done = self.flash.read_data(now, addr)
+            self.dcache.fill(addr)
+            return done
+        if kind in (amap.PFLASH_CACHED, amap.PFLASH_UNCACHED):
+            return self.flash.read_data(now, addr)
+        if kind == amap.OVERLAY:
+            wait, done = self.lmb.transfer(now, master,
+                                           latency=self.EMEM_LATENCY,
+                                           target="emem")
+            return done
+        if kind == amap.DFLASH:
+            self.hub.emit(self._sid_dflash)
+            wait, done = self.dflash.access(now)
+            return done
+        if kind == amap.LMU:
+            self.hub.emit(self._sid_lmu)
+            wait, done = self.lmb.transfer(now, master, target="lmu")
+            return done
+        if kind == amap.PERIPH:
+            wait, done = self.spb.transfer(now, master)
+            return done
+        if kind == amap.EMEM:
+            wait, done = self.lmb.transfer(
+                now, master,
+                latency=self.cfg.bus.mli_latency + self.EMEM_LATENCY,
+                target="emem")
+            return done
+        raise ValueError(f"unreadable region {kind} (0x{addr:08x})")
+
+    def write(self, now: int, addr: int, master: str = "tc") -> int:
+        """Posted data write; returns the cycle the master may proceed.
+
+        Writes complete in the background; the master only waits for the
+        target port to accept the beat (queue wait), which is how the store
+        buffers of the real device behave under light load.
+        """
+        if self.watchers:
+            for watcher in self.watchers:
+                watcher(now, addr, True, master)
+        kind = self.map.classify(addr)
+        if kind == amap.DSPR:
+            self.hub.emit(self._sid_dspr)
+            return now + 1
+        if kind == amap.OVERLAY:
+            wait, start_done = self.lmb.transfer(now, master,
+                                                 latency=self.EMEM_LATENCY,
+                                                 target="emem")
+            return now + 1 + wait
+        if kind == amap.DFLASH:
+            # EEPROM emulation: long program pulse occupies the data flash,
+            # but the driver's write buffering posts it for the CPU
+            self.hub.emit(self._sid_dflash)
+            wait, _ = self.dflash.access(now, occupancy=4 * (self.dflash.occupancy))
+            return now + 1 + wait
+        if kind == amap.LMU:
+            self.hub.emit(self._sid_lmu)
+            wait, _ = self.lmb.transfer(now, master, target="lmu")
+            return now + 1 + wait
+        if kind == amap.PERIPH:
+            wait, _ = self.spb.transfer(now, master)
+            return now + 1 + wait
+        if kind == amap.EMEM:
+            wait, _ = self.lmb.transfer(now, master, target="emem")
+            return now + 1 + wait
+        raise ValueError(f"unwritable region {kind} (0x{addr:08x})")
+
+    def reset(self) -> None:
+        self.flash.reset()
+        if self.icache is not None:
+            self.icache.reset()
+        if self.dcache is not None:
+            self.dcache.reset()
+        self.lmb.reset()
+        self.spb.reset()
+        self.dflash.reset()

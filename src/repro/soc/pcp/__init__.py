@@ -1,0 +1,5 @@
+"""Peripheral Control Processor."""
+
+from .core import PcpCore
+
+__all__ = ["PcpCore"]

@@ -1,0 +1,151 @@
+"""Peripheral Control Processor (PCP) model.
+
+The PCP is the second programmable core of the AUDO family: a scalar
+channel-program processor that services interrupts without involving the
+TriCore.  Customers partition software between TriCore and PCP ("software
+partitioning between TriCore and PCP cores", paper Section 1) — one of the
+degrees of freedom the customer-profile generator varies.
+
+Channel programs execute from PRAM (single-cycle fetch); data accesses go
+through the shared memory fabric as master ``"pcp"`` and therefore contend
+with the TriCore and DMA, which is how PCP load shows up in the TriCore's
+bus-contention profile.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..config import PcpConfig
+from ..cpu import isa
+from ..kernel import signals
+from ..kernel.hub import EventHub
+from ..kernel.simulator import Component
+from ..memory.system import MemorySystem
+
+
+class PcpCore(Component):
+    name = "pcp"
+
+    def __init__(self, cfg: PcpConfig, hub: EventHub, memory: MemorySystem,
+                 icu, rng) -> None:
+        self.cfg = cfg
+        self.hub = hub
+        self.memory = memory
+        self.icu = icu
+        self.rng = rng
+        self.channel_programs: Dict[int, isa.Program] = {}  # srn id -> program
+
+        self.pc = 0
+        self.active_program: Optional[isa.Program] = None
+        self.stall_until = 0
+        self._states: Dict[int, object] = {}
+        self._call_stack = []
+        self.retired = 0
+        self.services = 0
+        self.trace = None   # optional MCDS program-trace sink (fanout)
+
+        self._sid_instr = hub.register(signals.PCP_INSTR)
+        self._sid_stall = hub.register(signals.PCP_STALL)
+        self._sid_entry = hub.register(signals.PCP_IRQ_ENTRY)
+
+    def bind_channel(self, srn_id: int, program: isa.Program) -> None:
+        self.channel_programs[srn_id] = program
+
+    def _state_of(self, instr: isa.Instr, behaviour) -> object:
+        key = id(instr)
+        state = self._states.get(key)
+        if key not in self._states:
+            state = behaviour.make_state()
+            self._states[key] = state
+        return state
+
+    def tick(self, cycle: int) -> None:
+        if not self.cfg.enabled or cycle < self.stall_until:
+            return
+        if self.active_program is None:
+            srn = self.icu.highest("pcp")
+            if srn is None:
+                return
+            program = self.channel_programs.get(srn.id)
+            if program is None:
+                return
+            self.icu.take(srn)
+            self.active_program = program
+            self.pc = program.entry
+            self.stall_until = cycle + self.cfg.irq_entry_cycles
+            self.services += 1
+            self.hub.emit(self._sid_entry)
+            if self.trace is not None:
+                self.trace.on_discontinuity(cycle, 0, program.entry, "irq")
+            return
+
+        instr = self.active_program.at(self.pc)
+        op = instr.op
+        self.retired += 1
+        self.hub.emit(self._sid_instr)
+        if self.trace is not None:
+            self.trace.on_cycle(cycle, self.pc, 1)
+
+        if op == isa.IP:
+            self.pc += isa.INSTR_BYTES
+            return
+        if op in isa.LS_OPS:
+            gen = instr.addr_gen
+            addr = gen.next(self._state_of(instr, gen), self.rng)
+            if op == isa.LD:
+                done = self.memory.read(cycle, addr, "pcp")
+            else:
+                done = self.memory.write(cycle, addr, "pcp")
+            self.pc += isa.INSTR_BYTES
+            if done > cycle + 1:
+                self.stall_until = done
+                self.hub.emit(self._sid_stall, done - cycle - 1)
+            return
+        if op in (isa.BR, isa.LOOP):
+            pattern = instr.pattern
+            if pattern.taken(self._state_of(instr, pattern), self.rng):
+                if self.trace is not None:
+                    self.trace.on_discontinuity(cycle, self.pc,
+                                                instr.target, "br")
+                self.pc = instr.target
+            else:
+                self.pc += isa.INSTR_BYTES
+            return
+        if op == isa.JUMP:
+            if self.trace is not None:
+                self.trace.on_discontinuity(cycle, self.pc, instr.target,
+                                            "br")
+            self.pc = instr.target
+            return
+        if op == isa.CALL:
+            self._call_stack.append(self.pc + isa.INSTR_BYTES)
+            if self.trace is not None:
+                self.trace.on_discontinuity(cycle, self.pc, instr.target,
+                                            "call")
+            self.pc = instr.target
+            return
+        if op == isa.RET:
+            if self._call_stack:
+                target = self._call_stack.pop()
+                if self.trace is not None:
+                    self.trace.on_discontinuity(cycle, self.pc, target,
+                                                "ret")
+                self.pc = target
+                return
+            self.active_program = None   # channel program done
+            return
+        if op == isa.RFE or op == "halt":
+            self.active_program = None
+            self._call_stack.clear()
+            return
+        raise ValueError(f"unknown PCP opcode {op!r} at 0x{self.pc:08x}")
+
+    def reset(self) -> None:
+        self.pc = 0
+        self.active_program = None
+        self.stall_until = 0
+        self._states.clear()
+        self._call_stack.clear()
+        self.retired = 0
+        self.services = 0

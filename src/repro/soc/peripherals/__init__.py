@@ -1,0 +1,6 @@
+"""Peripheral models."""
+
+from .basic import Adc, CanNode, PeriodicTimer
+from .timer_cells import TimerCellArray
+
+__all__ = ["Adc", "CanNode", "PeriodicTimer", "TimerCellArray"]

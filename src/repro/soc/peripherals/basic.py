@@ -1,0 +1,128 @@
+"""Peripheral models: timers, ADC, CAN.
+
+Peripherals exist to generate the real-time event pattern the paper
+describes — crank-angle interrupts, converted analog inputs, network
+messages — each raising service requests into the interrupt router.  Their
+timing is what makes the workload "hard real-time" rather than a loop.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+from ..kernel import signals
+from ..kernel.hub import EventHub
+from ..kernel.simulator import Component
+
+
+class PeriodicTimer(Component):
+    """Raises a service request every ``period`` cycles.
+
+    ``period`` may be a callable ``(cycle) -> int`` so workloads can model a
+    varying engine speed (the crank-angle interrupt period shrinks as RPM
+    rises).
+    """
+
+    def __init__(self, name: str, hub: EventHub, icu, srn_id: int,
+                 period: Union[int, Callable[[int], int]],
+                 phase: int = 0) -> None:
+        self.name = name
+        self.hub = hub
+        self.icu = icu
+        self.srn_id = srn_id
+        self._period = period
+        self._phase = phase
+        self._next = phase if phase > 0 else self._period_at(0)
+        self.events = 0
+        self._sid = hub.register(signals.TIMER_EVENT)
+
+    def _period_at(self, cycle: int) -> int:
+        period = self._period(cycle) if callable(self._period) else self._period
+        if period < 1:
+            raise ValueError("timer period must be >= 1 cycle")
+        return period
+
+    def tick(self, cycle: int) -> None:
+        if cycle >= self._next:
+            self.events += 1
+            self.hub.emit(self._sid)
+            self.icu.raise_request(self.srn_id)
+            self._next = cycle + self._period_at(cycle)
+
+    def reset(self) -> None:
+        self._next = self._phase if self._phase > 0 else self._period_at(0)
+        self.events = 0
+
+
+class Adc(Component):
+    """Analog-to-digital converter with a fixed conversion time.
+
+    A start trigger (autoscan period) launches a conversion; ``latency``
+    cycles later the result is ready and the result SRN fires.  Profiling
+    sees the resulting data-dependent interrupt pattern.
+    """
+
+    def __init__(self, name: str, hub: EventHub, icu, srn_id: int,
+                 scan_period: int, conversion_cycles: int) -> None:
+        self.name = name
+        self.hub = hub
+        self.icu = icu
+        self.srn_id = srn_id
+        self.scan_period = scan_period
+        self.conversion_cycles = conversion_cycles
+        self._next_start = scan_period
+        self._done_at: Optional[int] = None
+        self.conversions = 0
+        self._sid = hub.register(signals.ADC_CONVERSION)
+
+    def tick(self, cycle: int) -> None:
+        if self._done_at is not None and cycle >= self._done_at:
+            self._done_at = None
+            self.conversions += 1
+            self.hub.emit(self._sid)
+            self.icu.raise_request(self.srn_id)
+        if cycle >= self._next_start and self._done_at is None:
+            self._done_at = cycle + self.conversion_cycles
+            self._next_start = cycle + self.scan_period
+
+    def reset(self) -> None:
+        self._next_start = self.scan_period
+        self._done_at = None
+        self.conversions = 0
+
+
+class CanNode(Component):
+    """CAN message receiver with seeded stochastic arrivals.
+
+    Inter-arrival times are exponential around ``mean_period`` (bounded
+    below by the minimal frame time), reproducing the bursty communication
+    load of a body/gateway application.
+    """
+
+    def __init__(self, name: str, hub: EventHub, icu, srn_id: int,
+                 mean_period: int, rng, min_period: int = 500) -> None:
+        self.name = name
+        self.hub = hub
+        self.icu = icu
+        self.srn_id = srn_id
+        self.mean_period = mean_period
+        self.min_period = min_period
+        self.rng = rng
+        self._next = self._draw(0)
+        self.messages = 0
+        self._sid = hub.register(signals.CAN_RX)
+
+    def _draw(self, cycle: int) -> int:
+        gap = int(self.rng.expovariate(1.0 / self.mean_period))
+        return cycle + max(self.min_period, gap)
+
+    def tick(self, cycle: int) -> None:
+        if cycle >= self._next:
+            self.messages += 1
+            self.hub.emit(self._sid)
+            self.icu.raise_request(self.srn_id)
+            self._next = self._draw(cycle)
+
+    def reset(self) -> None:
+        self.messages = 0
+        self._next = self.min_period

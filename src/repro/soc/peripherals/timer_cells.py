@@ -1,0 +1,123 @@
+"""Timer-cell array: compare/capture channels (GPTA-lite).
+
+The paper counts "timer cells" among the on-chip resources customers map
+work onto (Section 4).  Powertrain applications schedule injector and
+ignition edges by writing compare values computed in the crank ISR; the
+cell fires autonomously at the programmed time — hardware taking over a
+hard deadline from software.
+
+The model provides one-shot compare channels (fire an output event and
+optionally a service request at an absolute cycle) and capture channels
+(record the time of an input event), both observable by the MCDS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..kernel.hub import EventHub
+from ..kernel.simulator import Component
+
+#: event signal emitted on every compare match
+TCELL_MATCH = "tcell.match"
+#: event signal emitted on every input capture
+TCELL_CAPTURE = "tcell.capture"
+
+
+@dataclass
+class _CompareChannel:
+    index: int
+    compare_at: Optional[int] = None
+    srn_id: Optional[int] = None
+    matches: int = 0
+    #: compare values written after their time are late programmings —
+    #: a real-time bug the MCDS is used to find
+    late_writes: int = 0
+
+
+@dataclass
+class _CaptureChannel:
+    index: int
+    timestamps: List[int] = None
+    srn_id: Optional[int] = None
+
+    def __post_init__(self):
+        if self.timestamps is None:
+            self.timestamps = []
+
+
+class TimerCellArray(Component):
+    """A bank of one-shot compare channels and capture channels."""
+
+    name = "timer_cells"
+
+    def __init__(self, name: str, hub: EventHub, icu,
+                 compare_channels: int = 8, capture_channels: int = 4
+                 ) -> None:
+        self.name = name
+        self.hub = hub
+        self.icu = icu
+        self.compare = [_CompareChannel(i) for i in range(compare_channels)]
+        self.capture = [_CaptureChannel(i) for i in range(capture_channels)]
+        self._armed: List[_CompareChannel] = []
+        self._sid_match = hub.register(TCELL_MATCH)
+        self._sid_capture = hub.register(TCELL_CAPTURE)
+        self._now = 0
+
+    # -- compare side -------------------------------------------------------
+    def bind_compare_srn(self, channel: int, srn_id: int) -> None:
+        self.compare[channel].srn_id = srn_id
+
+    def set_compare(self, channel: int, fire_at: int) -> None:
+        """Program a one-shot compare; ``fire_at`` is an absolute cycle."""
+        cell = self.compare[channel]
+        if fire_at <= self._now:
+            cell.late_writes += 1      # deadline already passed
+            fire_at = self._now + 1    # hardware fires immediately-ish
+        cell.compare_at = fire_at
+        if cell not in self._armed:
+            self._armed.append(cell)
+
+    def cancel_compare(self, channel: int) -> None:
+        cell = self.compare[channel]
+        cell.compare_at = None
+        if cell in self._armed:
+            self._armed.remove(cell)
+
+    # -- capture side ------------------------------------------------------------
+    def bind_capture_srn(self, channel: int, srn_id: int) -> None:
+        self.capture[channel].srn_id = srn_id
+
+    def capture_event(self, channel: int) -> int:
+        """Latch the current time on an input edge; returns the timestamp."""
+        cell = self.capture[channel]
+        cell.timestamps.append(self._now)
+        self.hub.emit(self._sid_capture)
+        if cell.srn_id is not None and self.icu is not None:
+            self.icu.raise_request(cell.srn_id)
+        return self._now
+
+    # -- clocking ------------------------------------------------------------------
+    def tick(self, cycle: int) -> None:
+        self._now = cycle
+        if not self._armed:
+            return
+        fired = [cell for cell in self._armed if cycle >= cell.compare_at]
+        for cell in fired:
+            cell.matches += 1
+            cell.compare_at = None
+            self._armed.remove(cell)
+            self.hub.emit(self._sid_match)
+            if cell.srn_id is not None and self.icu is not None:
+                self.icu.raise_request(cell.srn_id)
+
+    def reset(self) -> None:
+        for cell in self.compare:
+            cell.compare_at = None
+            cell.matches = 0
+            cell.late_writes = 0
+        for cell in self.capture:
+            cell.timestamps.clear()
+        self._armed.clear()
+        self._now = 0

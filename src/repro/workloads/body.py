@@ -1,0 +1,146 @@
+"""Synthetic body/gateway application.
+
+The "completely different purposes" end of the customer spectrum (paper
+Section 1): a central gateway routing CAN traffic between several buses.
+Dominated by communication and DMA, with very little arithmetic — the
+workload whose bottleneck is the peripheral bus rather than the flash
+path, which keeps the option-ranking experiments honest across customers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..ed.device import EdConfig, EmulationDevice
+from ..soc.config import SoCConfig
+from ..soc.cpu import isa
+from ..soc.dma.controller import DmaChannelConfig
+from ..soc.memory import map as amap
+from ..soc.peripherals.basic import CanNode, PeriodicTimer
+from .program import ProgramBuilder
+
+DEFAULT_PARAMS: Dict = {
+    "can_buses": 3,
+    "msgs_per_s": 4000,            # per bus
+    "routing_table_entries": 1024,
+    "use_dma": True,
+    "tables_in_dspr": False,
+    "isr_in_pspr": False,
+    "background_blocks": 16,
+    "table_locality": 0.6,
+    "anomaly": False,
+    "anomaly_period": 80_000,
+}
+
+
+def _routing_table_base(params: Dict) -> int:
+    if params["tables_in_dspr"]:
+        return amap.DSPR_BASE + 0x4000
+    return amap.PFLASH_BASE + 0x14_0000
+
+
+def build_body_program(params: Dict):
+    builder = ProgramBuilder()
+    table_base = _routing_table_base(params)
+    isr_base = amap.PSPR_BASE if params["isr_in_pspr"] else None
+
+    main = builder.function("main")
+    top = main.label("top")
+    main.call("network_mgmt")
+    main.call("diag_services")
+    main.jump(top)
+
+    mgmt = builder.function("network_mgmt")
+    for block in range(params["background_blocks"]):
+        mgmt.alu(12)
+        mgmt.load(isa.StrideAddr(amap.LMU_BASE + 0x1000 + block * 0x80, 4, 16))
+        mgmt.alu(8)
+        mgmt.store(isa.FixedAddr(amap.LMU_BASE + 0x3000 + block * 4))
+    mgmt.ret()
+
+    diag = builder.function("diag_services")
+    for block in range(max(2, params["background_blocks"] // 2)):
+        diag.alu(10)
+        diag.load(isa.TableAddr(amap.PFLASH_BASE + 0x16_0000 + block * 0x1000,
+                                4, 128, locality=0.5))
+        diag.alu(6)
+        diag.store(isa.StrideAddr(amap.DSPR_BASE + 0x200 + block * 0x20, 4, 8))
+    diag.ret()
+
+    # one routing ISR per bus: look up the route, forward or DMA-copy
+    for bus in range(params["can_buses"]):
+        base = (isr_base + 0x400 * (bus + 1)) if isr_base is not None else None
+        isr = builder.function(f"route_isr{bus}", base=base)
+        isr.load(isa.FixedAddr(amap.PERIPH_BASE + 0x300 + bus * 0x40))
+        isr.alu(4)
+        isr.load(isa.TableAddr(table_base, 8,
+                               params["routing_table_entries"],
+                               locality=params["table_locality"]))
+        isr.alu(6)
+        if not params["use_dma"]:
+            isr.loop(8, lambda f, b=bus: f
+                     .load(isa.StrideAddr(amap.PERIPH_BASE + 0x310 + b * 0x40,
+                                          4, 8))
+                     .store(isa.StrideAddr(amap.PERIPH_BASE + 0x350
+                                           + ((b + 1) % params["can_buses"])
+                                           * 0x40, 4, 8)))
+        isr.store(isa.FixedAddr(amap.LMU_BASE + 0x5000 + bus * 0x10))
+        isr.rfe()
+
+    anomaly = builder.function("anomaly_isr")
+    anomaly.loop(48, lambda f: f
+                 .load(isa.TableAddr(amap.PFLASH_BASE + 0x30_0000, 4, 65536,
+                                     locality=0.0))
+                 .alu(1))
+    anomaly.rfe()
+
+    return builder.assemble()
+
+
+class BodyGatewayScenario:
+    name = "body_gateway"
+    default_params = DEFAULT_PARAMS
+
+    def hot_table_ranges(self, params: Dict):
+        merged = dict(DEFAULT_PARAMS)
+        merged.update(params)
+        if merged["tables_in_dspr"]:
+            return ()
+        base = _routing_table_base(merged)
+        return ((base, base + merged["routing_table_entries"] * 8),)
+
+    def build(self, config: SoCConfig, params: Dict,
+              seed: int = 2008) -> EmulationDevice:
+        merged = dict(DEFAULT_PARAMS)
+        merged.update(params)
+        params = merged
+        device = EmulationDevice(EdConfig(soc=config), seed)
+        soc = device.soc
+        device.load_program(build_body_program(params))
+
+        freq = config.cpu.frequency_mhz
+        mean_period = max(1000, int(freq * 1e6 / params["msgs_per_s"]))
+        for bus in range(params["can_buses"]):
+            srn = soc.icu.add_srn(f"can{bus}", 6 + (bus % 3))
+            device.cpu.set_vector(srn.id, f"route_isr{bus}")
+            soc.add_peripheral(CanNode(
+                f"can{bus}", soc.hub, soc.icu, srn.id,
+                mean_period=mean_period, rng=soc.sim.rng(f"can{bus}")))
+            if params["use_dma"]:
+                dma_srn = soc.icu.add_srn(f"can{bus}_dma", 3, core="dma",
+                                          dma_channel=bus)
+                soc.dma.configure_channel(bus, DmaChannelConfig(
+                    src=amap.PERIPH_BASE + 0x310 + bus * 0x40,
+                    dst=amap.LMU_BASE + 0x7000 + bus * 0x100, moves=8))
+                # the payload copy triggers alongside the routing interrupt
+                soc.add_peripheral(PeriodicTimer(
+                    f"dma_kick{bus}", soc.hub, soc.icu, dma_srn.id,
+                    period=mean_period, phase=500 + bus * 700))
+        if params["anomaly"]:
+            anomaly_srn = soc.icu.add_srn("anomaly", 12)
+            device.cpu.set_vector(anomaly_srn.id, "anomaly_isr")
+            soc.add_peripheral(PeriodicTimer(
+                "anomaly_timer", soc.hub, soc.icu, anomaly_srn.id,
+                period=params["anomaly_period"],
+                phase=params["anomaly_period"] // 3))
+        return device

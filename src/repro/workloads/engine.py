@@ -1,0 +1,353 @@
+"""Synthetic engine-control application (powertrain workload).
+
+Stands in for the proprietary customer software the paper profiles.  The
+structure follows the canonical engine-management pattern the paper's
+domain implies:
+
+* a **crank-angle ISR** (highest priority, period set by RPM and tooth
+  count) computing injection/ignition from calibration maps in flash;
+* an **ADC ISR** running a knock-sensor FIR filter over a scratchpad delay
+  line — optionally offloaded to the PCP (the HW/SW split customers vary);
+* a **CAN ISR** parsing network traffic — optionally offloaded to DMA;
+* an **EEPROM-emulation task** writing adaptation values to data flash;
+* a **background loop** of diagnostics and OBD processing large enough to
+  exceed the I-cache (real engine software is megabytes).
+
+Mapping knobs (the software-optimization levers of paper Section 5):
+``tables_in_dspr`` moves the hot calibration maps into the data scratchpad;
+``isr_in_pspr`` moves the time-critical handlers into the program
+scratchpad.  ``anomaly`` injects a sporadic flash-hostile burst task used
+by the trigger/multi-resolution experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..ed.device import EdConfig, EmulationDevice
+from ..soc.config import SoCConfig
+from ..soc.cpu import isa
+from ..soc.dma.controller import DmaChannelConfig
+from ..soc.interrupts.icu import srn_taken_signal
+from ..soc.kernel.simulator import Component
+from ..soc.memory import map as amap
+from ..soc.peripherals.basic import Adc, CanNode, PeriodicTimer
+from ..soc.peripherals.timer_cells import TimerCellArray
+from .program import ProgramBuilder
+
+#: peripheral register addresses (within the SPB space)
+INJECTOR_REG = amap.PERIPH_BASE + 0x0100
+IGNITION_REG = amap.PERIPH_BASE + 0x0104
+ADC_RESULT_REG = amap.PERIPH_BASE + 0x0200
+CAN_RX_REG = amap.PERIPH_BASE + 0x0300
+CAN_RX_BUFFER = amap.PERIPH_BASE + 0x0310
+
+DEFAULT_PARAMS: Dict = {
+    "rpm": 4500,
+    "teeth": 60,
+    "adc_khz": 25,
+    "can_msgs_per_s": 2000,
+    "knock_taps": 16,
+    "use_pcp": True,
+    "use_dma": True,
+    "tables_in_dspr": False,
+    "isr_in_pspr": False,
+    "anomaly": False,
+    "anomaly_period": 60_000,
+    "anomaly_len": 300,          # flash-hostile loads per anomaly burst
+    "background_blocks": 64,     # background code footprint, ~blocks*75 instr
+    "table_locality": 0.9,
+    "use_timer_cells": True,     # injector edges scheduled on timer cells
+}
+
+
+class InjectionScheduler(Component):
+    """Hardware effect of the crank ISR: programming injector compares.
+
+    The crank ISR's *CPU cost* is modelled in the program (map lookups,
+    interpolation, the store to ``INJECTOR_REG``); this glue applies its
+    *hardware effect* — arming a timer-cell one-shot for the injection
+    edge a data-dependent delay after the crank event.  Matches and late
+    programmings are then observable real-time health metrics.
+    """
+
+    name = "injection_scheduler"
+
+    def __init__(self, hub, cells: TimerCellArray, channel: int,
+                 crank_period: int, rng) -> None:
+        self.hub = hub
+        self.cells = cells
+        self.channel = channel
+        self.crank_period = crank_period
+        self.rng = rng
+        self._pending = False
+        hub.subscribe(srn_taken_signal("crank"), self._on_crank_service)
+
+    def _on_crank_service(self, count: int) -> None:
+        self._pending = True
+
+    def tick(self, cycle: int) -> None:
+        if not self._pending:
+            return
+        self._pending = False
+        # injection angle -> delay within the next crank period
+        delay = int(self.crank_period * self.rng.uniform(0.2, 0.8))
+        self.cells.set_compare(self.channel, cycle + delay)
+
+    def reset(self) -> None:
+        self._pending = False
+
+
+def _crank_period(config: SoCConfig, params: Dict) -> int:
+    """Crank-tooth interrupt period in CPU cycles."""
+    per_second = params["rpm"] / 60.0 * params["teeth"]
+    return max(200, int(config.cpu.frequency_mhz * 1e6 / per_second))
+
+
+def _table_bases(params: Dict):
+    """Placement of the two hot calibration maps and the big scan region."""
+    if params["tables_in_dspr"]:
+        fuel = amap.DSPR_BASE + 0x4000
+        ignition = amap.DSPR_BASE + 0x8000
+    else:
+        # fuel map in the upper flash bank, ignition map near the code in
+        # the lower bank — the latter provokes code/data port conflicts
+        fuel = amap.PFLASH_BASE + 0x20_0000
+        ignition = amap.PFLASH_BASE + 0x8_0000
+    scan = amap.PFLASH_BASE + 0x30_0000
+    return fuel, ignition, scan
+
+
+def build_engine_program(params: Dict):
+    """Assemble the application; returns the Program."""
+    builder = ProgramBuilder()
+    fuel_base, ign_base, scan_base = _table_bases(params)
+    locality = params["table_locality"]
+    isr_base = amap.PSPR_BASE if params["isr_in_pspr"] else None
+
+    # -- background: diagnostics chain, footprint > I-cache -----------------
+    main = builder.function("main")
+    top = main.label("top")
+    main.call("diagnostics")
+    main.call("filter_kernel")
+    main.call("obd_task")
+    main.call("adaptation")
+    main.jump(top)
+
+    diag = builder.function("diagnostics")
+    for block in range(params["background_blocks"]):
+        block_top = diag.label()
+        diag.alu(16)
+        diag.load(isa.StrideAddr(amap.LMU_BASE + 0x1000 + block * 0x100, 4, 32))
+        diag.alu(10)
+        diag.load(isa.TableAddr(amap.PFLASH_BASE + 0x10_0000 + block * 0x2000,
+                                4, 512, locality=0.7))
+        diag.alu(8)
+        diag.load(isa.TableAddr(amap.PFLASH_BASE + 0x18_0000 + block * 0x1000,
+                                4, 256, locality=0.8))
+        diag.alu(12)
+        diag.store(isa.StrideAddr(amap.DSPR_BASE + 0x400 + block * 0x40, 4, 16))
+        # occasional block re-execution: data-dependent control flow
+        diag.branch(isa.TakenProbability(0.1), block_top)
+    diag.ret()
+
+    obd = builder.function("obd_task")
+    for block in range(max(2, params["background_blocks"] // 2)):
+        obd.alu(22)
+        obd.load(isa.StrideAddr(amap.LMU_BASE + 0x8000 + block * 0x200, 4, 64))
+        obd.alu(14)
+        obd.load(isa.TableAddr(amap.PFLASH_BASE + 0x1C_0000 + block * 0x800,
+                               4, 128, locality=0.75))
+        obd.alu(8)
+        obd.store(isa.FixedAddr(amap.LMU_BASE + 0x9000 + block * 4))
+    obd.ret()
+
+    adapt = builder.function("adaptation")
+    adapt.alu(40)
+    adapt.load(isa.TableAddr(amap.DSPR_BASE + 0x2000, 4, 256, locality=0.95))
+    adapt.alu(30)
+    adapt.store(isa.StrideAddr(amap.DSPR_BASE + 0x3000, 4, 64))
+    adapt.ret()
+
+    # signal conditioning: a scratchpad FIR kernel whose LD+MAC+MAC+LOOP
+    # pattern saturates the dual pipelines (IPC ~2 bursts — the dynamics
+    # the fine-resolution IPC measurement exists to expose)
+    filt = builder.function("filter_kernel")
+    filt.loop(24, lambda f: f
+              .load(isa.StrideAddr(amap.DSPR_BASE + 0x1000, 4, 64))
+              .mac(2))
+    filt.store(isa.FixedAddr(amap.DSPR_BASE + 0x1100))
+    filt.ret()
+
+    # -- crank-angle ISR: the hard real-time hot path -----------------------
+    crank = builder.function("crank_isr", base=isr_base)
+    crank.alu(8)    # angle bookkeeping
+    crank.load(isa.TableAddr(fuel_base, 4, 4096, locality=locality))
+    crank.alu(10)   # bilinear interpolation
+    crank.load(isa.TableAddr(fuel_base + 0x4000, 4, 4096, locality=locality))
+    crank.alu(10)
+    crank.load(isa.TableAddr(ign_base, 4, 4096, locality=locality))
+    crank.alu(12)   # ignition angle computation
+    crank.store(isa.FixedAddr(INJECTOR_REG))
+    crank.store(isa.FixedAddr(IGNITION_REG))
+    crank.alu(6)
+    crank.store(isa.StrideAddr(amap.LMU_BASE + 0xA000, 8, 128))  # log ring
+    crank.rfe()
+
+    # -- knock filter (ADC ISR) — only on TriCore when not offloaded to PCP --
+    knock_base = (amap.PSPR_BASE + 0x800) if params["isr_in_pspr"] else None
+    knock = builder.function("adc_isr", base=knock_base)
+    knock.load(isa.FixedAddr(ADC_RESULT_REG))
+    knock.store(isa.StrideAddr(amap.DSPR_BASE + 0x100, 4,
+                               params["knock_taps"]))
+    knock.loop(params["knock_taps"], lambda f: f
+               .load(isa.StrideAddr(amap.DSPR_BASE + 0x100, 4,
+                                    params["knock_taps"]))
+               .mac(2))
+    knock.alu(6)
+    knock.store(isa.FixedAddr(amap.DSPR_BASE + 0x80))
+    knock.rfe()
+
+    # -- CAN receive ISR ------------------------------------------------------
+    can = builder.function("can_isr")
+    can.load(isa.FixedAddr(CAN_RX_REG))
+    can.alu(8)   # ID match, DLC decode
+    if not params["use_dma"]:
+        can.loop(8, lambda f: f
+                 .load(isa.StrideAddr(CAN_RX_BUFFER, 4, 8))
+                 .store(isa.StrideAddr(amap.LMU_BASE + 0xC000, 4, 256)))
+    can.alu(12)  # signal unpacking
+    can.store(isa.FixedAddr(amap.DSPR_BASE + 0x180))
+    can.rfe()
+
+    # -- DMA-completion processing (when CAN payload is DMA-copied) ----------
+    dmadone = builder.function("dma_done_isr")
+    dmadone.load(isa.StrideAddr(amap.LMU_BASE + 0xC000, 4, 256))
+    dmadone.alu(14)
+    dmadone.store(isa.FixedAddr(amap.DSPR_BASE + 0x184))
+    dmadone.rfe()
+
+    # -- EEPROM-emulation adaptation writes ----------------------------------
+    eeprom = builder.function("eeprom_task")
+    eeprom.alu(10)
+    eeprom.load(isa.StrideAddr(amap.DSPR_BASE + 0x3000, 4, 64))
+    eeprom.store(isa.StrideAddr(amap.DFLASH_BASE + 0x100, 4, 512))
+    eeprom.alu(4)
+    eeprom.rfe()
+
+    # -- sporadic anomaly: flash-hostile scan (for trigger experiments) -------
+    anomaly = builder.function("anomaly_isr")
+    anomaly.loop(params["anomaly_len"], lambda f: f
+                 .load(isa.TableAddr(scan_base, 4, 65536, locality=0.0))
+                 .alu(1))
+    anomaly.rfe()
+
+    return builder.assemble()
+
+
+def build_pcp_knock_program(params: Dict):
+    """The knock filter as a PCP channel program (HW/SW split variant)."""
+    builder = ProgramBuilder(code_base=amap.PFLASH_BASE + 0xF0_0000)
+    prog = builder.function("pcp_adc")
+    prog.load(isa.FixedAddr(ADC_RESULT_REG))
+    prog.loop(params["knock_taps"], lambda f: f
+              .load(isa.StrideAddr(amap.LMU_BASE + 0xE000, 4,
+                                   params["knock_taps"]))
+              .mac(2))
+    prog.alu(4)
+    prog.store(isa.FixedAddr(amap.LMU_BASE + 0xE080))
+    prog.ret()
+    return builder.assemble(entry="pcp_adc")
+
+
+class EngineControlScenario:
+    """Scenario wrapper: builds a ready-to-run ED for given config/params."""
+
+    name = "engine_control"
+    default_params = DEFAULT_PARAMS
+
+    def __init__(self, ed_config_overrides: Dict = None) -> None:
+        self.ed_config_overrides = ed_config_overrides or {}
+
+    def hot_table_ranges(self, params: Dict):
+        """Link-map knowledge: where the hot calibration maps live.
+
+        Used by the ``tables_dspr`` analytic prediction; empty when the
+        tables are already in the scratchpad.
+        """
+        merged = dict(DEFAULT_PARAMS)
+        merged.update(params)
+        if merged["tables_in_dspr"]:
+            return ()
+        fuel, ignition, _ = _table_bases(merged)
+        return ((fuel, fuel + 0x8000), (ignition, ignition + 0x4000))
+
+    def build(self, config: SoCConfig, params: Dict,
+              seed: int = 2008) -> EmulationDevice:
+        merged = dict(DEFAULT_PARAMS)
+        merged.update(params)
+        params = merged
+        ed_config = EdConfig(soc=config, **self.ed_config_overrides)
+        device = EmulationDevice(ed_config, seed)
+        soc = device.soc
+
+        program = build_engine_program(params)
+        device.load_program(program)
+
+        # service request nodes (priorities: crank > adc > can > eeprom)
+        crank_srn = soc.icu.add_srn("crank", 10)
+        adc_core = "pcp" if params["use_pcp"] else "tc"
+        adc_srn = soc.icu.add_srn("adc", 8, core=adc_core)
+        if params["use_dma"]:
+            can_srn = soc.icu.add_srn("can", 5, core="dma", dma_channel=0)
+            dma_done_srn = soc.icu.add_srn("dma_done", 4)
+            soc.dma.configure_channel(0, DmaChannelConfig(
+                src=CAN_RX_BUFFER, dst=amap.LMU_BASE + 0xC000, moves=8,
+                completion_srn=dma_done_srn.id))
+        else:
+            can_srn = soc.icu.add_srn("can", 5)
+        eeprom_srn = soc.icu.add_srn("eeprom", 2)
+
+        # vectors
+        device.cpu.set_vector(crank_srn.id, "crank_isr")
+        if not params["use_pcp"]:
+            device.cpu.set_vector(adc_srn.id, "adc_isr")
+        else:
+            device.pcp.bind_channel(adc_srn.id,
+                                    build_pcp_knock_program(params))
+        if params["use_dma"]:
+            device.cpu.set_vector(dma_done_srn.id, "dma_done_isr")
+        else:
+            device.cpu.set_vector(can_srn.id, "can_isr")
+        device.cpu.set_vector(eeprom_srn.id, "eeprom_task")
+
+        # peripherals
+        freq = config.cpu.frequency_mhz
+        crank_period = _crank_period(config, params)
+        soc.add_peripheral(PeriodicTimer(
+            "crank_timer", soc.hub, soc.icu, crank_srn.id, crank_period))
+        if params["use_timer_cells"]:
+            cells = TimerCellArray("gpta", soc.hub, soc.icu)
+            soc.add_peripheral(cells)
+            soc.add_peripheral(InjectionScheduler(
+                soc.hub, cells, channel=0, crank_period=crank_period,
+                rng=soc.sim.rng("injection")))
+        adc_period = max(500, int(freq * 1000 / params["adc_khz"]))
+        soc.add_peripheral(Adc("adc0", soc.hub, soc.icu, adc_srn.id,
+                               scan_period=adc_period,
+                               conversion_cycles=max(50, adc_period // 10)))
+        can_period = max(1000, int(freq * 1e6 / params["can_msgs_per_s"]))
+        soc.add_peripheral(CanNode("can0", soc.hub, soc.icu, can_srn.id,
+                                   mean_period=can_period,
+                                   rng=soc.sim.rng("can0")))
+        soc.add_peripheral(PeriodicTimer(
+            "eeprom_timer", soc.hub, soc.icu, eeprom_srn.id,
+            period=freq * 2000, phase=freq * 997))
+        if params["anomaly"]:
+            anomaly_srn = soc.icu.add_srn("anomaly", 12)
+            device.cpu.set_vector(anomaly_srn.id, "anomaly_isr")
+            soc.add_peripheral(PeriodicTimer(
+                "anomaly_timer", soc.hub, soc.icu, anomaly_srn.id,
+                period=params["anomaly_period"],
+                phase=params["anomaly_period"] // 3))
+        return device

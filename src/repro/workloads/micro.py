@@ -1,0 +1,97 @@
+"""Micro-workloads: substrate characterisation kernels.
+
+Single-behaviour kernels that stress exactly one mechanism of the memory
+system or pipeline.  Used by tests to pin down substrate timing (every
+kernel's throughput is predictable in closed form) and by the ablation
+benchmarks to isolate one architectural effect at a time.
+"""
+
+from __future__ import annotations
+
+from ..soc.cpu import isa
+from ..soc.memory import map as amap
+from .program import ProgramBuilder
+
+
+def alu_kernel(width: int = 64):
+    """Pure integer stream from PSPR: 1 instruction per cycle, no stalls."""
+    builder = ProgramBuilder(code_base=amap.PSPR_BASE)
+    main = builder.function("main")
+    top = main.label("top")
+    main.alu(width)
+    main.jump(top)
+    return builder.assemble()
+
+
+def dual_issue_kernel(pairs: int = 32):
+    """Alternating IP/LD from scratchpad: saturates both pipelines."""
+    builder = ProgramBuilder(code_base=amap.PSPR_BASE)
+    main = builder.function("main")
+    top = main.label("top")
+    for _ in range(pairs):
+        main.alu(1)
+        main.load(isa.FixedAddr(amap.DSPR_BASE + 0x40))
+    main.jump(top)
+    return builder.assemble()
+
+
+def flash_stream_kernel(stride: int = 32, footprint_kb: int = 256):
+    """Sequential flash data reads: exercises the data-port read buffer."""
+    builder = ProgramBuilder(code_base=amap.PSPR_BASE)
+    main = builder.function("main")
+    top = main.label("top")
+    count = footprint_kb * 1024 // stride
+    main.load(isa.StrideAddr(amap.PFLASH_BASE + 0x10_0000, stride, count))
+    main.alu(1)
+    main.jump(top)
+    return builder.assemble()
+
+
+def flash_random_kernel(footprint_kb: int = 1024):
+    """Random flash data reads: worst case for every buffer and cache."""
+    builder = ProgramBuilder(code_base=amap.PSPR_BASE)
+    main = builder.function("main")
+    top = main.label("top")
+    entries = footprint_kb * 1024 // 4
+    main.load(isa.TableAddr(amap.PFLASH_BASE + 0x10_0000, 4, entries,
+                            locality=0.0))
+    main.alu(1)
+    main.jump(top)
+    return builder.assemble()
+
+
+def icache_thrash_kernel(footprint_kb: int = 24):
+    """Cyclic code walk larger than the I-cache: LRU worst case."""
+    builder = ProgramBuilder()
+    main = builder.function("main")
+    top = main.label("top")
+    instructions = footprint_kb * 1024 // isa.INSTR_BYTES - 2
+    main.alu(instructions)
+    main.jump(top)
+    return builder.assemble()
+
+
+def branchy_kernel(blocks: int = 32, taken_probability: float = 0.5):
+    """Unpredictable branches from PSPR: isolates the refill penalty."""
+    builder = ProgramBuilder(code_base=amap.PSPR_BASE)
+    main = builder.function("main")
+    top = main.label("top")
+    for index in range(blocks):
+        main.alu(2)
+        main.branch(isa.TakenProbability(taken_probability),
+                    "skip%d" % index)
+        main.alu(2)
+        main.label("skip%d" % index)
+    main.jump(top)
+    return builder.assemble()
+
+
+def peripheral_poll_kernel():
+    """Back-to-back SPB reads: isolates peripheral-bus latency."""
+    builder = ProgramBuilder(code_base=amap.PSPR_BASE)
+    main = builder.function("main")
+    top = main.label("top")
+    main.load(isa.FixedAddr(amap.PERIPH_BASE + 0x100))
+    main.alu(1)
+    main.jump(top)
+    return builder.assemble()

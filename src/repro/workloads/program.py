@@ -1,0 +1,165 @@
+"""Program builder: authoring layer for synthetic application software.
+
+Workloads are written as functions composed of ALU bursts, loads/stores
+through address generators, hardware loops, calls, and branches with
+deterministic behaviour generators.  The builder assembles them into a
+:class:`~repro.soc.cpu.isa.Program` with real flash/scratchpad addresses so
+the I-cache, prefetch buffers, and flash ports see realistic locality.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..soc.cpu import isa
+from ..soc.memory import map as amap
+
+#: align function entries to flash-line boundaries, like a real linker
+_FUNC_ALIGN = 32
+
+
+class FunctionBuilder:
+    """Accumulates the instruction sequence of one function."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.instrs: List[isa.Instr] = []
+        self._labels: Dict[str, int] = {}
+        self._label_counter = 0
+
+    # -- straight-line code -------------------------------------------------
+    def alu(self, n: int = 1) -> "FunctionBuilder":
+        """Append ``n`` integer-pipeline instructions."""
+        for _ in range(n):
+            self.instrs.append(isa.Instr(isa.IP))
+        return self
+
+    def mac(self, n: int = 1) -> "FunctionBuilder":
+        """MAC/DSP operations — integer pipeline from a timing view."""
+        return self.alu(n)
+
+    def load(self, gen) -> "FunctionBuilder":
+        self.instrs.append(isa.Instr(isa.LD, addr_gen=gen))
+        return self
+
+    def store(self, gen) -> "FunctionBuilder":
+        self.instrs.append(isa.Instr(isa.ST, addr_gen=gen))
+        return self
+
+    # -- control flow -----------------------------------------------------------
+    @staticmethod
+    def _local(name: str) -> str:
+        """Local labels are dot-prefixed so symbol tables can tell them
+        apart from function entries."""
+        return name if name.startswith(".") else f".{name}"
+
+    def label(self, name: Optional[str] = None) -> str:
+        """Mark the current position; returns the (possibly generated) name."""
+        if name is None:
+            name = f".L{self._label_counter}"
+            self._label_counter += 1
+        else:
+            name = self._local(name)
+        self._labels[name] = len(self.instrs)
+        return name
+
+    def branch(self, pattern, to: str) -> "FunctionBuilder":
+        """Conditional branch to a local label."""
+        self.instrs.append(isa.Instr(
+            isa.BR, pattern=pattern,
+            label=f"{self.name}{self._local(to)}"))
+        return self
+
+    def jump(self, to: str) -> "FunctionBuilder":
+        self.instrs.append(
+            isa.Instr(isa.JUMP, label=f"{self.name}{self._local(to)}"))
+        return self
+
+    def loop(self, count: int, body: Callable[["FunctionBuilder"], None]
+             ) -> "FunctionBuilder":
+        """Hardware loop executing ``body`` ``count`` times."""
+        top = self.label()
+        body(self)
+        self.instrs.append(
+            isa.Instr(isa.LOOP, pattern=isa.LoopCount(count),
+                      label=f"{self.name}{top}"))
+        return self
+
+    def call(self, func_name: str) -> "FunctionBuilder":
+        self.instrs.append(isa.Instr(isa.CALL, label=func_name))
+        return self
+
+    def ret(self) -> "FunctionBuilder":
+        self.instrs.append(isa.Instr(isa.RET))
+        return self
+
+    def rfe(self) -> "FunctionBuilder":
+        """Return from exception — terminates interrupt handlers."""
+        self.instrs.append(isa.Instr(isa.RFE))
+        return self
+
+    def halt(self) -> "FunctionBuilder":
+        """Idle until the next interrupt (test/idle-loop convenience)."""
+        self.instrs.append(isa.Instr("halt"))
+        return self
+
+    def resolve_local(self, name: str) -> str:
+        """Fully-qualified symbol name of a local label."""
+        return f"{self.name}{self._local(name)}"
+
+
+class ProgramBuilder:
+    """Places functions in memory and resolves symbols."""
+
+    def __init__(self, code_base: int = amap.PFLASH_BASE + 0x1000) -> None:
+        self.code_base = code_base
+        self._functions: List[FunctionBuilder] = []
+        self._placements: Dict[str, int] = {}
+
+    def function(self, name: str, base: Optional[int] = None) -> FunctionBuilder:
+        """Create a function; ``base`` pins it (e.g. into PSPR)."""
+        if any(f.name == name for f in self._functions):
+            raise ValueError(f"function {name!r} already defined")
+        fb = FunctionBuilder(name)
+        self._functions.append(fb)
+        if base is not None:
+            self._placements[name] = base
+        return fb
+
+    def assemble(self, entry: str = "main") -> isa.Program:
+        if not self._functions:
+            raise ValueError("no functions defined")
+        instructions: Dict[int, isa.Instr] = {}
+        symbols: Dict[str, int] = {}
+        cursor = self.code_base
+        # first pass: place functions and their labels
+        for fb in self._functions:
+            base = self._placements.get(fb.name)
+            if base is None:
+                base = (cursor + _FUNC_ALIGN - 1) & ~(_FUNC_ALIGN - 1)
+            symbols[fb.name] = base
+            for label, index in fb._labels.items():
+                symbols[f"{fb.name}{label}"] = base + index * isa.INSTR_BYTES
+            addr = base
+            for instr in fb.instrs:
+                if addr in instructions:
+                    raise ValueError(
+                        f"function {fb.name!r} overlaps existing code at "
+                        f"0x{addr:08x}")
+                instr.addr = addr
+                instructions[addr] = instr
+                addr += isa.INSTR_BYTES
+            if fb.name not in self._placements:
+                cursor = addr
+        # second pass: resolve symbolic targets
+        for instr in instructions.values():
+            if instr.label is not None:
+                try:
+                    instr.target = symbols[instr.label]
+                except KeyError:
+                    raise ValueError(
+                        f"unresolved symbol {instr.label!r} referenced at "
+                        f"0x{instr.addr:08x}") from None
+        if entry not in symbols:
+            raise ValueError(f"entry function {entry!r} not defined")
+        return isa.Program(instructions, symbols[entry], symbols)

@@ -1,0 +1,175 @@
+"""OSEK-style task system: rate-monotonic dispatch on an OS tick.
+
+Production ECU software runs under an OSEK/AUTOSAR OS: a hardware timer
+drives the system tick, an alarm table activates periodic tasks, and a
+priority scheduler dispatches them.  This module builds that structure out
+of the program-builder primitives:
+
+* the **OS tick ISR** walks the alarm table (deterministic
+  :class:`~repro.soc.cpu.isa.TakenPeriodic` dividers per task) and calls
+  due tasks in priority order — a faithful timing model of a cooperative
+  rate-monotonic dispatcher;
+* **tasks** are ordinary functions with their own code/data footprint;
+* preemption by true interrupts (crank, CAN, ...) composes naturally,
+  since the tick ISR itself runs at an interrupt priority.
+
+The scenario gives the customer population a fourth software architecture
+("same application problem, completely different algorithms/structure",
+paper Section 4): tick-driven instead of event-driven.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..ed.device import EdConfig, EmulationDevice
+from ..soc.config import SoCConfig
+from ..soc.cpu import isa
+from ..soc.memory import map as amap
+from ..soc.peripherals.basic import CanNode, PeriodicTimer
+from .program import FunctionBuilder, ProgramBuilder
+
+
+@dataclass
+class TaskSpec:
+    """One periodic task: name, activation divider, body generator."""
+
+    name: str
+    #: task runs every ``divider`` OS ticks (rate-monotonic: smaller =
+    #: higher rate = dispatched first)
+    divider: int
+    body: Callable[[FunctionBuilder], None]
+
+
+def _default_task_bodies() -> List[TaskSpec]:
+    """A representative 1/5/20/100 ms task set (at a 1 ms tick)."""
+
+    def control_1ms(f: FunctionBuilder) -> None:
+        f.alu(12)
+        f.load(isa.TableAddr(amap.PFLASH_BASE + 0x12_0000, 4, 1024,
+                             locality=0.9))
+        f.alu(10)
+        f.store(isa.FixedAddr(amap.DSPR_BASE + 0x40))
+
+    def control_5ms(f: FunctionBuilder) -> None:
+        f.alu(20)
+        f.loop(8, lambda g: g
+               .load(isa.StrideAddr(amap.DSPR_BASE + 0x200, 4, 32))
+               .mac(2))
+        f.store(isa.FixedAddr(amap.PERIPH_BASE + 0x180))
+
+    def management_20ms(f: FunctionBuilder) -> None:
+        f.alu(40)
+        f.load(isa.TableAddr(amap.PFLASH_BASE + 0x13_0000, 4, 512,
+                             locality=0.7))
+        f.alu(30)
+        f.store(isa.StrideAddr(amap.LMU_BASE + 0x4000, 4, 64))
+
+    def diagnosis_100ms(f: FunctionBuilder) -> None:
+        f.alu(80)
+        f.load(isa.StrideAddr(amap.LMU_BASE + 0x6000, 4, 128))
+        f.alu(60)
+        f.store(isa.StrideAddr(amap.DFLASH_BASE + 0x400, 4, 128))
+
+    return [
+        TaskSpec("task_1ms", 1, control_1ms),
+        TaskSpec("task_5ms", 5, control_5ms),
+        TaskSpec("task_20ms", 20, management_20ms),
+        TaskSpec("task_100ms", 100, diagnosis_100ms),
+    ]
+
+
+DEFAULT_PARAMS: Dict = {
+    "tick_us": 250,             # OS tick period (simulation horizons are
+                                # short; production systems use 1000 µs)
+    "can_msgs_per_s": 1500,
+    "idle_blocks": 6,           # background/idle-hook footprint
+    "isr_in_pspr": False,
+    "tables_in_dspr": False,    # accepted for option compatibility (no-op)
+}
+
+
+def build_rtos_program(params: Dict,
+                       tasks: Optional[List[TaskSpec]] = None):
+    tasks = tasks if tasks is not None else _default_task_bodies()
+    builder = ProgramBuilder()
+    isr_base = amap.PSPR_BASE if params["isr_in_pspr"] else None
+
+    # idle loop: the OS idle hook (low-power wait + housekeeping)
+    main = builder.function("main")
+    top = main.label("top")
+    for block in range(params["idle_blocks"]):
+        main.alu(10)
+        main.load(isa.StrideAddr(amap.LMU_BASE + 0x1000 + block * 0x80,
+                                 4, 16))
+        main.alu(6)
+    main.jump(top)
+
+    # one function per task
+    for task in tasks:
+        fb = builder.function(task.name)
+        task.body(fb)
+        fb.ret()
+
+    # OS tick ISR: alarm table walk + rate-monotonic dispatch
+    tick = builder.function("os_tick", base=isr_base)
+    tick.alu(6)                      # counter increment, alarm compare
+    for task in sorted(tasks, key=lambda t: t.divider):
+        if task.divider == 1:
+            tick.call(task.name)
+        else:
+            skip = f"skip_{task.name}"
+            # activation: due every `divider` ticks
+            tick.branch(isa.TakenPeriodic(task.divider,
+                                          phase=task.divider - 1),
+                        f"run_{task.name}")
+            tick.jump(skip)
+            tick.label(f"run_{task.name}")
+            tick.call(task.name)
+            tick.label(skip)
+    tick.alu(4)                      # schedule bookkeeping
+    tick.rfe()
+
+    # CAN receive ISR (communication stack entry)
+    can = builder.function("can_isr")
+    can.load(isa.FixedAddr(amap.PERIPH_BASE + 0x300))
+    can.alu(10)
+    can.store(isa.FixedAddr(amap.LMU_BASE + 0x5000))
+    can.rfe()
+
+    return builder.assemble()
+
+
+class RtosScenario:
+    """Tick-driven OSEK-style application scenario."""
+
+    name = "rtos_powertrain"
+    default_params = DEFAULT_PARAMS
+
+    def __init__(self, tasks: Optional[List[TaskSpec]] = None) -> None:
+        self.tasks = tasks
+
+    def build(self, config: SoCConfig, params: Dict,
+              seed: int = 2008) -> EmulationDevice:
+        merged = dict(DEFAULT_PARAMS)
+        merged.update(params)
+        params = merged
+        device = EmulationDevice(EdConfig(soc=config), seed)
+        soc = device.soc
+        device.load_program(build_rtos_program(params, self.tasks))
+
+        tick_srn = soc.icu.add_srn("os_tick", 6)
+        can_srn = soc.icu.add_srn("can", 4)
+        device.cpu.set_vector(tick_srn.id, "os_tick")
+        device.cpu.set_vector(can_srn.id, "can_isr")
+
+        freq = config.cpu.frequency_mhz
+        soc.add_peripheral(PeriodicTimer(
+            "os_timer", soc.hub, soc.icu, tick_srn.id,
+            period=max(1000, freq * params["tick_us"])))
+        soc.add_peripheral(CanNode(
+            "can0", soc.hub, soc.icu, can_srn.id,
+            mean_period=max(1000, int(freq * 1e6 / params["can_msgs_per_s"])),
+            rng=soc.sim.rng("can0")))
+        return device

@@ -1,0 +1,191 @@
+"""Synthetic transmission-control application.
+
+A second powertrain domain with a different resource mix than engine
+control (paper Section 1: the peripheral set "is adapted to an area like
+power train (engine control, transmission control, etc.)"):
+
+* a **shift-decision state machine** in the background — branch-heavy,
+  table-light;
+* a **hydraulic-pressure ISR** at a fixed control rate, interpolating
+  pressure maps and writing solenoid PWM registers;
+* **speed-sensor ISRs** (input/output shaft) with period set by shaft speed;
+* frequent **adaptation writes** to data flash (clutch-fill parameters);
+* heavy **PCP offload** for solenoid current control.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..ed.device import EdConfig, EmulationDevice
+from ..soc.config import SoCConfig
+from ..soc.cpu import isa
+from ..soc.memory import map as amap
+from ..soc.peripherals.basic import Adc, PeriodicTimer
+from .program import ProgramBuilder
+
+SOLENOID_REG = amap.PERIPH_BASE + 0x0400
+CURRENT_SENSE_REG = amap.PERIPH_BASE + 0x0404
+
+DEFAULT_PARAMS: Dict = {
+    "control_khz": 1,           # hydraulic control loop rate
+    "shaft_hz": 900,            # speed-sensor edge rate
+    "use_pcp": True,
+    "tables_in_dspr": False,
+    "isr_in_pspr": False,
+    "background_blocks": 40,
+    "table_locality": 0.85,
+    "anomaly": False,
+    "anomaly_period": 80_000,
+}
+
+
+def _table_bases(params: Dict):
+    if params["tables_in_dspr"]:
+        return amap.DSPR_BASE + 0x4000, amap.DSPR_BASE + 0x6000
+    return amap.PFLASH_BASE + 0x10_0000, amap.PFLASH_BASE + 0x22_0000
+
+
+def build_transmission_program(params: Dict):
+    builder = ProgramBuilder()
+    pressure_base, ratio_base = _table_bases(params)
+    isr_base = amap.PSPR_BASE if params["isr_in_pspr"] else None
+
+    main = builder.function("main")
+    top = main.label("top")
+    main.call("shift_logic")
+    main.call("plausibility")
+    main.jump(top)
+
+    # branch-heavy decision tree with modest data traffic
+    shift = builder.function("shift_logic")
+    for block in range(params["background_blocks"]):
+        block_top = shift.label()
+        shift.alu(10)
+        shift.load(isa.FixedAddr(amap.DSPR_BASE + 0x40 + (block % 16) * 4))
+        shift.alu(6)
+        shift.branch(isa.TakenProbability(0.35), block_top)
+        shift.alu(8)
+        shift.load(isa.TableAddr(ratio_base + (block % 8) * 0x400, 4, 256,
+                                 locality=params["table_locality"]))
+        shift.alu(6)
+        shift.store(isa.StrideAddr(amap.LMU_BASE + 0x2000 + block * 0x20, 4, 8))
+    shift.ret()
+
+    plaus = builder.function("plausibility")
+    for block in range(max(2, params["background_blocks"] // 3)):
+        plaus.alu(14)
+        plaus.load(isa.StrideAddr(amap.LMU_BASE + 0x6000 + block * 0x100, 4, 32))
+        plaus.alu(10)
+        plaus.branch(isa.TakenPeriodic(7), "skip%d" % block)
+        plaus.alu(4)
+        plaus.label("skip%d" % block)
+        plaus.alu(2)
+    plaus.ret()
+
+    pressure = builder.function("pressure_isr", base=isr_base)
+    pressure.alu(6)
+    pressure.load(isa.TableAddr(pressure_base, 4, 2048,
+                                locality=params["table_locality"]))
+    pressure.alu(8)
+    pressure.load(isa.TableAddr(pressure_base + 0x2000, 4, 2048,
+                                locality=params["table_locality"]))
+    pressure.alu(12)
+    pressure.store(isa.FixedAddr(SOLENOID_REG))
+    pressure.store(isa.StrideAddr(amap.DSPR_BASE + 0x800, 4, 32))
+    pressure.rfe()
+
+    speed = builder.function("speed_isr")
+    speed.alu(5)
+    speed.load(isa.FixedAddr(amap.PERIPH_BASE + 0x0500))
+    speed.alu(7)
+    speed.store(isa.FixedAddr(amap.DSPR_BASE + 0x20))
+    speed.rfe()
+
+    adapt = builder.function("adapt_task")
+    adapt.alu(8)
+    adapt.load(isa.StrideAddr(amap.DSPR_BASE + 0x900, 4, 32))
+    adapt.store(isa.StrideAddr(amap.DFLASH_BASE + 0x800, 4, 256))
+    adapt.store(isa.StrideAddr(amap.DFLASH_BASE + 0xC00, 4, 256))
+    adapt.rfe()
+
+    anomaly = builder.function("anomaly_isr")
+    anomaly.loop(48, lambda f: f
+                 .load(isa.TableAddr(amap.PFLASH_BASE + 0x30_0000, 4, 65536,
+                                     locality=0.0))
+                 .alu(1))
+    anomaly.rfe()
+
+    return builder.assemble()
+
+
+def build_pcp_solenoid_program():
+    """Closed-loop solenoid current control on the PCP."""
+    builder = ProgramBuilder(code_base=amap.PFLASH_BASE + 0xF1_0000)
+    prog = builder.function("pcp_solenoid")
+    prog.load(isa.FixedAddr(CURRENT_SENSE_REG))
+    prog.mac(6)
+    prog.store(isa.FixedAddr(SOLENOID_REG))
+    prog.store(isa.FixedAddr(amap.LMU_BASE + 0xE100))
+    prog.ret()
+    return builder.assemble(entry="pcp_solenoid")
+
+
+class TransmissionScenario:
+    name = "transmission_control"
+    default_params = DEFAULT_PARAMS
+
+    def hot_table_ranges(self, params: Dict):
+        merged = dict(DEFAULT_PARAMS)
+        merged.update(params)
+        if merged["tables_in_dspr"]:
+            return ()
+        pressure, ratio = _table_bases(merged)
+        return ((pressure, pressure + 0x4000), (ratio, ratio + 0x2000))
+
+    def build(self, config: SoCConfig, params: Dict,
+              seed: int = 2008) -> EmulationDevice:
+        merged = dict(DEFAULT_PARAMS)
+        merged.update(params)
+        params = merged
+        device = EmulationDevice(EdConfig(soc=config), seed)
+        soc = device.soc
+        device.load_program(build_transmission_program(params))
+
+        pressure_srn = soc.icu.add_srn("pressure", 10)
+        speed_srn = soc.icu.add_srn("speed", 7)
+        sol_core = "pcp" if params["use_pcp"] else "tc"
+        sol_srn = soc.icu.add_srn("solenoid", 8, core=sol_core)
+        adapt_srn = soc.icu.add_srn("adapt", 2)
+
+        device.cpu.set_vector(pressure_srn.id, "pressure_isr")
+        device.cpu.set_vector(speed_srn.id, "speed_isr")
+        device.cpu.set_vector(adapt_srn.id, "adapt_task")
+        if params["use_pcp"]:
+            device.pcp.bind_channel(sol_srn.id, build_pcp_solenoid_program())
+        else:
+            device.cpu.set_vector(sol_srn.id, "speed_isr")
+
+        freq = config.cpu.frequency_mhz
+        soc.add_peripheral(PeriodicTimer(
+            "control_timer", soc.hub, soc.icu, pressure_srn.id,
+            period=max(1000, int(freq * 1000 / params["control_khz"]))))
+        soc.add_peripheral(PeriodicTimer(
+            "shaft_sensor", soc.hub, soc.icu, speed_srn.id,
+            period=max(500, int(freq * 1e6 / params["shaft_hz"])),
+            phase=1234))
+        soc.add_peripheral(Adc(
+            "current_sense", soc.hub, soc.icu, sol_srn.id,
+            scan_period=max(800, int(freq * 1000 / 10)),
+            conversion_cycles=300))
+        soc.add_peripheral(PeriodicTimer(
+            "adapt_timer", soc.hub, soc.icu, adapt_srn.id,
+            period=freq * 1500, phase=freq * 613))
+        if params["anomaly"]:
+            anomaly_srn = soc.icu.add_srn("anomaly", 12)
+            device.cpu.set_vector(anomaly_srn.id, "anomaly_isr")
+            soc.add_peripheral(PeriodicTimer(
+                "anomaly_timer", soc.hub, soc.icu, anomaly_srn.id,
+                period=params["anomaly_period"],
+                phase=params["anomaly_period"] // 3))
+        return device

@@ -1,0 +1,34 @@
+"""Shared fixtures: small deterministic programs and devices."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ed.device import EdConfig, EmulationDevice
+from repro.soc.config import tc1797_config
+from repro.soc.cpu import isa
+from repro.soc.device import Soc
+from repro.soc.memory import map as amap
+from repro.workloads.program import ProgramBuilder
+
+
+
+
+@pytest.fixture
+def soc():
+    return Soc(tc1797_config(), seed=1234)
+
+
+@pytest.fixture
+def device():
+    return EmulationDevice(EdConfig(soc=tc1797_config()), seed=1234)
+
+
+@pytest.fixture
+def dspr_load():
+    return isa.FixedAddr(amap.DSPR_BASE + 0x100)
+
+
+@pytest.fixture
+def flash_load():
+    return isa.TableAddr(amap.PFLASH_BASE + 0x10_0000, 4, 4096, locality=0.5)

@@ -1,0 +1,28 @@
+"""Shared test helpers: small deterministic programs."""
+
+from repro.soc.cpu import isa
+from repro.workloads.program import ProgramBuilder
+
+
+def make_loop_program(alu_per_iter: int = 4, load_gen=None, store_gen=None,
+                      extra=None):
+    """An infinite main loop with configurable body, for timing tests."""
+    builder = ProgramBuilder()
+    main = builder.function("main")
+    top = main.label("top")
+    main.alu(alu_per_iter)
+    if load_gen is not None:
+        main.load(load_gen)
+    if store_gen is not None:
+        main.store(store_gen)
+    if extra is not None:
+        extra(main)
+    main.jump(top)
+    return builder.assemble()
+
+
+def make_halt_builder():
+    """Builder with a halting main — interrupt-driven-only workloads."""
+    builder = ProgramBuilder()
+    builder.function("main").halt()
+    return builder

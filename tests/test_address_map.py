@@ -1,0 +1,70 @@
+"""Address map: region classification and calibration overlay."""
+
+import pytest
+
+from repro.soc.config import tc1797_config
+from repro.soc.memory import map as amap
+
+
+@pytest.fixture
+def address_map():
+    return amap.AddressMap.for_config(tc1797_config())
+
+
+def test_classify_every_region(address_map):
+    assert address_map.classify(amap.PFLASH_BASE) == amap.PFLASH_CACHED
+    assert address_map.classify(amap.PFLASH_UNCACHED_BASE + 4) == amap.PFLASH_UNCACHED
+    assert address_map.classify(amap.DFLASH_BASE) == amap.DFLASH
+    assert address_map.classify(amap.PSPR_BASE + 0x10) == amap.PSPR
+    assert address_map.classify(amap.DSPR_BASE + 0x10) == amap.DSPR
+    assert address_map.classify(amap.LMU_BASE) == amap.LMU
+    assert address_map.classify(amap.PERIPH_BASE + 0x100) == amap.PERIPH
+    assert address_map.classify(amap.EMEM_BASE) == amap.EMEM
+
+
+def test_classify_end_of_region_exclusive(address_map):
+    pflash = address_map.region("pflash")
+    assert address_map.classify(pflash.end - 1) == amap.PFLASH_CACHED
+    with pytest.raises(ValueError):
+        address_map.classify(0x9FFF_FFFF + 1 + 0x0FFF_FFFF)  # far past regions
+
+
+def test_unmapped_address_raises(address_map):
+    with pytest.raises(ValueError):
+        address_map.classify(0x0000_1000)
+
+
+def test_region_lookup_by_name(address_map):
+    region = address_map.region("dspr")
+    assert region.base == amap.DSPR_BASE
+    with pytest.raises(KeyError):
+        address_map.region("nope")
+
+
+def test_overlay_redirects_flash_range(address_map):
+    start = amap.PFLASH_BASE + 0x1000
+    address_map.add_overlay(start, 0x100)
+    assert address_map.classify(start) == amap.OVERLAY
+    assert address_map.classify(start + 0xFF) == amap.OVERLAY
+    assert address_map.classify(start + 0x100) == amap.PFLASH_CACHED
+    assert address_map.classify(start - 4) == amap.PFLASH_CACHED
+
+
+def test_overlay_outside_flash_rejected(address_map):
+    with pytest.raises(ValueError):
+        address_map.add_overlay(amap.DSPR_BASE, 0x100)
+
+
+def test_clear_overlays(address_map):
+    start = amap.PFLASH_BASE + 0x2000
+    address_map.add_overlay(start, 0x100)
+    address_map.clear_overlays()
+    assert address_map.classify(start) == amap.PFLASH_CACHED
+    assert address_map.overlay_ranges == ()
+
+
+def test_tc1767_map_smaller_flash():
+    from repro.soc.config import tc1767_config
+    smaller = amap.AddressMap.for_config(tc1767_config())
+    with pytest.raises(ValueError):
+        smaller.classify(amap.PFLASH_BASE + 3 * 1024 * 1024)

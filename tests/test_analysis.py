@@ -1,0 +1,146 @@
+"""Profile analysis: dip windows and root-cause ranking."""
+
+import numpy as np
+import pytest
+
+from repro.core.profiling.analysis import (Window, diagnose,
+                                           find_low_windows,
+                                           rate_timeline_table)
+from repro.core.profiling.session import ProfileResult, SeriesData
+from repro.core.profiling.spec import ParameterSpec
+from repro.mcds.counters import CYCLES
+
+
+def make_series(name, values, resolution=100, basis="tc.instr_executed",
+                step=100):
+    data = SeriesData(ParameterSpec(name, ("e",), resolution, basis))
+    for i, value in enumerate(values):
+        data.append((i + 1) * step, value)
+    return data
+
+
+def make_result(series_list):
+    return ProfileResult({s.spec.name: s for s in series_list},
+                         cycles_run=10_000, trace_bits=1000,
+                         frequency_mhz=180, lost_messages=0)
+
+
+def test_find_low_windows_simple():
+    # rates: resolution 100 -> values/100
+    series = make_series("ipc", [150, 140, 40, 30, 45, 150, 20, 160])
+    windows = find_low_windows(series, threshold_rate=1.0)
+    assert len(windows) == 2
+    assert windows[0].start == 300 and windows[0].end == 500
+    assert windows[1].start == 700 and windows[1].end == 700
+
+
+def test_find_low_windows_min_samples():
+    series = make_series("ipc", [150, 40, 150, 40, 30, 150])
+    windows = find_low_windows(series, 1.0, min_samples=2)
+    assert len(windows) == 1
+    assert windows[0].length == 100
+
+
+def test_trailing_window_closed():
+    series = make_series("ipc", [150, 150, 40, 30])
+    windows = find_low_windows(series, 1.0)
+    assert windows[-1].end == 400
+
+
+def test_diagnose_ranks_injected_cause_first():
+    ipc = make_series("tc.ipc", [150, 150, 40, 40, 150, 150])
+    # miss rate spikes exactly inside the dip
+    misses = make_series("icache.miss_rate", [2, 2, 30, 28, 2, 2])
+    # an uncorrelated flat parameter
+    flat = make_series("dspr.access_rate", [20, 21, 20, 19, 20, 21])
+    result = make_result([ipc, misses, flat])
+    diagnoses = diagnose(result, ipc_threshold=1.0)
+    assert len(diagnoses) == 1
+    assert diagnoses[0].primary_cause == "icache.miss_rate"
+    assert diagnoses[0].ipc_inside < diagnoses[0].ipc_overall
+
+
+def test_diagnose_no_dips():
+    ipc = make_series("tc.ipc", [150, 150, 150])
+    result = make_result([ipc])
+    assert diagnose(result, ipc_threshold=1.0) == []
+
+
+def test_timeline_table_renders():
+    ipc = make_series("tc.ipc", list(range(100, 160, 10)))
+    result = make_result([ipc])
+    table = rate_timeline_table(result, ["tc.ipc"], buckets=3)
+    assert "tc.ipc" in table
+    assert len(table.splitlines()) == 4
+
+
+def test_periodicity_detected():
+    from repro.core.profiling.analysis import estimate_periodicity
+    # spike every 8 samples, 100 cycles apart -> period 800 cycles
+    values = [(40 if i % 8 == 0 else 2) for i in range(64)]
+    series = make_series("x", values, step=100)
+    period = estimate_periodicity(series)
+    assert period is not None
+    assert period == pytest.approx(800, rel=0.15)
+
+
+def test_periodicity_none_for_flat_series():
+    from repro.core.profiling.analysis import estimate_periodicity
+    series = make_series("x", [10] * 40)
+    assert estimate_periodicity(series) is None
+
+
+def test_periodicity_none_for_short_series():
+    from repro.core.profiling.analysis import estimate_periodicity
+    series = make_series("x", [1, 2, 3])
+    assert estimate_periodicity(series) is None
+
+
+def test_periodicity_on_simulated_anomaly():
+    from repro.core.profiling.analysis import estimate_periodicity
+    from repro.core.profiling import ProfilingSession, spec
+    from repro.soc.config import tc1797_config
+    from repro.workloads.engine import EngineControlScenario
+    device = EngineControlScenario().build(
+        tc1797_config(), {"anomaly": True, "anomaly_period": 30_000},
+        seed=51)
+    session = ProfilingSession(device, [spec.ipc(resolution=512)])
+    result = session.run(300_000)
+    period = estimate_periodicity(result["tc.ipc"])
+    assert period is not None
+    assert period == pytest.approx(30_000, rel=0.15)
+
+
+def test_compare_profiles_quantifies_improvement():
+    """Paper Sec. 5: measure the result of an improvement quantitatively."""
+    from repro.core.profiling import ProfilingSession, spec
+    from repro.core.profiling.analysis import compare_profiles
+    from repro.soc.config import tc1797_config
+    from repro.workloads.engine import EngineControlScenario
+
+    def profile(tables_in_dspr):
+        device = EngineControlScenario().build(
+            tc1797_config(),
+            {"tables_in_dspr": tables_in_dspr, "background_blocks": 8},
+            seed=65)
+        session = ProfilingSession(device, [
+            spec.ipc(), spec.flash_data_access_rate()])
+        return session.run(60_000)
+
+    before = profile(False)
+    after = profile(True)
+    table = compare_profiles(before, after)
+    assert "flash.data_access_rate" in table
+    assert "delta" in table
+    # the optimization is visible in the diff
+    assert (after.mean_rate("flash.data_access_rate")
+            < before.mean_rate("flash.data_access_rate"))
+
+
+def test_compare_profiles_disjoint_names():
+    from repro.core.profiling.analysis import compare_profiles
+    from repro.core.profiling.session import ProfileResult
+    a = make_result([make_series("x", [1, 2])])
+    b = make_result([make_series("y", [1, 2])])
+    table = compare_profiles(a, b)
+    assert "not compared" in table

@@ -1,0 +1,52 @@
+"""Bus layers: transfers, contention signals, per-master accounting."""
+
+from repro.soc.kernel.hub import EventHub
+from repro.soc.bus.layers import Bus
+
+
+def make_bus(occupancy=2, latency=4):
+    hub = EventHub()
+    bus = Bus("spb", hub, occupancy, latency, "spb.transfer",
+              "spb.contention")
+    return bus, hub
+
+
+def test_transfer_returns_latency():
+    bus, hub = make_bus()
+    wait, done = bus.transfer(10, "tc")
+    assert wait == 0
+    assert done == 14
+    assert hub.total("spb.transfer") == 1
+
+
+def test_contention_between_masters():
+    bus, hub = make_bus(occupancy=4)
+    bus.transfer(0, "dma")
+    wait, done = bus.transfer(1, "tc")
+    assert wait == 3
+    assert hub.total("spb.contention") == 3
+    assert bus.per_master_waits["tc"] == 3
+    assert "dma" not in bus.per_master_waits
+
+
+def test_per_master_grant_counts():
+    bus, _ = make_bus()
+    bus.transfer(0, "tc")
+    bus.transfer(10, "tc")
+    bus.transfer(20, "pcp")
+    assert bus.per_master_grants == {"tc": 2, "pcp": 1}
+    assert bus.total_transfers == 3
+
+
+def test_latency_override():
+    bus, _ = make_bus(occupancy=1, latency=4)
+    wait, done = bus.transfer(0, "tc", latency=9)
+    assert done == 9
+
+
+def test_reset():
+    bus, _ = make_bus()
+    bus.transfer(0, "tc")
+    bus.reset()
+    assert bus.total_transfers == 0
+    assert bus.per_master_grants == {}

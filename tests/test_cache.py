@@ -1,0 +1,102 @@
+"""Cache model: geometry, LRU behaviour, and a hypothesis model check."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.soc.config import CacheConfig
+from repro.soc.memory.cache import Cache
+
+
+def make_cache(size=256, line=32, ways=2):
+    return Cache(CacheConfig(size_bytes=size, line_bytes=line, ways=ways))
+
+
+def test_geometry():
+    cache = make_cache(size=1024, line=32, ways=2)
+    assert cache.sets == 16
+    assert cache.ways == 2
+
+
+def test_bad_line_size_rejected():
+    with pytest.raises(ValueError):
+        Cache(CacheConfig(size_bytes=256, line_bytes=24, ways=2))
+
+
+def test_miss_then_hit_after_fill():
+    cache = make_cache()
+    assert not cache.lookup(0x100)
+    cache.fill(0x100)
+    assert cache.lookup(0x104)   # same line
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_lookup_does_not_allocate():
+    cache = make_cache()
+    cache.lookup(0x100)
+    assert not cache.contains(0x100)
+
+
+def test_lru_evicts_least_recent():
+    # one-set cache: size = line * ways
+    cache = make_cache(size=64, line=32, ways=2)
+    cache.fill(0x000)
+    cache.fill(0x400)       # both map to set 0... need same set
+    # with 1 set, every line maps to set 0
+    cache.lookup(0x000)     # refresh 0x000
+    victim = cache.fill(0x800)
+    assert victim == 0x400 >> 5
+
+
+def test_fill_same_line_is_noop():
+    cache = make_cache()
+    cache.fill(0x100)
+    assert cache.fill(0x10C) is None
+
+
+def test_invalidate_all():
+    cache = make_cache()
+    cache.fill(0x100)
+    cache.invalidate_all()
+    assert not cache.contains(0x100)
+
+
+def test_reset_clears_counters():
+    cache = make_cache()
+    cache.lookup(0x100)
+    cache.reset()
+    assert cache.accesses == 0
+
+
+class _RefModel:
+    """Dict-of-lists reference LRU cache."""
+
+    def __init__(self, sets, ways, line_shift):
+        self.sets = sets
+        self.ways = ways
+        self.shift = line_shift
+        self.state = {}
+
+    def access(self, addr):
+        line = addr >> self.shift
+        ways = self.state.setdefault(line % self.sets, [])
+        hit = line in ways
+        if hit:
+            ways.remove(line)
+        elif len(ways) >= self.ways:
+            ways.pop(0)
+        ways.append(line)
+        return hit
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=0x7FF), min_size=1,
+                max_size=200))
+def test_cache_matches_reference_lru(addresses):
+    cache = make_cache(size=256, line=32, ways=2)   # 4 sets
+    ref = _RefModel(sets=4, ways=2, line_shift=5)
+    for addr in addresses:
+        hit = cache.lookup(addr)
+        if not hit:
+            cache.fill(addr)
+        assert hit == ref.access(addr)

@@ -1,0 +1,122 @@
+"""Calibration sessions: parameter blocks, page switching, accounting."""
+
+import pytest
+
+from repro.ed import CalibrationSession, EmulationDevice
+from repro.soc.memory import map as amap
+
+from tests.helpers import make_loop_program
+from repro.soc.cpu import isa
+
+FUEL = amap.PFLASH_BASE + 0x20_0000
+IGN = amap.PFLASH_BASE + 0x8_0000
+
+
+def make_session(reserve_kb=128):
+    device = EmulationDevice(seed=15)
+    session = CalibrationSession(device, reserve_kb=reserve_kb)
+    return device, session
+
+
+def test_reserving_shrinks_trace_share():
+    device, session = make_session(reserve_kb=128)
+    assert device.emem.calibration_kb == 128
+    assert device.emem.capacity_bits == (512 - 128) * 1024 * 8
+
+
+def test_map_block_within_budget():
+    device, session = make_session(reserve_kb=64)
+    session.map_block("fuel", FUEL, 32 * 1024)
+    session.map_block("ign", IGN, 32 * 1024)
+    with pytest.raises(ValueError, match="exhausted"):
+        session.map_block("more", FUEL + 0x10000, 4096)
+
+
+def test_duplicate_block_rejected():
+    _, session = make_session()
+    session.map_block("fuel", FUEL, 4096)
+    with pytest.raises(ValueError, match="already mapped"):
+        session.map_block("fuel", FUEL, 4096)
+
+
+def test_page_switching_toggles_overlay():
+    device, session = make_session()
+    session.map_block("fuel", FUEL, 0x8000)
+    assert device.soc.map.classify(FUEL) == amap.PFLASH_CACHED
+    session.switch_to_working_page()
+    assert device.soc.map.classify(FUEL) == amap.OVERLAY
+    session.switch_to_reference_page()
+    assert device.soc.map.classify(FUEL) == amap.PFLASH_CACHED
+
+
+def test_block_mapped_while_on_working_page_is_live():
+    device, session = make_session()
+    session.switch_to_working_page()
+    session.map_block("ign", IGN, 0x4000)
+    assert device.soc.map.classify(IGN) == amap.OVERLAY
+
+
+def test_working_page_changes_application_timing():
+    def run(working):
+        device = EmulationDevice(seed=15)
+        session = CalibrationSession(device, reserve_kb=128)
+        session.map_block("fuel", FUEL, 0x8000)
+        if working:
+            session.switch_to_working_page()
+        device.load_program(make_loop_program(
+            alu_per_iter=2,
+            load_gen=isa.TableAddr(FUEL, 4, 4096, locality=0.5)))
+        device.run(20_000)
+        return device.cpu.retired
+    assert run(True) > run(False)   # overlay RAM beats flash wait states
+
+
+def test_parameter_writes_and_accounting():
+    _, session = make_session()
+    session.map_block("fuel", FUEL, 4096)
+    session.write_parameter("fuel", 0x10, 1234)
+    session.write_parameter("fuel", 0x14, 5678)
+    assert session.read_parameter("fuel", 0x10) == 1234
+    assert session.read_parameter("fuel", 0x99) is None
+    assert session.blocks["fuel"].writes == 2
+    assert session.bits_written == 2 * CalibrationSession.WRITE_BITS
+    assert session.wire_seconds() > 0
+
+
+def test_write_outside_block_rejected():
+    _, session = make_session()
+    session.map_block("fuel", FUEL, 4096)
+    with pytest.raises(ValueError, match="outside"):
+        session.write_parameter("fuel", 4096, 1)
+
+
+def test_summary_renders():
+    _, session = make_session()
+    session.map_block("fuel", FUEL, 4096)
+    session.write_parameter("fuel", 0, 7)
+    text = session.summary()
+    assert "fuel" in text and "reference" in text
+
+
+def test_calibration_writes_share_the_streaming_wire():
+    """Calibration traffic steals DAP budget from the trace drain."""
+    from repro.ed.device import EdConfig
+    from repro.soc.config import tc1797_config
+
+    def drained(calibrate):
+        device = EmulationDevice(EdConfig(
+            soc=tc1797_config(), dap_streaming=True,
+            dap_bandwidth_mbps=4.0), seed=15)
+        session = CalibrationSession(device, reserve_kb=32)
+        session.map_block("fuel", FUEL, 0x4000)
+        device.load_program(make_loop_program(alu_per_iter=4))
+        device.mcds.add_rate_counter("ipc", ["tc.instr_executed"], 64,
+                                     basis="cycles")
+        for step in range(20):
+            device.run(2000)
+            if calibrate:
+                for offset in range(0, 256, 4):
+                    session.write_parameter("fuel", offset, step)
+        return len(device.dap.received)
+
+    assert drained(True) < drained(False)

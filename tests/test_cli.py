@@ -1,0 +1,97 @@
+"""CLI: every subcommand runs and prints the expected artifacts."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_topology(capsys):
+    code, out = run_cli(capsys, "topology")
+    assert code == 0
+    assert "tricore" in out and "mcds" in out
+    assert "dap -> ecerberus -> bbb -> emem" in out
+
+
+def test_topology_tc1767(capsys):
+    code, out = run_cli(capsys, "--device", "tc1767", "topology")
+    assert code == 0
+    assert "tc1767ED" in out
+
+
+def test_unknown_device_exits():
+    with pytest.raises(SystemExit):
+        main(["--device", "tc9999", "topology"])
+
+
+def test_profile(capsys):
+    code, out = run_cli(capsys, "profile", "--cycles", "60000")
+    assert code == 0
+    assert "tc.ipc" in out
+    assert "Mbit/s" in out
+
+
+def test_profile_anomaly_finds_dips(capsys):
+    code, out = run_cli(capsys, "profile", "--cycles", "150000", "--anomaly",
+                        "--resolution", "512")
+    assert code == 0
+    assert "poor-IPC windows" in out
+
+
+def test_trace(capsys):
+    code, out = run_cli(capsys, "trace", "--cycles", "40000")
+    assert code == 0
+    assert "bits/instr" in out
+    assert "discontinuities" in out
+
+
+def test_trace_other_scenario(capsys):
+    code, out = run_cli(capsys, "trace", "--cycles", "40000",
+                        "--scenario", "transmission")
+    assert code == 0
+    assert "decoded" in out
+
+
+def test_unknown_scenario_exits():
+    with pytest.raises(SystemExit):
+        main(["profile", "--scenario", "spaceship"])
+
+
+def test_explore_hardware_only(capsys):
+    code, out = run_cli(capsys, "explore", "--work", "40000",
+                        "--hardware-only")
+    assert code == 0
+    assert "gain/cost" in out
+    assert "mean absolute error" in out
+    assert "tables_dspr" not in out     # software options excluded
+
+
+def test_customers(capsys):
+    code, out = run_cli(capsys, "customers", "--count", "2",
+                        "--cycles", "30000")
+    assert code == 0
+    assert "customer00" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_report(capsys, tmp_path):
+    json_path = tmp_path / "profile.json"
+    csv_path = tmp_path / "summary.csv"
+    code, out = run_cli(capsys, "report", "--cycles", "60000",
+                        "--json", str(json_path), "--csv", str(csv_path))
+    assert code == 0
+    assert "Enhanced System Profiling report" in out
+    assert "CPI stack" in out
+    assert json_path.exists() and csv_path.exists()
+    import json as json_mod
+    payload = json_mod.loads(json_path.read_text())
+    assert payload["cycles_run"] == 60000

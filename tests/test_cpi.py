@@ -1,0 +1,61 @@
+"""CPI-stack decomposition."""
+
+import pytest
+
+from repro.core.optimization import CpiStack
+from repro.soc.config import tc1797_config
+from repro.soc.cpu import isa
+from repro.soc.device import Soc
+from repro.soc.kernel import signals
+from repro.soc.memory import map as amap
+
+from tests.helpers import make_loop_program
+
+
+def test_from_synthetic_counts():
+    cfg = tc1797_config()
+    counts = {
+        signals.TC_INSTR: 1000,
+        signals.TC_STALL_FETCH: 100,
+        signals.TC_STALL_LOAD: 200,
+        signals.TC_STALL_STORE: 0,
+        signals.TC_BRANCH_TAKEN: 50,
+        signals.TC_CSA: 10,
+        signals.TC_IRQ_ENTRY: 5,
+    }
+    stack = CpiStack.from_counts(counts, cycles=2000, config=cfg)
+    assert stack.cpi == 2.0
+    assert stack.components["fetch_stall"] == pytest.approx(0.1)
+    assert stack.components["load_stall"] == pytest.approx(0.2)
+    assert stack.components["control_flow"] == pytest.approx(
+        50 * cfg.cpu.branch_penalty / 1000)
+    assert sum(stack.components.values()) == pytest.approx(2.0)
+
+
+def test_zero_instructions():
+    stack = CpiStack.from_counts({}, cycles=100, config=tc1797_config())
+    assert stack.components == {}
+    assert stack.ipc == 0.0
+
+
+def test_components_sum_to_cpi_on_real_run():
+    soc = Soc(tc1797_config(), seed=8)
+    soc.load_program(make_loop_program(
+        alu_per_iter=4,
+        load_gen=isa.TableAddr(amap.PFLASH_BASE + 0x10_0000, 4, 1024,
+                               locality=0.5)))
+    soc.run(20_000)
+    stack = CpiStack.from_counts(soc.oracle(), soc.cycle, soc.config)
+    assert sum(stack.components.values()) == pytest.approx(stack.cpi,
+                                                           rel=1e-6)
+    assert stack.components["load_stall"] > 0
+    assert stack.components["base"] > 0
+
+
+def test_table_rendering():
+    soc = Soc(tc1797_config(), seed=8)
+    soc.load_program(make_loop_program(alu_per_iter=4))
+    soc.run(5000)
+    stack = CpiStack.from_counts(soc.oracle(), soc.cycle, soc.config)
+    table = stack.as_table()
+    assert "base" in table and "total" in table

@@ -1,0 +1,176 @@
+"""CPU edge cases: interrupt/stall interactions, issue-group boundaries."""
+
+import pytest
+
+from repro.soc.config import tc1797_config
+from repro.soc.cpu import isa
+from repro.soc.device import Soc
+from repro.soc.kernel import signals
+from repro.soc.memory import map as amap
+from repro.workloads.program import ProgramBuilder
+
+
+def make_soc(seed=60, config=None):
+    return Soc(config if config is not None else tc1797_config(), seed=seed)
+
+
+def test_interrupt_not_taken_mid_stall():
+    """A pending request waits until the current stall drains."""
+    soc = make_soc()
+    builder = ProgramBuilder(code_base=amap.PSPR_BASE)
+    main = builder.function("main")
+    # a long flash load then halt
+    main.load(isa.FixedAddr(amap.PFLASH_BASE + 0x10_0000))
+    main.halt()
+    isr = builder.function("isr")
+    isr.alu(1)
+    isr.rfe()
+    soc.load_program(builder.assemble())
+    srn = soc.icu.add_srn("x", 5)
+    soc.cpu.set_vector(srn.id, "isr")
+    soc._ensure_order()
+    soc.step = soc.run  # alias for clarity
+    soc.run(1)                    # load issued, CPU stalls on flash
+    assert soc.cpu.stall_until > soc.cycle
+    soc.icu.raise_request(srn.id)
+    stall_end = soc.cpu.stall_until
+    soc.run(1)
+    assert soc.hub.total(signals.TC_IRQ_ENTRY) == 0   # still stalled
+    soc.run(stall_end + 5)
+    assert soc.hub.total(signals.TC_IRQ_ENTRY) == 1
+
+
+def test_rfe_returns_to_halt_state():
+    soc = make_soc()
+    builder = ProgramBuilder(code_base=amap.PSPR_BASE)
+    builder.function("main").halt()
+    isr = builder.function("isr")
+    isr.alu(2)
+    isr.rfe()
+    soc.load_program(builder.assemble())
+    srn = soc.icu.add_srn("x", 5)
+    soc.cpu.set_vector(srn.id, "isr")
+    soc._ensure_order()
+    soc.run(5)
+    assert soc.cpu.halted
+    soc.icu.raise_request(srn.id)
+    soc.run(30)
+    assert soc.cpu.halted            # back asleep after the ISR
+    assert soc.cpu.retired == 3
+
+
+def test_not_taken_branch_does_not_end_group():
+    """A not-taken branch lets later instructions issue the same cycle."""
+    builder = ProgramBuilder(code_base=amap.PSPR_BASE)
+    main = builder.function("main")
+    top = main.label("top")
+    main.branch(isa.TakenProbability(0.0), top)   # never taken
+    main.alu(1)
+    main.load(isa.FixedAddr(amap.DSPR_BASE + 4))
+    main.jump(top)
+    soc = make_soc()
+    soc.load_program(builder.assemble())
+    soc.run(600)
+    # br+alu+ld can all retire in one cycle; jump the next; 2 cycles+penalty
+    per_iter = 2 + soc.config.cpu.branch_penalty
+    assert soc.cpu.retired >= (600 // per_iter - 2) * 4
+
+
+def test_two_control_ops_cannot_share_a_cycle():
+    builder = ProgramBuilder(code_base=amap.PSPR_BASE)
+    main = builder.function("main")
+    top = main.label("top")
+    main.branch(isa.TakenProbability(0.0), top)
+    main.branch(isa.TakenProbability(0.0), top)
+    main.jump(top)
+    soc = make_soc()
+    soc.load_program(builder.assemble())
+    soc.run(100)
+    # 3 control ops need at least 3 issue cycles per iteration
+    iters = soc.hub.total(signals.TC_BRANCH_TAKEN)
+    assert soc.cpu.retired <= 100  # never more than 1 ctl op per cycle
+
+
+def test_loop_count_one_falls_through_immediately():
+    builder = ProgramBuilder(code_base=amap.PSPR_BASE)
+    main = builder.function("main")
+    main.loop(1, lambda f: f.alu(1))
+    main.halt()
+    soc = make_soc()
+    soc.load_program(builder.assemble())
+    soc.run(20)
+    assert soc.cpu.halted
+    assert soc.cpu.retired == 2      # one alu + the loop-close
+
+
+def test_nested_calls_unwind_in_order():
+    builder = ProgramBuilder(code_base=amap.PSPR_BASE)
+    main = builder.function("main")
+    main.call("a")
+    main.halt()
+    a = builder.function("a")
+    a.alu(1)
+    a.call("b")
+    a.alu(1)
+    a.ret()
+    b = builder.function("b")
+    b.alu(1)
+    b.ret()
+    soc = make_soc()
+    soc.load_program(builder.assemble())
+    soc.run(100)
+    assert soc.cpu.halted
+    assert soc.cpu.retired == 7      # call,a:alu,call,b:alu,ret,a:alu,ret
+    assert soc.cpu._call_stack == []
+
+
+def test_isr_with_loop_and_call():
+    builder = ProgramBuilder(code_base=amap.PSPR_BASE)
+    builder.function("main").halt()
+    isr = builder.function("isr")
+    isr.loop(4, lambda f: f.alu(1))
+    isr.call("helper")
+    isr.rfe()
+    helper = builder.function("helper")
+    helper.alu(2)
+    helper.ret()
+    soc = make_soc()
+    soc.load_program(builder.assemble())
+    srn = soc.icu.add_srn("x", 5)
+    soc.cpu.set_vector(srn.id, "isr")
+    soc._ensure_order()
+    soc.icu.raise_request(srn.id)
+    soc.run(100)
+    assert soc.cpu.halted
+    assert soc.cpu.current_priority == 0
+
+
+def test_issue_width_config_respected():
+    cfg = tc1797_config()
+    cfg.cpu.issue_width = 1
+    builder = ProgramBuilder(code_base=amap.PSPR_BASE)
+    main = builder.function("main")
+    top = main.label("top")
+    for _ in range(8):
+        main.alu(1)
+        main.load(isa.FixedAddr(amap.DSPR_BASE + 4))
+    main.jump(top)
+    soc = make_soc(config=cfg)
+    soc.load_program(builder.assemble())
+    soc.run(500)
+    assert soc.cpu.retired <= 500    # no dual issue at width 1
+
+
+def test_uncached_code_execution():
+    """Code in the uncached segment always pays the flash path."""
+    builder = ProgramBuilder(code_base=amap.PFLASH_UNCACHED_BASE + 0x1000)
+    main = builder.function("main")
+    top = main.label("top")
+    main.alu(6)
+    main.jump(top)
+    soc = make_soc()
+    soc.load_program(builder.assemble())
+    soc.run(2000)
+    assert soc.hub.total(signals.ICACHE_ACCESS) == 0
+    assert soc.hub.total(signals.TC_STALL_FETCH) > 0
+    assert soc.cpu.retired > 0

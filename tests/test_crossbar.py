@@ -1,0 +1,85 @@
+"""Crossbar interconnect: per-target lanes vs the shared LMB."""
+
+import pytest
+
+from repro.core.optimization import hardware_options
+from repro.soc.bus.layers import CrossbarBus
+from repro.soc.config import tc1797_config
+from repro.soc.device import Soc
+from repro.soc.dma.controller import DmaChannelConfig
+from repro.soc.kernel import signals
+from repro.soc.kernel.hub import EventHub
+from repro.soc.cpu import isa
+from repro.soc.memory import map as amap
+from repro.workloads.program import ProgramBuilder
+
+
+def test_different_targets_do_not_contend():
+    hub = EventHub()
+    xbar = CrossbarBus("lmb", hub, occupancy=4, latency=4,
+                       transfer_signal="lmb.transfer",
+                       contention_signal="lmb.contention")
+    xbar.transfer(0, "dma", target="emem")
+    wait, _ = xbar.transfer(0, "tc", target="lmu")
+    assert wait == 0
+    assert hub.total("lmb.contention") == 0
+
+
+def test_same_target_still_serialises():
+    hub = EventHub()
+    xbar = CrossbarBus("lmb", hub, occupancy=4, latency=4,
+                       transfer_signal="lmb.transfer",
+                       contention_signal="lmb.contention")
+    xbar.transfer(0, "dma", target="lmu")
+    wait, _ = xbar.transfer(1, "tc", target="lmu")
+    assert wait == 3
+    assert xbar.total_contention == 3
+    assert xbar.total_transfers == 2
+
+
+def test_aggregate_stats_merge_lanes():
+    hub = EventHub()
+    xbar = CrossbarBus("lmb", hub, 1, 1, "x", "c")
+    xbar.transfer(0, "tc", target="a")
+    xbar.transfer(0, "tc", target="b")
+    assert xbar.per_master_grants == {"tc": 2}
+    xbar.reset()
+    assert xbar.total_transfers == 0
+
+
+def _contention_soc(crossbar: bool):
+    """CPU polls the LMU while DMA streams into the EMEM region."""
+    cfg = tc1797_config()
+    cfg.bus.lmb_crossbar = crossbar
+    cfg.bus.lmb_occupancy = 3          # make arbitration visible
+    soc = Soc(cfg, seed=63)
+    builder = ProgramBuilder(code_base=amap.PSPR_BASE)
+    main = builder.function("main")
+    top = main.label("top")
+    main.load(isa.FixedAddr(amap.LMU_BASE + 0x100))
+    main.alu(1)
+    main.jump(top)
+    soc.load_program(builder.assemble())
+    soc.dma.configure_channel(0, DmaChannelConfig(
+        src=amap.DSPR_BASE + 0x200, dst=amap.EMEM_BASE + 0x100, moves=200))
+    soc._ensure_order()
+    soc.dma.trigger(0)
+    soc.run(2000)
+    return soc
+
+
+def test_crossbar_removes_cross_target_contention():
+    shared = _contention_soc(crossbar=False)
+    xbar = _contention_soc(crossbar=True)
+    assert shared.hub.total(signals.LMB_CONTENTION) > 0
+    assert (xbar.hub.total(signals.LMB_CONTENTION)
+            < shared.hub.total(signals.LMB_CONTENTION))
+    assert xbar.cpu.retired >= shared.cpu.retired
+
+
+def test_crossbar_option_in_catalog():
+    options = {o.key: o for o in hardware_options()}
+    assert "lmb_xbar" in options
+    cfg = tc1797_config()
+    options["lmb_xbar"].apply(cfg, {})
+    assert cfg.bus.lmb_crossbar

@@ -1,0 +1,81 @@
+"""DAP tool interface: bandwidth-limited streaming and post-mortem upload."""
+
+import pytest
+
+from repro.ed.dap import DapInterface
+from repro.ed.emem import EmulationMemory
+from repro.mcds.messages import TraceMessage
+
+
+def msg(cycle, bits=160):
+    return TraceMessage("rate_sample", cycle, bits, "s", 1)
+
+
+def test_bits_per_cycle_shrinks_with_frequency():
+    emem = EmulationMemory(total_kb=1)
+    slow_cpu = DapInterface(emem, 16.0, 80)
+    fast_cpu = DapInterface(emem, 16.0, 360)
+    assert fast_cpu.bits_per_cycle < slow_cpu.bits_per_cycle
+
+
+def test_streaming_drains_at_wire_rate():
+    emem = EmulationMemory(total_kb=64)
+    dap = DapInterface(emem, bandwidth_mbps=18.0, cpu_frequency_mhz=180,
+                       streaming=True)
+    # 0.1 bits per cycle -> 160-bit message every 1600 cycles
+    for i in range(10):
+        emem.store(msg(i))
+    for cycle in range(1601):
+        dap.tick(cycle)
+    assert len(dap.received) == 1
+    for cycle in range(1601, 16_500):
+        dap.tick(cycle)
+    assert len(dap.received) == 10
+    assert dap.bits_transferred == 1600
+
+
+def test_non_streaming_never_drains():
+    emem = EmulationMemory(total_kb=64)
+    dap = DapInterface(emem, 16.0, 180, streaming=False)
+    emem.store(msg(0))
+    for cycle in range(10_000):
+        dap.tick(cycle)
+    assert dap.received == []
+    assert emem.message_count == 1
+
+
+def test_download_all_reports_wire_time():
+    emem = EmulationMemory(total_kb=64)
+    dap = DapInterface(emem, bandwidth_mbps=10.0, cpu_frequency_mhz=180)
+    for i in range(100):
+        emem.store(msg(i, bits=100))
+    messages, seconds = dap.download_all()
+    assert len(messages) == 100
+    assert seconds == pytest.approx(100 * 100 / 10e6)
+    assert emem.message_count == 0
+
+
+def test_required_bandwidth():
+    emem = EmulationMemory(total_kb=64)
+    dap = DapInterface(emem, 16.0, 180)
+    # 1.8e6 bits over 180e6 cycles at 180 MHz = 1 second -> 1.8 Mbit/s
+    assert dap.required_bandwidth_mbps(1_800_000, 180_000_000) == pytest.approx(1.8)
+    assert dap.required_bandwidth_mbps(100, 0) == 0.0
+
+
+def test_bandwidth_must_be_positive():
+    emem = EmulationMemory(total_kb=1)
+    with pytest.raises(ValueError):
+        DapInterface(emem, 0.0, 180)
+
+
+def test_reset():
+    emem = EmulationMemory(total_kb=64)
+    dap = DapInterface(emem, 16.0, 180, streaming=True)
+    emem.store(msg(0, bits=8))
+    for cycle in range(200):
+        dap.tick(cycle)
+    assert dap.received
+    dap.reset()
+    assert dap.received == []
+    assert dap.bits_transferred == 0

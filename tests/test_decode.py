@@ -1,0 +1,62 @@
+"""Trace decoder: reconstruction against ground truth."""
+
+from repro.analysis import TraceDecoder
+from repro.ed.device import EdConfig, EmulationDevice
+from repro.soc.config import tc1797_config
+from repro.soc.memory import map as amap
+from repro.workloads.program import ProgramBuilder
+
+
+def build_call_program():
+    builder = ProgramBuilder(code_base=amap.PSPR_BASE)
+    main = builder.function("main")
+    top = main.label("top")
+    main.call("work")
+    main.alu(2)
+    main.jump(top)
+    work = builder.function("work", base=amap.PSPR_BASE + 0x800)
+    work.alu(3)
+    work.ret()
+    return builder.assemble()
+
+
+def make_traced_run(cycles=3000):
+    program = build_call_program()
+    device = EmulationDevice(EdConfig(soc=tc1797_config()), seed=3)
+    device.load_program(program)
+    device.mcds.add_program_trace(sync_period=16)
+    device.run(cycles)
+    return program, device
+
+
+def test_decoder_finds_function_entries():
+    program, device = make_traced_run()
+    decoder = TraceDecoder(program)
+    run = decoder.decode(device.emem.contents())
+    assert run.function_entries.get("work", 0) > 10
+    # every call into work is matched by a discontinuity back into main
+    assert run.function_entries["work"] <= len(run.discontinuities)
+
+
+def test_decoder_span_covers_run():
+    program, device = make_traced_run(cycles=5000)
+    decoder = TraceDecoder(program)
+    run = decoder.decode(device.emem.contents())
+    assert run.span_cycles > 3000
+
+
+def test_decoder_ignores_other_message_kinds():
+    program, device = make_traced_run()
+    device.mcds.add_rate_counter("ipc", ["tc.instr_executed"], 64,
+                                 basis="cycles")
+    device.run(1000)
+    decoder = TraceDecoder(program)
+    run = decoder.decode(device.emem.contents())
+    assert all(addr is not None for _, addr in run.discontinuities)
+
+
+def test_decoder_empty_stream():
+    program, _ = make_traced_run(cycles=1)
+    run = TraceDecoder(program).decode([])
+    assert run.discontinuities == []
+    assert run.span_cycles == 0

@@ -1,0 +1,121 @@
+"""DMA controller: transfers, completion interrupts, fairness, contention."""
+
+import pytest
+
+from repro.soc.config import tc1797_config
+from repro.soc.cpu import isa
+from repro.soc.device import Soc
+from repro.soc.dma.controller import DmaChannelConfig
+from repro.soc.kernel import signals
+from repro.soc.memory import map as amap
+from repro.workloads.program import ProgramBuilder
+
+
+def make_soc():
+    soc = Soc(tc1797_config(), seed=5)
+    builder = ProgramBuilder(code_base=amap.PSPR_BASE)
+    builder.function("main").halt()
+    soc.load_program(builder.assemble())
+    return soc
+
+
+def test_unconfigured_channel_rejected():
+    soc = make_soc()
+    with pytest.raises(KeyError):
+        soc.dma.trigger(0)
+    with pytest.raises(ValueError):
+        soc.dma.configure_channel(99, DmaChannelConfig(
+            src=amap.LMU_BASE, dst=amap.DSPR_BASE, moves=1))
+
+
+def test_transfer_moves_and_completion():
+    soc = make_soc()
+    soc.dma.configure_channel(0, DmaChannelConfig(
+        src=amap.LMU_BASE, dst=amap.DSPR_BASE + 0x100, moves=6))
+    soc._ensure_order()
+    soc.dma.trigger(0)
+    soc.run(200)
+    assert soc.hub.total(signals.DMA_MOVE) == 6
+    assert soc.hub.total(signals.DMA_XFER_DONE) == 1
+    assert soc.dma.transfers_done == 1
+
+
+def test_completion_srn_raised():
+    soc = make_soc()
+    done_srn = soc.icu.add_srn("done", 3)
+    soc.dma.configure_channel(0, DmaChannelConfig(
+        src=amap.LMU_BASE, dst=amap.DSPR_BASE + 0x100, moves=2,
+        completion_srn=done_srn.id))
+    soc._ensure_order()
+    soc.dma.trigger(0)
+    soc.run(100)
+    assert done_srn.raised_count == 1
+
+
+def test_retrigger_while_busy_queues_one_block():
+    soc = make_soc()
+    soc.dma.configure_channel(0, DmaChannelConfig(
+        src=amap.LMU_BASE, dst=amap.DSPR_BASE + 0x100, moves=4))
+    soc._ensure_order()
+    soc.dma.trigger(0)
+    soc.dma.trigger(0)   # queued
+    soc.run(300)
+    assert soc.dma.transfers_done == 2
+    assert soc.hub.total(signals.DMA_MOVE) == 8
+
+
+def test_round_robin_between_channels():
+    soc = make_soc()
+    for ch in (0, 1):
+        soc.dma.configure_channel(ch, DmaChannelConfig(
+            src=amap.LMU_BASE + ch * 0x100, dst=amap.DSPR_BASE + ch * 0x100,
+            moves=5))
+    soc._ensure_order()
+    soc.dma.trigger(0)
+    soc.dma.trigger(1)
+    soc.run(400)
+    assert soc.dma.transfers_done == 2
+
+
+def test_dma_contends_with_cpu_on_spb():
+    soc = Soc(tc1797_config(), seed=5)
+    builder = ProgramBuilder(code_base=amap.PSPR_BASE)
+    main = builder.function("main")
+    top = main.label("top")
+    main.load(isa.FixedAddr(amap.PERIPH_BASE + 0x100))
+    main.alu(1)
+    main.jump(top)
+    soc.load_program(builder.assemble())
+    soc.dma.configure_channel(0, DmaChannelConfig(
+        src=amap.PERIPH_BASE + 0x300, dst=amap.LMU_BASE + 0x100, moves=64))
+    soc._ensure_order()
+    soc.dma.trigger(0)
+    soc.run(500)
+    assert soc.hub.total(signals.SPB_CONTENTION) > 0
+
+
+def test_addresses_walk_with_stride():
+    soc = make_soc()
+    seen = []
+    soc.memory.watchers.append(
+        lambda c, a, w, m: seen.append((a, w)) if m == "dma" else None)
+    soc.dma.configure_channel(0, DmaChannelConfig(
+        src=amap.LMU_BASE, dst=amap.DSPR_BASE + 0x100, moves=3, stride=8))
+    soc._ensure_order()
+    soc.dma.trigger(0)
+    soc.run(100)
+    reads = [a for a, w in seen if not w]
+    assert reads == [amap.LMU_BASE, amap.LMU_BASE + 8, amap.LMU_BASE + 16]
+
+
+def test_dma_reset():
+    soc = make_soc()
+    soc.dma.configure_channel(0, DmaChannelConfig(
+        src=amap.LMU_BASE, dst=amap.DSPR_BASE + 0x100, moves=50))
+    soc._ensure_order()
+    soc.dma.trigger(0)
+    soc.run(10)
+    soc.reset()
+    assert soc.dma.transfers_done == 0
+    soc.run(5)
+    assert soc.hub.total(signals.DMA_MOVE) == 0

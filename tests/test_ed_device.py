@@ -1,0 +1,83 @@
+"""Emulation Device: topology (Figures 2/4/5), overlay, configs."""
+
+import pytest
+
+from repro.ed.device import (ACCESS_PATHS, EEC_BLOCKS, EdConfig,
+                             EmulationDevice, tc1767ed_config,
+                             tc1797ed_config)
+from repro.soc.memory import map as amap
+
+from tests.helpers import make_loop_program
+
+
+def test_figure4_eec_blocks_present():
+    device = EmulationDevice()
+    inventory = device.block_inventory()
+    for block in EEC_BLOCKS:
+        assert block in inventory
+
+
+def test_figure2_product_blocks_present():
+    device = EmulationDevice()
+    inventory = device.block_inventory()
+    for block in ("tricore", "pcp", "dma", "pflash", "dspr", "pspr",
+                  "lmu", "lmb", "spb", "icache"):
+        assert block in inventory
+
+
+def test_figure4_access_paths():
+    device = EmulationDevice()
+    paths = device.access_paths()
+    assert ("dap", "ecerberus", "bbb", "emem") in paths
+    assert ("tricore", "mli_bridge", "bbb", "emem") in paths
+
+
+def test_ed_configs_match_family():
+    tc97 = tc1797ed_config()
+    tc67 = tc1767ed_config()
+    assert tc97.emem_kb == 512
+    assert tc67.emem_kb == 256
+    assert tc67.soc.cpu.frequency_mhz < tc97.soc.cpu.frequency_mhz
+
+
+def test_overlay_requires_reserved_calibration():
+    device = EmulationDevice()
+    with pytest.raises(ValueError):
+        device.map_calibration_overlay(amap.PFLASH_BASE + 0x1000, 0x4000)
+    device.reserve_calibration(64)
+    device.map_calibration_overlay(amap.PFLASH_BASE + 0x1000, 0x4000)
+    assert device.soc.map.classify(amap.PFLASH_BASE + 0x1000) == amap.OVERLAY
+
+
+def test_overlay_changes_data_timing():
+    """Calibration overlay is the one deliberate intrusion of the ED."""
+    from repro.soc.cpu import isa
+    table = amap.PFLASH_BASE + 0x10_0000
+
+    def run(with_overlay):
+        device = EmulationDevice(seed=4)
+        if with_overlay:
+            device.reserve_calibration(64)
+            device.map_calibration_overlay(table, 0x8000)
+        device.load_program(make_loop_program(
+            alu_per_iter=2,
+            load_gen=isa.TableAddr(table, 4, 4096, locality=0.5)))
+        device.run(5000)
+        return device.cpu.retired
+
+    assert run(True) > run(False)   # overlay RAM faster than flash reads
+
+
+def test_reset_full_stack():
+    device = EmulationDevice()
+    device.load_program(make_loop_program())
+    device.mcds.add_rate_counter("ipc", ["tc.instr_executed"], 64,
+                                 basis="cycles")
+    device.run(1000)
+    assert device.emem.message_count > 0
+    device.reset()
+    assert device.cycle == 0
+    assert device.emem.message_count == 0
+    assert device.mcds.total_messages == 0
+    device.run(500)
+    assert device.emem.message_count > 0   # still functional after reset

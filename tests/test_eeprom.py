@@ -1,0 +1,75 @@
+"""EEPROM emulation driver: records, sector swaps, wear."""
+
+import pytest
+
+from repro.soc.kernel.resource import TimedResource
+from repro.soc.memory.eeprom import EepromEmulation
+
+
+def make_driver(sector_bytes=256, record_bytes=16):
+    dflash = TimedResource("dflash", occupancy=6)
+    return EepromEmulation(dflash, sector_bytes=sector_bytes,
+                           record_bytes=record_bytes), dflash
+
+
+def test_needs_two_sectors():
+    with pytest.raises(ValueError):
+        EepromEmulation(TimedResource("d", 6), sectors=1)
+
+
+def test_write_then_read_latest_version():
+    driver, _ = make_driver()
+    driver.write_record(0, record_id=1, value=100)
+    driver.write_record(50, record_id=1, value=200)
+    assert driver.read_record(60, 1) == 200
+    assert driver.read_record(60, 99) is None
+    assert driver.writes == 2
+
+
+def test_writes_occupy_dflash():
+    driver, dflash = make_driver()
+    done = driver.write_record(0, 1, 5)
+    assert done >= 6                    # program pulse
+    assert dflash.busy_until >= 4 * 6   # long occupancy
+
+
+def test_sector_swap_preserves_live_records():
+    # sector holds 256 // (16+8) = 10 records
+    driver, _ = make_driver(sector_bytes=256)
+    now = 0
+    for i in range(10):
+        now = driver.write_record(now, record_id=i % 3, value=i)
+    assert driver.swaps == 0
+    now = driver.write_record(now + 10, record_id=7, value=777)
+    assert driver.swaps == 1
+    assert driver.active == 1
+    # all previously-live records survived the copy
+    for rid, expected in ((0, 9), (1, 7), (2, 8), (7, 777)):
+        assert driver.read_record(now, rid) == expected
+
+
+def test_swap_erase_blocks_dflash():
+    driver, dflash = make_driver(sector_bytes=256)
+    now = 0
+    for i in range(11):   # force a swap
+        now = driver.write_record(now + 100, record_id=i, value=i)
+    assert driver.total_erase_cycles >= 256
+    assert dflash.busy_until > now
+
+
+def test_wear_levelling_distributes_erases():
+    driver, _ = make_driver(sector_bytes=256)
+    now = 0
+    for i in range(100):
+        now = driver.write_record(now + 200, record_id=i % 2, value=i)
+    assert driver.swaps >= 4
+    counts = [s.erase_count for s in driver.sectors]
+    assert max(counts) - min(counts) <= 1     # alternating sectors
+    assert driver.max_erase_count == max(counts)
+
+
+def test_wear_report_renders():
+    driver, _ = make_driver()
+    driver.write_record(0, 1, 2)
+    report = driver.wear_report()
+    assert "erases" in report and "writes=1" in report

@@ -1,0 +1,101 @@
+"""Emulation memory: ring/fill capture, trigger-stop, tool access."""
+
+import pytest
+
+from repro.ed.emem import FILL, RING, EmulationMemory
+from repro.mcds.messages import TraceMessage
+
+
+def msg(cycle, bits=80):
+    return TraceMessage("rate_sample", cycle, bits, "s", 1)
+
+
+def test_capacity_accounting():
+    emem = EmulationMemory(total_kb=1)          # 8192 bits of trace
+    emem.store(msg(0, bits=4000))
+    emem.store(msg(1, bits=4000))
+    assert emem.message_count == 2
+    assert emem.stored_bits == 8000
+    assert 0.9 < emem.fill_ratio <= 1.0
+
+
+def test_ring_mode_drops_oldest():
+    emem = EmulationMemory(total_kb=1, mode=RING)
+    for i in range(4):
+        emem.store(msg(i, bits=3000))
+    # 4 x 3000 bits into 8192: messages 0 and 1 wrapped away
+    assert emem.lost_oldest == 2
+    assert emem.contents()[0].cycle == 2
+    assert emem.stored_bits <= emem.capacity_bits
+
+
+def test_fill_mode_rejects_newest():
+    emem = EmulationMemory(total_kb=1, mode=FILL)
+    for i in range(4):
+        emem.store(msg(i, bits=3000))
+    assert emem.lost_new >= 1
+    assert emem.contents()[0].cycle == 0
+
+
+def test_calibration_share_shrinks_trace():
+    emem = EmulationMemory(total_kb=512, calibration_kb=256)
+    assert emem.capacity_bits == 256 * 1024 * 8
+    emem.reserve_calibration(384)
+    assert emem.capacity_bits == 128 * 1024 * 8
+    with pytest.raises(ValueError):
+        emem.reserve_calibration(1024)
+
+
+def test_trigger_stop_freezes_after_post_share():
+    emem = EmulationMemory(total_kb=1)
+    for i in range(10):
+        emem.store(msg(i, bits=500))
+    emem.trigger_stop(cycle=100, post_trigger_fraction=0.25)
+    # 25% of 8192 = 2048 bits of post-trigger data
+    for i in range(10):
+        emem.store(msg(100 + i, bits=500))
+    assert emem.frozen
+    assert emem.lost_new > 0
+    assert emem.trigger_cycle == 100
+    post = [m for m in emem.contents() if m.cycle >= 100]
+    assert 2048 - 500 <= sum(m.bits for m in post) <= 2048 + 500
+
+
+def test_trigger_stop_idempotent():
+    emem = EmulationMemory(total_kb=1)
+    emem.trigger_stop(10)
+    emem.trigger_stop(20)
+    assert emem.trigger_cycle == 10
+
+
+def test_pop_front_whole_messages_only():
+    emem = EmulationMemory(total_kb=1)
+    emem.store(msg(0, bits=100))
+    emem.store(msg(1, bits=100))
+    popped, bits = emem.pop_front(150)
+    assert len(popped) == 1 and bits == 100
+    assert emem.message_count == 1
+
+
+def test_history_cycles_span():
+    emem = EmulationMemory(total_kb=1)
+    emem.store(msg(100))
+    emem.store(msg(450))
+    assert emem.history_cycles() == 350
+
+
+def test_invalid_configs():
+    with pytest.raises(ValueError):
+        EmulationMemory(total_kb=10, calibration_kb=20)
+    with pytest.raises(ValueError):
+        EmulationMemory(total_kb=10, mode="spiral")
+
+
+def test_reset():
+    emem = EmulationMemory(total_kb=1)
+    emem.store(msg(0))
+    emem.trigger_stop(5)
+    emem.reset()
+    assert emem.message_count == 0
+    assert not emem.frozen
+    assert emem.trigger_cycle is None

@@ -1,0 +1,57 @@
+"""Property tests: EMEM accounting conservation under arbitrary traffic."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ed.emem import FILL, RING, EmulationMemory
+from repro.mcds.messages import TraceMessage
+
+
+def msg(index, bits):
+    return TraceMessage("rate_sample", index, bits, "s", index)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(8, 4000), min_size=1, max_size=120),
+       st.sampled_from([RING, FILL]))
+def test_store_conservation(bit_sizes, mode):
+    """stored == buffered + wrapped + rejected, and capacity never exceeded."""
+    emem = EmulationMemory(total_kb=1, mode=mode)
+    for index, bits in enumerate(bit_sizes):
+        emem.store(msg(index, bits))
+        assert emem.stored_bits <= emem.capacity_bits
+    assert (emem.total_stored
+            == emem.message_count + emem.lost_oldest + emem.lost_new)
+    assert emem.stored_bits == sum(m.bits for m in emem.contents())
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(8, 500), min_size=1, max_size=80),
+       st.integers(1, 2000))
+def test_pop_front_conservation(bit_sizes, budget):
+    emem = EmulationMemory(total_kb=64)
+    for index, bits in enumerate(bit_sizes):
+        emem.store(msg(index, bits))
+    before = emem.message_count
+    popped, popped_bits = emem.pop_front(budget)
+    assert popped_bits <= budget
+    assert popped_bits == sum(m.bits for m in popped)
+    assert emem.message_count == before - len(popped)
+    # FIFO order preserved
+    assert [m.cycle for m in popped] == sorted(m.cycle for m in popped)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(8, 2000), min_size=1, max_size=80),
+       st.floats(0.05, 0.9))
+def test_trigger_stop_freezes_eventually(bit_sizes, fraction):
+    emem = EmulationMemory(total_kb=1)
+    emem.trigger_stop(0, post_trigger_fraction=fraction)
+    budget = int(emem.capacity_bits * fraction)
+    accepted = 0
+    for index, bits in enumerate(bit_sizes):
+        emem.store(msg(index, bits))
+        if not emem.frozen:
+            accepted += bits
+    if sum(bit_sizes) > budget:
+        assert emem.frozen

@@ -1,0 +1,81 @@
+"""Option evaluator: baseline, predictions vs measurements, ranking."""
+
+import pytest
+
+from repro.core.optimization import (OptionEvaluator, hardware_options,
+                                     report, software_options)
+from repro.soc.config import tc1797_config
+from repro.workloads.engine import EngineControlScenario
+
+WORK = 60_000   # small instruction budget keeps the test quick
+
+
+@pytest.fixture(scope="module")
+def evaluator():
+    ev = OptionEvaluator(EngineControlScenario(), tc1797_config(),
+                         hardware_options() + software_options(),
+                         work_instructions=WORK, seed=31)
+    ev.run_baseline()
+    return ev
+
+
+@pytest.fixture(scope="module")
+def results(evaluator):
+    return evaluator.evaluate()
+
+
+def test_baseline_context(evaluator):
+    ctx = evaluator.context
+    assert ctx.stack.cpi > 1.0
+    assert len(ctx.captures.fetch_addresses) > 1000
+    assert len(ctx.captures.data_addresses) > 200
+    assert ctx.hot_ranges
+
+
+def test_baseline_deterministic():
+    ev1 = OptionEvaluator(EngineControlScenario(), tc1797_config(), [],
+                          work_instructions=WORK, seed=31)
+    ev2 = OptionEvaluator(EngineControlScenario(), tc1797_config(), [],
+                          work_instructions=WORK, seed=31)
+    assert ev1.run_baseline().cycles == ev2.run_baseline().cycles
+
+
+def test_all_options_evaluated(results):
+    keys = {r.option.key for r in results}
+    assert len(results) == len(hardware_options()) + len(software_options())
+    assert "icache_x2" in keys
+
+
+def test_ranking_sorted_by_gain_cost_ratio(results):
+    ratios = [r.gain_cost_ratio for r in results]
+    assert ratios == sorted(ratios, reverse=True)
+
+
+def test_flash_path_options_win(results):
+    """Paper Section 4: the CPU->flash path is the main lever."""
+    top_hw = [r for r in results if r.option.kind == "hardware"][:3]
+    flash_path = {"icache_x2", "flash_25ns", "prefetch_x4", "dbuf_x4",
+                  "dcache_4k", "banks_x4"}
+    assert any(r.option.key in flash_path for r in top_hw)
+    best = max(results, key=lambda r: r.measured_gain_percent)
+    assert best.option.key in flash_path
+
+
+def test_predictions_track_measurements(results):
+    mae = sum(r.prediction_error for r in results) / len(results)
+    assert mae < 3.0    # gain points
+
+
+def test_speedups_are_sane(results):
+    for result in results:
+        assert 0.9 < result.measured_speedup < 1.6, result.option.key
+        assert result.baseline_cycles > 0
+        assert result.option_cycles > 0
+
+
+def test_report_tables_render(results):
+    ranking = report.ranking_table(results)
+    validation = report.validation_table(results)
+    assert "gain/cost" in ranking
+    assert "mean absolute error" in validation
+    assert all(r.option.key in ranking for r in results)

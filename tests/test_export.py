@@ -1,0 +1,73 @@
+"""Profile export: JSON and CSV serialisation."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.core.profiling import ProfilingSession, spec
+from repro.core.profiling.export import (result_from_json, result_to_json,
+                                         series_to_csv, summary_to_csv)
+from repro.ed.device import EdConfig, EmulationDevice
+from repro.soc.config import tc1797_config
+from repro.soc.cpu import isa
+from repro.soc.memory import map as amap
+
+from tests.helpers import make_loop_program
+
+
+@pytest.fixture(scope="module")
+def result():
+    device = EmulationDevice(EdConfig(soc=tc1797_config()), seed=48)
+    device.load_program(make_loop_program(
+        alu_per_iter=3,
+        load_gen=isa.FixedAddr(amap.DSPR_BASE + 0x40)))
+    session = ProfilingSession(device, [spec.ipc(resolution=256),
+                                        spec.icache_miss_rate()])
+    return session.run(30_000)
+
+
+def test_json_roundtrip(result):
+    text = result_to_json(result)
+    payload = result_from_json(text)
+    assert payload["cycles_run"] == 30_000
+    assert set(payload["parameters"]) == {"tc.ipc", "icache.miss_rate"}
+    ipc = payload["parameters"]["tc.ipc"]
+    assert ipc["samples"] == len(result["tc.ipc"])
+    assert ipc["mean_rate"] == pytest.approx(result.mean_rate("tc.ipc"))
+    assert len(ipc["cycles"]) == ipc["samples"]
+
+
+def test_json_without_series(result):
+    payload = json.loads(result_to_json(result, include_series=False))
+    assert "cycles" not in payload["parameters"]["tc.ipc"]
+
+
+def test_from_json_rejects_garbage():
+    with pytest.raises(ValueError):
+        result_from_json('{"hello": 1}')
+
+
+def test_series_csv_long_format(result):
+    rows = list(csv.reader(io.StringIO(series_to_csv(result))))
+    assert rows[0] == ["parameter", "cycle", "value", "rate"]
+    body = rows[1:]
+    expected = sum(len(result[name]) for name in result.names)
+    assert len(body) == expected
+    parameters = {row[0] for row in body}
+    assert parameters == {"tc.ipc", "icache.miss_rate"}
+
+
+def test_series_csv_selected_names(result):
+    rows = list(csv.reader(io.StringIO(series_to_csv(result, ["tc.ipc"]))))
+    assert all(row[0] == "tc.ipc" for row in rows[1:])
+
+
+def test_summary_csv(result):
+    rows = list(csv.reader(io.StringIO(summary_to_csv(result))))
+    assert rows[0][0] == "parameter"
+    assert len(rows) == 3
+    by_name = {row[0]: row for row in rows[1:]}
+    assert float(by_name["tc.ipc"][4]) == pytest.approx(
+        result.mean_rate("tc.ipc"))

@@ -1,0 +1,108 @@
+"""Embedded flash: wait states, port buffers, prefetch, bank conflicts."""
+
+import pytest
+
+from repro.soc.config import FlashConfig
+from repro.soc.kernel import signals
+from repro.soc.kernel.hub import EventHub
+from repro.soc.memory.flash import EmbeddedFlash
+
+BASE = 0x8000_0000
+
+
+def make_flash(freq=180, **kwargs):
+    hub = EventHub()
+    cfg = FlashConfig(**kwargs)
+    return EmbeddedFlash(cfg, freq, hub), hub
+
+
+def test_wait_states_scale_with_frequency():
+    cfg = FlashConfig(access_time_ns=30.0)
+    assert cfg.wait_states(180) == 5   # 5.4 cycles -> 6 total -> 5 WS
+    assert cfg.wait_states(133) == 3
+    assert cfg.wait_states(80) == 2
+    assert cfg.wait_states(270) > cfg.wait_states(180)
+
+
+def test_code_fetch_miss_pays_wait_states():
+    flash, hub = make_flash(prefetch_enabled=False)
+    done = flash.fetch_line(0, BASE)
+    assert done == flash.wait_states + 1
+    assert hub.total(signals.PFLASH_CODE_ACCESS) == 1
+
+
+def test_code_buffer_hit_is_fast():
+    flash, hub = make_flash(prefetch_enabled=False)
+    done = flash.fetch_line(0, BASE)
+    done2 = flash.fetch_line(done, BASE + 4)  # same line
+    assert done2 == done + 1
+    assert hub.total(signals.PFLASH_BUF_HIT_CODE) == 1
+
+
+def test_prefetch_covers_sequential_line():
+    flash, hub = make_flash(prefetch_enabled=True)
+    done = flash.fetch_line(0, BASE)
+    # next line was prefetched; waiting long enough makes it a fast hit
+    later = done + 2 * (flash.wait_states + 1)
+    done2 = flash.fetch_line(later, BASE + 32)
+    assert done2 == later + 1
+    assert hub.total(signals.PFLASH_PREFETCH) == 1
+    assert hub.total(signals.PFLASH_BUF_HIT_CODE) == 1
+
+
+def test_prefetched_line_not_ready_immediately():
+    flash, hub = make_flash(prefetch_enabled=True)
+    done = flash.fetch_line(0, BASE)
+    # ask for the prefetched line right away: counted as buffer hit but the
+    # data is still streaming out of the array
+    done2 = flash.fetch_line(done, BASE + 32)
+    assert done2 > done + 1
+
+
+def test_data_buffer_fifo_eviction():
+    flash, hub = make_flash(data_buffer_lines=1)
+    flash.read_data(0, BASE + 0x1000)
+    t = 100
+    flash.read_data(t, BASE + 0x2000)       # evicts line of 0x1000
+    done = flash.read_data(t + 50, BASE + 0x1000)
+    assert done > t + 51                    # miss again
+    assert hub.total(signals.PFLASH_BUF_HIT_DATA) == 0
+
+
+def test_data_buffer_hit():
+    flash, hub = make_flash(data_buffer_lines=2)
+    done = flash.read_data(0, BASE + 0x1000)
+    done2 = flash.read_data(done, BASE + 0x1004)
+    assert done2 == done + 1
+    assert hub.total(signals.PFLASH_BUF_HIT_DATA) == 1
+
+
+def test_port_conflict_on_same_bank():
+    flash, hub = make_flash(size_kb=4096, banks=2, prefetch_enabled=False)
+    # both accesses in bank 0 (first 2 MB)
+    flash.fetch_line(0, BASE)
+    flash.read_data(1, BASE + 0x10_0000)
+    assert hub.total(signals.PFLASH_PORT_CONFLICT) > 0
+
+
+def test_no_conflict_across_banks():
+    flash, hub = make_flash(size_kb=4096, banks=2, prefetch_enabled=False)
+    flash.fetch_line(0, BASE)                      # bank 0
+    done = flash.read_data(1, BASE + 0x20_0000)    # bank 1 (>= 2 MB)
+    assert hub.total(signals.PFLASH_PORT_CONFLICT) == 0
+    assert done == 1 + flash.wait_states + 1
+
+
+def test_same_port_queueing_is_not_a_conflict():
+    flash, hub = make_flash(prefetch_enabled=False)
+    flash.read_data(0, BASE + 0x1000)
+    flash.read_data(1, BASE + 0x4000)   # same bank, same (data) port
+    assert hub.total(signals.PFLASH_PORT_CONFLICT) == 0
+
+
+def test_reset_clears_buffers_and_banks():
+    flash, hub = make_flash()
+    flash.fetch_line(0, BASE)
+    flash.reset()
+    assert flash.code_buffer.get((BASE & 0x0FFF_FFFF) >> 5) is None
+    assert all(bank.busy_until == 0 for bank in flash.banks)

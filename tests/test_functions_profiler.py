@@ -1,0 +1,87 @@
+"""Function-level profiler: attribution and hotspot ranking."""
+
+from repro.core.profiling import FunctionProfiler
+from repro.ed.device import EdConfig, EmulationDevice
+from repro.mcds.trace import TraceFanout
+from repro.soc.config import tc1797_config
+from repro.soc.cpu import isa
+from repro.soc.memory import map as amap
+from repro.workloads.program import ProgramBuilder
+
+
+def build_two_function_program(hot_iters=20):
+    builder = ProgramBuilder(code_base=amap.PSPR_BASE)
+    main = builder.function("main")
+    top = main.label("top")
+    main.call("hot")
+    main.call("cold")
+    main.jump(top)
+    hot = builder.function("hot", base=amap.PSPR_BASE + 0x800)
+    hot.loop(hot_iters, lambda f: f.mac(2))
+    hot.ret()
+    cold = builder.function("cold", base=amap.PSPR_BASE + 0x1000)
+    cold.alu(2)
+    cold.ret()
+    return builder.assemble()
+
+
+def make_profiled_device(program):
+    device = EmulationDevice(EdConfig(soc=tc1797_config()), seed=6)
+    device.load_program(program)
+    profiler = FunctionProfiler(program)
+    device.cpu.trace = TraceFanout()
+    device.cpu.trace.add(profiler)
+    return device, profiler
+
+
+def test_attribution_sums_to_retired():
+    program = build_two_function_program()
+    device, profiler = make_profiled_device(program)
+    device.run(2000)
+    total = sum(s.instructions for s in profiler.stats.values())
+    assert total == device.cpu.retired
+
+
+def test_hot_function_ranked_first():
+    program = build_two_function_program(hot_iters=30)
+    device, profiler = make_profiled_device(program)
+    device.run(3000)
+    hotspots = profiler.hotspots(top=3)
+    assert hotspots[0].name == "hot"
+    assert hotspots[0].instructions > hotspots[-1].instructions
+
+
+def test_entries_counted_per_call():
+    program = build_two_function_program()
+    device, profiler = make_profiled_device(program)
+    device.run(2000)
+    # hot is called before cold each iteration; the run may cut off between
+    assert abs(profiler.stats["hot"].entries
+               - profiler.stats["cold"].entries) <= 1
+    assert profiler.stats["hot"].entries > 5
+
+
+def test_flat_profile_renders():
+    program = build_two_function_program()
+    device, profiler = make_profiled_device(program)
+    device.run(500)
+    report = profiler.flat_profile()
+    assert "hot" in report and "main" in report and "%" in report
+
+
+def test_isr_attribution():
+    builder = ProgramBuilder(code_base=amap.PSPR_BASE)
+    builder.function("main").halt()
+    isr = builder.function("isr", base=amap.PSPR_BASE + 0x800)
+    isr.alu(5)
+    isr.rfe()
+    program = builder.assemble()
+    device, profiler = make_profiled_device(program)
+    srn = device.soc.icu.add_srn("t", 5)
+    device.cpu.set_vector(srn.id, "isr")
+    from repro.soc.peripherals.basic import PeriodicTimer
+    device.soc.add_peripheral(PeriodicTimer(
+        "t", device.soc.hub, device.soc.icu, srn.id, 100))
+    device.run(1000)
+    assert profiler.stats["isr"].entries >= 8
+    assert profiler.stats["isr"].instructions >= 8 * 6

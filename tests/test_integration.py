@@ -1,0 +1,86 @@
+"""End-to-end integration: the full methodology pipeline on one device.
+
+Profile -> locate poor-IPC windows -> root-cause them -> quantify and rank
+architecture options — the complete workflow of the paper, in one test.
+"""
+
+import pytest
+
+from repro.core.optimization import (OptionEvaluator, hardware_options,
+                                     report)
+from repro.core.profiling import ProfilingSession, analysis, spec
+from repro.soc.config import tc1797_config
+from repro.soc.kernel import signals
+from repro.workloads.engine import EngineControlScenario
+
+
+@pytest.fixture(scope="module")
+def profiled():
+    scenario = EngineControlScenario()
+    device = scenario.build(tc1797_config(),
+                            {"anomaly": True, "anomaly_period": 40_000},
+                            seed=55)
+    session = ProfilingSession(device, spec.engine_parameter_set(
+        ipc_resolution=512))
+    result = session.run(250_000)
+    return device, result
+
+
+def test_profile_covers_run(profiled):
+    device, result = profiled
+    assert result.cycles_run == 250_000
+    assert len(result["tc.ipc"]) == 250_000 // 512
+    assert result.lost_messages == 0        # fits the 512 KB EMEM
+
+
+def test_dips_detected_and_explained(profiled):
+    device, result = profiled
+    threshold = result["tc.ipc"].mean_rate() * 0.8
+    diagnoses = analysis.diagnose(result, ipc_threshold=threshold)
+    assert diagnoses, "anomaly bursts must show up as poor-IPC windows"
+    causes = [d.primary_cause for d in diagnoses]
+    # the anomaly is a flash-hostile scan: flash/stall rates must dominate
+    flash_related = {"flash.data_access_rate", "tc.load_stall_rate",
+                     "flash.data_buffer_hit_rate", "bus.contention_rate",
+                     "icache.miss_rate"}
+    assert any(c in flash_related for c in causes)
+
+
+def test_fine_resolution_exceeds_dap_coarse_fits():
+    """Resolution is the bandwidth knob (paper: 'configurable resolution').
+
+    Fine windows (100 instructions) overwhelm the 2-pin DAP and rely on the
+    EMEM buffer; coarse windows stream continuously within the wire budget.
+    """
+    scenario = EngineControlScenario()
+
+    def bandwidth(ipc_res, per):
+        device = scenario.build(tc1797_config(), {}, seed=55)
+        session = ProfilingSession(
+            device, spec.engine_parameter_set(ipc_resolution=ipc_res,
+                                              rate_per=per))
+        result = session.run(120_000)
+        return result.bandwidth_mbps(), device.dap.bandwidth_mbps
+
+    fine, dap = bandwidth(256, 100)
+    coarse, _ = bandwidth(4096, 10_000)
+    assert fine > dap
+    assert coarse < dap
+
+
+def test_option_pipeline_on_profiled_workload():
+    evaluator = OptionEvaluator(
+        EngineControlScenario(), tc1797_config(),
+        hardware_options()[:3], work_instructions=50_000, seed=55)
+    results = evaluator.evaluate()
+    table = report.ranking_table(results)
+    assert len(results) == 3
+    assert "gain/cost" in table
+
+
+def test_measured_rates_match_oracle(profiled):
+    device, result = profiled
+    counts = device.oracle()
+    oracle_rate = counts[signals.DSPR_ACCESS] / counts[signals.TC_INSTR]
+    assert result.mean_rate("dspr.access_rate") == pytest.approx(
+        oracle_rate, rel=0.05)

@@ -1,0 +1,147 @@
+"""Interrupt router + CPU interrupt handling: priorities, nesting, routing."""
+
+import pytest
+
+from repro.soc.config import tc1797_config
+from repro.soc.cpu import isa
+from repro.soc.device import Soc
+from repro.soc.kernel import signals
+from repro.soc.memory import map as amap
+from repro.soc.peripherals.basic import PeriodicTimer
+from repro.workloads.program import ProgramBuilder
+
+
+def build_isr_program(counter_addrs):
+    """main halts; one ISR per entry storing to a distinct address."""
+    builder = ProgramBuilder(code_base=amap.PSPR_BASE)
+    builder.function("main").halt()
+    for name, addr in counter_addrs.items():
+        isr = builder.function(name)
+        isr.alu(3)
+        isr.store(isa.FixedAddr(addr))
+        isr.rfe()
+    return builder.assemble()
+
+
+def make_soc_with_isr(priorities=(5,), period=100):
+    soc = Soc(tc1797_config(), seed=3)
+    names = {f"isr{i}": amap.DSPR_BASE + 0x10 * i
+             for i in range(len(priorities))}
+    program = build_isr_program(names)
+    soc.load_program(program)
+    srns = []
+    for i, priority in enumerate(priorities):
+        srn = soc.icu.add_srn(f"src{i}", priority)
+        soc.cpu.set_vector(srn.id, f"isr{i}")
+        srns.append(srn)
+    return soc, srns
+
+
+def test_srn_priority_must_be_positive(soc):
+    with pytest.raises(ValueError):
+        soc.icu.add_srn("bad", 0)
+
+
+def test_interrupt_wakes_halted_cpu():
+    soc, (srn,) = make_soc_with_isr()
+    soc.add_peripheral(PeriodicTimer("t", soc.hub, soc.icu, srn.id, 50))
+    soc.run(500)
+    assert srn.taken_count >= 8
+    assert soc.cpu.retired >= 8 * 4   # 4 instructions per ISR
+    assert soc.cpu.halted              # back to halt after each service
+
+
+def test_higher_priority_served_first():
+    soc, (low, high) = make_soc_with_isr(priorities=(3, 9))
+    soc._ensure_order()
+    soc.icu.raise_request(low.id)
+    soc.icu.raise_request(high.id)
+    soc.run(30)
+    # high fired first: its taken must precede low's
+    assert high.taken_count == 1
+    assert low.taken_count == 1
+    assert soc.hub.total(signals.TC_IRQ_ENTRY) == 2
+
+
+def test_no_preemption_by_equal_or_lower_priority():
+    soc, (a, b) = make_soc_with_isr(priorities=(5, 5))
+    soc._ensure_order()
+    soc.icu.raise_request(a.id)
+    soc.run(3)   # a's ISR entered
+    soc.icu.raise_request(b.id)
+    in_isr_prio = soc.cpu.current_priority
+    assert in_isr_prio == 5
+    soc.run(60)
+    assert b.taken_count == 1   # served after a finished, not nested
+
+
+def test_nesting_by_higher_priority():
+    # slow low-priority ISR gets preempted by a fast high one
+    builder = ProgramBuilder(code_base=amap.PSPR_BASE)
+    builder.function("main").halt()
+    slow = builder.function("slow_isr")
+    slow.loop(50, lambda f: f.alu(2))
+    slow.store(isa.FixedAddr(amap.DSPR_BASE + 0x20))
+    slow.rfe()
+    fast = builder.function("fast_isr")
+    fast.alu(1)
+    fast.rfe()
+    soc = Soc(tc1797_config(), seed=3)
+    soc.load_program(builder.assemble())
+    low = soc.icu.add_srn("low", 2)
+    high = soc.icu.add_srn("high", 8)
+    soc.cpu.set_vector(low.id, "slow_isr")
+    soc.cpu.set_vector(high.id, "fast_isr")
+    soc._ensure_order()
+    soc.icu.raise_request(low.id)
+    soc.run(20)       # inside slow ISR now
+    assert soc.cpu.current_priority == 2
+    soc.icu.raise_request(high.id)
+    soc.run(15)
+    assert high.taken_count == 1
+    soc.run(300)
+    assert soc.cpu.halted   # both unwound
+
+
+def test_unbound_srn_not_dispatched():
+    soc = Soc(tc1797_config(), seed=3)
+    builder = ProgramBuilder(code_base=amap.PSPR_BASE)
+    builder.function("main").halt()
+    soc.load_program(builder.assemble())
+    srn = soc.icu.add_srn("orphan", 5)
+    soc._ensure_order()
+    soc.icu.raise_request(srn.id)
+    soc.run(50)
+    assert srn.taken_count == 0
+    assert srn.pending
+
+
+def test_dma_routed_srn_triggers_dma_not_cpu():
+    from repro.soc.dma.controller import DmaChannelConfig
+    soc = Soc(tc1797_config(), seed=3)
+    builder = ProgramBuilder(code_base=amap.PSPR_BASE)
+    builder.function("main").halt()
+    soc.load_program(builder.assemble())
+    srn = soc.icu.add_srn("dmareq", 4, core="dma", dma_channel=0)
+    soc.dma.configure_channel(0, DmaChannelConfig(
+        src=amap.LMU_BASE, dst=amap.DSPR_BASE + 0x100, moves=4))
+    soc._ensure_order()
+    soc.icu.raise_request(srn.id)
+    soc.run(100)
+    assert soc.hub.total(signals.DMA_MOVE) == 4
+    assert soc.hub.total(signals.TC_IRQ_ENTRY) == 0
+
+
+def test_irq_cycles_counted_at_elevated_priority():
+    soc, (srn,) = make_soc_with_isr()
+    soc.add_peripheral(PeriodicTimer("t", soc.hub, soc.icu, srn.id, 100))
+    soc.run(1000)
+    assert soc.hub.total(signals.TC_IRQ_CYCLES) > 0
+
+
+def test_icu_reset_clears_pending():
+    soc, (srn,) = make_soc_with_isr()
+    soc.icu.raise_request(srn.id)
+    soc.icu.reset()
+    assert not srn.pending
+    assert srn.raised_count == 0

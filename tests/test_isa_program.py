@@ -1,0 +1,193 @@
+"""Instruction model, behaviour generators, and the program builder."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.soc.cpu import isa
+from repro.soc.memory import map as amap
+from repro.workloads.program import ProgramBuilder
+
+
+# --- behaviour generators -----------------------------------------------------
+def test_loop_count_sequence():
+    pattern = isa.LoopCount(3)
+    state = pattern.make_state()
+    rng = random.Random(0)
+    takes = [pattern.taken(state, rng) for _ in range(6)]
+    # 3 iterations: taken, taken, fall-through; then re-armed
+    assert takes == [True, True, False, True, True, False]
+
+
+def test_loop_count_of_one_never_taken():
+    pattern = isa.LoopCount(1)
+    state = pattern.make_state()
+    assert pattern.taken(state, random.Random(0)) is False
+
+
+def test_loop_count_validates():
+    with pytest.raises(ValueError):
+        isa.LoopCount(0)
+
+
+def test_taken_periodic():
+    pattern = isa.TakenPeriodic(4)
+    state = pattern.make_state()
+    rng = random.Random(0)
+    takes = [pattern.taken(state, rng) for _ in range(8)]
+    assert takes == [False, False, False, True] * 2
+
+
+def test_taken_probability_bounds():
+    with pytest.raises(ValueError):
+        isa.TakenProbability(1.5)
+    always = isa.TakenProbability(1.0)
+    never = isa.TakenProbability(0.0)
+    rng = random.Random(1)
+    assert always.taken(always.make_state(), rng)
+    assert not never.taken(never.make_state(), rng)
+
+
+# --- address generators ----------------------------------------------------------
+def test_fixed_addr():
+    gen = isa.FixedAddr(0x1234)
+    assert gen.next(gen.make_state(), random.Random(0)) == 0x1234
+
+
+def test_stride_addr_wraps():
+    gen = isa.StrideAddr(0x1000, 4, 3)
+    state = gen.make_state()
+    rng = random.Random(0)
+    seq = [gen.next(state, rng) for _ in range(5)]
+    assert seq == [0x1000, 0x1004, 0x1008, 0x1000, 0x1004]
+
+
+@settings(max_examples=50, deadline=None)
+@given(entries=st.integers(1, 512), locality=st.floats(0.0, 1.0),
+       seed=st.integers(0, 1000))
+def test_table_addr_stays_in_bounds(entries, locality, seed):
+    gen = isa.TableAddr(0x8000_0000, 4, entries, locality=locality)
+    state = gen.make_state()
+    rng = random.Random(seed)
+    for _ in range(50):
+        addr = gen.next(state, rng)
+        assert 0x8000_0000 <= addr < 0x8000_0000 + entries * 4
+
+
+def test_table_addr_determinism():
+    def run(seed):
+        gen = isa.TableAddr(0x1000, 4, 64, locality=0.8)
+        state = gen.make_state()
+        rng = random.Random(seed)
+        return [gen.next(state, rng) for _ in range(20)]
+    assert run(7) == run(7)
+    assert run(7) != run(8)
+
+
+# --- builder / assembler -------------------------------------------------------------
+def test_assemble_assigns_sequential_addresses():
+    builder = ProgramBuilder(code_base=0x8000_1000)
+    main = builder.function("main")
+    main.alu(3).halt()
+    program = builder.assemble()
+    assert program.entry == 0x8000_1000
+    assert program.at(0x8000_1000).op == isa.IP
+    assert program.at(0x8000_100C).op == "halt"
+
+
+def test_function_alignment():
+    builder = ProgramBuilder(code_base=0x8000_1000)
+    builder.function("main").alu(1).halt()
+    builder.function("next").alu(1).ret()
+    program = builder.assemble()
+    assert program.symbol("next") % 32 == 0
+
+
+def test_labels_resolve_within_function():
+    builder = ProgramBuilder()
+    main = builder.function("main")
+    top = main.label("again")
+    main.alu(2)
+    main.jump(top)
+    program = builder.assemble()
+    jump = program.at(program.entry + 2 * isa.INSTR_BYTES)
+    assert jump.target == program.entry
+
+
+def test_loop_targets_loop_top():
+    builder = ProgramBuilder()
+    main = builder.function("main")
+    main.loop(4, lambda f: f.alu(2))
+    main.halt()
+    program = builder.assemble()
+    loop_instr = program.at(program.entry + 2 * isa.INSTR_BYTES)
+    assert loop_instr.op == isa.LOOP
+    assert loop_instr.target == program.entry
+
+
+def test_call_resolves_cross_function():
+    builder = ProgramBuilder()
+    builder.function("main").call("helper").halt()
+    builder.function("helper").alu(1).ret()
+    program = builder.assemble()
+    call = program.at(program.entry)
+    assert call.target == program.symbol("helper")
+
+
+def test_pinned_function_base():
+    builder = ProgramBuilder()
+    builder.function("main").halt()
+    builder.function("fast", base=amap.PSPR_BASE).alu(1).rfe()
+    program = builder.assemble()
+    assert program.symbol("fast") == amap.PSPR_BASE
+
+
+def test_duplicate_function_rejected():
+    builder = ProgramBuilder()
+    builder.function("main")
+    with pytest.raises(ValueError):
+        builder.function("main")
+
+
+def test_unresolved_symbol_rejected():
+    builder = ProgramBuilder()
+    builder.function("main").call("ghost")
+    with pytest.raises(ValueError, match="ghost"):
+        builder.assemble()
+
+
+def test_missing_entry_rejected():
+    builder = ProgramBuilder()
+    builder.function("other").ret()
+    with pytest.raises(ValueError):
+        builder.assemble(entry="main")
+
+
+def test_empty_builder_rejected():
+    with pytest.raises(ValueError):
+        ProgramBuilder().assemble()
+
+
+def test_function_of_attribution():
+    builder = ProgramBuilder()
+    builder.function("main").alu(4).halt()
+    builder.function("second").alu(2).ret()
+    program = builder.assemble()
+    assert program.function_of(program.symbol("second") + 4) == "second"
+    assert program.function_of(program.entry) == "main"
+
+
+def test_program_len_counts_instructions():
+    builder = ProgramBuilder()
+    builder.function("main").alu(5).halt()
+    assert len(builder.assemble()) == 6
+
+
+def test_at_unknown_address_raises():
+    builder = ProgramBuilder()
+    builder.function("main").halt()
+    program = builder.assemble()
+    with pytest.raises(KeyError):
+        program.at(0xDEAD_0000)

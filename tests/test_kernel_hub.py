@@ -1,0 +1,84 @@
+"""EventHub: registration, fan-out, oracle totals."""
+
+import pytest
+
+from repro.soc.kernel.hub import EventHub
+
+
+def test_register_returns_stable_ids():
+    hub = EventHub()
+    a = hub.register("a")
+    b = hub.register("b")
+    assert a != b
+    assert hub.register("a") == a
+    assert hub.signal_id("a") == a
+    assert hub.signal_name(b) == "b"
+
+
+def test_unknown_signal_raises():
+    hub = EventHub()
+    with pytest.raises(KeyError):
+        hub.signal_id("missing")
+
+
+def test_emit_updates_totals():
+    hub = EventHub()
+    sid = hub.register("x")
+    hub.emit(sid)
+    hub.emit(sid, 5)
+    assert hub.total("x") == 6
+
+
+def test_subscribe_receives_counts():
+    hub = EventHub()
+    sid = hub.register("x")
+    seen = []
+    hub.subscribe("x", seen.append)
+    hub.emit(sid, 3)
+    hub.emit(sid)
+    assert seen == [3, 1]
+
+
+def test_multiple_subscribers_all_called():
+    hub = EventHub()
+    sid = hub.register("x")
+    first, second = [], []
+    hub.subscribe("x", first.append)
+    hub.subscribe("x", second.append)
+    hub.emit(sid, 2)
+    assert first == [2] and second == [2]
+
+
+def test_unsubscribe_stops_delivery():
+    hub = EventHub()
+    sid = hub.register("x")
+    seen = []
+    hub.subscribe("x", seen.append)
+    hub.unsubscribe("x", seen.append)
+    hub.emit(sid)
+    assert seen == []
+    assert hub.total("x") == 1  # oracle still counts
+
+
+def test_subscribe_registers_if_needed():
+    hub = EventHub()
+    seen = []
+    hub.subscribe("lazy", seen.append)
+    hub.emit(hub.signal_id("lazy"), 4)
+    assert seen == [4]
+
+
+def test_snapshot_covers_all_signals():
+    hub = EventHub()
+    hub.register("a")
+    sid = hub.register("b")
+    hub.emit(sid, 7)
+    snap = hub.snapshot()
+    assert snap == {"a": 0, "b": 7}
+
+
+def test_names_in_registration_order():
+    hub = EventHub()
+    hub.register("z")
+    hub.register("a")
+    assert hub.names == ("z", "a")

@@ -1,0 +1,76 @@
+"""TimedResource: busy-until semantics and contention accounting."""
+
+from repro.soc.kernel.hub import EventHub
+from repro.soc.kernel.resource import TimedResource
+
+
+def test_idle_resource_serves_immediately():
+    res = TimedResource("r", occupancy=3)
+    wait, done = res.access(10)
+    assert wait == 0
+    assert done == 13
+    assert res.busy_until == 13
+
+
+def test_back_to_back_requests_queue():
+    res = TimedResource("r", occupancy=3)
+    res.access(10)
+    wait, done = res.access(11)
+    assert wait == 2        # had to wait until cycle 13
+    assert done == 16
+
+
+def test_latency_longer_than_occupancy():
+    res = TimedResource("r", occupancy=1, latency=4)
+    wait, done = res.access(0)
+    assert done == 4
+    # resource frees after occupancy, not latency
+    wait, done = res.access(1)
+    assert wait == 0
+    assert done == 5
+
+
+def test_contention_signal_emitted_with_wait_cycles():
+    hub = EventHub()
+    res = TimedResource("r", occupancy=5, hub=hub, contention_signal="r.wait")
+    res.access(0)
+    res.access(1)
+    assert hub.total("r.wait") == 4
+    res.access(100)
+    assert hub.total("r.wait") == 4  # no new contention
+
+
+def test_per_call_occupancy_override():
+    res = TimedResource("r", occupancy=2)
+    wait, done = res.access(0, occupancy=10)
+    assert res.busy_until == 10
+    assert done == 2  # latency defaults to base latency, not the override
+
+
+def test_peek_wait_does_not_consume():
+    res = TimedResource("r", occupancy=4)
+    res.access(0)
+    assert res.peek_wait(1) == 3
+    assert res.peek_wait(10) == 0
+    assert res.total_grants == 1
+
+
+def test_reserve_until_extends_busy():
+    res = TimedResource("r", occupancy=1)
+    res.reserve_until(20)
+    wait, _ = res.access(5)
+    assert wait == 15
+    res.reserve_until(10)  # earlier reservation cannot shrink busy window
+    assert res.busy_until >= 20
+
+
+def test_stats_and_reset():
+    res = TimedResource("r", occupancy=3)
+    res.access(0)
+    res.access(0)
+    assert res.total_grants == 2
+    assert res.total_waits == 3
+    res.reset()
+    assert res.total_grants == 0
+    assert res.total_waits == 0
+    assert res.busy_until == 0

@@ -1,0 +1,138 @@
+"""Trace units: program flow compression, data qualification, bus trace."""
+
+import pytest
+
+from repro.ed.device import EdConfig, EmulationDevice
+from repro.mcds import messages as msgs
+from repro.soc.config import tc1797_config
+from repro.soc.cpu import isa
+from repro.soc.memory import map as amap
+from repro.workloads.program import ProgramBuilder
+
+from tests.helpers import make_loop_program
+
+
+def make_device(program=None, seed=9):
+    device = EmulationDevice(EdConfig(soc=tc1797_config()), seed=seed)
+    device.load_program(program if program is not None
+                        else make_loop_program(alu_per_iter=4))
+    return device
+
+
+def kinds(device):
+    return [m.kind for m in device.emem.contents()]
+
+
+def test_flow_trace_emits_branch_messages():
+    device = make_device()
+    ptu = device.mcds.add_program_trace()
+    device.run(2000)
+    branch_msgs = [m for m in device.emem.contents()
+                   if m.kind == msgs.IPT_BRANCH]
+    assert branch_msgs
+    assert ptu.messages == len(device.emem.contents())
+    assert ptu.instructions_traced == device.cpu.retired
+
+
+def test_flow_trace_compression_beats_cycle_accurate():
+    flow_dev = make_device(seed=9)
+    flow = flow_dev.mcds.add_program_trace(cycle_accurate=False)
+    flow_dev.run(2000)
+
+    ca_dev = make_device(seed=9)
+    ca = ca_dev.mcds.add_program_trace(cycle_accurate=True)
+    ca_dev.run(2000)
+
+    assert flow.bits_per_instruction < ca.bits_per_instruction
+    assert flow.bits_per_instruction < 8.0   # compressed flow trace is cheap
+
+
+def test_sync_messages_interleaved():
+    device = make_device()
+    device.mcds.add_program_trace(sync_period=10)
+    device.run(3000)
+    sync_count = sum(1 for m in device.emem.contents()
+                     if m.kind == msgs.IPT_SYNC)
+    assert sync_count >= 2
+
+
+def test_trace_stop_start_qualification():
+    device = make_device()
+    ptu = device.mcds.add_program_trace()
+    device.run(500)
+    at_stop = ptu.messages
+    ptu.stop()
+    device.run(500)
+    assert ptu.messages == at_stop
+    ptu.start()
+    device.run(500)
+    assert ptu.messages > at_stop
+
+
+def test_program_trace_unknown_core_rejected():
+    device = make_device()
+    with pytest.raises(ValueError):
+        device.mcds.add_program_trace(core="gtm")
+
+
+def test_data_trace_range_qualification():
+    program = make_loop_program(
+        alu_per_iter=2,
+        load_gen=isa.FixedAddr(amap.DSPR_BASE + 0x100),
+        store_gen=isa.FixedAddr(amap.LMU_BASE + 0x200))
+    device = make_device(program)
+    dtu = device.mcds.add_data_trace(
+        (amap.DSPR_BASE, amap.DSPR_BASE + 0x1000))
+    device.run(1000)
+    assert dtu.messages > 0
+    traced = [m for m in device.emem.contents() if m.kind == msgs.DATA_ACCESS]
+    assert all(amap.DSPR_BASE <= m.address < amap.DSPR_BASE + 0x1000
+               for m in traced)
+
+
+def test_data_trace_writes_only():
+    program = make_loop_program(
+        alu_per_iter=2,
+        load_gen=isa.FixedAddr(amap.DSPR_BASE + 0x100),
+        store_gen=isa.FixedAddr(amap.DSPR_BASE + 0x200))
+    device = make_device(program)
+    dtu = device.mcds.add_data_trace(
+        (amap.DSPR_BASE, amap.DSPR_BASE + 0x1000), writes_only=True)
+    device.run(500)
+    traced = [m for m in device.emem.contents() if m.kind == msgs.DATA_ACCESS]
+    assert traced
+    assert all(m.extra["write"] for m in traced)
+
+
+def test_data_trace_master_filter():
+    program = make_loop_program(
+        alu_per_iter=2, load_gen=isa.FixedAddr(amap.DSPR_BASE + 0x100))
+    device = make_device(program)
+    dtu = device.mcds.add_data_trace(
+        (amap.DSPR_BASE, amap.DSPR_BASE + 0x1000), masters=("dma",))
+    device.run(500)
+    assert dtu.messages == 0    # only the TriCore touches this range
+
+
+def test_data_trace_empty_range_rejected():
+    device = make_device()
+    with pytest.raises(ValueError):
+        device.mcds.add_data_trace((amap.DSPR_BASE, amap.DSPR_BASE))
+
+
+def test_bus_trace_observes_transfers():
+    program = make_loop_program(
+        alu_per_iter=2, load_gen=isa.FixedAddr(amap.LMU_BASE + 0x100))
+    device = make_device(program)
+    btu = device.mcds.add_bus_trace("lmb.transfer")
+    device.run(500)
+    assert btu.messages > 0
+    assert any(m.kind == msgs.BUS_XFER for m in device.emem.contents())
+
+
+def test_trace_fanout_to_multiple_sinks():
+    device = make_device()
+    ptu1 = device.mcds.add_program_trace()
+    ptu2 = device.mcds.add_program_trace()
+    device.run(300)
+    assert ptu1.messages == ptu2.messages > 0

@@ -1,0 +1,150 @@
+"""MCDS trigger block: comparators, watchdogs, boolean logic, state machines."""
+
+import pytest
+
+from repro.mcds.counters import RateCounterStructure
+from repro.mcds.trigger import (ABOVE, BELOW, BoolExpr, Condition,
+                                CountThreshold, RateThreshold, SignalActive,
+                                Trigger, TriggerStateMachine, WindowWatchdog)
+from repro.mcds.counters import RawCounter
+from repro.soc.kernel.hub import EventHub
+
+
+class Const(Condition):
+    def __init__(self, value):
+        self.value = value
+
+    def evaluate(self, cycle):
+        return self.value
+
+
+def make_rate(hub, resolution=10):
+    hub.register("ev")
+    hub.register("instr")
+    return RateCounterStructure("s", hub, ("ev",), resolution, "instr")
+
+
+def test_rate_threshold_below():
+    hub = EventHub()
+    structure = make_rate(hub)
+    cond = RateThreshold(structure, threshold=5, direction=BELOW)
+    assert not cond.evaluate(0)       # no sample yet
+    hub.emit(hub.signal_id("ev"), 3)
+    hub.emit(hub.signal_id("instr"), 10)
+    assert cond.evaluate(1)           # 3 < 5
+    hub.emit(hub.signal_id("ev"), 9)
+    hub.emit(hub.signal_id("instr"), 10)
+    assert not cond.evaluate(2)
+
+
+def test_rate_threshold_above():
+    hub = EventHub()
+    structure = make_rate(hub)
+    cond = RateThreshold(structure, threshold=5, direction=ABOVE)
+    hub.emit(hub.signal_id("ev"), 9)
+    hub.emit(hub.signal_id("instr"), 10)
+    assert cond.evaluate(0)
+
+
+def test_rate_threshold_bad_direction():
+    hub = EventHub()
+    structure = make_rate(hub)
+    with pytest.raises(ValueError):
+        RateThreshold(structure, 5, "sideways")
+
+
+def test_count_threshold():
+    hub = EventHub()
+    hub.register("ev")
+    counter = RawCounter("c", hub, ("ev",))
+    cond = CountThreshold(counter, 3)
+    assert not cond.evaluate(0)
+    hub.emit(hub.signal_id("ev"), 3)
+    assert cond.evaluate(1)
+
+
+def test_signal_active_only_in_emission_cycle():
+    hub = EventHub()
+    hub.register("ev")
+    cond = SignalActive(hub, "ev")
+    hub.cycle = 5
+    hub.emit(hub.signal_id("ev"))
+    assert cond.evaluate(5)
+    assert not cond.evaluate(6)
+
+
+def test_window_watchdog_fires_on_absence():
+    hub = EventHub()
+    hub.register("heartbeat")
+    dog = WindowWatchdog(hub, "heartbeat", window=10)
+    sid = hub.signal_id("heartbeat")
+    fired = []
+    for cycle in range(35):
+        hub.cycle = cycle
+        if cycle in (3, 8):           # regular heartbeats early on
+            hub.emit(sid)
+        if dog.evaluate(cycle):
+            fired.append(cycle)
+    # last heartbeat at 8 -> deadline 18, refire every 10 afterwards
+    assert fired == [18, 28]
+    assert dog.timeouts == 2
+
+
+def test_window_watchdog_quiet_while_event_present():
+    hub = EventHub()
+    hub.register("hb")
+    dog = WindowWatchdog(hub, "hb", window=5)
+    sid = hub.signal_id("hb")
+    for cycle in range(40):
+        hub.cycle = cycle
+        if cycle % 3 == 0:
+            hub.emit(sid)
+        assert not dog.evaluate(cycle)
+
+
+def test_bool_composition():
+    assert (Const(True) & Const(True)).evaluate(0)
+    assert not (Const(True) & Const(False)).evaluate(0)
+    assert (Const(False) | Const(True)).evaluate(0)
+    assert (~Const(False)).evaluate(0)
+    assert BoolExpr(all, [Const(True), Const(True), Const(True)]).evaluate(0)
+
+
+def test_trigger_edge_actions():
+    cond = Const(False)
+    entered, left = [], []
+    trigger = Trigger("t", cond, on_enter=entered.append,
+                      on_leave=left.append)
+    trigger.evaluate(0)
+    cond.value = True
+    trigger.evaluate(1)
+    trigger.evaluate(2)       # still active: no second enter
+    cond.value = False
+    trigger.evaluate(3)
+    assert entered == [1]
+    assert left == [3]
+    assert trigger.fire_count == 1
+
+
+def test_state_machine_sequencing():
+    sm = TriggerStateMachine("capture", "armed")
+    seen_anomaly = Const(False)
+    done = Const(False)
+    log = []
+    sm.add_transition("armed", seen_anomaly, "capturing",
+                      lambda c: log.append(("start", c)))
+    sm.add_transition("capturing", done, "frozen",
+                      lambda c: log.append(("stop", c)))
+    sm.evaluate(0)
+    assert sm.state == "armed"
+    seen_anomaly.value = True
+    sm.evaluate(1)
+    assert sm.state == "capturing"
+    sm.evaluate(2)            # 'done' still false
+    done.value = True
+    sm.evaluate(3)
+    assert sm.state == "frozen"
+    assert log == [("start", 1), ("stop", 3)]
+    assert sm.transitions_taken == 2
+    sm.reset()
+    assert sm.state == "armed"

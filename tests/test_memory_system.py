@@ -1,0 +1,163 @@
+"""MemorySystem: per-region latency chains and observation hooks."""
+
+import pytest
+
+from repro.soc.config import tc1797_config
+from repro.soc.kernel import signals
+from repro.soc.kernel.hub import EventHub
+from repro.soc.memory import map as amap
+from repro.soc.memory.map import AddressMap
+from repro.soc.memory.system import MemorySystem
+
+
+def make_memory(config=None):
+    cfg = config if config is not None else tc1797_config()
+    hub = EventHub()
+    mem = MemorySystem(cfg, hub, AddressMap.for_config(cfg))
+    return mem, hub, cfg
+
+
+def test_dspr_single_cycle():
+    mem, hub, _ = make_memory()
+    assert mem.read(10, amap.DSPR_BASE + 4) == 11
+    assert mem.write(20, amap.DSPR_BASE + 8) == 21
+    assert hub.total(signals.DSPR_ACCESS) == 2
+
+
+def test_pspr_fetch_single_cycle():
+    mem, hub, _ = make_memory()
+    assert mem.fetch(10, amap.PSPR_BASE + 0x20) == 11
+    assert hub.total(signals.PSPR_ACCESS) == 1
+
+
+def test_cached_fetch_miss_then_hit():
+    mem, hub, _ = make_memory()
+    addr = amap.PFLASH_BASE + 0x40
+    first = mem.fetch(0, addr)
+    assert first > 1
+    assert hub.total(signals.ICACHE_MISS) == 1
+    second = mem.fetch(first, addr)
+    assert second == first + 1
+    assert hub.total(signals.ICACHE_HIT) == 1
+
+
+def test_uncached_segment_bypasses_icache():
+    mem, hub, _ = make_memory()
+    mem.fetch(0, amap.PFLASH_UNCACHED_BASE + 0x40)
+    assert hub.total(signals.ICACHE_ACCESS) == 0
+    assert (hub.total(signals.PFLASH_CODE_ACCESS)
+            + hub.total(signals.PFLASH_BUF_HIT_CODE)) == 1
+
+
+def test_icache_disabled_goes_to_flash():
+    cfg = tc1797_config()
+    cfg.icache.enabled = False
+    mem, hub, _ = make_memory(cfg)
+    mem.fetch(0, amap.PFLASH_BASE + 0x40)
+    assert hub.total(signals.ICACHE_ACCESS) == 0
+
+
+def test_flash_data_read_without_dcache():
+    mem, hub, _ = make_memory()
+    done = mem.read(0, amap.PFLASH_BASE + 0x1000)
+    assert done > 1
+    assert hub.total(signals.PFLASH_DATA_ACCESS) == 1
+    assert hub.total(signals.DCACHE_ACCESS) == 0
+
+
+def test_dcache_enabled_caches_flash_data():
+    cfg = tc1797_config()
+    cfg.dcache.enabled = True
+    mem, hub, _ = make_memory(cfg)
+    addr = amap.PFLASH_BASE + 0x1000
+    first = mem.read(0, addr)
+    second = mem.read(first, addr)
+    assert second == first + 1
+    assert hub.total(signals.DCACHE_HIT) == 1
+    assert hub.total(signals.DCACHE_MISS) == 1
+
+
+def test_lmu_goes_over_lmb():
+    mem, hub, cfg = make_memory()
+    done = mem.read(0, amap.LMU_BASE + 0x10)
+    assert done == cfg.memory.lmu_latency
+    assert hub.total(signals.LMU_ACCESS) == 1
+    assert hub.total(signals.LMB_XFER) == 1
+
+
+def test_peripheral_read_over_spb():
+    mem, hub, cfg = make_memory()
+    done = mem.read(0, amap.PERIPH_BASE + 0x100)
+    assert done == cfg.bus.spb_latency
+    assert hub.total(signals.SPB_XFER) == 1
+
+
+def test_dflash_read_slow():
+    mem, hub, cfg = make_memory()
+    done = mem.read(0, amap.DFLASH_BASE + 0x10)
+    assert done == cfg.memory.dflash_latency
+    assert hub.total(signals.DFLASH_ACCESS) == 1
+
+
+def test_dflash_write_posted_but_occupies():
+    mem, hub, cfg = make_memory()
+    free = mem.write(0, amap.DFLASH_BASE + 0x10)
+    assert free == 1                      # posted
+    # a read right behind the program pulse queues
+    done = mem.read(1, amap.DFLASH_BASE + 0x20)
+    assert done > cfg.memory.dflash_latency + 1
+
+
+def test_posted_write_waits_only_for_queue():
+    mem, hub, cfg = make_memory()
+    mem.write(0, amap.PERIPH_BASE + 0x100)
+    free = mem.write(0, amap.PERIPH_BASE + 0x104)
+    assert free == 1 + cfg.bus.spb_occupancy
+
+
+def test_flash_write_rejected():
+    mem, _, _ = make_memory()
+    with pytest.raises(ValueError):
+        mem.write(0, amap.PFLASH_BASE + 0x100)
+
+
+def test_fetch_from_data_region_rejected():
+    mem, _, _ = make_memory()
+    with pytest.raises(ValueError):
+        mem.fetch(0, amap.DSPR_BASE)
+
+
+def test_overlay_read_uses_emem_path():
+    cfg = tc1797_config()
+    mem, hub, _ = make_memory(cfg)
+    start = amap.PFLASH_BASE + 0x5000
+    mem.map.add_overlay(start, 0x100)
+    done = mem.read(0, start + 4)
+    assert done == MemorySystem.EMEM_LATENCY
+    assert hub.total(signals.PFLASH_DATA_ACCESS) == 0
+
+
+def test_data_watchers_see_reads_and_writes():
+    mem, _, _ = make_memory()
+    seen = []
+    mem.watchers.append(lambda c, a, w, m: seen.append((c, a, w, m)))
+    mem.read(5, amap.DSPR_BASE + 4, "tc")
+    mem.write(6, amap.LMU_BASE + 8, "dma")
+    assert seen == [(5, amap.DSPR_BASE + 4, False, "tc"),
+                    (6, amap.LMU_BASE + 8, True, "dma")]
+
+
+def test_fetch_watchers_see_fetches():
+    mem, _, _ = make_memory()
+    seen = []
+    mem.fetch_watchers.append(lambda c, a, m: seen.append((c, a, m)))
+    mem.fetch(3, amap.PFLASH_BASE + 0x40, "tc")
+    assert seen == [(3, amap.PFLASH_BASE + 0x40, "tc")]
+
+
+def test_reset_restores_cold_state():
+    mem, hub, _ = make_memory()
+    addr = amap.PFLASH_BASE + 0x40
+    mem.fetch(0, addr)
+    mem.reset()
+    assert not mem.icache.contains(addr)

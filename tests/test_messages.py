@@ -1,0 +1,86 @@
+"""Trace message encoding: bit-size accounting."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mcds.messages import MessageFactory, _varlen_bits
+
+
+def test_varlen_bits_chunked():
+    assert _varlen_bits(0) == 8
+    assert _varlen_bits(1) == 8
+    assert _varlen_bits(255) == 8
+    assert _varlen_bits(256) == 16
+    assert _varlen_bits(-300) == 16
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 2**40))
+def test_varlen_bits_multiple_of_chunk(value):
+    bits = _varlen_bits(value)
+    assert bits % 8 == 0
+    assert bits >= 8
+    assert 2 ** bits >= value + 1 or bits >= value.bit_length()
+
+
+def test_rate_sample_smaller_than_raw_counter_pair():
+    """The paper's bandwidth claim at message level: one compact rate
+    message beats sampling two long counters."""
+    f1 = MessageFactory()
+    f2 = MessageFactory()
+    rate = f1.rate_sample(1000, "ipc", 250)
+    raw_a = f2.counter_raw(1000, "instr", 123_456_789)
+    raw_b = f2.counter_raw(1000, "cycles", 987_654_321)
+    assert rate.bits < raw_a.bits + raw_b.bits
+
+
+def test_timestamps_are_delta_encoded():
+    factory = MessageFactory()
+    first = factory.rate_sample(1_000_000, "c", 1)
+    second = factory.rate_sample(1_000_010, "c", 1)
+    # small delta -> small stamp; first message carries the large absolute
+    assert second.bits < first.bits
+
+
+def test_timestamp_disabled_shrinks_messages():
+    with_ts = MessageFactory(timestamp_enabled=True)
+    without = MessageFactory(timestamp_enabled=False)
+    assert (without.rate_sample(500, "c", 9).bits
+            < with_ts.rate_sample(500, "c", 9).bits)
+
+
+def test_branch_compression_relative_addresses():
+    factory = MessageFactory(timestamp_enabled=False)
+    near = factory.branch(0, 0x8000_0100, 0x8000_0140,
+                          last_reported=0x8000_0100)
+    far = factory.branch(0, 0x8000_0100, 0xD000_0000,
+                         last_reported=0x8000_0100)
+    assert near.bits < far.bits
+
+
+def test_sync_carries_full_address():
+    factory = MessageFactory(timestamp_enabled=False)
+    sync = factory.sync(0, 0x8000_0000)
+    branch = factory.branch(0, 0x8000_0000, 0x8000_0020, 0x8000_0000)
+    assert sync.bits > branch.bits
+
+
+def test_tick_is_tiny():
+    factory = MessageFactory(timestamp_enabled=False)
+    assert factory.tick(0, 3).bits <= 8
+
+
+def test_data_access_message_fields():
+    factory = MessageFactory(timestamp_enabled=False)
+    msg = factory.data_access(5, 0xD000_0010, True, 0xD000_0000)
+    assert msg.extra["write"] is True
+    assert msg.address == 0xD000_0010
+
+
+def test_factory_reset_restores_stamp_base():
+    factory = MessageFactory()
+    factory.rate_sample(1_000_000, "c", 1)
+    factory.reset()
+    fresh = factory.rate_sample(10, "c", 1)
+    rebuilt = MessageFactory().rate_sample(10, "c", 1)
+    assert fresh.bits == rebuilt.bits

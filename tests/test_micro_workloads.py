@@ -1,0 +1,81 @@
+"""Micro-kernels: closed-form substrate timing checks.
+
+Each kernel stresses one mechanism; its throughput has a predictable
+closed form, so these tests pin the simulator's timing semantics.
+"""
+
+import pytest
+
+from repro.soc.config import tc1797_config
+from repro.soc.device import Soc
+from repro.soc.kernel import signals
+from repro.workloads import micro
+
+
+def run(program, cycles=20_000, config=None, seed=18):
+    soc = Soc(config if config is not None else tc1797_config(), seed=seed)
+    soc.load_program(program)
+    soc.run(cycles)
+    return soc
+
+
+def test_alu_kernel_one_per_cycle():
+    soc = run(micro.alu_kernel(width=64))
+    # width alu + jump per iteration, penalty on the jump
+    cfg = soc.config.cpu
+    per_iter = 64 + cfg.branch_penalty   # 63 alu cycles + alu/jump pair + refill
+    ipc_expected = 65 / per_iter
+    assert soc.ipc() == pytest.approx(ipc_expected, rel=0.05)
+
+
+def test_dual_issue_kernel_near_two():
+    soc = run(micro.dual_issue_kernel(pairs=32))
+    assert soc.ipc() > 1.6
+
+
+def test_flash_stream_benefits_from_buffer():
+    soc = run(micro.flash_stream_kernel(stride=4, footprint_kb=64))
+    counts = soc.oracle()
+    # 8 sequential words per 32-byte line: 7 of 8 reads hit the buffer
+    hits = counts[signals.PFLASH_BUF_HIT_DATA]
+    accesses = counts[signals.PFLASH_DATA_ACCESS]
+    assert hits / accesses == pytest.approx(7 / 8, abs=0.02)
+
+
+def test_flash_random_never_hits_buffer():
+    soc = run(micro.flash_random_kernel(footprint_kb=1024))
+    counts = soc.oracle()
+    hit_rate = (counts[signals.PFLASH_BUF_HIT_DATA]
+                / max(1, counts[signals.PFLASH_DATA_ACCESS]))
+    assert hit_rate < 0.02
+
+
+def test_icache_thrash_kernel_misses():
+    cfg = tc1797_config()
+    soc = run(micro.icache_thrash_kernel(footprint_kb=24), cycles=60_000,
+              config=cfg)
+    counts = soc.oracle()
+    miss_rate = counts[signals.ICACHE_MISS] / counts[signals.ICACHE_ACCESS]
+    assert miss_rate > 0.9        # cyclic walk > capacity with LRU
+
+
+def test_icache_fit_kernel_hits():
+    soc = run(micro.icache_thrash_kernel(footprint_kb=8), cycles=60_000)
+    counts = soc.oracle()
+    miss_rate = counts[signals.ICACHE_MISS] / counts[signals.ICACHE_ACCESS]
+    assert miss_rate < 0.05       # fits in 16 KB
+
+
+def test_branchy_kernel_pays_refills():
+    taken = run(micro.branchy_kernel(taken_probability=1.0), seed=18)
+    never = run(micro.branchy_kernel(taken_probability=0.0), seed=18)
+    assert never.ipc() > taken.ipc()
+
+
+def test_peripheral_poll_dominated_by_spb_latency():
+    soc = run(micro.peripheral_poll_kernel())
+    cfg = soc.config
+    # each iteration ~ spb latency + a couple of issue cycles
+    per_iter = cfg.bus.spb_latency + 1 + cfg.cpu.branch_penalty
+    expected_ipc = 3 / per_iter
+    assert soc.ipc() == pytest.approx(expected_ipc, rel=0.25)

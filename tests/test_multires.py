@@ -1,0 +1,58 @@
+"""Multi-resolution coupled counters (paper Section 5, experiment E3)."""
+
+import pytest
+
+from repro.core.profiling import MultiResolutionRate
+from repro.ed.device import EdConfig, EmulationDevice
+from repro.mcds.counters import CYCLES
+from repro.soc.config import tc1797_config
+from repro.workloads.engine import EngineControlScenario
+
+from tests.helpers import make_loop_program
+
+
+def test_high_res_validation():
+    device = EmulationDevice(EdConfig(soc=tc1797_config()), seed=2)
+    device.load_program(make_loop_program())
+    with pytest.raises(ValueError):
+        MultiResolutionRate(device, "ipc", ["tc.instr_executed"],
+                            low_resolution=64, high_resolution=256,
+                            threshold_rate=1.0)
+
+
+def test_high_counter_stays_off_when_healthy():
+    device = EmulationDevice(EdConfig(soc=tc1797_config()), seed=2)
+    # pure scratchpad loop: IPC stays high, threshold 0.2 never crossed
+    from repro.workloads.program import ProgramBuilder
+    from repro.soc.memory import map as amap
+    builder = ProgramBuilder(code_base=amap.PSPR_BASE)
+    main = builder.function("main")
+    top = main.label("top")
+    main.alu(8)
+    main.jump(top)
+    device.load_program(builder.assemble())
+    mr = MultiResolutionRate(device, "ipc", ["tc.instr_executed"],
+                             low_resolution=1024, high_resolution=64,
+                             threshold_rate=0.2, basis=CYCLES)
+    device.run(30_000)
+    low, high = mr.decode()
+    assert len(low) >= 25
+    assert high == []
+    assert mr.activations == 0
+
+
+def test_high_counter_arms_during_anomaly():
+    scenario = EngineControlScenario()
+    device = scenario.build(tc1797_config(),
+                            {"anomaly": True, "anomaly_period": 30_000},
+                            seed=2)
+    mr = MultiResolutionRate(device, "ipc", ["tc.instr_executed"],
+                             low_resolution=1024, high_resolution=64,
+                             threshold_rate=0.55, basis=CYCLES)
+    device.run(200_000)
+    low, high = mr.decode()
+    assert mr.activations >= 2          # armed on anomaly bursts
+    assert len(high) > 0
+    # coupled capture is cheaper than an always-on high-res counter
+    always_on_samples = 200_000 // 64
+    assert len(high) < always_on_samples / 2

@@ -1,0 +1,79 @@
+"""Non-intrusiveness (paper Section 5, experiment E8).
+
+"all these parameters can be dynamically and in parallel measured,
+non-intrusively" — attaching the full MCDS measurement stack must not
+change the product-chip execution by a single cycle.  We compare complete
+oracle snapshots and CPU state between an unobserved run and a run with
+every observation feature armed.
+"""
+
+import pytest
+
+from repro.core.profiling import (FunctionProfiler, MultiResolutionRate,
+                                  ProfilingSession, spec)
+from repro.mcds.counters import CYCLES
+from repro.mcds.trace import TraceFanout
+from repro.soc.config import tc1797_config
+from repro.soc.memory import map as amap
+from repro.workloads.engine import EngineControlScenario
+
+CYCLES_TO_RUN = 120_000
+
+
+def run_device(observe):
+    scenario = EngineControlScenario()
+    device = scenario.build(tc1797_config(), {"anomaly": True}, seed=77)
+    if observe:
+        ProfilingSession(device, spec.engine_parameter_set())
+        MultiResolutionRate(device, "gate", ["tc.instr_executed"],
+                            low_resolution=1024, high_resolution=64,
+                            threshold_rate=0.5, basis=CYCLES)
+        device.mcds.add_program_trace(cycle_accurate=True)
+        device.mcds.add_data_trace((amap.PFLASH_BASE,
+                                    amap.PFLASH_BASE + 0x40_0000))
+        device.mcds.add_bus_trace("spb.transfer")
+        profiler = FunctionProfiler(device.cpu.program)
+        device.cpu.trace.add(profiler)
+    device.run(CYCLES_TO_RUN)
+    return device
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return run_device(False), run_device(True)
+
+
+def test_cycle_exact_same_retirement(pair):
+    bare, observed = pair
+    assert bare.cpu.retired == observed.cpu.retired
+    assert bare.cpu.pc == observed.cpu.pc
+
+
+def test_identical_oracle_totals(pair):
+    bare, observed = pair
+    assert bare.oracle() == observed.oracle()
+
+
+def test_observed_run_actually_measured(pair):
+    _, observed = pair
+    assert observed.mcds.total_messages > 1000
+    assert observed.emem.total_stored > 0
+
+
+def test_pcp_and_dma_unperturbed(pair):
+    bare, observed = pair
+    assert bare.pcp.retired == observed.pcp.retired
+    assert bare.soc.dma.transfers_done == observed.soc.dma.transfers_done
+
+
+def test_calibration_overlay_is_the_exception():
+    """The overlay deliberately changes timing — it is calibration, not
+    observation; everything else must stay at zero perturbation."""
+    scenario = EngineControlScenario()
+    device = scenario.build(tc1797_config(), {}, seed=77)
+    device.reserve_calibration(128)
+    fuel_base = amap.PFLASH_BASE + 0x20_0000
+    device.map_calibration_overlay(fuel_base, 0x8000)
+    device.run(CYCLES_TO_RUN)
+    bare = run_device(False)
+    assert device.cpu.retired != bare.cpu.retired

@@ -1,0 +1,155 @@
+"""Architecture options: catalog integrity and trace-replay models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.optimization import (full_catalog, hardware_options,
+                                     software_options)
+from repro.core.optimization.cpi import CpiStack
+from repro.core.optimization.model import (TraceCaptures, miss_stream,
+                                           replay_cache, replay_line_buffer,
+                                           share_in_ranges)
+from repro.core.optimization.options import ProfileContext
+from repro.soc.config import tc1797_config
+from repro.soc.kernel import signals
+
+
+def make_context(captures=None, hot_ranges=()):
+    cfg = tc1797_config()
+    counts = {
+        signals.TC_INSTR: 100_000,
+        signals.TC_STALL_FETCH: 15_000,
+        signals.TC_STALL_LOAD: 20_000,
+        signals.TC_STALL_STORE: 500,
+        signals.TC_BRANCH_TAKEN: 3_000,
+        signals.TC_CSA: 500,
+        signals.TC_IRQ_ENTRY: 100,
+        signals.TC_IRQ_CYCLES: 8_000,
+        signals.PFLASH_DATA_ACCESS: 4_000,
+        signals.PFLASH_BUF_HIT_DATA: 200,
+        signals.PFLASH_PORT_CONFLICT: 800,
+        signals.SPB_CONTENTION: 300,
+    }
+    stack = CpiStack.from_counts(counts, cycles=140_000, config=cfg)
+    return ProfileContext(cfg, 140_000, counts, stack, captures, hot_ranges)
+
+
+# --- catalog integrity ---------------------------------------------------------
+def test_catalog_unique_keys_and_positive_costs():
+    options = full_catalog()
+    keys = [o.key for o in options]
+    assert len(set(keys)) == len(keys)
+    assert all(o.area_cost >= 1.0 for o in options)
+    assert all(o.kind in ("hardware", "software") for o in options)
+
+
+def test_hardware_options_mutate_config_only():
+    for option in hardware_options():
+        cfg = tc1797_config()
+        params = {"tables_in_dspr": False}
+        option.apply(cfg, params)
+        assert params == {"tables_in_dspr": False}
+
+
+def test_software_options_mutate_params_only():
+    for option in software_options():
+        cfg = tc1797_config()
+        reference = tc1797_config()
+        params = {}
+        option.apply(cfg, params)
+        assert params            # something set
+        assert cfg.icache.size_bytes == reference.icache.size_bytes
+
+
+def test_apply_effects():
+    cfg = tc1797_config()
+    by_key = {o.key: o for o in hardware_options()}
+    by_key["icache_x2"].apply(cfg, {})
+    assert cfg.icache.size_bytes == 32 * 1024
+    by_key["dcache_4k"].apply(cfg, {})
+    assert cfg.dcache.enabled
+    by_key["banks_x4"].apply(cfg, {})
+    assert cfg.flash.banks == 4
+
+
+def test_predictions_without_captures_are_sane():
+    ctx = make_context()
+    for option in full_catalog():
+        speedup = option.predict(ctx)
+        assert 1.0 <= speedup < 2.0, option.key
+
+
+def test_predictions_with_captures():
+    captures = TraceCaptures((0x8000_0000, 0x8040_0000))
+    # fetch trace: cyclic walk over 24 KB (beats 16 KB icache)
+    captures.fetch_addresses = [0x8000_0000 + (i * 32) % (24 * 1024)
+                                for i in range(40_000)]
+    # data trace: heavy reuse of two table lines
+    captures.data_addresses = [0x8010_0000 + (i % 16) * 4
+                               for i in range(5_000)]
+    ctx = make_context(captures,
+                       hot_ranges=((0x8010_0000, 0x8010_1000),))
+    by_key = {o.key: o for o in full_catalog()}
+    assert by_key["icache_x2"].predict(ctx) > 1.05   # thrash removed
+    assert by_key["dcache_4k"].predict(ctx) > 1.05   # high reuse captured
+    assert by_key["tables_dspr"].predict(ctx) > 1.05  # all data in hot range
+
+
+# --- replay models ------------------------------------------------------------------
+def test_replay_cache_counts():
+    addrs = [0, 32, 0, 32, 64]
+    hits, misses = replay_cache(addrs, size_bytes=128, ways=2)
+    assert hits + misses == 5
+    assert hits == 2
+
+
+def test_replay_line_buffer_prefetch_effect():
+    # pure sequential stream: prefetch converts every second miss
+    addrs = [i * 32 for i in range(100)]
+    _, misses_plain = replay_line_buffer(addrs, lines=2, prefetch=False)
+    _, misses_pf = replay_line_buffer(addrs, lines=2, prefetch=True)
+    assert misses_pf < misses_plain
+
+
+def test_miss_stream_subset():
+    addrs = [0, 32, 0, 4096, 0]
+    misses = miss_stream(addrs, size_bytes=64, ways=1)
+    assert all(a in addrs for a in misses)
+    assert len(misses) <= len(addrs)
+
+
+def test_share_in_ranges():
+    addrs = [10, 20, 30, 100]
+    assert share_in_ranges(addrs, [(0, 50)]) == pytest.approx(0.75)
+    assert share_in_ranges([], [(0, 50)]) == 0.0
+    assert share_in_ranges(addrs, []) == 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 2**20), min_size=1, max_size=300),
+       st.integers(1, 8))
+def test_line_buffer_conservation(addresses, lines):
+    hits, misses = replay_line_buffer(addresses, lines)
+    assert hits + misses == len(addresses)
+    # a larger buffer never has more misses (FIFO inclusion on this model)
+    hits2, misses2 = replay_line_buffer(addresses, lines + 4)
+    assert hits + misses == hits2 + misses2
+
+
+def test_captures_bounded():
+    captures = TraceCaptures((0, 100), max_fetch=3, max_data=2)
+    for i in range(10):
+        captures.on_fetch(i, i, "tc")
+        captures.on_data(i, i, False, "tc")
+    assert len(captures.fetch_addresses) == 3
+    assert len(captures.data_addresses) == 2
+
+
+def test_captures_filter_master_and_range():
+    captures = TraceCaptures((0, 100))
+    captures.on_fetch(0, 50, "pcp")      # wrong master
+    captures.on_fetch(0, 500, "tc")      # out of range
+    captures.on_data(0, 50, True, "tc")  # write, not read
+    assert captures.fetch_addresses == []
+    assert captures.data_addresses == []

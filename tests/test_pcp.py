@@ -1,0 +1,103 @@
+"""PCP core: channel programs, service flow, shared-fabric contention."""
+
+import pytest
+
+from repro.soc.config import tc1797_config
+from repro.soc.cpu import isa
+from repro.soc.device import Soc
+from repro.soc.kernel import signals
+from repro.soc.memory import map as amap
+from repro.soc.peripherals.basic import PeriodicTimer
+from repro.workloads.program import ProgramBuilder
+
+
+def make_channel_program(body):
+    builder = ProgramBuilder(code_base=amap.PFLASH_BASE + 0xE0_0000)
+    prog = builder.function("chan")
+    body(prog)
+    prog.ret()
+    return builder.assemble(entry="chan")
+
+
+def make_pcp_soc(body, period=200):
+    soc = Soc(tc1797_config(), seed=11)
+    builder = ProgramBuilder(code_base=amap.PSPR_BASE)
+    builder.function("main").halt()
+    soc.load_program(builder.assemble())
+    srn = soc.icu.add_srn("pcpreq", 6, core="pcp")
+    soc.pcp.bind_channel(srn.id, make_channel_program(body))
+    soc.add_peripheral(PeriodicTimer("t", soc.hub, soc.icu, srn.id, period))
+    return soc, srn
+
+
+def test_channel_program_runs_on_request():
+    soc, srn = make_pcp_soc(lambda f: f.alu(5))
+    soc.run(1000)
+    assert soc.pcp.services >= 4
+    assert soc.hub.total(signals.PCP_IRQ_ENTRY) == soc.pcp.services
+    assert soc.pcp.retired >= soc.pcp.services * 6  # 5 alu + ret
+
+
+def test_pcp_does_not_disturb_tricore_retirement():
+    soc, _ = make_pcp_soc(lambda f: f.alu(5))
+    soc.run(500)
+    assert soc.cpu.retired == 0     # main halted, no TC vectors
+    assert soc.hub.total(signals.TC_IRQ_ENTRY) == 0
+
+
+def test_pcp_memory_stalls_counted():
+    soc, _ = make_pcp_soc(
+        lambda f: f.load(isa.FixedAddr(amap.PERIPH_BASE + 0x200)).alu(2))
+    soc.run(1000)
+    assert soc.hub.total(signals.PCP_STALL) > 0
+
+
+def test_pcp_loop_and_call():
+    def body(f):
+        f.loop(4, lambda g: g.mac(2))
+        f.call("sub")
+    builder = ProgramBuilder(code_base=amap.PFLASH_BASE + 0xE0_0000)
+    prog = builder.function("chan")
+    body(prog)
+    prog.ret()
+    sub = builder.function("sub")
+    sub.alu(3)
+    sub.ret()
+    program = builder.assemble(entry="chan")
+
+    soc = Soc(tc1797_config(), seed=11)
+    pb = ProgramBuilder(code_base=amap.PSPR_BASE)
+    pb.function("main").halt()
+    soc.load_program(pb.assemble())
+    srn = soc.icu.add_srn("pcpreq", 6, core="pcp")
+    soc.pcp.bind_channel(srn.id, program)
+    soc._ensure_order()
+    soc.icu.raise_request(srn.id)
+    soc.run(200)
+    assert soc.pcp.services == 1
+    assert soc.pcp.active_program is None    # completed
+    # loop: 4*(ld-free mac,mac)+loop closes, call/ret, subroutine
+    assert soc.pcp.retired >= 15
+
+
+def test_disabled_pcp_ignores_requests():
+    cfg = tc1797_config()
+    cfg.pcp.enabled = False
+    soc = Soc(cfg, seed=11)
+    pb = ProgramBuilder(code_base=amap.PSPR_BASE)
+    pb.function("main").halt()
+    soc.load_program(pb.assemble())
+    srn = soc.icu.add_srn("pcpreq", 6, core="pcp")
+    soc.pcp.bind_channel(srn.id, make_channel_program(lambda f: f.alu(1)))
+    soc._ensure_order()
+    soc.icu.raise_request(srn.id)
+    soc.run(100)
+    assert soc.pcp.retired == 0
+
+
+def test_pcp_reset():
+    soc, _ = make_pcp_soc(lambda f: f.alu(5))
+    soc.run(500)
+    soc.reset()
+    assert soc.pcp.retired == 0
+    assert soc.pcp.active_program is None

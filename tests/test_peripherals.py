@@ -1,0 +1,96 @@
+"""Peripheral models: timers, ADC, CAN arrivals."""
+
+import pytest
+
+from repro.soc.config import tc1797_config
+from repro.soc.device import Soc
+from repro.soc.kernel import signals
+from repro.soc.memory import map as amap
+from repro.soc.peripherals.basic import Adc, CanNode, PeriodicTimer
+from repro.workloads.program import ProgramBuilder
+
+
+def make_soc():
+    soc = Soc(tc1797_config(), seed=21)
+    builder = ProgramBuilder(code_base=amap.PSPR_BASE)
+    builder.function("main").halt()
+    soc.load_program(builder.assemble())
+    return soc
+
+
+def test_timer_period():
+    soc = make_soc()
+    srn = soc.icu.add_srn("t", 5)
+    timer = soc.add_peripheral(
+        PeriodicTimer("t", soc.hub, soc.icu, srn.id, 100))
+    soc.run(1000)
+    # first event after one full period: fires at 100, 200, ... 900
+    assert timer.events == 9
+    assert srn.raised_count == 9
+
+
+def test_timer_callable_period():
+    soc = make_soc()
+    srn = soc.icu.add_srn("t", 5)
+    # period shrinks over time (rising RPM)
+    timer = soc.add_peripheral(PeriodicTimer(
+        "t", soc.hub, soc.icu, srn.id,
+        period=lambda cycle: 200 if cycle < 1000 else 100))
+    soc.run(2000)
+    assert 13 <= timer.events <= 17
+
+
+def test_timer_rejects_bad_period():
+    soc = make_soc()
+    srn = soc.icu.add_srn("t", 5)
+    with pytest.raises(ValueError):
+        PeriodicTimer("t", soc.hub, soc.icu, srn.id, 0)
+
+
+def test_adc_conversion_delay():
+    soc = make_soc()
+    srn = soc.icu.add_srn("adc", 5)
+    adc = soc.add_peripheral(Adc("adc", soc.hub, soc.icu, srn.id,
+                                 scan_period=300, conversion_cycles=100))
+    soc.run(300)
+    assert adc.conversions == 0      # first conversion still in flight
+    soc.run(150)
+    assert adc.conversions == 1
+    soc.run(2000)
+    assert adc.conversions >= 6
+    assert soc.hub.total(signals.ADC_CONVERSION) == adc.conversions
+
+
+def test_can_arrivals_deterministic_per_seed():
+    def run(seed):
+        soc = Soc(tc1797_config(), seed=seed)
+        builder = ProgramBuilder(code_base=amap.PSPR_BASE)
+        builder.function("main").halt()
+        soc.load_program(builder.assemble())
+        srn = soc.icu.add_srn("can", 5)
+        can = soc.add_peripheral(CanNode("can", soc.hub, soc.icu, srn.id,
+                                         mean_period=500,
+                                         rng=soc.sim.rng("can")))
+        soc.run(20000)
+        return can.messages
+    assert run(1) == run(1)
+
+
+def test_can_respects_min_period():
+    soc = make_soc()
+    srn = soc.icu.add_srn("can", 5)
+    can = soc.add_peripheral(CanNode("can", soc.hub, soc.icu, srn.id,
+                                     mean_period=10, min_period=100,
+                                     rng=soc.sim.rng("can")))
+    soc.run(1000)
+    assert can.messages <= 10
+
+
+def test_can_mean_rate_plausible():
+    soc = make_soc()
+    srn = soc.icu.add_srn("can", 5)
+    can = soc.add_peripheral(CanNode("can", soc.hub, soc.icu, srn.id,
+                                     mean_period=1000, min_period=10,
+                                     rng=soc.sim.rng("can")))
+    soc.run(100_000)
+    assert 60 <= can.messages <= 140

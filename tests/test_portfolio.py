@@ -1,0 +1,87 @@
+"""Portfolio evaluation: population aggregation and Pareto frontier."""
+
+import pytest
+
+from repro.core.optimization import (ArchOption, PortfolioEntry,
+                                     PortfolioEvaluator, hardware_options,
+                                     pareto_frontier, portfolio_table)
+from repro.soc.config import tc1797_config
+from repro.workloads import CustomerGenerator
+
+
+def make_entry(key, gain, cost, worst=None):
+    option = ArchOption(key, key, "hardware", cost, lambda ctx: 1.0)
+    return PortfolioEntry(option, {}, gain, worst if worst is not None
+                          else gain)
+
+
+# --- pure aggregation logic ---------------------------------------------------
+def test_pareto_frontier_dominance():
+    entries = [
+        make_entry("cheap_small", 2.0, 10),
+        make_entry("dear_big", 10.0, 100),
+        make_entry("dominated", 1.5, 20),     # worse and dearer than first
+        make_entry("negative", -1.0, 5),      # filtered (no gain)
+    ]
+    frontier = pareto_frontier(entries)
+    keys = [e.option.key for e in frontier]
+    assert keys == ["cheap_small", "dear_big"]
+
+
+def test_regression_flag():
+    assert make_entry("x", 3.0, 10, worst=-2.0).has_regression
+    assert not make_entry("x", 3.0, 10, worst=-0.2).has_regression
+
+
+def test_portfolio_table_renders():
+    entries = [make_entry("a", 5.0, 10), make_entry("b", 1.0, 50)]
+    table = portfolio_table(entries)
+    assert "a" in table and "pareto" in table
+
+
+# --- end-to-end on a tiny population ------------------------------------------
+@pytest.fixture(scope="module")
+def portfolio_entries():
+    customers = [c for c in CustomerGenerator(seed=42).generate(6)
+                 if c.domain == "engine"][:2]
+    assert len(customers) == 2
+    options = [o for o in hardware_options()
+               if o.key in ("icache_x2", "flash_25ns", "spb_fast")]
+    evaluator = PortfolioEvaluator(customers, tc1797_config(), options,
+                                   work_instructions=50_000, seed=20)
+    return evaluator.evaluate()
+
+
+def test_portfolio_covers_options(portfolio_entries):
+    assert {e.option.key for e in portfolio_entries} == {
+        "icache_x2", "flash_25ns", "spb_fast"}
+    for entry in portfolio_entries:
+        assert len(entry.per_customer_gain) == 2
+
+
+def test_portfolio_sorted_by_ratio(portfolio_entries):
+    ratios = [e.gain_cost_ratio for e in portfolio_entries]
+    assert ratios == sorted(ratios, reverse=True)
+
+
+def test_flash_path_beats_bus_option(portfolio_entries):
+    by_key = {e.option.key: e for e in portfolio_entries}
+    assert by_key["flash_25ns"].weighted_gain > by_key["spb_fast"].weighted_gain
+
+
+def test_weights_shift_aggregation():
+    customers = [c for c in CustomerGenerator(seed=42).generate(6)
+                 if c.domain == "engine"][:2]
+    options = [o for o in hardware_options() if o.key == "icache_x2"]
+
+    def weighted(weights):
+        evaluator = PortfolioEvaluator(customers, tc1797_config(), options,
+                                       weights=weights,
+                                       work_instructions=50_000, seed=20)
+        return evaluator.evaluate()[0]
+
+    uniform = weighted(None)
+    first_only = weighted({customers[0].name: 1.0, customers[1].name: 0.0})
+    gains = uniform.per_customer_gain
+    expected = gains[customers[0].name]
+    assert first_only.weighted_gain == pytest.approx(expected, abs=1e-9)

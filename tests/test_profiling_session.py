@@ -1,0 +1,120 @@
+"""Profiling sessions: spec -> counters -> decoded series vs oracle."""
+
+import pytest
+
+from repro.core.profiling import ProfilingSession, spec
+from repro.ed.device import EdConfig, EmulationDevice
+from repro.soc.config import tc1797_config
+from repro.soc.cpu import isa
+from repro.soc.kernel import signals
+from repro.soc.memory import map as amap
+
+from tests.helpers import make_loop_program
+
+
+def make_device(seed=13):
+    device = EmulationDevice(EdConfig(soc=tc1797_config()), seed=seed)
+    device.load_program(make_loop_program(
+        alu_per_iter=3,
+        load_gen=isa.TableAddr(amap.PFLASH_BASE + 0x10_0000, 4, 2048,
+                               locality=0.6)))
+    return device
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        spec.ParameterSpec("x", ("ev",), 0)
+    with pytest.raises(ValueError):
+        spec.ParameterSpec("x", (), 10)
+
+
+def test_duplicate_names_rejected():
+    device = make_device()
+    with pytest.raises(ValueError):
+        ProfilingSession(device, [spec.ipc(), spec.ipc()])
+
+
+def test_ipc_series_matches_oracle():
+    device = make_device()
+    session = ProfilingSession(device, [spec.ipc(resolution=256)])
+    result = session.run(20_000)
+    measured = result.mean_rate("tc.ipc")
+    oracle = device.soc.ipc()
+    assert measured == pytest.approx(oracle, rel=0.02)
+    assert len(result["tc.ipc"]) == 20_000 // 256
+
+
+def test_event_rate_matches_oracle():
+    device = make_device()
+    session = ProfilingSession(
+        device, [spec.flash_data_access_rate(per=100)])
+    result = session.run(20_000)
+    counts = device.oracle()
+    oracle_rate = (counts[signals.PFLASH_DATA_ACCESS]
+                   / counts[signals.TC_INSTR])
+    assert result.mean_rate("flash.data_access_rate") == pytest.approx(
+        oracle_rate, rel=0.05)
+
+
+def test_parallel_measurement_all_series_filled():
+    """Paper Section 5: all parameters measured dynamically AND in parallel."""
+    device = make_device()
+    session = ProfilingSession(device, spec.engine_parameter_set())
+    result = session.run(30_000)
+    for name in ("tc.ipc", "icache.miss_rate", "flash.data_access_rate",
+                 "dspr.access_rate", "tc.load_stall_rate"):
+        assert len(result[name]) > 5, name
+
+
+def test_bandwidth_accounting():
+    device = make_device()
+    session = ProfilingSession(device, [spec.ipc(resolution=64)])
+    result = session.run(50_000)
+    assert result.trace_bits > 0
+    assert result.bandwidth_mbps() > 0
+    # finer resolution costs more bandwidth
+    device2 = make_device()
+    session2 = ProfilingSession(device2, [spec.ipc(resolution=1024)])
+    result2 = session2.run(50_000)
+    assert result2.trace_bits < result.trace_bits
+
+
+def test_detach_frees_counters():
+    device = make_device()
+    session = ProfilingSession(device, spec.engine_parameter_set())
+    session.run(1000)
+    before = len(device.mcds.rate_counters)
+    session.detach()
+    assert len(device.mcds.rate_counters) == before - len(session.specs) \
+        or len(device.mcds.rate_counters) == 0
+    # a new session can allocate again without hitting the hardware limit
+    ProfilingSession(device, spec.engine_parameter_set())
+
+
+def test_counter_structure_limit_enforced():
+    device = make_device()
+    with pytest.raises(RuntimeError):
+        for i in range(20):
+            device.mcds.add_rate_counter(f"c{i}", ["tc.instr_executed"], 100)
+
+
+def test_summary_table_renders():
+    device = make_device()
+    session = ProfilingSession(device, [spec.ipc(), spec.icache_miss_rate()])
+    result = session.run(5000)
+    table = result.summary_table()
+    assert "tc.ipc" in table
+    assert "Mbit/s" in table
+
+
+def test_paper_example_semantics():
+    """'4 I-cache misses per 100 executed instructions -> 96 % hit rate'."""
+    device = make_device()
+    session = ProfilingSession(device, [spec.icache_miss_rate(per=100)])
+    result = session.run(20_000)
+    miss_per_100 = result.mean_rate("icache.miss_rate") * 100
+    hit_rate_paper = 100.0 - miss_per_100
+    assert 0 <= miss_per_100 < 100
+    assert hit_rate_paper == pytest.approx(
+        100 - 100 * device.oracle()[signals.ICACHE_MISS]
+        / device.oracle()[signals.TC_INSTR], abs=1.0)

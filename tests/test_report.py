@@ -1,0 +1,49 @@
+"""Consolidated profiling report rendering."""
+
+import pytest
+
+from repro.analysis import profiling_report
+from repro.core.profiling import (FunctionProfiler, ProfilingSession, spec)
+from repro.mcds.trace import TraceFanout
+from repro.soc.config import tc1797_config
+from repro.workloads.engine import EngineControlScenario
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    device = EngineControlScenario().build(
+        tc1797_config(), {"anomaly": True, "anomaly_period": 40_000},
+        seed=47)
+    session = ProfilingSession(device,
+                               spec.engine_parameter_set(ipc_resolution=512))
+    profiler = FunctionProfiler(device.cpu.program)
+    if device.cpu.trace is None:
+        device.cpu.trace = TraceFanout()
+    device.cpu.trace.add(profiler)
+    result = session.run(200_000)
+    return profiling_report(device, result, profiler)
+
+
+def test_report_header(report_text):
+    assert "tc1797ED @ 180 MHz" in report_text
+    assert "200000 cycles" in report_text
+
+
+def test_report_has_all_sections(report_text):
+    for marker in ("parallel parameter measurement", "tc.ipc",
+                   "poor-IPC windows", "function-level profile",
+                   "CPI stack", "trace accounting"):
+        assert marker in report_text, marker
+
+
+def test_report_names_suspects(report_text):
+    assert "σ" in report_text        # cause scores rendered
+
+
+def test_report_without_profiler():
+    device = EngineControlScenario().build(tc1797_config(), {}, seed=47)
+    session = ProfilingSession(device, [spec.ipc()])
+    result = session.run(30_000)
+    text = profiling_report(device, result)
+    assert "function-level profile" not in text
+    assert "CPI stack" in text

@@ -1,0 +1,66 @@
+"""Frequency-scaling study: simulated curve, analytic prediction, gap."""
+
+import pytest
+
+from repro.core.optimization import (OptionEvaluator, predict_scaling,
+                                     scaling_table, simulate_scaling)
+from repro.soc.config import tc1797_config
+from repro.workloads.engine import EngineControlScenario
+
+FREQS = (90, 180, 360)
+
+
+@pytest.fixture(scope="module")
+def simulated():
+    return simulate_scaling(EngineControlScenario(), tc1797_config(),
+                            FREQS, work_instructions=60_000, seed=46)
+
+
+def test_wait_states_grow_with_frequency(simulated):
+    ws = [p.wait_states for p in simulated]
+    assert ws == sorted(ws)
+    assert ws[-1] > ws[0]
+
+
+def test_sublinear_scaling(simulated):
+    """Doubling the clock never doubles delivered performance."""
+    by_freq = {p.frequency_mhz: p for p in simulated}
+    assert by_freq[180].relative_performance < 2.0
+    assert by_freq[360].relative_performance < 4.0
+    # but performance still rises monotonically
+    perfs = [p.relative_performance for p in simulated]
+    assert perfs == sorted(perfs)
+
+
+def test_cpi_degrades_with_frequency(simulated):
+    cpis = [p.cpi for p in simulated]
+    assert cpis[-1] > cpis[0]
+
+
+def test_analytic_prediction_tracks_simulation(simulated):
+    evaluator = OptionEvaluator(EngineControlScenario(), tc1797_config(), [],
+                                work_instructions=60_000, seed=46)
+    context = evaluator.run_baseline()
+    predicted = predict_scaling(context, FREQS)
+    for sim, pred in zip(simulated, predicted):
+        assert pred.relative_performance == pytest.approx(
+            sim.relative_performance, rel=0.15)
+
+
+def test_scaling_table_renders(simulated):
+    table = scaling_table(simulated)
+    assert "scaling gap" in table
+    assert "360" in table
+
+
+def test_architecture_option_improves_scaling():
+    def bigger_icache(config):
+        config.icache.size_bytes *= 2
+
+    base = simulate_scaling(EngineControlScenario(), tc1797_config(),
+                            (180, 360), work_instructions=60_000, seed=46)
+    improved = simulate_scaling(EngineControlScenario(), tc1797_config(),
+                                (180, 360), work_instructions=60_000,
+                                seed=46, configure=bigger_icache)
+    # at the high-frequency point the flash fix recovers scaling headroom
+    assert improved[-1].cpi < base[-1].cpi

@@ -1,0 +1,112 @@
+"""Soc assembly: construction rules, inventory, cross-run consistency."""
+
+import pytest
+
+from repro.analysis import TraceDecoder
+from repro.core.profiling import FunctionProfiler
+from repro.ed.device import EdConfig, EmulationDevice
+from repro.mcds.trace import TraceFanout
+from repro.soc.config import tc1767_config, tc1797_config
+from repro.soc.device import Soc
+from repro.soc.peripherals.basic import PeriodicTimer
+from repro.workloads.program import ProgramBuilder
+from repro.soc.memory import map as amap
+
+from tests.helpers import make_loop_program
+
+
+def test_no_peripherals_after_first_run():
+    soc = Soc(tc1797_config(), seed=61)
+    soc.load_program(make_loop_program())
+    soc.run(10)
+    srn = soc.icu.add_srn("late", 5)
+    with pytest.raises(RuntimeError):
+        soc.add_peripheral(PeriodicTimer("t", soc.hub, soc.icu, srn.id, 10))
+    with pytest.raises(RuntimeError):
+        soc.add_observer(PeriodicTimer("t", soc.hub, soc.icu, srn.id, 10))
+
+
+def test_block_inventory_reflects_config():
+    cfg = tc1797_config()
+    cfg.dcache.enabled = True
+    soc = Soc(cfg, seed=61)
+    inventory = soc.block_inventory()
+    assert "dcache" in inventory
+    cfg2 = tc1797_config()
+    cfg2.icache.enabled = False
+    soc2 = Soc(cfg2, seed=61)
+    assert "icache" not in soc2.block_inventory()
+
+
+def test_tc1767_device_runs():
+    device = EmulationDevice(EdConfig(soc=tc1767_config()), seed=61)
+    device.load_program(make_loop_program(alu_per_iter=4))
+    device.run(5000)
+    assert device.cpu.retired > 0
+    # 133 MHz -> fewer wait states than the 180 MHz part
+    assert device.soc.memory.flash.wait_states == 3
+
+
+def test_oracle_ipc_consistency():
+    soc = Soc(tc1797_config(), seed=61)
+    soc.load_program(make_loop_program(alu_per_iter=4))
+    soc.run(2000)
+    assert soc.ipc() == pytest.approx(
+        soc.hub.total("tc.instr_executed") / 2000)
+
+
+def test_decoder_agrees_with_profiler():
+    """Trace decoding and live profiling attribute the same call counts."""
+    builder = ProgramBuilder(code_base=amap.PSPR_BASE)
+    main = builder.function("main")
+    top = main.label("top")
+    main.call("work")
+    main.alu(3)
+    main.jump(top)
+    work = builder.function("work", base=amap.PSPR_BASE + 0x400)
+    work.alu(2)
+    work.ret()
+    program = builder.assemble()
+
+    device = EmulationDevice(EdConfig(soc=tc1797_config()), seed=61)
+    device.load_program(program)
+    device.mcds.add_program_trace(sync_period=10_000)
+    profiler = FunctionProfiler(program)
+    device.cpu.trace.add(profiler)
+    device.run(3000)
+
+    decoded = TraceDecoder(program).decode(device.emem.contents())
+    assert decoded.function_entries.get("work") == \
+        profiler.stats["work"].entries
+
+
+def test_reset_is_repeatable():
+    soc = Soc(tc1797_config(), seed=61)
+    soc.load_program(make_loop_program(alu_per_iter=4))
+    soc.run(3000)
+    first = soc.oracle()
+    soc.reset()
+    soc.run(3000)
+    assert soc.oracle() == first
+
+
+def test_reset_restores_rng_streams():
+    """Components keep references to their RNG streams; reset must rewind
+    them, or stochastic workloads diverge between runs."""
+    from repro.soc.cpu import isa
+
+    def build():
+        soc = Soc(tc1797_config(), seed=61)
+        soc.load_program(make_loop_program(
+            alu_per_iter=2,
+            load_gen=isa.TableAddr(amap.PFLASH_BASE + 0x10_0000, 4, 1024,
+                                   locality=0.5)))
+        return soc
+
+    soc = build()
+    soc.run(3000)
+    first = soc.oracle()
+    soc.reset()
+    # the CPU still holds the same Random object — reset must rewind it
+    soc.run(3000)
+    assert soc.oracle() == first

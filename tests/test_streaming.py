@@ -1,0 +1,102 @@
+"""Streaming profiling sessions and adaptive resolution calibration."""
+
+import pytest
+
+from repro.core.profiling import (AdaptiveResolutionController,
+                                  StreamingSession, spec)
+from repro.ed.device import EdConfig, EmulationDevice
+from repro.soc.config import tc1797_config
+from repro.soc.cpu import isa
+from repro.soc.memory import map as amap
+
+from tests.helpers import make_loop_program
+
+
+def make_streaming_device(emem_kb=32, dap_mbps=16.0, seed=14):
+    device = EmulationDevice(EdConfig(
+        soc=tc1797_config(), emem_kb=emem_kb,
+        dap_bandwidth_mbps=dap_mbps, dap_streaming=True), seed=seed)
+    device.load_program(make_loop_program(
+        alu_per_iter=3,
+        load_gen=isa.TableAddr(amap.PFLASH_BASE + 0x10_0000, 4, 2048,
+                               locality=0.6)))
+    return device
+
+
+def test_requires_streaming_dap():
+    device = EmulationDevice(EdConfig(soc=tc1797_config()), seed=14)
+    device.load_program(make_loop_program())
+    with pytest.raises(ValueError, match="post-mortem"):
+        StreamingSession(device, [spec.ipc()])
+
+
+def test_sustainable_config_loses_nothing():
+    device = make_streaming_device()
+    session = StreamingSession(device, [spec.ipc(resolution=4096)])
+    stats = session.run(100_000)
+    assert stats.healthy
+    assert stats.messages_received > 10
+    assert stats.emem_peak_fill < 0.05
+    result = session.result()
+    assert result.mean_rate("tc.ipc") == pytest.approx(
+        device.soc.ipc(), rel=0.05)
+
+
+def test_oversubscribed_config_overflows():
+    # tiny EMEM + starved DAP + fine windows -> messages must be lost
+    device = make_streaming_device(emem_kb=1, dap_mbps=0.5)
+    session = StreamingSession(device, [
+        spec.ipc(resolution=32),
+        spec.rate("stall", "tc.stall.load", per=20),
+    ])
+    stats = session.run(150_000)
+    assert not stats.healthy
+    assert stats.messages_lost > 0
+    assert stats.emem_peak_fill > 0.9
+    assert session.result().lost_messages == stats.messages_lost
+
+
+def test_received_plus_buffered_consistent():
+    device = make_streaming_device()
+    session = StreamingSession(device, [spec.ipc(resolution=1024)])
+    session.run(50_000)
+    result = session.result()
+    total = len(device.dap.received) + device.emem.message_count
+    assert len(result["tc.ipc"]) == total
+
+
+def test_adaptive_controller_finds_sustainable_scale():
+    def build():
+        return make_streaming_device(emem_kb=2, dap_mbps=2.0)
+
+    base = [spec.ipc(resolution=128),
+            spec.rate("stall", "tc.stall.load", per=100)]
+    controller = AdaptiveResolutionController(build, base,
+                                              trial_cycles=40_000,
+                                              fill_limit=0.5)
+    scale = controller.calibrate()
+    assert scale > 1                       # base config overflows
+    assert controller.trials[-1]["sustainable"]
+    assert all(not t["sustainable"] for t in controller.trials[:-1])
+    scaled = controller.specs_for(scale)
+    assert scaled[0].resolution == 128 * scale
+
+
+def test_adaptive_controller_accepts_base_when_fine():
+    def build():
+        return make_streaming_device(emem_kb=512, dap_mbps=50.0)
+
+    controller = AdaptiveResolutionController(
+        build, [spec.ipc(resolution=8192)], trial_cycles=30_000)
+    assert controller.calibrate() == 1
+
+
+def test_adaptive_controller_gives_up():
+    def build():
+        return make_streaming_device(emem_kb=1, dap_mbps=0.01)
+
+    controller = AdaptiveResolutionController(
+        build, [spec.ipc(resolution=16)], trial_cycles=30_000,
+        max_doublings=2)
+    with pytest.raises(RuntimeError, match="sustainable"):
+        controller.calibrate()

@@ -1,0 +1,105 @@
+"""Timer-cell array: compare one-shots, captures, late programming."""
+
+import pytest
+
+from repro.soc.config import tc1797_config
+from repro.soc.device import Soc
+from repro.soc.memory import map as amap
+from repro.soc.peripherals.timer_cells import (TCELL_CAPTURE, TCELL_MATCH,
+                                               TimerCellArray)
+from repro.workloads.program import ProgramBuilder
+
+
+def make_soc_with_cells():
+    soc = Soc(tc1797_config(), seed=49)
+    builder = ProgramBuilder(code_base=amap.PSPR_BASE)
+    builder.function("main").halt()
+    soc.load_program(builder.assemble())
+    cells = TimerCellArray("gpta", soc.hub, soc.icu)
+    soc.add_peripheral(cells)
+    return soc, cells
+
+
+def test_compare_fires_at_programmed_cycle():
+    soc, cells = make_soc_with_cells()
+    soc._ensure_order()
+    cells.set_compare(0, fire_at=100)
+    soc.run(99)
+    assert cells.compare[0].matches == 0
+    soc.run(2)
+    assert cells.compare[0].matches == 1
+    assert soc.hub.total(TCELL_MATCH) == 1
+    # one-shot: stays quiet afterwards
+    soc.run(100)
+    assert cells.compare[0].matches == 1
+
+
+def test_compare_raises_srn():
+    soc, cells = make_soc_with_cells()
+    srn = soc.icu.add_srn("inj", 6)
+    cells.bind_compare_srn(1, srn.id)
+    soc._ensure_order()
+    cells.set_compare(1, fire_at=50)
+    soc.run(60)
+    assert srn.raised_count == 1
+
+
+def test_late_programming_detected():
+    soc, cells = make_soc_with_cells()
+    soc._ensure_order()
+    soc.run(100)
+    cells.set_compare(0, fire_at=50)    # deadline already passed
+    assert cells.compare[0].late_writes == 1
+    soc.run(5)
+    assert cells.compare[0].matches == 1   # fires immediately
+
+
+def test_cancel_compare():
+    soc, cells = make_soc_with_cells()
+    soc._ensure_order()
+    cells.set_compare(2, fire_at=40)
+    cells.cancel_compare(2)
+    soc.run(100)
+    assert cells.compare[2].matches == 0
+
+
+def test_reprogramming_replaces_compare():
+    soc, cells = make_soc_with_cells()
+    soc._ensure_order()
+    cells.set_compare(0, fire_at=500)
+    cells.set_compare(0, fire_at=50)
+    soc.run(60)
+    assert cells.compare[0].matches == 1
+    soc.run(500)
+    assert cells.compare[0].matches == 1
+
+
+def test_capture_latches_time():
+    soc, cells = make_soc_with_cells()
+    soc._ensure_order()
+    soc.run(123)
+    stamp = cells.capture_event(0)
+    assert stamp == 122                  # last ticked cycle
+    assert cells.capture[0].timestamps == [122]
+    assert soc.hub.total(TCELL_CAPTURE) == 1
+
+
+def test_capture_raises_srn():
+    soc, cells = make_soc_with_cells()
+    srn = soc.icu.add_srn("speed_edge", 6)
+    cells.bind_capture_srn(0, srn.id)
+    soc._ensure_order()
+    soc.run(10)
+    cells.capture_event(0)
+    assert srn.raised_count == 1
+
+
+def test_reset():
+    soc, cells = make_soc_with_cells()
+    soc._ensure_order()
+    cells.set_compare(0, fire_at=1000)
+    soc.run(10)
+    cells.capture_event(0)
+    cells.reset()
+    assert cells.compare[0].compare_at is None
+    assert cells.capture[0].timestamps == []

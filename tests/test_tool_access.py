@@ -1,0 +1,74 @@
+"""Tool access paths: external DAP vs TriCore monitor over MLI."""
+
+import pytest
+
+from repro.ed import EmulationDevice
+from repro.ed.tool_access import (compare_paths, external_path_timing,
+                                  install_monitor, monitor_path_timing)
+from repro.soc.config import tc1797_config
+from repro.soc.cpu import isa
+from repro.soc.memory import map as amap
+from repro.workloads.program import ProgramBuilder
+
+
+def test_external_path_costs_no_cpu():
+    device = EmulationDevice(seed=16)
+    timing = external_path_timing(device, words=1024)
+    assert timing.cpu_cycles == 0
+    assert timing.wire_seconds > 0
+
+
+def test_monitor_path_costs_cpu_cycles():
+    device = EmulationDevice(seed=16)
+    timing = monitor_path_timing(device, words=1024)
+    assert timing.cpu_cycles > 1024          # at least MLI latency per word
+    assert timing.wire_seconds > 0
+
+
+def test_compare_paths_renders():
+    device = EmulationDevice(seed=16)
+    table = compare_paths(device, words=256)
+    assert "dap/ecerberus/bbb" in table
+    assert "mli" in table
+
+
+def test_monitor_routine_measurably_intrusive():
+    """The monitor path's CPU cost is measured, not asserted."""
+    def build(with_monitor):
+        device = EmulationDevice(seed=16)
+        builder = ProgramBuilder()
+        main = builder.function("main")
+        top = main.label("top")
+        main.alu(6)
+        main.load(isa.FixedAddr(amap.DSPR_BASE + 0x40))
+        main.jump(top)
+        finish = None
+        if with_monitor:
+            finish = install_monitor(device, builder, period=5_000,
+                                     words_per_service=32)
+        device.load_program(builder.assemble())
+        if finish is not None:
+            finish()
+        device.run(100_000)
+        return device
+
+    bare = build(False)
+    monitored = build(True)
+    # the monitor steals background throughput...
+    assert monitored.cpu.retired > bare.cpu.retired * 0.5
+    stolen = (monitored.hub.total("tc.irq_cycles"))
+    assert stolen > 0
+    # ...and its EMEM reads really went over the MLI/LMB path
+    assert monitored.hub.total("lmb.transfer") > bare.hub.total(
+        "lmb.transfer")
+
+
+def test_monitor_srn_bound():
+    device = EmulationDevice(seed=16)
+    builder = ProgramBuilder()
+    builder.function("main").halt()
+    finish = install_monitor(device, builder, period=2_000)
+    device.load_program(builder.assemble())
+    srn = finish()
+    device.run(30_000)
+    assert srn.taken_count >= 10

@@ -1,0 +1,59 @@
+"""PC-window trace qualification: 'trace only function X'."""
+
+import pytest
+
+from repro.ed.device import EdConfig, EmulationDevice
+from repro.mcds.trigger import PcInRange, Trigger
+from repro.soc.config import tc1797_config
+from repro.soc.memory import map as amap
+from repro.workloads.program import ProgramBuilder
+
+
+def build_device():
+    builder = ProgramBuilder(code_base=amap.PSPR_BASE)
+    main = builder.function("main")
+    top = main.label("top")
+    main.call("hot")
+    main.alu(20)
+    main.jump(top)
+    hot = builder.function("hot", base=amap.PSPR_BASE + 0x1000)
+    hot.loop(6, lambda f: f.alu(2))
+    hot.ret()
+    program = builder.assemble()
+    device = EmulationDevice(EdConfig(soc=tc1797_config()), seed=45)
+    device.load_program(program)
+    return device, program
+
+
+def test_pc_window_validation():
+    device, _ = build_device()
+    with pytest.raises(ValueError):
+        PcInRange(device.cpu, 100, 100)
+
+
+def test_pc_window_gates_trace_to_function():
+    device, program = build_device()
+    ptu = device.mcds.add_program_trace(enabled=False)
+    hot_lo = program.symbol("hot")
+    hot_hi = hot_lo + 0x200
+    condition = PcInRange(device.cpu, hot_lo, hot_hi)
+    device.mcds.add_trigger(Trigger(
+        "hot-window", condition,
+        on_enter=ptu.start, on_leave=ptu.stop))
+    device.run(20_000)
+    assert ptu.messages > 0
+    # qualified trace is a small fraction of the instructions executed
+    assert ptu.instructions_traced < device.cpu.retired
+    # and the captured discontinuities stay inside the hot window
+    # (allow boundary messages from the enable/disable skew of one cycle)
+    inside = [m for m in device.emem.contents()
+              if m.address is not None and hot_lo <= m.address < hot_hi]
+    assert len(inside) >= 0.7 * sum(
+        1 for m in device.emem.contents() if m.address is not None)
+
+
+def test_unqualified_trace_sees_everything():
+    device, program = build_device()
+    ptu = device.mcds.add_program_trace()
+    device.run(20_000)
+    assert ptu.instructions_traced == device.cpu.retired
