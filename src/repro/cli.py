@@ -7,6 +7,7 @@ Subcommands map to the workflows of the paper::
     repro trace      — program-trace capture statistics and decode summary
     repro explore    — CPI stack, option prediction, gain/cost ranking
     repro customers  — profile matrix over a generated customer population
+    repro campaign   — parallel fleet campaign over the population
 """
 
 from __future__ import annotations
@@ -165,6 +166,48 @@ def cmd_customers(args) -> int:
     return 0
 
 
+def cmd_campaign(args) -> int:
+    from .fleet import (CampaignJob, CampaignRunner, build_matrix,
+                        campaign_matrix, matrix_table, rank_portfolio)
+    from .workloads import CustomerGenerator
+    _config(args.device)          # fail fast on unknown device names
+    if args.workers < 0:
+        raise SystemExit("--workers must be >= 0 (0 = in-process)")
+    customers = CustomerGenerator(seed=args.seed).generate(args.count)
+    jobs = build_matrix(customers, devices=(args.device,),
+                        cycle_budgets=(args.cycles,), seed=args.seed,
+                        ipc_resolution=args.resolution)
+    if args.drill:
+        jobs = jobs + [CampaignJob(
+            name="fault-drill", domain="engine", device=args.device,
+            params={}, cycles=args.cycles, seed=args.seed, fault="crash")]
+    runner = CampaignRunner(
+        jobs, workers=args.workers, cache_dir=args.cache_dir,
+        campaign_dir=args.campaign_dir, max_retries=args.retries,
+        timeout_s=args.timeout, resume=args.resume)
+    report = runner.run()
+    print(f"campaign: {len(jobs)} jobs over {args.workers} workers")
+    print(report.metrics.summary_table())
+    print()
+    print(matrix_table(campaign_matrix(report.records)))
+    for record in report.quarantined:
+        print(f"quarantined: {record['job_id']} after "
+              f"{record['attempts']} attempts — {record['error']}")
+    if report.aggregate_path:
+        print(f"\nstore: {report.store_path}")
+        print(f"aggregate: {report.aggregate_path}")
+    if args.rank:
+        from .core.optimization import hardware_options
+        from .core.optimization.portfolio import portfolio_table
+        entries = rank_portfolio(customers, report.records,
+                                 _config(args.device), hardware_options(),
+                                 work_instructions=args.work,
+                                 seed=args.seed)
+        print("\nvolume-weighted portfolio ranking:")
+        print(portfolio_table(entries))
+    return 1 if report.quarantined and args.strict else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -197,6 +240,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--count", type=int, default=6)
     p.add_argument("--cycles", type=int, default=100_000)
 
+    p = sub.add_parser("campaign", help="parallel fleet profiling campaign")
+    p.add_argument("--count", type=int, default=8,
+                   help="generated customer population size")
+    p.add_argument("--cycles", type=int, default=100_000)
+    p.add_argument("--resolution", type=int, default=256)
+    p.add_argument("--workers", type=int, default=4,
+                   help="worker processes (0 = in-process, no pool)")
+    p.add_argument("--cache-dir", help="content-addressed result cache dir")
+    p.add_argument("--campaign-dir", help="JSONL store + aggregate dir")
+    p.add_argument("--resume", action="store_true",
+                   help="replay completed jobs from the campaign store")
+    p.add_argument("--retries", type=int, default=2,
+                   help="retry budget per failing job")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-job timeout in seconds")
+    p.add_argument("--drill", action="store_true",
+                   help="inject an always-crashing job (quarantine demo)")
+    p.add_argument("--strict", action="store_true",
+                   help="exit nonzero if any job was quarantined")
+    p.add_argument("--rank", action="store_true",
+                   help="volume-weighted portfolio ranking afterwards")
+    p.add_argument("--work", type=int, default=80_000,
+                   help="per-option work instructions for --rank")
+
     p = sub.add_parser("report", help="full profiling report (+export)")
     p.add_argument("--scenario", default="engine")
     p.add_argument("--cycles", type=int, default=200_000)
@@ -213,6 +280,7 @@ COMMANDS = {
     "trace": cmd_trace,
     "explore": cmd_explore,
     "customers": cmd_customers,
+    "campaign": cmd_campaign,
     "report": cmd_report,
 }
 

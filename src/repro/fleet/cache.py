@@ -1,0 +1,79 @@
+"""Content-addressed result cache for profiling campaigns.
+
+Each entry is one file, ``<digest>.json``, where the digest is the job's
+content hash (spec + package version + payload schema — see
+:func:`repro.fleet.spec.job_digest`).  Re-running a campaign therefore
+only executes jobs whose spec, device config, or simulator version
+actually changed; everything else is a hit.  Writes go through a
+temp-file rename so a killed campaign can never leave a half-written
+entry that would poison later runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict, Optional
+
+from .spec import CampaignJob, canonical_json
+
+
+class ResultCache:
+    """Directory of content-addressed job payloads."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, digest: str) -> str:
+        return os.path.join(self.root, f"{digest}.json")
+
+    def lookup(self, job: CampaignJob) -> Optional[Dict]:
+        """Return the cached payload for ``job``, or None on miss."""
+        path = self._path(job.digest)
+        try:
+            with open(path, "r") as handle:
+                entry = json.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (json.JSONDecodeError, OSError):
+            # unreadable entry: drop it and treat as a miss
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["payload"]
+
+    def store(self, job: CampaignJob, payload: Dict) -> str:
+        """Persist a job payload atomically; returns the entry path."""
+        path = self._path(job.digest)
+        entry = canonical_json({
+            "digest": job.digest,
+            "job": job.to_dict(),
+            "payload": payload,
+        })
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(entry)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for name in os.listdir(self.root)
+                   if name.endswith(".json"))
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

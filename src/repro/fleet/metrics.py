@@ -1,0 +1,76 @@
+"""Campaign metrics: throughput, cache efficiency, worker utilization.
+
+The numbers an operator reads after a campaign: how many jobs ran vs came
+from cache or a resumed store, how hard the worker pool was driven, and
+the per-job wall-clock distribution.  ``busy_s`` sums the in-worker wall
+time of every executed attempt (retries included), so utilization is
+``busy / (campaign wall x workers)`` — the classic pool-efficiency ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class CampaignMetrics:
+    """Aggregated counters for one campaign run."""
+
+    total_jobs: int = 0
+    executed: int = 0            # jobs that ran in a worker this campaign
+    cache_hits: int = 0
+    resumed: int = 0             # satisfied from a prior store via --resume
+    quarantined: int = 0
+    retries: int = 0             # extra attempts beyond the first
+    workers: int = 1
+    wall_s: float = 0.0          # whole-campaign wall clock
+    busy_s: float = 0.0          # summed in-worker job wall clock
+    job_walls: List[float] = field(default_factory=list)
+
+    @property
+    def completed(self) -> int:
+        return self.executed + self.cache_hits + self.resumed
+
+    @property
+    def jobs_per_sec(self) -> float:
+        return self.completed / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.total_jobs if self.total_jobs else 0.0
+
+    @property
+    def worker_utilization(self) -> float:
+        capacity = self.wall_s * max(1, self.workers)
+        return min(1.0, self.busy_s / capacity) if capacity > 0 else 0.0
+
+    @property
+    def mean_job_wall_s(self) -> float:
+        if not self.job_walls:
+            return 0.0
+        return sum(self.job_walls) / len(self.job_walls)
+
+    @property
+    def max_job_wall_s(self) -> float:
+        return max(self.job_walls) if self.job_walls else 0.0
+
+    def summary_table(self) -> str:
+        rows = [
+            ("jobs total", f"{self.total_jobs}"),
+            ("executed", f"{self.executed}"),
+            ("cache hits", f"{self.cache_hits}"
+                           f" ({100 * self.cache_hit_rate:.0f}%)"),
+            ("resumed", f"{self.resumed}"),
+            ("quarantined", f"{self.quarantined}"),
+            ("retries", f"{self.retries}"),
+            ("workers", f"{self.workers}"),
+            ("campaign wall", f"{self.wall_s:.2f} s"),
+            ("throughput", f"{self.jobs_per_sec:.2f} jobs/s"),
+            ("worker utilization", f"{100 * self.worker_utilization:.0f}%"),
+            ("job wall mean/max", f"{self.mean_job_wall_s:.2f} s"
+                                  f" / {self.max_job_wall_s:.2f} s"),
+        ]
+        width = max(len(label) for label, _ in rows) + 2
+        return "\n".join(f"{label:<{width}}{value}"
+                         for label, value in rows)

@@ -1,0 +1,277 @@
+"""Campaign orchestrator: fans a job matrix over a fault-tolerant pool.
+
+Execution model
+---------------
+
+* Jobs are deterministically sharded (:func:`repro.fleet.spec.assign_shards`)
+  and each shard is one ``run_shard`` task on a ``ProcessPoolExecutor``.
+  Workers isolate failures per job, so a raising job returns a structured
+  error outcome instead of killing its shard.
+* Failed jobs are retried with exponential backoff, one single-job shard
+  at a time (so a poison job can only hurt itself).  A job that exhausts
+  its retry budget is **quarantined**: recorded with its error and
+  excluded from the aggregate, while every other job completes normally.
+* A worker process dying outright (or a shard exceeding its timeout)
+  breaks the pool; the orchestrator records synthetic failures for the
+  affected shard, abandons the pool, and continues on a fresh one.
+* Before anything is submitted, each job is looked up in the
+  content-addressed :class:`~repro.fleet.cache.ResultCache` and, under
+  ``resume=True``, in the campaign's JSONL store — hits never reach the
+  pool, which is why a warm re-run executes zero jobs.
+
+Results are bit-identical regardless of worker count: every job builds
+its own seeded device, and the aggregate artifact is written sorted by
+content-derived job id with timing metadata excluded.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as \
+    FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .cache import ResultCache
+from .metrics import CampaignMetrics
+from .spec import CampaignJob, assign_shards
+from .store import ResultStore
+from .worker import run_shard
+
+
+@dataclass
+class CampaignReport:
+    """Everything a campaign run produced."""
+
+    records: List[Dict] = field(default_factory=list)   # sorted by job_id
+    metrics: CampaignMetrics = field(default_factory=CampaignMetrics)
+    store_path: Optional[str] = None
+    aggregate_path: Optional[str] = None
+
+    @property
+    def ok_records(self) -> List[Dict]:
+        return [r for r in self.records if r["status"] == "ok"]
+
+    @property
+    def quarantined(self) -> List[Dict]:
+        return [r for r in self.records if r["status"] == "quarantined"]
+
+
+class CampaignRunner:
+    """Runs one campaign: cache/resume short-circuit, pool fan-out,
+    retry/quarantine, store + aggregate emission."""
+
+    def __init__(self, jobs: Sequence[CampaignJob],
+                 workers: int = 1,
+                 cache_dir: Optional[str] = None,
+                 campaign_dir: Optional[str] = None,
+                 max_retries: int = 2,
+                 backoff_s: float = 0.25,
+                 timeout_s: Optional[float] = None,
+                 resume: bool = False) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0 (0 = in-process)")
+        self.jobs = sorted(jobs, key=lambda j: j.job_id)
+        ids = [job.job_id for job in self.jobs]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate jobs in campaign matrix")
+        if workers == 0 and any(job.fault == "exit" for job in self.jobs):
+            raise ValueError(
+                "fault='exit' drills need workers >= 1: in-process mode "
+                "would kill the orchestrator itself")
+        self.workers = workers
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.store = ResultStore(campaign_dir) if campaign_dir else None
+        self.max_retries = max_retries
+        self.backoff_s = backoff_s
+        self.timeout_s = timeout_s
+        self.resume = resume
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # -- pool lifecycle ------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def _retire_pool(self, broken: bool = False) -> None:
+        if self._pool is None:
+            return
+        pool, self._pool = self._pool, None
+        # a broken/stuck pool must not be waited on — abandon it
+        pool.shutdown(wait=not broken, cancel_futures=broken)
+
+    # -- execution rounds ----------------------------------------------------
+    @staticmethod
+    def _synthetic_failures(shard: Sequence[CampaignJob], attempt: int,
+                            error: str) -> List[Dict]:
+        return [{
+            "job": job.to_dict(), "status": "error", "error": error,
+            "trace": error, "wall_s": 0.0, "attempt": attempt, "pid": None,
+        } for job in shard]
+
+    def _shard_timeout(self, shard: Sequence[CampaignJob]) -> Optional[float]:
+        if self.timeout_s is None:
+            return None
+        return self.timeout_s * len(shard)
+
+    def _run_round(self, shards: List[List[CampaignJob]],
+                   attempt: int) -> List[Dict]:
+        """Execute one round of shards, surviving pool breakage."""
+        if self.workers == 0:
+            outcomes: List[Dict] = []
+            for shard in shards:
+                outcomes.extend(
+                    run_shard([job.to_dict() for job in shard], attempt))
+            return outcomes
+
+        outcomes = []
+        pool = self._ensure_pool()
+        futures = [(pool.submit(run_shard,
+                                [job.to_dict() for job in shard], attempt),
+                    shard) for shard in shards]
+        abandon = False
+        for future, shard in futures:
+            try:
+                outcomes.extend(future.result(self._shard_timeout(shard)))
+            except FutureTimeoutError:
+                outcomes.extend(self._synthetic_failures(
+                    shard, attempt,
+                    f"timeout: shard exceeded "
+                    f"{self._shard_timeout(shard):.1f} s"))
+                abandon = True         # a worker is stuck in there
+            except BrokenProcessPool:
+                outcomes.extend(self._synthetic_failures(
+                    shard, attempt, "worker process died"))
+                abandon = True
+        if abandon:
+            self._retire_pool(broken=True)
+        return outcomes
+
+    # -- record plumbing -----------------------------------------------------
+    @staticmethod
+    def _ok_record(job: CampaignJob, payload: Dict, source: str,
+                   attempts: int, wall_s: float) -> Dict:
+        return {
+            "job_id": job.job_id, "digest": job.digest,
+            "job": job.to_dict(), "status": "ok", "source": source,
+            "attempts": attempts, "wall_s": wall_s, "payload": payload,
+        }
+
+    def _finish(self, job: CampaignJob, record: Dict,
+                records: Dict[str, Dict]) -> None:
+        records[job.job_id] = record
+        if self.store is not None:
+            self.store.append(record)
+
+    # -- the campaign --------------------------------------------------------
+    def run(self) -> CampaignReport:
+        start = time.perf_counter()
+        metrics = CampaignMetrics(total_jobs=len(self.jobs),
+                                  workers=max(1, self.workers))
+        records: Dict[str, Dict] = {}
+        by_id = {job.job_id: job for job in self.jobs}
+
+        # resume: replay completed records from a previous (killed) run
+        prior = []
+        if self.store is not None:
+            if self.resume:
+                prior = [r for r in self.store.load()
+                         if r.get("status") == "ok"
+                         and r.get("job_id") in by_id]
+            self.store.clear()
+        for record in prior:
+            job = by_id[record["job_id"]]
+            metrics.resumed += 1
+            self._finish(job, self._ok_record(
+                job, record["payload"], "resumed",
+                record.get("attempts", 1), 0.0), records)
+
+        # content-addressed cache: hits never reach the pool
+        for job in self.jobs:
+            if job.job_id in records or self.cache is None:
+                continue
+            payload = self.cache.lookup(job)
+            if payload is not None:
+                metrics.cache_hits += 1
+                self._finish(job, self._ok_record(
+                    job, payload, "cache", 0, 0.0), records)
+
+        pending = [job for job in self.jobs if job.job_id not in records]
+
+        # round 0: deterministic shards over the pool
+        failures: Dict[str, Dict] = {}
+        if pending:
+            n_shards = max(1, min(len(pending), max(1, self.workers) * 2))
+            outcomes = self._run_round(assign_shards(pending, n_shards), 0)
+            failures = self._absorb(outcomes, records, metrics)
+
+        # retry rounds: failed jobs individually, one at a time
+        for attempt in range(1, self.max_retries + 1):
+            if not failures:
+                break
+            time.sleep(self.backoff_s * (2 ** (attempt - 1)))
+            metrics.retries += len(failures)
+            retry_jobs = sorted(failures, key=str)
+            outcomes = []
+            for job_id in retry_jobs:
+                outcomes.extend(
+                    self._run_round([[by_id[job_id]]], attempt))
+            failures = self._absorb(outcomes, records, metrics,
+                                    prior_failures=failures)
+
+        # whatever still fails is quarantined — the campaign survives it
+        for job_id in sorted(failures):
+            outcome = failures[job_id]
+            job = by_id[job_id]
+            metrics.quarantined += 1
+            self._finish(job, {
+                "job_id": job.job_id, "digest": job.digest,
+                "job": job.to_dict(), "status": "quarantined",
+                "source": "executed",
+                "attempts": outcome["attempt"] + 1,
+                "wall_s": outcome["wall_s"],
+                "error": outcome["error"],
+            }, records)
+
+        self._retire_pool()
+        metrics.wall_s = time.perf_counter() - start
+
+        ordered = [records[job.job_id] for job in self.jobs]
+        report = CampaignReport(records=ordered, metrics=metrics)
+        if self.store is not None:
+            self.store.rewrite(ordered)
+            report.store_path = self.store.path
+            report.aggregate_path = self.store.write_aggregate(
+                report.ok_records, report.quarantined)
+        return report
+
+    def _absorb(self, outcomes: List[Dict], records: Dict[str, Dict],
+                metrics: CampaignMetrics,
+                prior_failures: Optional[Dict[str, Dict]] = None
+                ) -> Dict[str, Dict]:
+        """Fold a round's outcomes into records; return remaining failures."""
+        failures: Dict[str, Dict] = {}
+        for outcome in outcomes:
+            job = CampaignJob.from_dict(outcome["job"])
+            metrics.busy_s += outcome["wall_s"]
+            if outcome["status"] == "ok":
+                metrics.executed += 1
+                metrics.job_walls.append(outcome["wall_s"])
+                if self.cache is not None:
+                    self.cache.store(job, outcome["payload"])
+                self._finish(job, self._ok_record(
+                    job, outcome["payload"], "executed",
+                    outcome["attempt"] + 1, outcome["wall_s"]), records)
+            else:
+                carried = dict(outcome)
+                if prior_failures and job.job_id in prior_failures:
+                    carried["wall_s"] += prior_failures[job.job_id]["wall_s"]
+                failures[job.job_id] = carried
+        return failures
+
+
+def run_campaign(jobs: Sequence[CampaignJob], **kwargs) -> CampaignReport:
+    """Convenience wrapper: build a runner and run it."""
+    return CampaignRunner(jobs, **kwargs).run()

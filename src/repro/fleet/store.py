@@ -1,0 +1,93 @@
+"""JSONL campaign result store.
+
+One line per completed job record, appended as jobs finish so a killed
+campaign leaves a valid prefix behind — that prefix is exactly what
+``--resume`` replays.  At campaign end the orchestrator rewrites the file
+sorted by job id, and writes the separate ``aggregate.json`` artifact
+containing only the deterministic fields (no wall-clock, no attempt
+counts), which is the thing asserted byte-identical across worker counts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List
+
+from .spec import canonical_json
+
+STORE_NAME = "campaign.jsonl"
+AGGREGATE_NAME = "aggregate.json"
+
+
+class ResultStore:
+    """Append-oriented JSONL record log with atomic rewrite."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self.path = os.path.join(directory, STORE_NAME)
+        self.aggregate_path = os.path.join(directory, AGGREGATE_NAME)
+
+    def append(self, record: Dict) -> None:
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def load(self) -> List[Dict]:
+        """Read back all records, skipping a torn final line if present."""
+        records: List[Dict] = []
+        try:
+            with open(self.path, "r") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        records.append(json.loads(line))
+                    except json.JSONDecodeError:
+                        break      # torn tail from a killed campaign
+        except FileNotFoundError:
+            pass
+        return records
+
+    def rewrite(self, records: Iterable[Dict]) -> None:
+        """Replace the log with ``records`` (sorted by the caller)."""
+        tmp = self.path + ".tmp"
+        with open(tmp, "w") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        os.replace(tmp, self.path)
+
+    def clear(self) -> None:
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:
+            pass
+
+    def write_aggregate(self, records: Iterable[Dict],
+                        quarantined: Iterable[Dict]) -> str:
+        """Write the deterministic aggregate artifact.
+
+        Only content-derived fields go in: job spec, digest, and result
+        payload for completed jobs, plus the ids of quarantined jobs.
+        Timing and attempt metadata stay in the JSONL log — they vary
+        between runs and would break the byte-identity guarantee.
+        """
+        body = {
+            "jobs": [
+                {
+                    "job_id": record["job_id"],
+                    "digest": record["digest"],
+                    "job": record["job"],
+                    "payload": record["payload"],
+                }
+                for record in sorted(records, key=lambda r: r["job_id"])
+            ],
+            "quarantined": sorted(
+                record["job_id"] for record in quarantined),
+        }
+        tmp = self.aggregate_path + ".tmp"
+        with open(tmp, "w") as handle:
+            handle.write(canonical_json(body))
+        os.replace(tmp, self.aggregate_path)
+        return self.aggregate_path

@@ -1,0 +1,133 @@
+"""Fleet worker: executes campaign jobs inside a worker process.
+
+:func:`run_shard` is the function shipped to the ``ProcessPoolExecutor``
+— a module-level callable taking only plain dictionaries, so it pickles
+under any start method.  Each job rebuilds its scenario and emulation
+device from the declarative spec, runs one profiling session, and returns
+the result as the canonical JSON payload produced by
+:func:`repro.core.profiling.export.result_to_json`.  Because every job
+builds a fresh device from a fixed seed, a job's payload is bit-identical
+no matter which process (or how many processes) ran it — the determinism
+the orchestrator's ``--workers N`` equivalence guarantee rests on.
+
+Faults raised by a job are caught *per job* and returned as structured
+error outcomes; one poisoned job never takes down its shard-mates.  (A
+worker process dying outright — the ``exit`` drill — is the orchestrator's
+problem; it shows up there as a broken pool.)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import traceback
+from typing import Dict, List, Optional
+
+from ..core.profiling.export import result_to_json
+from ..core.profiling.session import ProfilingSession
+from ..core.profiling import spec as pspec
+from ..soc.config import tc1767_config, tc1797_config
+from ..workloads.body import BodyGatewayScenario
+from ..workloads.engine import EngineControlScenario
+from ..workloads.rtos import RtosScenario
+from ..workloads.transmission import TransmissionScenario
+
+SCENARIOS = {
+    "engine": EngineControlScenario,
+    "transmission": TransmissionScenario,
+    "body": BodyGatewayScenario,
+    "rtos": RtosScenario,
+}
+
+CONFIGS = {
+    "tc1797": tc1797_config,
+    "tc1767": tc1767_config,
+}
+
+
+class JobFault(RuntimeError):
+    """Raised by a job's fault-drill mode (see ``CampaignJob.fault``)."""
+
+
+def _apply_fault(fault: Optional[str], attempt: int) -> None:
+    if not fault:
+        return
+    if fault == "crash":
+        raise JobFault("fault drill: unconditional crash")
+    if fault.startswith("flaky:"):
+        threshold = int(fault.split(":", 1)[1])
+        if attempt < threshold:
+            raise JobFault(
+                f"fault drill: flaky failure on attempt {attempt}")
+        return
+    if fault == "exit":
+        os._exit(17)           # hard process death, not an exception
+    if fault.startswith("hang:"):
+        time.sleep(float(fault.split(":", 1)[1]))
+        return
+    raise ValueError(f"unknown fault mode {fault!r}")
+
+
+def execute_job(job: Dict, attempt: int = 0) -> Dict:
+    """Run one campaign job spec (a ``CampaignJob.to_dict()`` dict).
+
+    Returns the deterministic result payload: the parsed canonical-JSON
+    profile plus the identity fields aggregation needs.
+    """
+    _apply_fault(job.get("fault"), attempt)
+    try:
+        scenario = SCENARIOS[job["domain"]]()
+    except KeyError:
+        raise ValueError(f"unknown workload domain {job['domain']!r}")
+    try:
+        config = CONFIGS[job["device"]]()
+    except KeyError:
+        raise ValueError(f"unknown device config {job['device']!r}")
+    device = scenario.build(config, dict(job["params"]), seed=job["seed"])
+    session = ProfilingSession(
+        device, pspec.engine_parameter_set(
+            ipc_resolution=job["ipc_resolution"],
+            rate_per=job["rate_per"]))
+    result = session.run(job["cycles"])
+    return {
+        "name": job["name"],
+        "domain": job["domain"],
+        "device": job["device"],
+        "cycles": job["cycles"],
+        "profile": json.loads(result_to_json(result, compact=True)),
+    }
+
+
+def run_shard(jobs: List[Dict], attempt: int = 0) -> List[Dict]:
+    """Execute a shard of job specs, isolating failures per job.
+
+    Returns one outcome dict per job, in shard order::
+
+        {"job": <spec>, "status": "ok"|"error", "payload"|"error": ...,
+         "wall_s": float, "attempt": int, "pid": int}
+    """
+    outcomes: List[Dict] = []
+    for job in jobs:
+        start = time.perf_counter()
+        try:
+            payload = execute_job(job, attempt)
+            outcomes.append({
+                "job": job,
+                "status": "ok",
+                "payload": payload,
+                "wall_s": time.perf_counter() - start,
+                "attempt": attempt,
+                "pid": os.getpid(),
+            })
+        except Exception as exc:
+            outcomes.append({
+                "job": job,
+                "status": "error",
+                "error": f"{type(exc).__name__}: {exc}",
+                "trace": traceback.format_exc(),
+                "wall_s": time.perf_counter() - start,
+                "attempt": attempt,
+                "pid": os.getpid(),
+            })
+    return outcomes

@@ -95,3 +95,54 @@ def test_report(capsys, tmp_path):
     import json as json_mod
     payload = json_mod.loads(json_path.read_text())
     assert payload["cycles_run"] == 60000
+
+
+def test_campaign(capsys, tmp_path):
+    code, out = run_cli(capsys, "campaign", "--count", "3",
+                        "--cycles", "15000", "--workers", "2",
+                        "--cache-dir", str(tmp_path / "cache"),
+                        "--campaign-dir", str(tmp_path / "run"))
+    assert code == 0
+    assert "3 jobs over 2 workers" in out
+    assert "worker utilization" in out
+    assert "customer00" in out
+    assert (tmp_path / "run" / "campaign.jsonl").exists()
+    assert (tmp_path / "run" / "aggregate.json").exists()
+
+
+def test_campaign_warm_cache_rerun(capsys, tmp_path):
+    args = ["campaign", "--count", "2", "--cycles", "15000",
+            "--workers", "0",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--campaign-dir", str(tmp_path / "run")]
+    run_cli(capsys, *args)
+    code, out = run_cli(capsys, *args)
+    assert code == 0
+    assert "cache hits 2 (100%)" in " ".join(out.split())
+    assert "executed 0" in " ".join(out.split())
+
+
+def test_campaign_drill_quarantines(capsys, tmp_path):
+    code, out = run_cli(capsys, "campaign", "--count", "2",
+                        "--cycles", "15000", "--workers", "2",
+                        "--retries", "1", "--drill",
+                        "--campaign-dir", str(tmp_path / "run"))
+    assert code == 0                 # quarantine is not a campaign failure
+    assert "quarantined: fault-drill-" in out
+    assert "customer00" in out       # healthy jobs still reported
+
+
+def test_campaign_drill_strict_exits_nonzero(capsys, tmp_path):
+    code, out = run_cli(capsys, "campaign", "--count", "2",
+                        "--cycles", "15000", "--workers", "2",
+                        "--retries", "0", "--drill", "--strict")
+    assert code == 1
+
+
+def test_campaign_rank(capsys, tmp_path):
+    code, out = run_cli(capsys, "campaign", "--count", "2",
+                        "--cycles", "15000", "--workers", "0",
+                        "--work", "20000", "--rank")
+    assert code == 0
+    assert "volume-weighted portfolio ranking" in out
+    assert "gain/cost" in out

@@ -1,14 +1,16 @@
-"""Profile export: JSON and CSV serialisation."""
+"""Profile export: JSON and CSV serialisation plus round-trip loaders."""
 
 import csv
 import io
 import json
 
+import numpy as np
 import pytest
 
 from repro.core.profiling import ProfilingSession, spec
-from repro.core.profiling.export import (result_from_json, result_to_json,
-                                         series_to_csv, summary_to_csv)
+from repro.core.profiling.export import (result_from_csv, result_from_json,
+                                         result_to_json, series_to_csv,
+                                         summary_to_csv)
 from repro.ed.device import EdConfig, EmulationDevice
 from repro.soc.config import tc1797_config
 from repro.soc.cpu import isa
@@ -28,15 +30,30 @@ def result():
     return session.run(30_000)
 
 
-def test_json_roundtrip(result):
+def test_json_roundtrip_rebuilds_result(result):
     text = result_to_json(result)
-    payload = result_from_json(text)
-    assert payload["cycles_run"] == 30_000
-    assert set(payload["parameters"]) == {"tc.ipc", "icache.miss_rate"}
-    ipc = payload["parameters"]["tc.ipc"]
-    assert ipc["samples"] == len(result["tc.ipc"])
-    assert ipc["mean_rate"] == pytest.approx(result.mean_rate("tc.ipc"))
-    assert len(ipc["cycles"]) == ipc["samples"]
+    loaded = result_from_json(text)
+    assert loaded.cycles_run == 30_000
+    assert set(loaded.names) == {"tc.ipc", "icache.miss_rate"}
+    ipc = loaded["tc.ipc"]
+    assert ipc.spec.resolution == 256
+    assert ipc.spec == result["tc.ipc"].spec
+    assert len(ipc) == len(result["tc.ipc"])
+    assert np.array_equal(ipc.cycles, result["tc.ipc"].cycles)
+    assert np.array_equal(ipc.values, result["tc.ipc"].values)
+    assert loaded.mean_rate("tc.ipc") == pytest.approx(
+        result.mean_rate("tc.ipc"))
+    assert loaded.bandwidth_mbps() == pytest.approx(result.bandwidth_mbps())
+
+
+def test_json_reexport_is_byte_identical(result):
+    """Stable serialisation: load + re-export reproduces the exact bytes."""
+    text = result_to_json(result)
+    assert result_to_json(result_from_json(text)) == text
+    compact = result_to_json(result, compact=True)
+    assert result_to_json(result_from_json(compact), compact=True) == compact
+    assert "\n" not in compact
+    assert json.loads(compact) == json.loads(text)
 
 
 def test_json_without_series(result):
@@ -44,9 +61,16 @@ def test_json_without_series(result):
     assert "cycles" not in payload["parameters"]["tc.ipc"]
 
 
+def test_summary_only_export_cannot_roundtrip(result):
+    with pytest.raises(ValueError, match="summary-only"):
+        result_from_json(result_to_json(result, include_series=False))
+
+
 def test_from_json_rejects_garbage():
     with pytest.raises(ValueError):
         result_from_json('{"hello": 1}')
+    with pytest.raises(ValueError):
+        result_from_json('[1, 2, 3]')
 
 
 def test_series_csv_long_format(result):
@@ -62,6 +86,36 @@ def test_series_csv_long_format(result):
 def test_series_csv_selected_names(result):
     rows = list(csv.reader(io.StringIO(series_to_csv(result, ["tc.ipc"]))))
     assert all(row[0] == "tc.ipc" for row in rows[1:])
+
+
+def test_csv_roundtrip_with_specs(result):
+    specs = {name: result[name].spec for name in result.names}
+    loaded = result_from_csv(series_to_csv(result), specs=specs,
+                             cycles_run=result.cycles_run,
+                             frequency_mhz=result.frequency_mhz,
+                             trace_bits=result.trace_bits)
+    assert set(loaded.names) == set(result.names)
+    for name in result.names:
+        assert loaded[name].spec == result[name].spec
+        assert np.array_equal(loaded[name].cycles, result[name].cycles)
+        assert np.array_equal(loaded[name].values, result[name].values)
+    assert loaded.cycles_run == result.cycles_run
+
+
+def test_csv_roundtrip_infers_resolution(result):
+    loaded = result_from_csv(series_to_csv(result))
+    assert loaded["tc.ipc"].spec.resolution == 256
+    assert loaded["icache.miss_rate"].spec.resolution == 100
+    assert loaded.mean_rate("tc.ipc") == pytest.approx(
+        result.mean_rate("tc.ipc"))
+    # cycles_run defaults to the last sample cycle seen
+    assert loaded.cycles_run == max(int(result[name].cycles[-1])
+                                    for name in result.names)
+
+
+def test_csv_rejects_garbage():
+    with pytest.raises(ValueError):
+        result_from_csv("a,b\n1,2\n")
 
 
 def test_summary_csv(result):

@@ -1,0 +1,69 @@
+"""Content-addressed result cache: hits, misses, invalidation, corruption."""
+
+import json
+import os
+
+from repro.fleet import ResultCache
+from repro.fleet import spec as fleet_spec
+from repro.fleet.spec import CampaignJob
+
+
+def make_job(**overrides):
+    base = dict(name="c0", domain="engine", device="tc1797",
+                params={"rpm": 4500}, cycles=20_000, seed=9)
+    base.update(overrides)
+    return CampaignJob(**base)
+
+
+PAYLOAD = {"name": "c0", "profile": {"parameters": {}}}
+
+
+def test_miss_then_hit(tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    job = make_job()
+    assert cache.lookup(job) is None
+    cache.store(job, PAYLOAD)
+    assert cache.lookup(job) == PAYLOAD
+    assert cache.hits == 1 and cache.misses == 1
+    assert cache.hit_rate == 0.5
+    assert len(cache) == 1
+
+
+def test_spec_change_is_a_miss(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cache.store(make_job(), PAYLOAD)
+    assert cache.lookup(make_job(cycles=30_000)) is None
+    assert cache.lookup(make_job(params={"rpm": 5500})) is None
+
+
+def test_version_bump_invalidates(tmp_path, monkeypatch):
+    cache = ResultCache(str(tmp_path))
+    cache.store(make_job(), PAYLOAD)
+    monkeypatch.setattr(fleet_spec, "__version__", "99.0.0")
+    assert cache.lookup(make_job()) is None
+
+
+def test_store_is_idempotent_and_atomic(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    job = make_job()
+    path_a = cache.store(job, PAYLOAD)
+    path_b = cache.store(job, PAYLOAD)
+    assert path_a == path_b
+    assert len(cache) == 1
+    assert not [name for name in os.listdir(str(tmp_path))
+                if name.endswith(".tmp")]
+    entry = json.load(open(path_a))
+    assert entry["digest"] == job.digest
+    assert entry["job"]["name"] == "c0"
+
+
+def test_corrupt_entry_dropped(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    job = make_job()
+    path = cache.store(job, PAYLOAD)
+    with open(path, "w") as handle:
+        handle.write("{torn")
+    assert cache.lookup(job) is None          # treated as a miss
+    assert not os.path.exists(path)           # and the entry is dropped
+    cache.store(job, PAYLOAD)
+    assert cache.lookup(job) == PAYLOAD       # cache self-heals

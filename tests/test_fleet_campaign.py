@@ -1,0 +1,224 @@
+"""Fleet campaign end-to-end: determinism, caching, resume, quarantine.
+
+The acceptance properties of the subsystem:
+
+* a campaign run with N workers produces a byte-identical aggregate to a
+  1-worker run (parallelism never changes the science);
+* a warm-cache re-run executes zero jobs;
+* a killed campaign resumes from its JSONL store prefix;
+* a poison job is quarantined after its retry budget without taking any
+  healthy job with it — even when it kills the worker process outright.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.fleet import (CampaignJob, CampaignRunner, build_matrix,
+                         campaign_matrix, matrix_table, rank_portfolio,
+                         run_campaign, volume_weights)
+from repro.core.optimization import hardware_options
+from repro.soc.config import tc1797_config
+from repro.workloads import CustomerGenerator
+
+CYCLES = 12_000
+SEED = 9
+
+
+def population(count=3):
+    return CustomerGenerator(seed=42).generate(count)
+
+
+def make_jobs(count=3):
+    return build_matrix(population(count), cycle_budgets=(CYCLES,),
+                        seed=SEED)
+
+
+def poison_job(fault, name="poison"):
+    return CampaignJob(name=name, domain="engine", device="tc1797",
+                       params={}, cycles=4_000, seed=SEED, fault=fault)
+
+
+@pytest.fixture(scope="module")
+def baseline(tmp_path_factory):
+    """One sequential (1-worker) campaign with cache + store."""
+    root = tmp_path_factory.mktemp("fleet-baseline")
+    report = run_campaign(make_jobs(), workers=1,
+                          cache_dir=str(root / "cache"),
+                          campaign_dir=str(root / "run"))
+    return root, report
+
+
+def test_campaign_completes_population(baseline):
+    _, report = baseline
+    assert report.metrics.total_jobs == 3
+    assert report.metrics.executed == 3
+    assert not report.quarantined
+    names = {r["payload"]["name"] for r in report.ok_records}
+    assert names == {c.name for c in population()}
+    # records are sorted by content-derived job id
+    assert [r["job_id"] for r in report.records] == \
+        sorted(r["job_id"] for r in report.records)
+
+
+def test_parallel_equals_sequential_byte_identical(baseline, tmp_path):
+    root, report1 = baseline
+    report4 = run_campaign(make_jobs(), workers=4,
+                           cache_dir=str(tmp_path / "cache"),
+                           campaign_dir=str(tmp_path / "run"))
+    with open(report1.aggregate_path, "rb") as a, \
+            open(report4.aggregate_path, "rb") as b:
+        assert a.read() == b.read()
+    # the in-process path is bit-identical too
+    report0 = run_campaign(make_jobs(), workers=0,
+                           campaign_dir=str(tmp_path / "run0"))
+    with open(report1.aggregate_path, "rb") as a, \
+            open(report0.aggregate_path, "rb") as b:
+        assert a.read() == b.read()
+
+
+def test_warm_cache_rerun_executes_nothing(baseline):
+    root, _ = baseline
+    report = run_campaign(make_jobs(), workers=4,
+                          cache_dir=str(root / "cache"),
+                          campaign_dir=str(root / "rerun"))
+    assert report.metrics.executed == 0
+    assert report.metrics.cache_hits == 3
+    assert report.metrics.cache_hit_rate == 1.0
+    assert len(report.ok_records) == 3
+
+
+def test_cache_misses_only_changed_jobs(baseline, tmp_path):
+    root, _ = baseline
+    jobs = make_jobs()
+    changed = jobs[0]
+    changed = CampaignJob(**{**changed.to_dict(), "cycles": CYCLES + 1000})
+    report = run_campaign([changed] + jobs[1:], workers=0,
+                          cache_dir=str(root / "cache"),
+                          campaign_dir=str(tmp_path / "run"))
+    assert report.metrics.cache_hits == 2
+    assert report.metrics.executed == 1
+
+
+def test_resume_after_kill(baseline, tmp_path):
+    """A killed campaign's JSONL prefix is replayed, not re-executed."""
+    root, report = baseline
+    campaign_dir = tmp_path / "killed"
+    campaign_dir.mkdir()
+    store_path = campaign_dir / "campaign.jsonl"
+    with open(report.store_path) as handle:
+        lines = handle.readlines()
+    # simulate a kill: only the first record made it to disk, the second
+    # is a torn partial line
+    store_path.write_text(lines[0] + lines[1][:40])
+    resumed = run_campaign(make_jobs(), workers=0,
+                           campaign_dir=str(campaign_dir), resume=True)
+    assert resumed.metrics.resumed == 1
+    assert resumed.metrics.executed == 2
+    assert len(resumed.ok_records) == 3
+    # and the final aggregate is still byte-identical to the clean run
+    with open(report.aggregate_path, "rb") as a, \
+            open(resumed.aggregate_path, "rb") as b:
+        assert a.read() == b.read()
+
+
+def test_without_resume_everything_reruns(baseline, tmp_path):
+    _, report = baseline
+    campaign_dir = tmp_path / "cold"
+    campaign_dir.mkdir()
+    with open(report.store_path) as handle:
+        (campaign_dir / "campaign.jsonl").write_text(handle.read())
+    cold = run_campaign(make_jobs(), workers=0,
+                        campaign_dir=str(campaign_dir), resume=False)
+    assert cold.metrics.resumed == 0
+    assert cold.metrics.executed == 3
+
+
+def test_poison_job_quarantined_not_fatal(tmp_path):
+    jobs = make_jobs(2) + [poison_job("crash")]
+    report = run_campaign(jobs, workers=2, max_retries=1, backoff_s=0.01,
+                          campaign_dir=str(tmp_path))
+    assert [q["job_id"] for q in report.quarantined] == \
+        [j.job_id for j in jobs if j.fault]
+    quarantined = report.quarantined[0]
+    assert quarantined["attempts"] == 2            # initial + 1 retry
+    assert "fault drill" in quarantined["error"]
+    assert len(report.ok_records) == 2             # healthy jobs unharmed
+    # the aggregate names the quarantined job but carries no payload for it
+    aggregate = json.load(open(report.aggregate_path))
+    assert aggregate["quarantined"] == [quarantined["job_id"]]
+    assert len(aggregate["jobs"]) == 2
+
+
+def test_flaky_job_recovers_via_retry(tmp_path):
+    """A worker raising mid-campaign succeeds on a later attempt."""
+    jobs = make_jobs(2) + [CampaignJob(
+        name="flaky", domain="engine", device="tc1797", params={},
+        cycles=4_000, seed=SEED, fault="flaky:1")]
+    report = run_campaign(jobs, workers=2, max_retries=2, backoff_s=0.01,
+                          campaign_dir=str(tmp_path))
+    assert not report.quarantined
+    assert report.metrics.retries >= 1
+    flaky = [r for r in report.records if r["job"]["name"] == "flaky"][0]
+    assert flaky["status"] == "ok" and flaky["attempts"] == 2
+
+
+def test_worker_process_death_survived(tmp_path):
+    """os._exit in a worker breaks the pool; the campaign carries on."""
+    jobs = make_jobs(2) + [poison_job("exit", name="killer")]
+    report = run_campaign(jobs, workers=2, max_retries=1, backoff_s=0.01,
+                          campaign_dir=str(tmp_path))
+    assert [q["job"]["name"] for q in report.quarantined] == ["killer"]
+    assert "worker process died" in report.quarantined[0]["error"]
+    assert len(report.ok_records) == 2
+
+
+def test_exit_drill_rejected_in_process():
+    with pytest.raises(ValueError, match="workers >= 1"):
+        CampaignRunner([poison_job("exit")], workers=0)
+
+
+def test_metrics_and_matrix_render(baseline):
+    _, report = baseline
+    table = report.metrics.summary_table()
+    assert "cache hits" in table and "worker utilization" in table
+    rows = campaign_matrix(report.records)
+    assert len(rows) == 3
+    rendered = matrix_table(rows)
+    for row in rows:
+        assert row["name"] in rendered
+        assert row["ipc"] > 0
+
+
+def test_volume_weights_trace_derived(baseline):
+    _, report = baseline
+    weights = volume_weights(report.records)
+    assert set(weights) == {c.name for c in population()}
+    for record in report.ok_records:
+        ipc = record["payload"]["profile"]["parameters"]["tc.ipc"]
+        expected = max(1.0, ipc["mean_rate"] * CYCLES)
+        assert weights[record["payload"]["name"]] == pytest.approx(expected)
+
+
+def test_rank_portfolio_consumes_campaign(baseline):
+    _, report = baseline
+    customers = population()
+    entries = rank_portfolio(customers, report.records, tc1797_config(),
+                             hardware_options()[:2],
+                             work_instructions=20_000, seed=SEED)
+    assert len(entries) == 2
+    for entry in entries:
+        assert set(entry.per_customer_gain) == {c.name for c in customers}
+
+
+def test_store_append_and_rewrite_roundtrip(tmp_path):
+    from repro.fleet import ResultStore
+    store = ResultStore(str(tmp_path))
+    store.append({"job_id": "b", "x": 1})
+    store.append({"job_id": "a", "x": 2})
+    assert [r["job_id"] for r in store.load()] == ["b", "a"]
+    store.rewrite(sorted(store.load(), key=lambda r: r["job_id"]))
+    assert [r["job_id"] for r in store.load()] == ["a", "b"]
+    store.clear()
+    assert store.load() == []
