@@ -181,10 +181,17 @@ def cmd_campaign(args) -> int:
         jobs = jobs + [CampaignJob(
             name="fault-drill", domain="engine", device=args.device,
             params={}, cycles=args.cycles, seed=args.seed, fault="crash")]
+    fault_plan = None
+    if args.fault_plan:
+        from .faults import load_fault_plan
+        plan = load_fault_plan(args.fault_plan)
+        fault_plan = plan.to_dict()
+        print(f"chaos: fault plan {args.fault_plan!r} (seed {plan.seed}, "
+              f"{len(plan.rules)} rules) — result cache disabled")
     runner = CampaignRunner(
         jobs, workers=args.workers, cache_dir=args.cache_dir,
         campaign_dir=args.campaign_dir, max_retries=args.retries,
-        timeout_s=args.timeout, resume=args.resume)
+        timeout_s=args.timeout, resume=args.resume, fault_plan=fault_plan)
     report = runner.run()
     print(f"campaign: {len(jobs)} jobs over {args.workers} workers")
     print(report.metrics.summary_table())
@@ -257,6 +264,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-job timeout in seconds")
     p.add_argument("--drill", action="store_true",
                    help="inject an always-crashing job (quarantine demo)")
+    p.add_argument("--fault-plan", metavar="PLAN.json",
+                   help="chaos-test the campaign under a fault-injection "
+                        "plan (see docs/faults.md; disables the cache)")
     p.add_argument("--strict", action="store_true",
                    help="exit nonzero if any job was quarantined")
     p.add_argument("--rank", action="store_true",

@@ -17,6 +17,10 @@ import io
 import json
 from typing import Dict, List, Optional
 
+import numpy as np
+
+from ...errors import FormatError
+from ...mcds.messages import Gap
 from .session import ProfileResult, SeriesData
 from .spec import ParameterSpec
 
@@ -38,6 +42,10 @@ def result_to_json(result: ProfileResult, include_series: bool = True,
         "lost_messages": result.lost_messages,
         "parameters": {},
     }
+    if result.gaps:
+        # emitted only for degraded captures, so clean exports stay
+        # byte-identical to the pre-gap-accounting format
+        payload["gaps"] = [gap.to_list() for gap in result.gaps]
     for name, data in result.series.items():
         entry: Dict = {
             "events": list(data.spec.events),
@@ -49,6 +57,8 @@ def result_to_json(result: ProfileResult, include_series: bool = True,
         if include_series:
             entry["cycles"] = data.cycles.tolist()
             entry["values"] = data.values.tolist()
+            if data.degraded_count:
+                entry["degraded"] = np.flatnonzero(data.degraded).tolist()
         payload["parameters"][name] = entry
     if compact:
         return json.dumps(payload, sort_keys=True, separators=(",", ":"))
@@ -59,8 +69,10 @@ def _series_from_entry(name: str, entry: Dict) -> SeriesData:
     spec = ParameterSpec(name, tuple(entry["events"]),
                          entry["resolution"], entry["basis"])
     data = SeriesData(spec)
-    for cycle, value in zip(entry["cycles"], entry["values"]):
-        data.append(int(cycle), int(value))
+    flagged = set(entry.get("degraded", ()))
+    for index, (cycle, value) in enumerate(zip(entry["cycles"],
+                                               entry["values"])):
+        data.append(int(cycle), int(value), index in flagged)
     return data
 
 
@@ -72,15 +84,15 @@ def result_from_json(text: str) -> ProfileResult:
     """
     payload = json.loads(text)
     if not isinstance(payload, dict):
-        raise ValueError("not a profile export: expected an object")
+        raise FormatError("not a profile export: expected an object")
     required = ("cycles_run", "frequency_mhz", "parameters")
     for key in required:
         if key not in payload:
-            raise ValueError(f"not a profile export: missing {key!r}")
+            raise FormatError(f"not a profile export: missing {key!r}")
     series: Dict[str, SeriesData] = {}
     for name, entry in payload["parameters"].items():
         if "cycles" not in entry or "values" not in entry:
-            raise ValueError(
+            raise FormatError(
                 f"summary-only export: parameter {name!r} has no series "
                 "(re-export with include_series=True to round-trip)")
         series[name] = _series_from_entry(name, entry)
@@ -90,6 +102,7 @@ def result_from_json(text: str) -> ProfileResult:
         trace_bits=payload.get("trace_bits", 0),
         frequency_mhz=payload["frequency_mhz"],
         lost_messages=payload.get("lost_messages", 0),
+        gaps=[Gap.from_list(item) for item in payload.get("gaps", ())],
     )
 
 
@@ -128,7 +141,7 @@ def result_from_csv(text: str,
     """
     rows = list(csv.reader(io.StringIO(text)))
     if not rows or rows[0] != ["parameter", "cycle", "value", "rate"]:
-        raise ValueError("not a series CSV export: bad or missing header")
+        raise FormatError("not a series CSV export: bad or missing header")
     series: Dict[str, SeriesData] = {}
     resolutions: Dict[str, int] = {}
     parsed: Dict[str, List] = {}

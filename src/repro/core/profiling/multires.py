@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 from ...ed.device import EmulationDevice
+from ...errors import ConfigurationError
 from ...mcds.counters import CYCLES, RateCounterStructure
 from ...mcds.trigger import BELOW, RateThreshold, Trigger
 from .spec import ParameterSpec
@@ -31,7 +32,7 @@ class MultiResolutionRate:
                  basis: str = CYCLES) -> None:
         """``threshold_rate`` is in events per basis unit (e.g. IPC 1.2)."""
         if high_resolution >= low_resolution:
-            raise ValueError(
+            raise ConfigurationError(
                 "high-resolution window must be finer (smaller) than low")
         self.device = device
         self.name = name

@@ -8,15 +8,24 @@ performs over the DAP on real EDs.
 Everything the session learns comes out of trace messages, never out of
 simulator internals; the oracle totals are only used by tests to check the
 decoded values.
+
+Degradation semantics: a sample covers the window ``(previous sample's
+cycle, its own cycle]``.  If that window overlaps any recorded trace
+:class:`~repro.mcds.messages.Gap` — messages wrapped away, rejected,
+corrupted, or dropped on the wire — or the message itself is tainted by a
+counter overflow, the sample is decoded but **marked degraded** instead of
+silently reported as a trustworthy rate.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+import bisect
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ...ed.device import EmulationDevice
+from ...errors import ConfigurationError
 from ...mcds import messages as msgs
 from .spec import ParameterSpec
 
@@ -28,10 +37,12 @@ class SeriesData:
         self.spec = spec
         self._cycles: List[int] = []
         self._values: List[int] = []
+        self._degraded: List[bool] = []
 
-    def append(self, cycle: int, value: int) -> None:
+    def append(self, cycle: int, value: int, degraded: bool = False) -> None:
         self._cycles.append(cycle)
         self._values.append(value)
+        self._degraded.append(degraded)
 
     @property
     def cycles(self) -> np.ndarray:
@@ -40,6 +51,15 @@ class SeriesData:
     @property
     def values(self) -> np.ndarray:
         return np.asarray(self._values, dtype=np.int64)
+
+    @property
+    def degraded(self) -> np.ndarray:
+        """Per-sample flag: the window overlapped a trace gap / taint."""
+        return np.asarray(self._degraded, dtype=bool)
+
+    @property
+    def degraded_count(self) -> int:
+        return sum(self._degraded)
 
     @property
     def rates(self) -> np.ndarray:
@@ -58,17 +78,49 @@ class SeriesData:
         return len(self._values)
 
 
+def _window_overlaps(spans: Sequence[Tuple[int, int]], lo: int,
+                     hi: int) -> bool:
+    """Does the half-open window ``(lo, hi]`` touch any merged gap span?"""
+    idx = bisect.bisect_right(spans, (hi, float("inf")))
+    return idx > 0 and spans[idx - 1][1] > lo
+
+
+def decode_rate_stream(stream, series: Dict[str, "SeriesData"],
+                       gaps: Sequence[msgs.Gap] = ()) -> None:
+    """Decode rate-sample messages into ``series``, marking degradation.
+
+    Shared by the post-mortem and streaming sessions so both apply the
+    same gap/taint semantics.
+    """
+    spans = msgs.merge_gap_spans(list(gaps)) if gaps else []
+    prev: Dict[str, int] = {}
+    for msg in stream:
+        if msg.kind != msgs.RATE_SAMPLE:
+            continue
+        data = series.get(msg.source)
+        if data is None:
+            continue
+        degraded = bool(msg.extra and msg.extra.get("tainted"))
+        if spans and not degraded:
+            degraded = _window_overlaps(spans, prev.get(msg.source, -1),
+                                        msg.cycle)
+        prev[msg.source] = msg.cycle
+        data.append(msg.cycle, msg.value, degraded)
+
+
 class ProfileResult:
     """Decoded output of one profiling run."""
 
     def __init__(self, series: Dict[str, SeriesData], cycles_run: int,
                  trace_bits: int, frequency_mhz: int,
-                 lost_messages: int) -> None:
+                 lost_messages: int,
+                 gaps: Optional[Sequence[msgs.Gap]] = None) -> None:
         self.series = series
         self.cycles_run = cycles_run
         self.trace_bits = trace_bits
         self.frequency_mhz = frequency_mhz
         self.lost_messages = lost_messages
+        self.gaps: List[msgs.Gap] = list(gaps) if gaps else []
 
     def __getitem__(self, name: str) -> SeriesData:
         return self.series[name]
@@ -79,6 +131,15 @@ class ProfileResult:
     @property
     def names(self):
         return tuple(self.series)
+
+    @property
+    def degraded_samples(self) -> int:
+        """Samples across all series whose windows overlap a trace gap."""
+        return sum(data.degraded_count for data in self.series.values())
+
+    @property
+    def healthy(self) -> bool:
+        return not self.lost_messages and not self.degraded_samples
 
     def mean_rate(self, name: str) -> float:
         return self.series[name].mean_rate()
@@ -99,6 +160,10 @@ class ProfileResult:
             lines.append(f"{name:<28}{len(data):>8}{data.mean_rate():>12.4f}")
         lines.append(f"trace: {self.trace_bits} bits over {self.cycles_run} "
                      f"cycles = {self.bandwidth_mbps():.3f} Mbit/s")
+        if self.lost_messages or self.degraded_samples:
+            lines.append(f"DEGRADED: {self.lost_messages} messages lost in "
+                         f"{len(self.gaps)} gaps; {self.degraded_samples} "
+                         f"samples affected")
         return "\n".join(lines)
 
 
@@ -111,7 +176,7 @@ class ProfilingSession:
         self.specs = list(specs)
         names = [s.name for s in self.specs]
         if len(set(names)) != len(names):
-            raise ValueError("parameter names must be unique")
+            raise ConfigurationError("parameter names must be unique")
         self.structures = {}
         for spec in self.specs:
             self.structures[spec.name] = device.mcds.add_rate_counter(
@@ -128,19 +193,16 @@ class ProfilingSession:
         device = self.device
         series = {spec.name: SeriesData(spec) for spec in self.specs}
         stream = list(device.dap.received) + device.emem.contents()
-        for msg in stream:
-            if msg.kind != msgs.RATE_SAMPLE:
-                continue
-            data = series.get(msg.source)
-            if data is not None:
-                data.append(msg.cycle, msg.value)
-        lost = device.emem.lost_oldest + device.emem.lost_new
+        gaps = device.trace_gaps()
+        decode_rate_stream(stream, series, gaps)
+        lost = (device.emem.dropped_messages + device.dap.dropped_messages)
         return ProfileResult(
             series,
             cycles_run=device.cycle - self._start_cycle,
             trace_bits=device.mcds.total_bits - self._start_bits,
             frequency_mhz=device.config.soc.cpu.frequency_mhz,
             lost_messages=lost,
+            gaps=gaps,
         )
 
     def detach(self) -> None:

@@ -19,8 +19,9 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
 from ...ed.device import EmulationDevice
-from ...mcds import messages as msgs
-from .session import ProfileResult, SeriesData
+from ...errors import (BandwidthExceededError, ConfigurationError,
+                       TraceOverrunError)
+from .session import ProfileResult, SeriesData, decode_rate_stream
 from .spec import ParameterSpec
 
 
@@ -33,6 +34,7 @@ class StreamingStats:
     bits_transferred: int
     emem_peak_fill: float
     messages_lost: int
+    gaps: int = 0
 
     @property
     def healthy(self) -> bool:
@@ -40,16 +42,23 @@ class StreamingStats:
 
 
 class StreamingSession:
-    """Continuous measurement with live DAP drain and overflow accounting."""
+    """Continuous measurement with live DAP drain and overflow accounting.
+
+    ``strict=True`` turns any message loss into a
+    :class:`~repro.errors.TraceOverrunError` at the end of :meth:`run` —
+    for callers that would rather abort than interpret a degraded capture.
+    """
 
     def __init__(self, device: EmulationDevice,
-                 specs: Iterable[ParameterSpec]) -> None:
+                 specs: Iterable[ParameterSpec],
+                 strict: bool = False) -> None:
         if not device.dap.streaming:
-            raise ValueError(
+            raise ConfigurationError(
                 "device DAP is in post-mortem mode; build the ED with "
                 "dap_streaming=True for a streaming session")
         self.device = device
         self.specs = list(specs)
+        self.strict = strict
         self.structures = {
             spec.name: device.mcds.add_rate_counter(
                 spec.name, spec.events, spec.resolution, spec.basis)
@@ -69,7 +78,12 @@ class StreamingSession:
             if fill > self._peak_fill:
                 self._peak_fill = fill
             remaining -= step
-        return self.stats()
+        stats = self.stats()
+        if self.strict and stats.messages_lost:
+            raise TraceOverrunError(
+                f"streaming session lost {stats.messages_lost} messages "
+                f"across {stats.gaps} gaps (strict mode)")
+        return stats
 
     def stats(self) -> StreamingStats:
         device = self.device
@@ -78,25 +92,24 @@ class StreamingSession:
             messages_received=len(device.dap.received),
             bits_transferred=device.dap.bits_transferred,
             emem_peak_fill=self._peak_fill,
-            messages_lost=device.emem.lost_oldest + device.emem.lost_new,
+            messages_lost=(device.emem.dropped_messages
+                           + device.dap.dropped_messages),
+            gaps=len(device.emem.gaps) + len(device.dap.gaps),
         )
 
     def result(self) -> ProfileResult:
         """Decode everything received so far plus the in-flight buffer."""
         series = {spec.name: SeriesData(spec) for spec in self.specs}
         stream = list(self.device.dap.received) + self.device.emem.contents()
-        for msg in stream:
-            if msg.kind != msgs.RATE_SAMPLE:
-                continue
-            data = series.get(msg.source)
-            if data is not None:
-                data.append(msg.cycle, msg.value)
+        gaps = self.device.trace_gaps()
+        decode_rate_stream(stream, series, gaps)
         stats = self.stats()
         return ProfileResult(
             series, stats.cycles,
             self.device.mcds.total_bits,
             self.device.config.soc.cpu.frequency_mhz,
-            stats.messages_lost)
+            stats.messages_lost,
+            gaps=gaps)
 
 
 class AdaptiveResolutionController:
@@ -149,7 +162,7 @@ class AdaptiveResolutionController:
             doublings += 1
             outcome = self._trial(scale)
         if not outcome["sustainable"]:
-            raise RuntimeError(
+            raise BandwidthExceededError(
                 f"no sustainable resolution within {self.max_doublings} "
                 f"doublings; the parameter set is too wide for this DAP")
         return scale

@@ -13,13 +13,20 @@ Two usage modes:
 * **streaming** — each cycle the DAP drains whole messages up to its
   accumulated bit credit; if producers outrun it the EMEM fills and
   messages are lost, which the profiling session reports as overflow.
+
+Messages lost *on the wire* (an injected ``dap.drop``) or stalled by a
+saturated link (``dap.saturate``) are accounted as side-band
+:class:`~repro.mcds.messages.Gap` records, same as EMEM losses.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from ..mcds.messages import TraceMessage
+from ..errors import ConfigurationError
+from ..faults import injector as _fi
+from ..faults.injector import fault_point
+from ..mcds.messages import Gap, TraceMessage
 from ..soc.kernel.simulator import Component
 from .emem import EmulationMemory
 
@@ -30,7 +37,7 @@ class DapInterface(Component):
     def __init__(self, emem: EmulationMemory, bandwidth_mbps: float,
                  cpu_frequency_mhz: int, streaming: bool = False) -> None:
         if bandwidth_mbps <= 0:
-            raise ValueError("bandwidth must be positive")
+            raise ConfigurationError("bandwidth must be positive")
         self.emem = emem
         self.bandwidth_mbps = bandwidth_mbps
         self.cpu_frequency_mhz = cpu_frequency_mhz
@@ -40,6 +47,21 @@ class DapInterface(Component):
         self._credit = 0.0
         self.received: List[TraceMessage] = []
         self.bits_transferred = 0
+        self.dropped_messages = 0         # lost on the wire (injected)
+        self.saturated_cycles = 0         # cycles spent with a stalled link
+        self.gaps: List[Gap] = []
+        self._open_gap: Optional[Gap] = None
+        self._saturated_until = -1
+
+    def _note_loss(self, cycle: int) -> None:
+        gap = self._open_gap
+        if gap is not None:
+            gap.end = max(gap.end, cycle)
+            gap.lost += 1
+        else:
+            gap = Gap(cycle, cycle, 1, "dap", "dap")
+            self.gaps.append(gap)
+            self._open_gap = gap
 
     def consume_wire(self, bits: int) -> None:
         """Account foreign traffic (calibration writes, register polls).
@@ -54,6 +76,16 @@ class DapInterface(Component):
     def tick(self, cycle: int) -> None:
         if not self.streaming:
             return
+        if _fi._active is not None:
+            action = fault_point("dap.saturate", cycle=cycle)
+            if action is not None:
+                self._saturated_until = \
+                    cycle + int(action.params.get("cycles", 1000))
+            if cycle < self._saturated_until:
+                # the wire is saturated by foreign traffic: no drain credit
+                # accrues, the EMEM backs up and wraps on its own
+                self.saturated_cycles += 1
+                return
         self._credit += self.bits_per_cycle
         if self._credit < 1.0:
             return
@@ -61,6 +93,17 @@ class DapInterface(Component):
         if messages:
             self._credit -= bits
             self.bits_transferred += bits
+            if _fi._active is not None:
+                survivors = []
+                for msg in messages:
+                    if fault_point("dap.drop", cycle=msg.cycle,
+                                   kind=msg.kind) is not None:
+                        self.dropped_messages += 1
+                        self._note_loss(msg.cycle)
+                    else:
+                        survivors.append(msg)
+                        self._open_gap = None
+                messages = survivors
             self.received.extend(messages)
 
     # -- post-mortem -----------------------------------------------------------
@@ -81,7 +124,24 @@ class DapInterface(Component):
         seconds = cycles / (self.cpu_frequency_mhz * 1e6)
         return bits / seconds / 1e6
 
+    def stats(self) -> Dict:
+        """Wire-health snapshot for tooling and degradation reports."""
+        return {
+            "bandwidth_mbps": self.bandwidth_mbps,
+            "streaming": self.streaming,
+            "bits_transferred": self.bits_transferred,
+            "messages_received": len(self.received),
+            "dropped_messages": self.dropped_messages,
+            "saturated_cycles": self.saturated_cycles,
+            "gaps": len(self.gaps),
+        }
+
     def reset(self) -> None:
         self._credit = 0.0
         self.received.clear()
         self.bits_transferred = 0
+        self.dropped_messages = 0
+        self.saturated_cycles = 0
+        self.gaps = []
+        self._open_gap = None
+        self._saturated_until = -1

@@ -18,7 +18,9 @@ import dataclasses
 from dataclasses import dataclass
 from typing import List, Optional
 
+from ..errors import ConfigurationError
 from ..mcds.mcds import Mcds
+from ..mcds.messages import Gap
 from ..soc.config import SoCConfig, tc1767_config, tc1797_config
 from ..soc.cpu.isa import Program
 from ..soc.device import Soc
@@ -108,7 +110,7 @@ class EmulationDevice:
         Requires a reserved calibration share large enough for the range.
         """
         if size > self.emem.calibration_kb * 1024:
-            raise ValueError(
+            raise ConfigurationError(
                 f"overlay of {size} bytes exceeds the reserved calibration "
                 f"share ({self.emem.calibration_kb} KB); call "
                 f"reserve_calibration first")
@@ -116,6 +118,12 @@ class EmulationDevice:
 
     def reserve_calibration(self, kb: int) -> None:
         self.emem.reserve_calibration(kb)
+
+    # -- degradation accounting ----------------------------------------------
+    def trace_gaps(self) -> List[Gap]:
+        """Every lost-message span across the EEC, in cycle order."""
+        return sorted(self.emem.gaps + self.dap.gaps,
+                      key=lambda g: (g.start, g.end))
 
     # -- topology (Figures 2/4/5) ----------------------------------------------------
     def block_inventory(self) -> List[str]:

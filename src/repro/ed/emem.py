@@ -9,14 +9,27 @@ is a bounded message FIFO with three capture disciplines:
 * trigger-stop — keep ringing until a trigger fires, then store a
   configured post-trigger amount and freeze ("trigger close to the point of
   interest", Section 3).
+
+Every lost message — wrapped away, rejected by a full fill-mode buffer,
+dropped for a CRC mismatch, or injected by a fault drill — is accounted as
+a :class:`~repro.mcds.messages.Gap`: a side-band record of the lost cycle
+span that the profiling layer uses to mark affected windows as degraded.
+Gaps never occupy buffer capacity, so the happy path is byte-identical to
+a model without the accounting.
+
+Fault-injection sites (see :mod:`repro.faults`): ``emem.drop``,
+``emem.overflow``, ``trace.corrupt``.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from ..mcds.messages import TraceMessage
+from ..errors import ConfigurationError
+from ..faults import injector as _fi
+from ..faults.injector import fault_point
+from ..mcds.messages import Gap, TraceMessage
 
 RING = "ring"
 FILL = "fill"
@@ -28,9 +41,9 @@ class EmulationMemory:
     def __init__(self, total_kb: int, calibration_kb: int = 0,
                  mode: str = RING) -> None:
         if calibration_kb > total_kb:
-            raise ValueError("calibration share exceeds EMEM size")
+            raise ConfigurationError("calibration share exceeds EMEM size")
         if mode not in (RING, FILL):
-            raise ValueError(f"unknown EMEM mode {mode!r}")
+            raise ConfigurationError(f"unknown EMEM mode {mode!r}")
         self.total_kb = total_kb
         self.calibration_kb = calibration_kb
         self.mode = mode
@@ -41,43 +54,108 @@ class EmulationMemory:
         self._post_trigger_bits: Optional[int] = None
         self.lost_oldest = 0       # overwritten in ring mode
         self.lost_new = 0          # rejected in fill mode / after freeze
+        self.corrupt_dropped = 0   # CRC mismatch at the sink
+        self.injected_drops = 0    # fault-drill drops/overruns
         self.total_stored = 0
         self.trigger_cycle: Optional[int] = None
+        #: side-band record of every lost span, oldest first
+        self.gaps: List[Gap] = []
+        self._open_gap: Optional[Gap] = None
 
     # -- calibration share ---------------------------------------------------
     def reserve_calibration(self, kb: int) -> None:
         """Grow the calibration share; shrinks the trace capacity."""
         if kb > self.total_kb:
-            raise ValueError("calibration share exceeds EMEM size")
+            raise ConfigurationError("calibration share exceeds EMEM size")
         self.calibration_kb = kb
         self.capacity_bits = (self.total_kb - kb) * 1024 * 8
         self._evict_to_capacity()
 
+    # -- gap accounting ------------------------------------------------------
+    def _note_loss(self, cycle: int, kind: str, lost: int = 1) -> None:
+        gap = self._open_gap
+        if gap is not None and gap.kind == kind:
+            gap.end = max(gap.end, cycle)
+            gap.lost += lost
+        else:
+            gap = Gap(cycle, cycle, lost, kind, "emem")
+            self.gaps.append(gap)
+            self._open_gap = gap
+
     # -- store path --------------------------------------------------------------
     def store(self, msg: TraceMessage) -> None:
         if self.frozen:
+            # the capture closed deliberately (trigger-stop): counted, but
+            # not a gap — nothing downstream should look degraded
             self.lost_new += 1
+            return
+        self.total_stored += 1
+        if _fi._active is not None:
+            if fault_point("emem.drop", cycle=msg.cycle,
+                           kind=msg.kind) is not None:
+                self.injected_drops += 1
+                self._note_loss(msg.cycle, "injected")
+                return
+            action = fault_point("trace.corrupt", cycle=msg.cycle,
+                                 kind=msg.kind)
+            if action is not None:
+                msg.extra = dict(msg.extra)
+                msg.extra["crc"] = msg.checksum()
+                msg.value ^= int(action.params.get("xor", 0x5A))
+            action = fault_point("emem.overflow", cycle=msg.cycle)
+            if action is not None:
+                self._force_overrun(
+                    int(action.params.get("messages",
+                                          max(1, len(self._fifo) // 2))))
+        if msg.extra and "crc" in msg.extra and \
+                msg.extra["crc"] != msg.checksum():
+            self.corrupt_dropped += 1
+            self._note_loss(msg.cycle, "corrupt")
+            return
+        if self.mode == FILL and \
+                self.stored_bits + msg.bits > self.capacity_bits:
+            # reject up front instead of the old append-then-pop churn;
+            # same outcome, but the drop is now accounted, never silent
+            self.lost_new += 1
+            self._note_loss(msg.cycle, "reject")
             return
         self._fifo.append(msg)
         self.stored_bits += msg.bits
-        self.total_stored += 1
-        self._evict_to_capacity()
+        if not self._evict_to_capacity():
+            self._open_gap = None         # a clean store closes any gap
         if self._post_trigger_bits is not None:
             self._post_trigger_bits -= msg.bits
             if self._post_trigger_bits <= 0:
                 self.frozen = True
                 self._post_trigger_bits = None
 
-    def _evict_to_capacity(self) -> None:
+    def _evict_to_capacity(self) -> int:
+        """Drain to capacity; returns how many messages were lost doing so."""
+        evicted = 0
         while self.stored_bits > self.capacity_bits and self._fifo:
             if self.mode == FILL:
                 dropped = self._fifo.pop()      # reject the newest
                 self.stored_bits -= dropped.bits
                 self.lost_new += 1
-                return
+                self._note_loss(dropped.cycle, "reject")
+            else:
+                oldest = self._fifo.popleft()
+                self.stored_bits -= oldest.bits
+                self.lost_oldest += 1
+                self._note_loss(oldest.cycle, "wrap")
+            evicted += 1
+        return evicted
+
+    def _force_overrun(self, messages: int) -> None:
+        """Injected overrun: evict the oldest ``messages`` as the hardware
+        would on a burst the arbiter could not absorb."""
+        for _ in range(messages):
+            if not self._fifo:
+                break
             oldest = self._fifo.popleft()
             self.stored_bits -= oldest.bits
-            self.lost_oldest += 1
+            self.injected_drops += 1
+            self._note_loss(oldest.cycle, "injected")
 
     # -- trigger interaction --------------------------------------------------------
     def trigger_stop(self, cycle: int, post_trigger_fraction: float = 0.5) -> None:
@@ -103,6 +181,41 @@ class EmulationMemory:
         """Snapshot of buffered messages, oldest first (post-mortem upload)."""
         return list(self._fifo)
 
+    def gap_messages(self) -> List[TraceMessage]:
+        """The lost spans as in-stream overflow-style messages."""
+        return [gap.to_message() for gap in self.gaps]
+
+    @property
+    def dropped_messages(self) -> int:
+        """Every message that reached the EMEM but is not in the buffer."""
+        return (self.lost_oldest + self.lost_new + self.corrupt_dropped
+                + self.injected_drops)
+
+    @property
+    def overrun(self) -> bool:
+        """Did the buffer ever lose data it was asked to keep?"""
+        return bool(self.lost_oldest or self.lost_new or self.corrupt_dropped
+                    or self.injected_drops)
+
+    def stats(self) -> Dict:
+        """Health snapshot for tooling and degradation reports."""
+        return {
+            "mode": self.mode,
+            "capacity_bits": self.capacity_bits,
+            "stored_bits": self.stored_bits,
+            "message_count": self.message_count,
+            "fill_ratio": self.fill_ratio,
+            "total_stored": self.total_stored,
+            "dropped_messages": self.dropped_messages,
+            "lost_oldest": self.lost_oldest,
+            "lost_new": self.lost_new,
+            "corrupt_dropped": self.corrupt_dropped,
+            "injected_drops": self.injected_drops,
+            "overrun": self.overrun,
+            "gaps": len(self.gaps),
+            "frozen": self.frozen,
+        }
+
     @property
     def message_count(self) -> int:
         return len(self._fifo)
@@ -126,5 +239,9 @@ class EmulationMemory:
         self._post_trigger_bits = None
         self.lost_oldest = 0
         self.lost_new = 0
+        self.corrupt_dropped = 0
+        self.injected_drops = 0
         self.total_stored = 0
         self.trigger_cycle = None
+        self.gaps = []
+        self._open_gap = None

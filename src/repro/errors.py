@@ -1,0 +1,72 @@
+"""Unified exception taxonomy for the reproduction.
+
+Every error the model raises deliberately descends from :class:`ReproError`
+so callers (the fleet worker above all) can distinguish *model* errors from
+arbitrary crashes.  Each class additionally inherits the ad-hoc built-in it
+historically replaced (``ValueError`` for configuration mistakes,
+``RuntimeError`` for runtime limits), so existing ``except ValueError`` /
+``pytest.raises(RuntimeError)`` call sites keep working unchanged.
+
+The ``retryable`` attribute is the contract with the fleet's retry logic:
+a deterministic model error (bad configuration, a hard cycle deadline, an
+exhausted hardware resource) can never succeed on a retry and is
+quarantined immediately, while transient conditions (injected faults,
+wall-clock watchdog expiry under host load) keep following the normal
+retry/backoff path.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all deliberate model errors.
+
+    ``retryable`` is a class default; instances may override it (see
+    :class:`WatchdogExpired`).  Deterministic by default: re-running the
+    same spec reproduces the same error.
+    """
+
+    retryable = False
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A spec, parameter, or wiring mistake — deterministic, never retried."""
+
+
+class FormatError(ReproError, ValueError):
+    """An artifact (JSON/CSV export, plan file) failed to parse."""
+
+
+class ResourceExhaustedError(ReproError, RuntimeError):
+    """A finite hardware resource (counter structures, ...) is all in use."""
+
+
+class TraceOverrunError(ReproError, RuntimeError):
+    """The trace path lost messages and the caller asked for strictness."""
+
+
+class BandwidthExceededError(ReproError, RuntimeError):
+    """The tool interface cannot sustain the requested measurement."""
+
+
+class CounterSaturationError(ReproError, RuntimeError):
+    """A counter exceeded its width in ``raise`` overflow mode."""
+
+
+class WatchdogExpired(ReproError, RuntimeError):
+    """A bounded run exceeded its cycle or wall-clock deadline.
+
+    A cycle deadline is deterministic (``retryable=False``); a wall-clock
+    deadline may just mean a loaded host, so those instances are built
+    with ``retryable=True``.
+    """
+
+    def __init__(self, message: str, retryable: bool = False) -> None:
+        super().__init__(message)
+        self.retryable = retryable
+
+
+class FaultInjected(ReproError, RuntimeError):
+    """An injected (drill) fault — transient by construction."""
+
+    retryable = True

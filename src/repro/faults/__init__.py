@@ -1,0 +1,39 @@
+"""repro.faults — fault injection and graceful-degradation hardening.
+
+The paper's profiling methodology exists to stay trustworthy under
+pressure: hard-real-time runs "cannot be repeated identically", so a
+measurement corrupted by an EMEM overrun or a saturated DAP must be
+*marked*, never silently wrong.  This package provides:
+
+* a deterministic, seedable :class:`FaultInjector` driven by declarative
+  :class:`FaultPlan` JSON, injecting at named ``fault_point`` sites across
+  the EMEM, DAP, counters, triggers, and fleet workers (zero-cost when
+  disabled — see :data:`SITE_CATALOGUE` for the full list);
+* a :class:`SimulationWatchdog` bounding runaway kernel runs by cycle or
+  wall-clock deadline;
+* the unified exception taxonomy (re-exported from :mod:`repro.errors`)
+  whose ``retryable`` attribute tells the fleet which failures can never
+  succeed on retry.
+
+The degradation plumbing these faults exercise lives with the consumers:
+gap accounting in :mod:`repro.ed.emem` / :mod:`repro.ed.dap`, saturation
+semantics in :mod:`repro.mcds.counters`, and degraded-window marking in
+:mod:`repro.core.profiling`.
+"""
+
+from ..errors import (BandwidthExceededError, ConfigurationError,
+                      CounterSaturationError, FaultInjected, FormatError,
+                      ReproError, ResourceExhaustedError, TraceOverrunError,
+                      WatchdogExpired)
+from .injector import (SITE_CATALOGUE, FaultAction, FaultInjector, FaultPlan,
+                       FaultRule, active_injector, fault_point,
+                       load_fault_plan)
+from .watchdog import SimulationWatchdog
+
+__all__ = [
+    "BandwidthExceededError", "ConfigurationError", "CounterSaturationError",
+    "FaultAction", "FaultInjected", "FaultInjector", "FaultPlan", "FaultRule",
+    "FormatError", "ReproError", "ResourceExhaustedError",
+    "SITE_CATALOGUE", "SimulationWatchdog", "TraceOverrunError",
+    "WatchdogExpired", "active_injector", "fault_point", "load_fault_plan",
+]

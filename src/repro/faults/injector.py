@@ -1,0 +1,291 @@
+"""Deterministic, seedable fault injection for the trace/profiling pipeline.
+
+The hardening argument of the paper is quantitative only if the failure
+modes can be *produced on demand*: EMEM overrun, DAP saturation, counter
+wrap, trigger loss.  This module provides the injection half — consumers
+call :func:`fault_point` at named sites, and a :class:`FaultInjector`
+built from a :class:`FaultPlan` decides, deterministically, which hits
+fault.
+
+Design constraints:
+
+* **Zero-cost when disabled.**  ``fault_point`` is a single global check
+  when no injector is installed; hot paths additionally guard on the
+  module attribute ``_active`` so the happy path stays byte-identical to
+  a build without any fault hooks.
+* **Deterministic given a seed.**  Every (scope, site) pair draws from
+  its own ``random.Random`` stream, so decisions depend only on the plan
+  seed, the scope (e.g. the campaign job name), the site, and the hit
+  index — never on thread timing, worker count, or interleaving between
+  unrelated sites.
+* **Declarative plans.**  A plan is plain JSON (``seed``, ``rules``,
+  optional ``watchdog``), shippable to worker processes and storable next
+  to a campaign for replay.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import ConfigurationError, FormatError
+
+#: every named injection site in the pipeline, with what faulting there
+#: means.  Plans are validated against this catalogue; the test suite
+#: asserts every entry can actually be made to fire.
+SITE_CATALOGUE: Dict[str, str] = {
+    "emem.drop": "discard the incoming trace message before storage",
+    "emem.overflow": "force an EMEM overrun: evict buffered messages "
+                     "as if capacity had been exceeded",
+    "trace.corrupt": "flip payload bits in flight; the EMEM's CRC check "
+                     "detects and drops the message",
+    "dap.saturate": "stall the DAP wire: no drain credit accrues for "
+                    "params['cycles'] cycles",
+    "dap.drop": "lose a message on the wire after it left the EMEM",
+    "counter.wrap": "wrap a rate counter's sample value as if the "
+                    "hardware counter had overflowed",
+    "trigger.lost": "suppress a trigger that should have fired",
+    "trigger.spurious": "fire a trigger whose condition is false",
+    "worker.crash": "raise FaultInjected inside a fleet worker job",
+    "worker.hang": "stall a fleet worker job for params['seconds']",
+}
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection rule: where, how often, and with what parameters.
+
+    A site *hit* is one ``fault_point`` evaluation.  The rule is eligible
+    for hits in ``[start_hit, stop_hit)``; among eligible hits it fires
+    with ``probability``, at most ``max_faults`` times, and only when
+    every key in ``match`` equals the corresponding ``fault_point``
+    context value (e.g. ``{"attempt": 0}`` faults first attempts only).
+    """
+
+    site: str
+    probability: float = 1.0
+    start_hit: int = 0
+    stop_hit: Optional[int] = None
+    max_faults: Optional[int] = None
+    match: Optional[Dict] = None
+    params: Dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.site not in SITE_CATALOGUE:
+            raise ConfigurationError(
+                f"unknown fault site {self.site!r}; known sites: "
+                f"{sorted(SITE_CATALOGUE)}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError("probability must be within [0, 1]")
+        if self.start_hit < 0:
+            raise ConfigurationError("start_hit must be >= 0")
+
+    def eligible(self, hit: int, context: Dict) -> bool:
+        if hit < self.start_hit:
+            return False
+        if self.stop_hit is not None and hit >= self.stop_hit:
+            return False
+        if self.match:
+            for key, expected in self.match.items():
+                if context.get(key) != expected:
+                    return False
+        return True
+
+    def to_dict(self) -> Dict:
+        body: Dict = {"site": self.site}
+        if self.probability != 1.0:
+            body["probability"] = self.probability
+        if self.start_hit:
+            body["start_hit"] = self.start_hit
+        if self.stop_hit is not None:
+            body["stop_hit"] = self.stop_hit
+        if self.max_faults is not None:
+            body["max_faults"] = self.max_faults
+        if self.match:
+            body["match"] = dict(self.match)
+        if self.params:
+            body["params"] = dict(self.params)
+        return body
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "FaultRule":
+        known = {"site", "probability", "start_hit", "stop_hit",
+                 "max_faults", "match", "params"}
+        unknown = set(payload) - known
+        if unknown:
+            raise FormatError(f"unknown fault-rule keys: {sorted(unknown)}")
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed, a rule set, and an optional watchdog bound — pure data."""
+
+    seed: int = 2008
+    rules: tuple = ()
+    watchdog: Optional[Dict] = None     # SimulationWatchdog kwargs
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(
+            rule if isinstance(rule, FaultRule) else FaultRule.from_dict(rule)
+            for rule in self.rules))
+
+    def to_dict(self) -> Dict:
+        body: Dict = {
+            "seed": self.seed,
+            "rules": [rule.to_dict() for rule in self.rules],
+        }
+        if self.watchdog:
+            body["watchdog"] = dict(self.watchdog)
+        if self.description:
+            body["description"] = self.description
+        return body
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "FaultPlan":
+        if not isinstance(payload, dict) or "rules" not in payload:
+            raise FormatError("not a fault plan: expected an object with "
+                              "a 'rules' list")
+        known = {"seed", "rules", "watchdog", "description"}
+        unknown = set(payload) - known
+        if unknown:
+            raise FormatError(f"unknown fault-plan keys: {sorted(unknown)}")
+        return cls(seed=payload.get("seed", 2008),
+                   rules=tuple(payload["rules"]),
+                   watchdog=payload.get("watchdog"),
+                   description=payload.get("description", ""))
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FormatError(f"fault plan is not valid JSON: {exc}")
+        return cls.from_dict(payload)
+
+
+def load_fault_plan(path: str) -> FaultPlan:
+    """Read a fault plan from a JSON file."""
+    with open(path, "r") as handle:
+        return FaultPlan.from_json(handle.read())
+
+
+class FaultAction:
+    """What :func:`fault_point` returns when a site faults."""
+
+    __slots__ = ("site", "rule", "params", "hit")
+
+    def __init__(self, site: str, rule: FaultRule, hit: int) -> None:
+        self.site = site
+        self.rule = rule
+        self.params = rule.params
+        self.hit = hit
+
+    def __repr__(self) -> str:
+        return f"FaultAction({self.site!r}, hit={self.hit})"
+
+
+class FaultInjector:
+    """Evaluates a plan's rules at every fault-point hit.
+
+    Use as a context manager to install into the process-wide slot::
+
+        with FaultInjector(plan, scope=job_id) as injector:
+            run_the_workload()
+        assert injector.injected["emem.drop"] == 3
+
+    ``scope`` isolates random streams between campaign jobs: the same
+    plan injected into two different jobs makes independent (but each
+    individually reproducible) decisions.
+    """
+
+    def __init__(self, plan: FaultPlan, scope: str = "") -> None:
+        self.plan = plan
+        self.scope = scope
+        self._rules_by_site: Dict[str, List[FaultRule]] = {}
+        for rule in plan.rules:
+            self._rules_by_site.setdefault(rule.site, []).append(rule)
+        self._hits: Dict[str, int] = {}
+        self._fired: Dict[int, int] = {}          # id(rule) -> fire count
+        self._rngs: Dict[str, random.Random] = {}
+        #: per-site injected-fault counts
+        self.injected: Dict[str, int] = {}
+        #: chronological record of every injected fault (site, hit, params)
+        self.log: List[Dict] = []
+        self._previous: Optional["FaultInjector"] = None
+
+    def _rng(self, site: str) -> random.Random:
+        rng = self._rngs.get(site)
+        if rng is None:
+            rng = random.Random(f"{self.plan.seed}/{self.scope}/{site}")
+            self._rngs[site] = rng
+        return rng
+
+    def check(self, site: str, context: Dict) -> Optional[FaultAction]:
+        hit = self._hits.get(site, 0)
+        self._hits[site] = hit + 1
+        for rule in self._rules_by_site.get(site, ()):
+            key = id(rule)
+            if rule.max_faults is not None and \
+                    self._fired.get(key, 0) >= rule.max_faults:
+                continue
+            if not rule.eligible(hit, context):
+                continue
+            if rule.probability < 1.0 and \
+                    self._rng(site).random() >= rule.probability:
+                continue
+            self._fired[key] = self._fired.get(key, 0) + 1
+            self.injected[site] = self.injected.get(site, 0) + 1
+            self.log.append({"site": site, "hit": hit,
+                             "params": dict(rule.params)})
+            return FaultAction(site, rule, hit)
+        return None
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    # -- installation --------------------------------------------------------
+    def install(self) -> "FaultInjector":
+        global _active
+        self._previous = _active
+        _active = self
+        return self
+
+    def uninstall(self) -> None:
+        global _active
+        _active = self._previous
+        self._previous = None
+
+    def __enter__(self) -> "FaultInjector":
+        return self.install()
+
+    def __exit__(self, *exc_info) -> None:
+        self.uninstall()
+
+
+#: the process-wide injector slot; ``None`` means injection is disabled
+#: and every fault point is a no-op.
+_active: Optional[FaultInjector] = None
+
+
+def fault_point(site: str, **context) -> Optional[FaultAction]:
+    """Evaluate a named injection site; ``None`` means carry on normally.
+
+    Hot paths may pre-check ``injector._active is not None`` to skip even
+    this call; the two are equivalent.
+    """
+    if _active is None:
+        return None
+    return _active.check(site, context)
+
+
+def active_injector() -> Optional[FaultInjector]:
+    """The currently-installed injector, if any (for tests/diagnostics)."""
+    return _active

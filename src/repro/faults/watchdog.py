@@ -1,0 +1,94 @@
+"""Simulation watchdog: bound runaway kernel runs.
+
+A hung or runaway simulation (a fault drill, a degenerate workload, a bug)
+must not stall a whole campaign.  :class:`SimulationWatchdog` is a clocked
+component that raises :class:`~repro.errors.WatchdogExpired` when a run
+exceeds a cycle budget (deterministic — never retried) or a wall-clock
+budget (host-dependent — retryable).
+
+Use :meth:`guard` to bound one run of an already-built device::
+
+    watchdog = SimulationWatchdog(max_cycles=1_000_000, max_wall_s=30.0)
+    with watchdog.guard(device):
+        session.run(cycles)
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Optional
+
+from ..errors import ConfigurationError, WatchdogExpired
+from ..soc.kernel.simulator import Component
+
+
+class SimulationWatchdog(Component):
+    """Cycle/wall-clock deadline enforcement for simulation runs."""
+
+    name = "watchdog"
+
+    def __init__(self, max_cycles: Optional[int] = None,
+                 max_wall_s: Optional[float] = None,
+                 check_interval: int = 1024) -> None:
+        if max_cycles is None and max_wall_s is None:
+            raise ConfigurationError(
+                "watchdog needs max_cycles and/or max_wall_s")
+        if max_cycles is not None and max_cycles < 1:
+            raise ConfigurationError("max_cycles must be >= 1")
+        if max_wall_s is not None and max_wall_s <= 0:
+            raise ConfigurationError("max_wall_s must be positive")
+        if check_interval < 1:
+            raise ConfigurationError("check_interval must be >= 1")
+        self.max_cycles = max_cycles
+        self.max_wall_s = max_wall_s
+        self.check_interval = check_interval
+        self.expirations = 0
+        self._start_cycle = 0
+        self._wall_deadline: Optional[float] = None
+
+    def arm(self, cycle: int = 0) -> None:
+        """Start the deadlines from ``cycle`` / now."""
+        self._start_cycle = cycle
+        if self.max_wall_s is not None:
+            self._wall_deadline = time.monotonic() + self.max_wall_s
+
+    def tick(self, cycle: int) -> None:
+        if self.max_cycles is not None and \
+                cycle - self._start_cycle >= self.max_cycles:
+            self.expirations += 1
+            raise WatchdogExpired(
+                f"watchdog: run exceeded {self.max_cycles} cycles",
+                retryable=False)
+        # the wall clock is sampled sparsely: a syscall every cycle would
+        # dominate the simulation itself
+        if self._wall_deadline is not None and \
+                (cycle - self._start_cycle) % self.check_interval == 0 and \
+                time.monotonic() > self._wall_deadline:
+            self.expirations += 1
+            raise WatchdogExpired(
+                f"watchdog: run exceeded {self.max_wall_s} s wall clock",
+                retryable=True)
+
+    @contextmanager
+    def guard(self, device):
+        """Bound every cycle simulated inside the ``with`` block.
+
+        ``device`` is an :class:`~repro.ed.device.EmulationDevice` or a
+        bare :class:`~repro.soc.device.Soc`.  The watchdog is inserted
+        directly into the simulator's component list (observers cannot be
+        added through ``Soc.add_observer`` once a device has run) and
+        removed again on exit, so guarding leaves no trace.
+        """
+        soc = device.soc if hasattr(device, "soc") else device
+        sim = soc.sim
+        self.arm(sim.cycle)
+        sim.components.append(self)
+        try:
+            yield self
+        finally:
+            sim.components.remove(self)
+
+    def reset(self) -> None:
+        self._start_cycle = 0
+        self._wall_deadline = None

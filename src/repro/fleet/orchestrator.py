@@ -33,6 +33,8 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from ..errors import ConfigurationError
+from ..faults import FaultPlan
 from .cache import ResultCache
 from .metrics import CampaignMetrics
 from .spec import CampaignJob, assign_shards
@@ -69,18 +71,30 @@ class CampaignRunner:
                  max_retries: int = 2,
                  backoff_s: float = 0.25,
                  timeout_s: Optional[float] = None,
-                 resume: bool = False) -> None:
+                 resume: bool = False,
+                 fault_plan: Optional[Dict] = None) -> None:
         if workers < 0:
-            raise ValueError("workers must be >= 0 (0 = in-process)")
+            raise ConfigurationError("workers must be >= 0 (0 = in-process)")
         self.jobs = sorted(jobs, key=lambda j: j.job_id)
         ids = [job.job_id for job in self.jobs]
         if len(set(ids)) != len(ids):
-            raise ValueError("duplicate jobs in campaign matrix")
+            raise ConfigurationError("duplicate jobs in campaign matrix")
         if workers == 0 and any(job.fault == "exit" for job in self.jobs):
-            raise ValueError(
+            raise ConfigurationError(
                 "fault='exit' drills need workers >= 1: in-process mode "
                 "would kill the orchestrator itself")
         self.workers = workers
+        # normalised to the dict form so it pickles to pool workers; a
+        # plan also disables the result cache entirely — payloads produced
+        # under injection must never poison (or be served from) the
+        # content-addressed store, whose keys don't cover the plan
+        if isinstance(fault_plan, FaultPlan):
+            fault_plan = fault_plan.to_dict()
+        elif fault_plan is not None:
+            fault_plan = FaultPlan.from_dict(fault_plan).to_dict()
+        self.fault_plan = fault_plan
+        if fault_plan is not None:
+            cache_dir = None
         self.cache = ResultCache(cache_dir) if cache_dir else None
         self.store = ResultStore(campaign_dir) if campaign_dir else None
         self.max_retries = max_retries
@@ -123,13 +137,15 @@ class CampaignRunner:
             outcomes: List[Dict] = []
             for shard in shards:
                 outcomes.extend(
-                    run_shard([job.to_dict() for job in shard], attempt))
+                    run_shard([job.to_dict() for job in shard], attempt,
+                              self.fault_plan))
             return outcomes
 
         outcomes = []
         pool = self._ensure_pool()
         futures = [(pool.submit(run_shard,
-                                [job.to_dict() for job in shard], attempt),
+                                [job.to_dict() for job in shard], attempt,
+                                self.fault_plan),
                     shard) for shard in shards]
         abandon = False
         for future, shard in futures:
@@ -202,10 +218,21 @@ class CampaignRunner:
 
         # round 0: deterministic shards over the pool
         failures: Dict[str, Dict] = {}
+        fatal: Dict[str, Dict] = {}
+
+        def split_fatal(failed: Dict[str, Dict]) -> Dict[str, Dict]:
+            # deterministic failures (retryable=False) skip the retry
+            # rounds — backoff cannot fix a configuration error or a
+            # cycle-deadline watchdog, so they quarantine immediately
+            for job_id in list(failed):
+                if not failed[job_id].get("retryable", True):
+                    fatal[job_id] = failed.pop(job_id)
+            return failed
+
         if pending:
             n_shards = max(1, min(len(pending), max(1, self.workers) * 2))
             outcomes = self._run_round(assign_shards(pending, n_shards), 0)
-            failures = self._absorb(outcomes, records, metrics)
+            failures = split_fatal(self._absorb(outcomes, records, metrics))
 
         # retry rounds: failed jobs individually, one at a time
         for attempt in range(1, self.max_retries + 1):
@@ -218,12 +245,14 @@ class CampaignRunner:
             for job_id in retry_jobs:
                 outcomes.extend(
                     self._run_round([[by_id[job_id]]], attempt))
-            failures = self._absorb(outcomes, records, metrics,
-                                    prior_failures=failures)
+            failures = split_fatal(self._absorb(outcomes, records, metrics,
+                                                prior_failures=failures))
 
         # whatever still fails is quarantined — the campaign survives it
-        for job_id in sorted(failures):
-            outcome = failures[job_id]
+        leftovers = dict(fatal)
+        leftovers.update(failures)
+        for job_id in sorted(leftovers):
+            outcome = leftovers[job_id]
             job = by_id[job_id]
             metrics.quarantined += 1
             self._finish(job, {

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .. import __version__
+from ..errors import ConfigurationError
 
 #: bump when the worker payload layout changes — invalidates every cache
 #: entry written by older code
@@ -127,7 +128,7 @@ def build_matrix(customers: Sequence,
                 ))
     names = [job.name for job in jobs]
     if len(set(names)) != len(names):
-        raise ValueError("campaign job labels must be unique")
+        raise ConfigurationError("campaign job labels must be unique")
     return jobs
 
 
@@ -141,7 +142,7 @@ def assign_shards(jobs: Sequence[CampaignJob],
     are ordered by ``job_id``; empty shards are dropped.
     """
     if n_shards < 1:
-        raise ValueError("n_shards must be >= 1")
+        raise ConfigurationError("n_shards must be >= 1")
     buckets: List[List[CampaignJob]] = [[] for _ in range(n_shards)]
     for job in sorted(jobs, key=lambda j: j.job_id):
         buckets[int(job.digest, 16) % n_shards].append(job)

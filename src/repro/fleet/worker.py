@@ -27,6 +27,9 @@ from typing import Dict, List, Optional
 from ..core.profiling.export import result_to_json
 from ..core.profiling.session import ProfilingSession
 from ..core.profiling import spec as pspec
+from ..errors import ConfigurationError, FaultInjected
+from ..faults import (FaultInjector, FaultPlan, SimulationWatchdog,
+                      fault_point)
 from ..soc.config import tc1767_config, tc1797_config
 from ..workloads.body import BodyGatewayScenario
 from ..workloads.engine import EngineControlScenario
@@ -46,7 +49,7 @@ CONFIGS = {
 }
 
 
-class JobFault(RuntimeError):
+class JobFault(FaultInjected):
     """Raised by a job's fault-drill mode (see ``CampaignJob.fault``)."""
 
 
@@ -66,30 +69,30 @@ def _apply_fault(fault: Optional[str], attempt: int) -> None:
     if fault.startswith("hang:"):
         time.sleep(float(fault.split(":", 1)[1]))
         return
-    raise ValueError(f"unknown fault mode {fault!r}")
+    raise ConfigurationError(f"unknown fault mode {fault!r}")
 
 
-def execute_job(job: Dict, attempt: int = 0) -> Dict:
-    """Run one campaign job spec (a ``CampaignJob.to_dict()`` dict).
-
-    Returns the deterministic result payload: the parsed canonical-JSON
-    profile plus the identity fields aggregation needs.
-    """
-    _apply_fault(job.get("fault"), attempt)
+def _execute(job: Dict, watchdog_spec: Optional[Dict] = None) -> Dict:
+    """Build the device, run the session, serialise the payload."""
     try:
         scenario = SCENARIOS[job["domain"]]()
     except KeyError:
-        raise ValueError(f"unknown workload domain {job['domain']!r}")
+        raise ConfigurationError(
+            f"unknown workload domain {job['domain']!r}")
     try:
         config = CONFIGS[job["device"]]()
     except KeyError:
-        raise ValueError(f"unknown device config {job['device']!r}")
+        raise ConfigurationError(f"unknown device config {job['device']!r}")
     device = scenario.build(config, dict(job["params"]), seed=job["seed"])
     session = ProfilingSession(
         device, pspec.engine_parameter_set(
             ipc_resolution=job["ipc_resolution"],
             rate_per=job["rate_per"]))
-    result = session.run(job["cycles"])
+    if watchdog_spec:
+        with SimulationWatchdog(**watchdog_spec).guard(device):
+            result = session.run(job["cycles"])
+    else:
+        result = session.run(job["cycles"])
     return {
         "name": job["name"],
         "domain": job["domain"],
@@ -99,19 +102,56 @@ def execute_job(job: Dict, attempt: int = 0) -> Dict:
     }
 
 
-def run_shard(jobs: List[Dict], attempt: int = 0) -> List[Dict]:
+def execute_job(job: Dict, attempt: int = 0,
+                fault_plan: Optional[Dict] = None) -> Dict:
+    """Run one campaign job spec (a ``CampaignJob.to_dict()`` dict).
+
+    Returns the deterministic result payload: the parsed canonical-JSON
+    profile plus the identity fields aggregation needs.  With a
+    ``fault_plan`` (a :class:`~repro.faults.FaultPlan` or its dict form),
+    the whole job runs under an installed injector scoped to the job name,
+    so injection decisions are reproducible regardless of which worker or
+    shard picked the job up.
+    """
+    _apply_fault(job.get("fault"), attempt)
+    if fault_plan is None:
+        return _execute(job)
+    plan = fault_plan if isinstance(fault_plan, FaultPlan) \
+        else FaultPlan.from_dict(fault_plan)
+    with FaultInjector(plan, scope=job["name"]):
+        action = fault_point("worker.crash", job=job["name"],
+                             attempt=attempt)
+        if action is not None:
+            raise FaultInjected(
+                f"injected worker crash in job {job['name']!r} "
+                f"(attempt {attempt})")
+        action = fault_point("worker.hang", job=job["name"],
+                             attempt=attempt)
+        if action is not None:
+            time.sleep(float(action.params.get("seconds", 0.05)))
+        return _execute(job, plan.watchdog)
+
+
+def run_shard(jobs: List[Dict], attempt: int = 0,
+              fault_plan: Optional[Dict] = None) -> List[Dict]:
     """Execute a shard of job specs, isolating failures per job.
 
     Returns one outcome dict per job, in shard order::
 
         {"job": <spec>, "status": "ok"|"error", "payload"|"error": ...,
-         "wall_s": float, "attempt": int, "pid": int}
+         "retryable": bool, "wall_s": float, "attempt": int, "pid": int}
+
+    ``retryable`` comes from the exception taxonomy: deterministic model
+    errors (:class:`~repro.errors.ConfigurationError`, a cycle-deadline
+    :class:`~repro.errors.WatchdogExpired`, ...) can never succeed on a
+    retry, while transient injected faults and unknown exceptions keep the
+    default retry/backoff treatment.
     """
     outcomes: List[Dict] = []
     for job in jobs:
         start = time.perf_counter()
         try:
-            payload = execute_job(job, attempt)
+            payload = execute_job(job, attempt, fault_plan)
             outcomes.append({
                 "job": job,
                 "status": "ok",
@@ -126,6 +166,7 @@ def run_shard(jobs: List[Dict], attempt: int = 0) -> List[Dict]:
                 "status": "error",
                 "error": f"{type(exc).__name__}: {exc}",
                 "trace": traceback.format_exc(),
+                "retryable": bool(getattr(exc, "retryable", True)),
                 "wall_s": time.perf_counter() - start,
                 "attempt": attempt,
                 "pid": os.getpid(),

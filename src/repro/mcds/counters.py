@@ -11,16 +11,31 @@ A structure can be disabled and re-enabled at runtime by trigger logic;
 that is what "connect multiple counter structures" means — a
 high-resolution structure armed only while a low-resolution one crosses a
 threshold (see :mod:`repro.core.profiling.multires`).
+
+Hardware counters are finite: a ``width``-bit event counter that overflows
+within one resolution window either **saturates** at its maximum,
+**wraps** modulo 2^width, or **raises** — explicit, configurable
+semantics instead of Python's silent unbounded ints.  Either way the
+affected sample is *tainted* and the profiling layer marks its window
+degraded.  Fault site: ``counter.wrap``.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional
+from typing import Callable, Iterable, Optional
 
+from ..errors import ConfigurationError, CounterSaturationError
+from ..faults import injector as _fi
+from ..faults.injector import fault_point
 from ..soc.kernel.hub import EventHub
 
 #: pseudo basis meaning "per clock cycle" (IPC-style measurement)
 CYCLES = "cycles"
+
+#: overflow disciplines for a finite-width event counter
+SATURATE = "saturate"
+WRAP = "wrap"
+RAISE = "raise"
 
 
 class RateCounterStructure:
@@ -28,20 +43,37 @@ class RateCounterStructure:
 
     def __init__(self, name: str, hub: EventHub, events: Iterable[str],
                  resolution: int, basis: str = "tc.instr_executed",
-                 enabled: bool = True) -> None:
+                 enabled: bool = True, width: int = 32,
+                 on_overflow: str = SATURATE) -> None:
         if resolution < 1:
-            raise ValueError("resolution must be >= 1")
+            raise ConfigurationError("resolution must be >= 1")
+        if not 1 <= width <= 64:
+            raise ConfigurationError("counter width must be within [1, 64]")
+        if on_overflow not in (SATURATE, WRAP, RAISE):
+            raise ConfigurationError(
+                f"unknown overflow mode {on_overflow!r}; expected "
+                f"'{SATURATE}', '{WRAP}' or '{RAISE}'")
         self.name = name
         self.hub = hub
         self.events = tuple(events)
         self.basis = basis
         self.resolution = resolution
         self.enabled = enabled
+        self.width = width
+        self.on_overflow = on_overflow
+        self._max = (1 << width) - 1
         self.event_count = 0
         self.basis_count = 0
         self.samples_emitted = 0
+        self.saturations = 0
+        self.wraps = 0
         #: value of the most recent emitted sample — comparator input
         self.last_sample: Optional[int] = None
+        #: overflow cause ("saturate"/"wrap"/"injected") of the most recent
+        #: sample, or None if it was clean — read by the MCDS to taint the
+        #: emitted message
+        self.last_sample_tainted: Optional[str] = None
+        self._taint: Optional[str] = None
         #: sink receiving ``(cycle, structure, value)`` on every sample
         self.sink: Optional[Callable[[int, "RateCounterStructure", int], None]] = None
 
@@ -52,8 +84,22 @@ class RateCounterStructure:
 
     # -- hub callbacks -----------------------------------------------------
     def _on_event(self, count: int) -> None:
-        if self.enabled:
-            self.event_count += count
+        if not self.enabled:
+            return
+        self.event_count += count
+        if self.event_count > self._max:
+            if self.on_overflow == SATURATE:
+                self.event_count = self._max
+                self.saturations += 1
+                self._taint = SATURATE
+            elif self.on_overflow == WRAP:
+                self.event_count &= self._max
+                self.wraps += 1
+                self._taint = WRAP
+            else:
+                raise CounterSaturationError(
+                    f"counter {self.name!r} overflowed its {self.width}-bit "
+                    f"range within one resolution window")
 
     def _on_basis(self, count: int) -> None:
         if not self.enabled:
@@ -72,7 +118,18 @@ class RateCounterStructure:
     # -- sampling -------------------------------------------------------------
     def _sample(self) -> None:
         value = self.event_count
+        if _fi._active is not None:
+            action = fault_point("counter.wrap", counter=self.name,
+                                 sample=self.samples_emitted)
+            if action is not None:
+                # the hardware counter wrapped mid-window: the emitted value
+                # is the truncated remainder, and the sample is tainted
+                value &= int(action.params.get("mask", 0xFF))
+                self.wraps += 1
+                self._taint = "injected"
         self.last_sample = value
+        self.last_sample_tainted = self._taint
+        self._taint = None
         self.samples_emitted += 1
         self.event_count = 0
         self.basis_count -= self.resolution
@@ -100,7 +157,11 @@ class RateCounterStructure:
         self.event_count = 0
         self.basis_count = 0
         self.samples_emitted = 0
+        self.saturations = 0
+        self.wraps = 0
         self.last_sample = None
+        self.last_sample_tainted = None
+        self._taint = None
 
 
 class RawCounter:

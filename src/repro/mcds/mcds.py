@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from ..errors import ConfigurationError, ResourceExhaustedError
 from ..soc.device import Soc
 from ..soc.kernel.simulator import Component
 from . import counters as counters_mod
@@ -61,14 +62,16 @@ class Mcds(Component):
     # -- configuration ---------------------------------------------------------
     def add_rate_counter(self, name: str, events, resolution: int,
                          basis: str = "tc.instr_executed",
-                         enabled: bool = True
+                         enabled: bool = True, width: int = 32,
+                         on_overflow: str = counters_mod.SATURATE
                          ) -> counters_mod.RateCounterStructure:
         """Allocate a counter structure that emits rate-sample messages."""
         if len(self.rate_counters) >= self.MAX_COUNTER_STRUCTURES:
-            raise RuntimeError(
+            raise ResourceExhaustedError(
                 f"all {self.MAX_COUNTER_STRUCTURES} counter structures in use")
         structure = counters_mod.RateCounterStructure(
-            name, self.hub, events, resolution, basis, enabled)
+            name, self.hub, events, resolution, basis, enabled,
+            width, on_overflow)
         structure.sink = self._on_rate_sample
         self.rate_counters.append(structure)
         if basis == counters_mod.CYCLES:
@@ -76,7 +79,12 @@ class Mcds(Component):
         return structure
 
     def _on_rate_sample(self, cycle: int, structure, value: int) -> None:
-        self.deliver(self.factory.rate_sample(cycle, structure.name, value))
+        msg = self.factory.rate_sample(cycle, structure.name, value)
+        if structure.last_sample_tainted is not None:
+            # the counter overflowed (or a drill wrapped it) inside this
+            # window: the value is untrustworthy, flag it for the decoder
+            msg.extra = {"tainted": structure.last_sample_tainted}
+        self.deliver(msg)
 
     def add_raw_counter(self, name: str, events) -> counters_mod.RawCounter:
         counter = counters_mod.RawCounter(name, self.hub, events)
@@ -108,7 +116,7 @@ class Mcds(Component):
         elif core == "pcp":
             cpu = self.soc.pcp
         else:
-            raise ValueError(
+            raise ConfigurationError(
                 f"program trace supports cores 'tc' and 'pcp', got {core!r}")
         if cpu.trace is None:
             cpu.trace = TraceFanout()

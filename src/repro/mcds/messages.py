@@ -13,8 +13,9 @@ variable-length timestamp delta.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional, Tuple
 
 # message kinds
 RATE_SAMPLE = "rate_sample"      # counter-structure sample (the paper's new message)
@@ -26,6 +27,7 @@ DATA_ACCESS = "data_access"      # qualified data-trace message
 BUS_XFER = "bus_xfer"            # bus observation message
 TRIGGER_EVT = "trigger"          # trigger/watchdog fired
 OVERFLOW = "overflow"            # trace FIFO overflowed, messages lost
+GAP = "gap"                      # synthesized: a span of lost messages
 
 _HEADER_BITS = 6                 # TCODE
 _SOURCE_BITS = 3                 # originating observation block / counter id
@@ -51,6 +53,65 @@ class TraceMessage:
     value: int = 0
     address: Optional[int] = None
     extra: dict = field(default_factory=dict)
+
+    def checksum(self) -> int:
+        """CRC over the content fields, as the hardware frames it.
+
+        The sim only materializes the CRC where it matters: a corruption
+        fault stores the pre-corruption checksum in ``extra["crc"]``, and
+        the EMEM verifies it at the sink — so the check is free for the
+        (overwhelming) majority of messages that were never touched.
+        """
+        body = f"{self.kind}/{self.cycle}/{self.source}/{self.value}/" \
+               f"{self.address}"
+        return zlib.crc32(body.encode("utf-8"))
+
+
+@dataclass
+class Gap:
+    """A contiguous span of trace messages lost between ``start``/``end``.
+
+    Side-band accounting, not buffered content: gaps never occupy EMEM
+    capacity (the happy path stays byte-identical), but they travel with
+    the decoded stream so every profiling window overlapping one can be
+    marked degraded instead of silently reporting a wrong rate.  ``kind``
+    names the cause: ``wrap`` (ring eviction), ``reject`` (fill-mode
+    refusal), ``corrupt`` (CRC mismatch at the sink), ``injected`` (a
+    fault drill), ``dap`` (lost on the wire).
+    """
+
+    start: int
+    end: int
+    lost: int
+    kind: str
+    source: str = "emem"
+
+    def to_message(self) -> TraceMessage:
+        """The in-stream representation (a Nexus-style overflow message)."""
+        bits = _HEADER_BITS + _varlen_bits(self.lost)
+        return TraceMessage(GAP, self.end, bits, self.source, self.lost,
+                            extra={"start": self.start, "kind": self.kind})
+
+    def to_list(self) -> list:
+        return [self.start, self.end, self.lost, self.kind, self.source]
+
+    @classmethod
+    def from_list(cls, payload) -> "Gap":
+        return cls(int(payload[0]), int(payload[1]), int(payload[2]),
+                   str(payload[3]), str(payload[4]))
+
+
+def merge_gap_spans(gaps: List[Gap]) -> List[Tuple[int, int]]:
+    """Collapse gaps into sorted, disjoint (start, end) cycle spans."""
+    spans = sorted((gap.start, gap.end) for gap in gaps)
+    merged: List[Tuple[int, int]] = []
+    for start, end in spans:
+        if merged and start <= merged[-1][1]:
+            if end > merged[-1][1]:
+                merged[-1] = (merged[-1][0], end)
+        else:
+            merged.append((start, end))
+    return merged
 
 
 class MessageFactory:

@@ -15,6 +15,9 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Optional
 
+from ..errors import ConfigurationError
+from ..faults import injector as _fi
+from ..faults.injector import fault_point
 from ..soc.kernel.hub import EventHub
 
 BELOW = "below"
@@ -48,7 +51,7 @@ class RateThreshold(Condition):
 
     def __init__(self, structure, threshold: int, direction: str = BELOW) -> None:
         if direction not in (BELOW, ABOVE):
-            raise ValueError("direction must be 'below' or 'above'")
+            raise ConfigurationError("direction must be 'below' or 'above'")
         self.structure = structure
         self.threshold = threshold
         self.direction = direction
@@ -102,7 +105,7 @@ class PcInRange(Condition):
 
     def __init__(self, core, lo: int, hi: int) -> None:
         if lo >= hi:
-            raise ValueError("address window must be non-empty")
+            raise ConfigurationError("address window must be non-empty")
         self.core = core
         self.lo = lo
         self.hi = hi
@@ -121,7 +124,7 @@ class WindowWatchdog(Condition):
 
     def __init__(self, hub: EventHub, signal: str, window: int) -> None:
         if window < 1:
-            raise ValueError("window must be >= 1 cycle")
+            raise ConfigurationError("window must be >= 1 cycle")
         self.hub = hub
         self.signal = signal
         self.window = window
@@ -175,9 +178,21 @@ class Trigger:
         self.on_leave = on_leave
         self.active = False
         self.fire_count = 0
+        self.lost_injected = 0
+        self.spurious_injected = 0
 
     def evaluate(self, cycle: int) -> None:
         state = self.condition.evaluate(cycle)
+        if _fi._active is not None:
+            if state and fault_point("trigger.lost", trigger=self.name,
+                                     cycle=cycle) is not None:
+                state = False
+                self.lost_injected += 1
+            elif not state and fault_point("trigger.spurious",
+                                           trigger=self.name,
+                                           cycle=cycle) is not None:
+                state = True
+                self.spurious_injected += 1
         if state and not self.active:
             self.active = True
             self.fire_count += 1
@@ -191,6 +206,8 @@ class Trigger:
     def reset(self) -> None:
         self.active = False
         self.fire_count = 0
+        self.lost_injected = 0
+        self.spurious_injected = 0
 
 
 class TriggerStateMachine:

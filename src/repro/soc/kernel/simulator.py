@@ -17,6 +17,7 @@ from __future__ import annotations
 import random
 from typing import Callable, List, Optional
 
+from ...errors import WatchdogExpired
 from .hub import EventHub
 
 
@@ -81,7 +82,7 @@ class Simulator:
         start = self.cycle
         while not predicate(self):
             if self.cycle - start >= max_cycles:
-                raise RuntimeError(
+                raise WatchdogExpired(
                     f"run_until exceeded {max_cycles} cycles without "
                     f"predicate becoming true")
             self.step()

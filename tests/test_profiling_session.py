@@ -98,6 +98,41 @@ def test_counter_structure_limit_enforced():
             device.mcds.add_rate_counter(f"c{i}", ["tc.instr_executed"], 100)
 
 
+def test_lossy_postmortem_capture_marks_degradation():
+    # a ring-mode EMEM far too small for the run wraps away early samples;
+    # the result must account every loss and mark the affected windows
+    device = EmulationDevice(EdConfig(soc=tc1797_config(), emem_kb=1),
+                             seed=13)
+    device.load_program(make_loop_program(
+        alu_per_iter=3,
+        load_gen=isa.TableAddr(amap.PFLASH_BASE + 0x10_0000, 4, 2048,
+                               locality=0.6)))
+    session = ProfilingSession(device, [spec.ipc(resolution=32)])
+    result = session.run(60_000)
+    stats = device.emem.stats()
+    assert stats["overrun"]
+    assert stats["lost_oldest"] > 0
+    assert stats["dropped_messages"] == result.lost_messages
+    assert stats["gaps"] == len(device.emem.gaps) > 0
+    assert result.gaps
+    assert result.degraded_samples > 0
+    # gap accounting is side-band: it never displaces buffered messages
+    assert stats["stored_bits"] <= stats["capacity_bits"]
+
+
+def test_clean_postmortem_capture_has_no_gap_accounting():
+    device = make_device()
+    session = ProfilingSession(device, [spec.ipc(resolution=256)])
+    result = session.run(20_000)
+    stats = device.emem.stats()
+    assert not stats["overrun"]
+    assert stats["dropped_messages"] == 0
+    assert stats["gaps"] == 0
+    assert result.gaps == []
+    assert result.degraded_samples == 0
+    assert result.healthy
+
+
 def test_summary_table_renders():
     device = make_device()
     session = ProfilingSession(device, [spec.ipc(), spec.icache_miss_rate()])

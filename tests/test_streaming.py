@@ -56,6 +56,43 @@ def test_oversubscribed_config_overflows():
     assert session.result().lost_messages == stats.messages_lost
 
 
+def test_overflow_marks_windows_degraded():
+    # every lost span must be a recorded gap, and every sample whose
+    # window overlaps one must come back flagged — never silently wrong
+    device = make_streaming_device(emem_kb=1, dap_mbps=0.5)
+    session = StreamingSession(device, [spec.ipc(resolution=32)])
+    stats = session.run(150_000)
+    assert stats.gaps > 0
+    result = session.result()
+    assert result.gaps
+    assert result.degraded_samples > 0
+    assert result["tc.ipc"].degraded.any()
+    assert not result.healthy
+    assert "DEGRADED" in result.summary_table()
+
+
+def test_healthy_run_has_no_gaps_or_degradation():
+    device = make_streaming_device()
+    session = StreamingSession(device, [spec.ipc(resolution=4096)])
+    stats = session.run(100_000)
+    assert stats.gaps == 0
+    result = session.result()
+    assert result.gaps == []
+    assert result.degraded_samples == 0
+    assert not result["tc.ipc"].degraded.any()
+    assert "DEGRADED" not in result.summary_table()
+
+
+def test_strict_session_raises_on_loss():
+    from repro.errors import TraceOverrunError
+
+    device = make_streaming_device(emem_kb=1, dap_mbps=0.5)
+    session = StreamingSession(device, [spec.ipc(resolution=32)],
+                               strict=True)
+    with pytest.raises(TraceOverrunError, match="lost"):
+        session.run(150_000)
+
+
 def test_received_plus_buffered_consistent():
     device = make_streaming_device()
     session = StreamingSession(device, [spec.ipc(resolution=1024)])
