@@ -1,0 +1,120 @@
+"""E15 — Simulation-kernel throughput: quiescence scheduling vs naive.
+
+The quiescence-aware kernel (idle-skip scheduling + fused hot loop) is an
+*infrastructure* optimization: it must change simulation wall-clock and
+nothing else.  E15 measures cycles/sec on two contrasting workloads —
+engine control (CPU hot, peripherals sleeping) and an RTOS with a
+wait-for-interrupt idle hook (everything sleeping between ticks) — and
+asserts byte-identity of every observable before reporting a speedup.
+
+Outputs ``BENCH_kernel.json`` at the repo root for the CI perf-smoke
+lane, which compares measured speedups against the committed baseline in
+``benchmarks/kernel_baseline.json`` and fails on a >25% regression.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.soc.config import tc1797_config
+from repro.soc.kernel import kernel_mode
+from repro.workloads import EngineControlScenario, RtosScenario
+
+from _common import emit, once
+
+CYCLES = 200_000
+BASELINE_PATH = os.path.join(os.path.dirname(__file__),
+                             "kernel_baseline.json")
+BENCH_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                          "BENCH_kernel.json")
+
+WORKLOADS = [
+    ("engine", EngineControlScenario, {}),
+    ("rtos_idle", RtosScenario, {"idle_halt": True}),
+]
+
+
+def observables(device):
+    """Everything a profiling run can see; must not depend on the kernel."""
+    cpu = device.soc.cpu
+    return {
+        "oracle": device.soc.hub.snapshot(),
+        "pc": cpu.pc,
+        "retired": cpu.retired,
+        "halt_cycles": cpu.halt_cycles,
+        "mcds_messages": device.mcds.total_messages,
+        "mcds_bits": device.mcds.total_bits,
+        "emem_messages": device.emem.message_count,
+    }
+
+
+def run_workload(scenario, params, mode):
+    with kernel_mode(mode):
+        device = scenario().build(tc1797_config(), dict(params))
+    t0 = time.perf_counter()
+    device.run(CYCLES)
+    wall = time.perf_counter() - t0
+    return observables(device), CYCLES / wall, device.soc.sim.kernel_stats()
+
+
+def run_experiment():
+    results = {}
+    # warm interpreter caches (imports, code objects, allocator arenas) so
+    # the first timed leg is not charged for process warm-up
+    with kernel_mode("naive"):
+        EngineControlScenario().build(tc1797_config(), {}).run(5_000)
+    for name, scenario, params in WORKLOADS:
+        naive_obs, naive_cps, _ = run_workload(scenario, params, "naive")
+        quiesc_obs, quiesc_cps, stats = run_workload(
+            scenario, params, "quiescent")
+        assert quiesc_obs == naive_obs, \
+            f"{name}: quiescent kernel diverged from naive observables"
+        skip = sum(e["skipped"] for e in stats["components"])
+        total = sum(e["ticks"] + e["skipped"] for e in stats["components"])
+        results[name] = {
+            "naive_cps": naive_cps,
+            "quiescent_cps": quiesc_cps,
+            "speedup": quiesc_cps / naive_cps,
+            "skip_ratio": skip / total if total else 0.0,
+        }
+    return results
+
+
+@pytest.mark.benchmark(group="e15")
+def test_e15_kernel_throughput(benchmark):
+    data = once(benchmark, run_experiment)
+    with open(BASELINE_PATH) as handle:
+        baseline = json.load(handle)
+
+    lines = [
+        f"{'workload':<12}{'naive c/s':>12}{'quiesc c/s':>12}"
+        f"{'speedup':>9}{'skip%':>7}{'baseline':>10}",
+    ]
+    for name, r in data.items():
+        lines.append(
+            f"{name:<12}{r['naive_cps']:>12,.0f}{r['quiescent_cps']:>12,.0f}"
+            f"{r['speedup']:>8.2f}x{100 * r['skip_ratio']:>7.1f}"
+            f"{baseline[name]['speedup']:>9.2f}x")
+    lines += [
+        "",
+        f"byte-identity asserted on oracle totals, CPU state, and trace",
+        f"bytes for every workload over {CYCLES} cycles.",
+    ]
+    emit("E15", "simulation-kernel throughput (quiescent vs naive)", lines)
+
+    with open(BENCH_PATH, "w") as handle:
+        json.dump({"cycles": CYCLES, "workloads": data}, handle,
+                  indent=2, sort_keys=True)
+        handle.write("\n")
+
+    # acceptance floors (ISSUE): quiescence must actually pay for itself
+    assert data["engine"]["speedup"] >= 1.3
+    assert data["rtos_idle"]["speedup"] >= 3.0
+    # perf smoke: >25% regression against the committed baseline fails
+    for name, r in data.items():
+        floor = 0.75 * baseline[name]["speedup"]
+        assert r["speedup"] >= floor, \
+            f"{name}: speedup {r['speedup']:.2f}x regressed below " \
+            f"75% of the committed baseline ({floor:.2f}x)"

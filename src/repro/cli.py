@@ -8,6 +8,7 @@ Subcommands map to the workflows of the paper::
     repro explore    — CPI stack, option prediction, gain/cost ranking
     repro customers  — profile matrix over a generated customer population
     repro campaign   — parallel fleet campaign over the population
+    repro profile-kernel — simulation-kernel throughput (naive vs quiescent)
 """
 
 from __future__ import annotations
@@ -20,11 +21,12 @@ from .soc.config import tc1767_config, tc1797_config
 
 def _scenario(name: str):
     from .workloads import (BodyGatewayScenario, EngineControlScenario,
-                            TransmissionScenario)
+                            RtosScenario, TransmissionScenario)
     scenarios = {
         "engine": EngineControlScenario,
         "transmission": TransmissionScenario,
         "body": BodyGatewayScenario,
+        "rtos": RtosScenario,
     }
     try:
         return scenarios[name]()
@@ -145,6 +147,40 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_profile_kernel(args) -> int:
+    """Naive-vs-quiescent kernel comparison on one scenario workload."""
+    from .soc.kernel import kernel_mode
+    from .soc.kernel.kprof import KernelProfiler, format_kernel_stats
+    scenario = _scenario(args.scenario)
+    params = {"idle_halt": True} if args.idle_halt else {}
+    runs = {}
+    for mode in ("naive", "quiescent"):
+        with kernel_mode(mode):
+            device = scenario.build(_config(args.device), dict(params),
+                                    seed=args.seed)
+        sim = device.soc.sim
+        profiler = KernelProfiler(sim) if args.wall else None
+        if profiler is not None:
+            profiler.attach()
+        device.run(args.cycles)
+        runs[mode] = (sim.kernel_stats(), sim.hub.totals[:])
+        if profiler is not None:
+            profiler.detach()
+        print(f"\n== {mode} kernel ==")
+        print(format_kernel_stats(runs[mode][0]))
+    naive_stats, naive_oracle = runs["naive"]
+    quiesc_stats, quiesc_oracle = runs["quiescent"]
+    if naive_oracle != quiesc_oracle:
+        print("\nERROR: oracle totals diverged between kernels")
+        return 1
+    speedup = (quiesc_stats["cycles_per_sec"] /
+               max(1e-9, naive_stats["cycles_per_sec"]))
+    print(f"\noracle totals identical across kernels "
+          f"({sum(naive_oracle)} events)")
+    print(f"quiescent speedup: {speedup:.2f}x")
+    return 0
+
+
 def cmd_customers(args) -> int:
     from .core.optimization import CpiStack
     from .soc.kernel import signals
@@ -243,6 +279,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--work", type=int, default=120_000)
     p.add_argument("--hardware-only", action="store_true")
 
+    p = sub.add_parser("profile-kernel",
+                       help="simulation-kernel throughput profile "
+                            "(naive vs quiescent)")
+    p.add_argument("--scenario", default="engine")
+    p.add_argument("--cycles", type=int, default=200_000)
+    p.add_argument("--idle-halt", action="store_true",
+                   help="rtos only: idle hook halts (wait-for-interrupt)")
+    p.add_argument("--wall", action="store_true",
+                   help="attach the kernel profiler for per-component "
+                        "wall-time shares (adds measurement overhead)")
+
     p = sub.add_parser("customers", help="customer profile matrix")
     p.add_argument("--count", type=int, default=6)
     p.add_argument("--cycles", type=int, default=100_000)
@@ -289,6 +336,7 @@ COMMANDS = {
     "profile": cmd_profile,
     "trace": cmd_trace,
     "explore": cmd_explore,
+    "profile-kernel": cmd_profile_kernel,
     "customers": cmd_customers,
     "campaign": cmd_campaign,
     "report": cmd_report,

@@ -27,7 +27,7 @@ from ..errors import ConfigurationError
 from ..faults import injector as _fi
 from ..faults.injector import fault_point
 from ..mcds.messages import Gap, TraceMessage
-from ..soc.kernel.simulator import Component
+from ..soc.kernel.simulator import FOREVER, Component
 from .emem import EmulationMemory
 
 
@@ -72,6 +72,16 @@ class DapInterface(Component):
         """
         self._credit -= bits
         self.bits_transferred += bits
+
+    def idle_until(self, cycle: int):
+        # post-mortem mode never needs the clock (streaming is fixed at
+        # construction); a streaming drain accrues fractional wire credit
+        # every cycle and so must stay hot
+        return None if self.streaming else FOREVER
+
+    def observable_state(self) -> int:
+        # wire bytes for the strict-equivalence auditor
+        return self.bits_transferred + len(self.received)
 
     def tick(self, cycle: int) -> None:
         if not self.streaming:

@@ -53,6 +53,15 @@ class CounterSaturationError(ReproError, RuntimeError):
     """A counter exceeded its width in ``raise`` overflow mode."""
 
 
+class KernelEquivalenceError(ReproError, RuntimeError):
+    """A strict-equivalence run caught an unsound quiescence claim.
+
+    Raised when a component that promised ``idle_until`` quiescence changed
+    observable state (oracle totals or trace bytes) in an audited tick —
+    a kernel-scheduler bug, deterministic by construction.
+    """
+
+
 class WatchdogExpired(ReproError, RuntimeError):
     """A bounded run exceeded its cycle or wall-clock deadline.
 

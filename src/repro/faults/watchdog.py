@@ -47,6 +47,26 @@ class SimulationWatchdog(Component):
         self._start_cycle = 0
         self._wall_deadline: Optional[float] = None
 
+    def idle_until(self, cycle: int) -> int:
+        """Skipped spans still count against the budgets.
+
+        The watchdog sleeps, but only up to its own deadlines: the cycle
+        budget expires at an absolute cycle the kernel may not fast-forward
+        past without ticking us, and wall-clock sampling keeps its
+        ``check_interval`` grid.  A runaway simulation therefore cannot
+        dodge the watchdog by being quiescent.
+        """
+        wake_at = None
+        if self.max_cycles is not None:
+            wake_at = self._start_cycle + self.max_cycles
+        if self.max_wall_s is not None:
+            interval = self.check_interval
+            elapsed = cycle - self._start_cycle
+            next_check = cycle + (-elapsed) % interval
+            if wake_at is None or next_check < wake_at:
+                wake_at = next_check
+        return wake_at if wake_at > cycle else cycle
+
     def arm(self, cycle: int = 0) -> None:
         """Start the deadlines from ``cycle`` / now."""
         self._start_cycle = cycle

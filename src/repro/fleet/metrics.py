@@ -26,6 +26,7 @@ class CampaignMetrics:
     workers: int = 1
     wall_s: float = 0.0          # whole-campaign wall clock
     busy_s: float = 0.0          # summed in-worker job wall clock
+    sim_cycles: int = 0          # simulated cycles across executed jobs
     job_walls: List[float] = field(default_factory=list)
 
     @property
@@ -44,6 +45,16 @@ class CampaignMetrics:
     def worker_utilization(self) -> float:
         capacity = self.wall_s * max(1, self.workers)
         return min(1.0, self.busy_s / capacity) if capacity > 0 else 0.0
+
+    @property
+    def sim_cycles_per_sec(self) -> float:
+        """Fleet-wide simulation throughput over in-worker busy time.
+
+        Only executed jobs contribute cycles (cache hits and resumes cost
+        no simulation), so this is the kernel-throughput number a
+        ``repro profile-kernel`` run should roughly reproduce per worker.
+        """
+        return self.sim_cycles / self.busy_s if self.busy_s > 0 else 0.0
 
     @property
     def mean_job_wall_s(self) -> float:
@@ -68,6 +79,8 @@ class CampaignMetrics:
             ("campaign wall", f"{self.wall_s:.2f} s"),
             ("throughput", f"{self.jobs_per_sec:.2f} jobs/s"),
             ("worker utilization", f"{100 * self.worker_utilization:.0f}%"),
+            ("sim throughput", f"{self.sim_cycles_per_sec:,.0f} cycles/s"
+                               f" ({self.sim_cycles:,} cycles)"),
             ("job wall mean/max", f"{self.mean_job_wall_s:.2f} s"
                                   f" / {self.max_job_wall_s:.2f} s"),
         ]

@@ -288,6 +288,8 @@ class CampaignRunner:
             if outcome["status"] == "ok":
                 metrics.executed += 1
                 metrics.job_walls.append(outcome["wall_s"])
+                metrics.sim_cycles += int(
+                    outcome["payload"].get("sim_cycles", 0))
                 if self.cache is not None:
                     self.cache.store(job, outcome["payload"])
                 self._finish(job, self._ok_record(

@@ -28,7 +28,7 @@ from ..errors import ConfigurationError
 
 #: bump when the worker payload layout changes — invalidates every cache
 #: entry written by older code
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: fault-drill modes a job may carry (used by tests, the ``--drill`` CLI
 #: flag, and resilience benchmarks): ``crash`` raises on every attempt,

@@ -98,6 +98,10 @@ def _execute(job: Dict, watchdog_spec: Optional[Dict] = None) -> Dict:
         "domain": job["domain"],
         "device": job["device"],
         "cycles": job["cycles"],
+        # cycles actually simulated (deterministic, unlike wall time, so it
+        # may live in the payload); campaign metrics divide the sum by
+        # in-worker busy time for fleet-wide simulation throughput
+        "sim_cycles": device.soc.sim.cycle,
         "profile": json.loads(result_to_json(result, compact=True)),
     }
 

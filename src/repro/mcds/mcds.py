@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..errors import ConfigurationError, ResourceExhaustedError
 from ..soc.device import Soc
-from ..soc.kernel.simulator import Component
+from ..soc.kernel.simulator import FOREVER, Component
 from . import counters as counters_mod
 from .messages import MessageFactory, TraceMessage
 from .trace import BusTraceUnit, DataTraceUnit, ProgramTraceUnit, TraceFanout
@@ -76,6 +76,7 @@ class Mcds(Component):
         self.rate_counters.append(structure)
         if basis == counters_mod.CYCLES:
             self._cycle_basis.append(structure)
+            self.wake()
         return structure
 
     def _on_rate_sample(self, cycle: int, structure, value: int) -> None:
@@ -93,11 +94,13 @@ class Mcds(Component):
 
     def add_trigger(self, trigger: Trigger) -> Trigger:
         self.triggers.append(trigger)
+        self.wake()
         return trigger
 
     def add_state_machine(self, machine: TriggerStateMachine
                           ) -> TriggerStateMachine:
         self.state_machines.append(machine)
+        self.wake()
         return machine
 
     def add_program_trace(self, core: str = "tc", cycle_accurate: bool = False,
@@ -156,9 +159,23 @@ class Mcds(Component):
         from .debug import Breakpoint
         breakpoint_ = Breakpoint(self.soc.cpu, address, length)
         self.triggers.append(breakpoint_.trigger)
+        self.wake()
         return breakpoint_
 
     # -- per-cycle work -----------------------------------------------------------
+    def idle_until(self, cycle: int):
+        # everything else the MCDS does is event-driven through hub
+        # subscriptions and trace hooks; only cycle-basis sampling windows,
+        # triggers, and trigger state machines need the clock
+        if self._cycle_basis or self.triggers or self.state_machines:
+            return None
+        return FOREVER
+
+    def observable_state(self) -> int:
+        # trace bytes for the strict-equivalence auditor: a quiescent tick
+        # must not generate messages (totals alone would miss delivery)
+        return self.total_messages + self.total_bits
+
     def tick(self, cycle: int) -> None:
         for structure in self._cycle_basis:
             structure.on_cycle(cycle)

@@ -21,7 +21,7 @@ from typing import Dict, Optional
 from ..config import CpuConfig
 from ..kernel import signals
 from ..kernel.hub import EventHub
-from ..kernel.simulator import Component
+from ..kernel.simulator import FOREVER, Component
 from ..memory.system import MemorySystem
 from . import isa
 
@@ -73,12 +73,14 @@ class TriCoreCpu(Component):
         self.pc = program.entry
         self.halted = False
         self._line = -1
+        self.wake()
 
     def set_vector(self, srn_id: int, handler: str) -> None:
         """Bind a service request to a handler function (by symbol name)."""
         if self.program is None:
             raise RuntimeError("load a program before binding vectors")
         self.vectors[srn_id] = self.program.symbol(handler)
+        self.wake()
 
     # -- behaviour-state helper -----------------------------------------------
     def _state_of(self, instr: isa.Instr, behaviour) -> object:
@@ -114,6 +116,40 @@ class TriCoreCpu(Component):
             self.trace.on_discontinuity(cycle, src, handler, "irq")
         return True
 
+    # -- quiescence contract -------------------------------------------------
+    def _serviceable_pending(self) -> bool:
+        """Would ``_try_interrupt`` take something right now?"""
+        if self.icu is None:
+            return False
+        srn = self.icu.highest("tc")
+        return (srn is not None and srn.priority > self.current_priority
+                and srn.id in self.vectors)
+
+    def idle_until(self, cycle: int):
+        # priority > 0 emits TC_IRQ_CYCLES every cycle; debug_halt is
+        # toggled by plain attribute writes (mcds.debug), so the core stays
+        # hot in both states rather than requiring wake() discipline there
+        if self.current_priority > 0 or self.debug_halt:
+            return None
+        if cycle < self.stall_until:
+            # stalled cores do not poll the ICU, so the wait is opaque even
+            # to a pending interrupt — sleep through it
+            return self.stall_until
+        if self.halted or self.program is None:
+            # wait-for-interrupt (or no software at all): only an SRN
+            # raise, a vector bind, or a program load can change anything.
+            # The ICU poll is deferred to here so a busy core's idle probe
+            # stays a handful of attribute reads.
+            return None if self._serviceable_pending() else FOREVER
+        return None
+
+    def on_kernel_skip(self, start: int, stop: int) -> None:
+        # the naive loop increments halt_cycles once per halted tick; a
+        # stall-sleep (stall_until > start) or debug freeze would not
+        if self.halted and not self.debug_halt \
+                and self.current_priority == 0 and self.stall_until <= start:
+            self.halt_cycles += stop - start
+
     # -- main clock tick ----------------------------------------------------------
     def tick(self, cycle: int) -> None:
         if self.debug_halt:
@@ -140,6 +176,7 @@ class TriCoreCpu(Component):
         width = self.cfg.issue_width
         memory = self.memory
         hub = self.hub
+        emit = hub.emit
         rng = self.rng
 
         while issued < width:
@@ -149,7 +186,7 @@ class TriCoreCpu(Component):
                 self._line = line
                 if done > cycle + 1:
                     self.stall_until = done
-                    hub.emit(self._sid_stall_fetch, done - cycle - 1)
+                    emit(self._sid_stall_fetch, done - cycle - 1)
                     break
             instr = program.at(pc)
             op = instr.op
@@ -176,14 +213,14 @@ class TriCoreCpu(Component):
                     pc += isa.INSTR_BYTES
                     if done > cycle + 1:
                         self.stall_until = done
-                        hub.emit(self._sid_stall_load, done - cycle - 1)
+                        emit(self._sid_stall_load, done - cycle - 1)
                         break
                 else:
                     done = memory.write(cycle, addr, "tc")
                     pc += isa.INSTR_BYTES
                     if done > cycle + 1:
                         self.stall_until = done
-                        hub.emit(self._sid_stall_store, done - cycle - 1)
+                        emit(self._sid_stall_store, done - cycle - 1)
                         break
                 continue
 
@@ -203,9 +240,9 @@ class TriCoreCpu(Component):
             if op == isa.BR:
                 pattern = instr.pattern
                 taken = pattern.taken(self._state_of(instr, pattern), rng)
-                hub.emit(self._sid_branch)
+                emit(self._sid_branch)
                 if taken:
-                    hub.emit(self._sid_branch_taken)
+                    emit(self._sid_branch_taken)
                     pc = instr.target
                     self._line = -1
                     self.stall_until = cycle + 1 + self.cfg.branch_penalty
@@ -216,8 +253,8 @@ class TriCoreCpu(Component):
                 continue
 
             if op == isa.JUMP:
-                hub.emit(self._sid_branch)
-                hub.emit(self._sid_branch_taken)
+                emit(self._sid_branch)
+                emit(self._sid_branch_taken)
                 pc = instr.target
                 self._line = -1
                 self.stall_until = cycle + 1 + self.cfg.branch_penalty
@@ -228,10 +265,10 @@ class TriCoreCpu(Component):
             if op == isa.LOOP:
                 pattern = instr.pattern
                 taken = pattern.taken(self._state_of(instr, pattern), rng)
-                hub.emit(self._sid_branch)
+                emit(self._sid_branch)
                 if taken:
                     # loop pipeline: zero-cycle taken loop-close
-                    hub.emit(self._sid_branch_taken)
+                    emit(self._sid_branch_taken)
                     pc = instr.target
                     self._line = -1
                     if self.trace is not None:
@@ -244,7 +281,7 @@ class TriCoreCpu(Component):
                 self._call_stack.append(pc + isa.INSTR_BYTES)
                 pc = instr.target
                 self._line = -1
-                hub.emit(self._sid_csa)
+                emit(self._sid_csa)
                 self.stall_until = cycle + 1 + self.cfg.context_switch_cycles
                 if self.trace is not None:
                     self.trace.on_discontinuity(cycle, src, pc, "call")
@@ -256,7 +293,7 @@ class TriCoreCpu(Component):
                         f"RET with empty call stack at 0x{pc:08x}")
                 pc = self._call_stack.pop()
                 self._line = -1
-                hub.emit(self._sid_csa)
+                emit(self._sid_csa)
                 self.stall_until = cycle + 1 + self.cfg.context_switch_cycles
                 if self.trace is not None:
                     self.trace.on_discontinuity(cycle, src, pc, "ret")
@@ -268,7 +305,7 @@ class TriCoreCpu(Component):
                         f"RFE with empty interrupt stack at 0x{pc:08x}")
                 pc, self.current_priority, self.halted = self._irq_stack.pop()
                 self._line = -1
-                hub.emit(self._sid_csa)
+                emit(self._sid_csa)
                 self.stall_until = cycle + 1 + self.cfg.context_switch_cycles
                 if self.trace is not None:
                     self.trace.on_discontinuity(cycle, src, pc, "rfe")
@@ -279,7 +316,7 @@ class TriCoreCpu(Component):
         self.pc = pc
         if issued:
             self.retired += issued
-            hub.emit(self._sid_instr, issued)
+            emit(self._sid_instr, issued)
             if self.trace is not None:
                 self.trace.on_cycle(cycle, start_pc, issued)
 

@@ -46,6 +46,9 @@ class Soc:
                            self.sim.rng("pcp"))
         self.cpu = TriCoreCpu(self.config.cpu, self.hub, self.memory,
                               self.icu, self.sim.rng("tc"))
+        # service-request raises must wake a quiescent provider core
+        self.icu.providers["tc"] = self.cpu
+        self.icu.providers["pcp"] = self.pcp
         self.peripherals: List[Component] = []
         self.observers: List[Component] = []
         self._ordered = False

@@ -16,7 +16,7 @@ from typing import Dict, List, Optional
 from ..config import DmaConfig
 from ..kernel import signals
 from ..kernel.hub import EventHub
-from ..kernel.simulator import Component
+from ..kernel.simulator import FOREVER, Component
 from ..memory.system import MemorySystem
 
 
@@ -74,8 +74,15 @@ class DmaController(Component):
             state.src = state.config.src
             state.dst = state.config.dst
             self._active.append(channel)
+            self.wake()
         else:
             state.queued += 1   # re-trigger while busy: queue one more block
+
+    def idle_until(self, cycle: int):
+        if not self._active:
+            return FOREVER          # trigger() wakes the move engine
+        # one move per grant of the shared engine: sleep out the busy gap
+        return self._next_free if self._next_free > cycle else None
 
     def tick(self, cycle: int) -> None:
         if cycle < self._next_free or not self._active:

@@ -54,6 +54,10 @@ class InterruptRouter(Component):
         self._sid_raised = hub.register(signals.IRQ_RAISED)
         self._sid_taken = hub.register(signals.IRQ_TAKEN)
         self.dma_controller = None   # wired by the device builder
+        #: core name -> service-provider component; a raised request wakes
+        #: the provider so a quiescent core sees it the same cycle the
+        #: naive loop would (wired by the device builder)
+        self.providers: Dict[str, Component] = {}
 
     def add_srn(self, name: str, priority: int, core: str = "tc",
                 dma_channel: Optional[int] = None) -> ServiceRequestNode:
@@ -73,18 +77,22 @@ class InterruptRouter(Component):
         """Peripheral-side: set the request flag (idempotent while pending)."""
         srn = self.srns[srn_id]
         srn.raised_count += 1
-        self.hub.emit(self._sid_raised)
-        self.hub.emit(srn.raised_sid)
+        emit = self.hub.emit
+        emit(self._sid_raised)
+        emit(srn.raised_sid)
         if srn.core == "dma":
             # DMA requests bypass the CPU entirely (paper Section 3: activity
             # without any data passing through a processor core)
             srn.taken_count += 1
-            self.hub.emit(self._sid_taken)
-            self.hub.emit(srn.taken_sid)
+            emit(self._sid_taken)
+            emit(srn.taken_sid)
             if self.dma_controller is not None:
                 self.dma_controller.trigger(srn.dma_channel)
             return
         srn.pending = True
+        provider = self.providers.get(srn.core)
+        if provider is not None:
+            provider.wake()
 
     def highest(self, core: str) -> Optional[ServiceRequestNode]:
         for srn in self._by_core.get(core, ()):

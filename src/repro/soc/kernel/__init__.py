@@ -2,7 +2,9 @@
 
 from .hub import EventHub
 from .resource import TimedResource
-from .simulator import Component, Simulator
+from .simulator import (FOREVER, Component, Simulator, kernel_mode,
+                        set_default_kernel)
 from . import signals
 
-__all__ = ["EventHub", "TimedResource", "Component", "Simulator", "signals"]
+__all__ = ["EventHub", "TimedResource", "Component", "Simulator",
+           "FOREVER", "kernel_mode", "set_default_kernel", "signals"]

@@ -1,0 +1,95 @@
+"""Kernel profiler: where do the simulated cycles' wall-clock go?
+
+The scheduler keeps tick/skip counts for free (they fall out of the sleep
+accounting), so :meth:`~repro.soc.kernel.simulator.Simulator.kernel_stats`
+always works.  What it cannot know for free is *wall time per component* —
+that needs a timer pair around every tick, which is exactly the kind of
+overhead the paper warns measurement machinery against.  So wall-share
+profiling is opt-in: attach a :class:`KernelProfiler` and the scheduler
+rebinds every slot's pre-bound tick to a timed wrapper; detach and the
+plain bound methods come back.
+
+Usage::
+
+    profiler = KernelProfiler(device.soc.sim)
+    with profiler:
+        device.run(2_000_000)
+    print(format_kernel_stats(device.soc.sim.kernel_stats()))
+
+The ``repro profile-kernel`` CLI subcommand wraps this into a ready-made
+naive-vs-quiescent comparison for a scenario workload.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+from .simulator import Simulator
+
+
+class KernelProfiler:
+    """Opt-in per-component wall-time instrumentation for one simulator."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        #: id(component) -> [name, timed ticks, wall seconds]
+        self._cells: Dict[int, List] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+    def attach(self) -> "KernelProfiler":
+        self.sim._profiler = self
+        self.sim._force_rebuild()
+        return self
+
+    def detach(self) -> None:
+        if self.sim._profiler is self:
+            self.sim._profiler = None
+            self.sim._force_rebuild()
+
+    def __enter__(self) -> "KernelProfiler":
+        return self.attach()
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    # -- scheduler hook ----------------------------------------------------
+    def _wrap(self, comp):
+        """Return a timed stand-in for ``comp.tick`` (kernel slot binding)."""
+        cell = self._cells.get(id(comp))
+        if cell is None:
+            cell = [comp.name, 0, 0.0]
+            self._cells[id(comp)] = cell
+        tick = comp.tick
+        perf = time.perf_counter
+
+        def timed_tick(cycle, _tick=tick, _cell=cell, _perf=perf):
+            t0 = _perf()
+            _tick(cycle)
+            _cell[1] += 1
+            _cell[2] += _perf() - t0
+
+        return timed_tick
+
+
+def format_kernel_stats(stats: Dict) -> str:
+    """Render ``Simulator.kernel_stats()`` as an aligned operator table."""
+    lines = [
+        f"kernel: {stats['kernel']}  "
+        f"cycles: {stats['cycles']}  "
+        f"wall: {stats['wall_s']:.3f} s  "
+        f"throughput: {stats['cycles_per_sec']:,.0f} cycles/s",
+        f"{'component':<20}{'ticks':>12}{'skipped':>12}{'skip%':>8}"
+        f"{'sleeps':>8}{'wakes':>8}{'wall s':>10}{'wall%':>8}",
+    ]
+    for entry in stats["components"]:
+        wall = entry.get("wall_s")
+        share = entry.get("wall_share")
+        wall_col = f"{wall:>10.3f}" if wall is not None else f"{'-':>10}"
+        share_col = (f"{100 * share:>7.1f}%" if share is not None
+                     else f"{'-':>8}")
+        lines.append(
+            f"{entry['name']:<20}{entry['ticks']:>12}{entry['skipped']:>12}"
+            f"{100 * entry['skip_ratio']:>7.1f}%"
+            f"{entry['sleeps']:>8}{entry['wakes']:>8}{wall_col}{share_col}")
+    return "\n".join(lines)

@@ -76,6 +76,15 @@ class TimedResource:
         """Wait a request issued at ``now`` would incur, without issuing it."""
         return self.busy_until - now if self.busy_until > now else 0
 
+    def idle_until(self, cycle: int) -> int:
+        """Earliest cycle at which the resource is free again.
+
+        Lets clocked components that block on this resource (flash and
+        EEPROM wait states above all) answer the kernel's quiescence query
+        with the busy-until horizon instead of polling every cycle.
+        """
+        return self.busy_until if self.busy_until > cycle else cycle
+
     def reserve_until(self, cycle: int) -> None:
         """Block the resource until ``cycle`` (e.g. background prefetch)."""
         if cycle > self.busy_until:

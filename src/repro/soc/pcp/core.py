@@ -20,7 +20,7 @@ from ..config import PcpConfig
 from ..cpu import isa
 from ..kernel import signals
 from ..kernel.hub import EventHub
-from ..kernel.simulator import Component
+from ..kernel.simulator import FOREVER, Component
 from ..memory.system import MemorySystem
 
 
@@ -51,6 +51,20 @@ class PcpCore(Component):
 
     def bind_channel(self, srn_id: int, program: isa.Program) -> None:
         self.channel_programs[srn_id] = program
+        self.wake()
+
+    def idle_until(self, cycle: int):
+        if not self.cfg.enabled:
+            return FOREVER
+        if cycle < self.stall_until:
+            return self.stall_until
+        if self.active_program is None:
+            # dispatch poll: nothing can happen until an SRN targeting the
+            # PCP is raised (ICU wakes us) or a channel program is bound
+            srn = self.icu.highest("pcp")
+            if srn is None or srn.id not in self.channel_programs:
+                return FOREVER
+        return None
 
     def _state_of(self, instr: isa.Instr, behaviour) -> object:
         key = id(instr)

@@ -42,6 +42,10 @@ class PeriodicTimer(Component):
             raise ValueError("timer period must be >= 1 cycle")
         return period
 
+    def idle_until(self, cycle: int) -> int:
+        # self-timed: nothing can happen before the programmed event cycle
+        return self._next
+
     def tick(self, cycle: int) -> None:
         if cycle >= self._next:
             self.events += 1
@@ -74,6 +78,11 @@ class Adc(Component):
         self._done_at: Optional[int] = None
         self.conversions = 0
         self._sid = hub.register(signals.ADC_CONVERSION)
+
+    def idle_until(self, cycle: int) -> int:
+        # converting: the completion edge; idle: the next autoscan start
+        return self._done_at if self._done_at is not None \
+            else self._next_start
 
     def tick(self, cycle: int) -> None:
         if self._done_at is not None and cycle >= self._done_at:
@@ -115,6 +124,10 @@ class CanNode(Component):
     def _draw(self, cycle: int) -> int:
         gap = int(self.rng.expovariate(1.0 / self.mean_period))
         return cycle + max(self.min_period, gap)
+
+    def idle_until(self, cycle: int) -> int:
+        # the next arrival is already drawn, so the gap is fully known
+        return self._next
 
     def tick(self, cycle: int) -> None:
         if cycle >= self._next:

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from ..kernel.hub import EventHub
-from ..kernel.simulator import Component
+from ..kernel.simulator import FOREVER, Component
 
 #: event signal emitted on every compare match
 TCELL_MATCH = "tcell.match"
@@ -63,7 +63,13 @@ class TimerCellArray(Component):
         self._armed: List[_CompareChannel] = []
         self._sid_match = hub.register(TCELL_MATCH)
         self._sid_capture = hub.register(TCELL_CAPTURE)
-        self._now = 0
+
+    @property
+    def _now(self) -> int:
+        # the hub publishes the current cycle before any component ticks,
+        # so late-write detection and capture timestamps stay exact even
+        # when the array is asleep between programmed compare points
+        return self.hub.cycle
 
     # -- compare side -------------------------------------------------------
     def bind_compare_srn(self, channel: int, srn_id: int) -> None:
@@ -78,6 +84,7 @@ class TimerCellArray(Component):
         cell.compare_at = fire_at
         if cell not in self._armed:
             self._armed.append(cell)
+        self.wake()
 
     def cancel_compare(self, channel: int) -> None:
         cell = self.compare[channel]
@@ -99,8 +106,12 @@ class TimerCellArray(Component):
         return self._now
 
     # -- clocking ------------------------------------------------------------------
+    def idle_until(self, cycle: int):
+        if not self._armed:
+            return FOREVER          # set_compare wakes the array
+        return min(cell.compare_at for cell in self._armed)
+
     def tick(self, cycle: int) -> None:
-        self._now = cycle
         if not self._armed:
             return
         fired = [cell for cell in self._armed if cycle >= cell.compare_at]
@@ -120,4 +131,3 @@ class TimerCellArray(Component):
         for cell in self.capture:
             cell.timestamps.clear()
         self._armed.clear()
-        self._now = 0

@@ -29,7 +29,7 @@ from ..soc.config import SoCConfig
 from ..soc.cpu import isa
 from ..soc.dma.controller import DmaChannelConfig
 from ..soc.interrupts.icu import srn_taken_signal
-from ..soc.kernel.simulator import Component
+from ..soc.kernel.simulator import FOREVER, Component
 from ..soc.memory import map as amap
 from ..soc.peripherals.basic import Adc, CanNode, PeriodicTimer
 from ..soc.peripherals.timer_cells import TimerCellArray
@@ -85,6 +85,11 @@ class InjectionScheduler(Component):
 
     def _on_crank_service(self, count: int) -> None:
         self._pending = True
+        self.wake()
+
+    def idle_until(self, cycle: int):
+        # event-driven: the crank-service subscription wakes the scheduler
+        return None if self._pending else FOREVER
 
     def tick(self, cycle: int) -> None:
         if not self._pending:

@@ -87,6 +87,7 @@ DEFAULT_PARAMS: Dict = {
     "idle_blocks": 6,           # background/idle-hook footprint
     "isr_in_pspr": False,
     "tables_in_dspr": False,    # accepted for option compatibility (no-op)
+    "idle_halt": False,         # idle hook executes wait-for-interrupt
 }
 
 
@@ -99,11 +100,16 @@ def build_rtos_program(params: Dict,
     # idle loop: the OS idle hook (low-power wait + housekeeping)
     main = builder.function("main")
     top = main.label("top")
-    for block in range(params["idle_blocks"]):
-        main.alu(10)
-        main.load(isa.StrideAddr(amap.LMU_BASE + 0x1000 + block * 0x80,
-                                 4, 16))
-        main.alu(6)
+    if params.get("idle_halt"):
+        # wait-for-interrupt idle: the core halts until the next service
+        # request, re-halting after each RFE (pc parks on the halt)
+        main.halt()
+    else:
+        for block in range(params["idle_blocks"]):
+            main.alu(10)
+            main.load(isa.StrideAddr(amap.LMU_BASE + 0x1000 + block * 0x80,
+                                     4, 16))
+            main.alu(6)
     main.jump(top)
 
     # one function per task

@@ -82,3 +82,34 @@ def test_names_in_registration_order():
     hub.register("z")
     hub.register("a")
     assert hub.names == ("z", "a")
+
+
+class _TripwireSubs(list):
+    """A subscriber list that fails the test if anyone iterates it."""
+
+    def __iter__(self):
+        raise AssertionError("dispatch attempted on a subscriber-free signal")
+
+
+def test_emit_without_subscribers_skips_dispatch_entirely():
+    hub = EventHub()
+    sid = hub.register("quiet.signal")
+    # empty -> falsy, so the `if subs:` guard must short-circuit before
+    # any iteration; a regression that always loops trips the wire
+    hub._subs[sid] = _TripwireSubs()
+    hub.emit(sid)
+    hub.emit(sid, 5)
+    assert hub.totals[sid] == 6
+
+
+def test_unsubscribe_restores_subscriber_free_fast_path():
+    hub = EventHub()
+    sid = hub.register("transient.signal")
+    seen = []
+    hub.subscribe("transient.signal", seen.append)
+    hub.emit(sid)
+    hub.unsubscribe("transient.signal", seen.append)
+    hub._subs[sid] = _TripwireSubs(hub._subs[sid])
+    hub.emit(sid)
+    assert seen == [1]
+    assert hub.totals[sid] == 2
