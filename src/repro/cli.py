@@ -44,6 +44,26 @@ def _config(name: str):
                          f"choose from {sorted(configs)}")
 
 
+def _add_telemetry_flags(p) -> None:
+    p.add_argument("--trace-out", metavar="TRACE.json",
+                   help="write a Chrome/Perfetto trace-event timeline")
+    p.add_argument("--metrics-out", metavar="METRICS.prom",
+                   help="write Prometheus text-format metrics")
+
+
+def _telemetry_wanted(args) -> bool:
+    return bool(getattr(args, "trace_out", None)
+                or getattr(args, "metrics_out", None))
+
+
+def _write_telemetry(tel, args, events_out=None) -> None:
+    written = tel.write_outputs(getattr(args, "trace_out", None),
+                                getattr(args, "metrics_out", None),
+                                events_out)
+    for kind, path in sorted(written.items()):
+        print(f"telemetry {kind}: {path}")
+
+
 # --- subcommands ------------------------------------------------------------
 def cmd_topology(args) -> int:
     from .ed.device import EdConfig, EmulationDevice
@@ -149,6 +169,16 @@ def cmd_report(args) -> int:
 
 def cmd_profile_kernel(args) -> int:
     """Naive-vs-quiescent kernel comparison on one scenario workload."""
+    if _telemetry_wanted(args):
+        from .obs import telemetry
+        with telemetry() as tel:
+            status = _profile_kernel(args, tel)
+            _write_telemetry(tel, args)
+        return status
+    return _profile_kernel(args, None)
+
+
+def _profile_kernel(args, tel) -> int:
     from .soc.kernel import kernel_mode
     from .soc.kernel.kprof import KernelProfiler, format_kernel_stats
     scenario = _scenario(args.scenario)
@@ -166,6 +196,12 @@ def cmd_profile_kernel(args) -> int:
         runs[mode] = (sim.kernel_stats(), sim.hub.totals[:])
         if profiler is not None:
             profiler.detach()
+        if tel is not None:
+            # same registry schema `repro telemetry` exports, one label
+            # per kernel mode; the print below keeps its old shape
+            from .obs import bridge
+            bridge.record_kernel_stats(tel.registry, runs[mode][0],
+                                       kernel=mode)
         print(f"\n== {mode} kernel ==")
         print(format_kernel_stats(runs[mode][0]))
     naive_stats, naive_oracle = runs["naive"]
@@ -203,6 +239,16 @@ def cmd_customers(args) -> int:
 
 
 def cmd_campaign(args) -> int:
+    if _telemetry_wanted(args):
+        from .obs import telemetry
+        with telemetry() as tel:
+            status = _campaign(args)
+            _write_telemetry(tel, args)
+        return status
+    return _campaign(args)
+
+
+def _campaign(args) -> int:
     from .fleet import (CampaignJob, CampaignRunner, build_matrix,
                         campaign_matrix, matrix_table, rank_portfolio)
     from .workloads import CustomerGenerator
@@ -251,6 +297,43 @@ def cmd_campaign(args) -> int:
     return 1 if report.quarantined and args.strict else 0
 
 
+def cmd_telemetry(args) -> int:
+    """One fully-instrumented in-process campaign: trace + metrics + events.
+
+    Runs with ``workers=0`` by default so every hook site — kernel advance
+    spans, pipeline decode/download spans, gap/fault/trigger instants,
+    fleet cache and job events — fires inside this process and lands in
+    one correlated timeline.  The exports cover all four metric families
+    (kernel, pipeline, faults, fleet) even where a counter stayed zero.
+    """
+    from .fleet import CampaignRunner, build_matrix
+    from .obs import telemetry
+    from .workloads import CustomerGenerator
+    _config(args.device)          # fail fast on unknown device names
+    if args.workers < 0:
+        raise SystemExit("--workers must be >= 0 (0 = in-process)")
+    customers = CustomerGenerator(seed=args.seed).generate(args.count)
+    jobs = build_matrix(customers, devices=(args.device,),
+                       cycle_budgets=(args.cycles,), seed=args.seed,
+                       ipc_resolution=args.resolution)
+    fault_plan = None
+    if args.fault_plan:
+        from .faults import load_fault_plan
+        fault_plan = load_fault_plan(args.fault_plan).to_dict()
+    with telemetry(run_id=args.run_id) as tel:
+        report = CampaignRunner(
+            jobs, workers=args.workers, cache_dir=args.cache_dir,
+            campaign_dir=args.campaign_dir,
+            fault_plan=fault_plan).run()
+        print(f"run {tel.run_id}: {len(jobs)} jobs, "
+              f"{args.workers} workers")
+        print(report.metrics.summary_table())
+        print(f"\nrecorded {len(tel.tracer)} trace events, "
+              f"{len(tel.events)} log records")
+        _write_telemetry(tel, args, events_out=args.events_out)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -289,6 +372,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--wall", action="store_true",
                    help="attach the kernel profiler for per-component "
                         "wall-time shares (adds measurement overhead)")
+    _add_telemetry_flags(p)
 
     p = sub.add_parser("customers", help="customer profile matrix")
     p.add_argument("--count", type=int, default=6)
@@ -320,6 +404,36 @@ def build_parser() -> argparse.ArgumentParser:
                    help="volume-weighted portfolio ranking afterwards")
     p.add_argument("--work", type=int, default=80_000,
                    help="per-option work instructions for --rank")
+    _add_telemetry_flags(p)
+
+    p = sub.add_parser("telemetry",
+                       help="instrumented campaign run: Chrome trace, "
+                            "Prometheus metrics, JSONL event log")
+    p.add_argument("--count", type=int, default=4,
+                   help="generated customer population size")
+    p.add_argument("--cycles", type=int, default=50_000)
+    p.add_argument("--resolution", type=int, default=256)
+    p.add_argument("--workers", type=int, default=0,
+                   help="worker processes (default 0: in-process, so "
+                        "every hook records into one timeline)")
+    p.add_argument("--cache-dir", help="content-addressed result cache dir")
+    p.add_argument("--campaign-dir", help="JSONL store + aggregate dir")
+    p.add_argument("--fault-plan", metavar="PLAN.json",
+                   help="run under a fault-injection plan so fault "
+                        "instants appear on the timeline")
+    p.add_argument("--run-id", help="override the generated run id")
+    p.add_argument("--trace-out", metavar="TRACE.json",
+                   default="telemetry_trace.json",
+                   help="Chrome/Perfetto trace path "
+                        "(default telemetry_trace.json)")
+    p.add_argument("--metrics-out", metavar="METRICS.prom",
+                   default="telemetry_metrics.prom",
+                   help="Prometheus text-format path "
+                        "(default telemetry_metrics.prom)")
+    p.add_argument("--events-out", metavar="EVENTS.jsonl",
+                   default="telemetry_events.jsonl",
+                   help="structured event-log path "
+                        "(default telemetry_events.jsonl)")
 
     p = sub.add_parser("report", help="full profiling report (+export)")
     p.add_argument("--scenario", default="engine")
@@ -339,6 +453,7 @@ COMMANDS = {
     "profile-kernel": cmd_profile_kernel,
     "customers": cmd_customers,
     "campaign": cmd_campaign,
+    "telemetry": cmd_telemetry,
     "report": cmd_report,
 }
 

@@ -27,6 +27,7 @@ import numpy as np
 from ...ed.device import EmulationDevice
 from ...errors import ConfigurationError
 from ...mcds import messages as msgs
+from ...obs import runtime as _obs
 from .spec import ParameterSpec
 
 
@@ -190,6 +191,17 @@ class ProfilingSession:
 
     def result(self) -> ProfileResult:
         """Decode all rate-sample messages captured so far."""
+        tel = _obs._active
+        if tel is not None:
+            with tel.span("pipeline.decode", cat="pipeline") as args:
+                result = self._result()
+                args["messages"] = (len(self.device.dap.received)
+                                    + self.device.emem.message_count)
+                args["gaps"] = len(result.gaps)
+            return result
+        return self._result()
+
+    def _result(self) -> ProfileResult:
         device = self.device
         series = {spec.name: SeriesData(spec) for spec in self.specs}
         stream = list(device.dap.received) + device.emem.contents()

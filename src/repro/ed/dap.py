@@ -27,6 +27,7 @@ from ..errors import ConfigurationError
 from ..faults import injector as _fi
 from ..faults.injector import fault_point
 from ..mcds.messages import Gap, TraceMessage
+from ..obs import runtime as _obs
 from ..soc.kernel.simulator import FOREVER, Component
 from .emem import EmulationMemory
 
@@ -62,6 +63,9 @@ class DapInterface(Component):
             gap = Gap(cycle, cycle, 1, "dap", "dap")
             self.gaps.append(gap)
             self._open_gap = gap
+            tel = _obs._active      # instant only on gap open, not growth
+            if tel is not None:
+                tel.gap_recorded("dap", "dap", cycle, 1)
 
     def consume_wire(self, bits: int) -> None:
         """Account foreign traffic (calibration writes, register polls).
@@ -119,6 +123,13 @@ class DapInterface(Component):
     # -- post-mortem -----------------------------------------------------------
     def download_all(self) -> Tuple[List[TraceMessage], float]:
         """Upload the whole EMEM; returns (messages, wire seconds)."""
+        tel = _obs._active
+        if tel is not None:
+            with tel.span("pipeline.download", cat="pipeline"):
+                return self._download_all()
+        return self._download_all()
+
+    def _download_all(self) -> Tuple[List[TraceMessage], float]:
         messages = self.emem.contents()
         bits = sum(m.bits for m in messages)
         self.emem.pop_front(bits + 1)

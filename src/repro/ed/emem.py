@@ -30,6 +30,7 @@ from ..errors import ConfigurationError
 from ..faults import injector as _fi
 from ..faults.injector import fault_point
 from ..mcds.messages import Gap, TraceMessage
+from ..obs import runtime as _obs
 
 RING = "ring"
 FILL = "fill"
@@ -81,6 +82,9 @@ class EmulationMemory:
             gap = Gap(cycle, cycle, lost, kind, "emem")
             self.gaps.append(gap)
             self._open_gap = gap
+            tel = _obs._active      # instant only on gap open, not growth
+            if tel is not None:
+                tel.gap_recorded("emem", kind, cycle, lost)
 
     # -- store path --------------------------------------------------------------
     def store(self, msg: TraceMessage) -> None:

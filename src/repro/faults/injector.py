@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..errors import ConfigurationError, FormatError
+from ..obs import runtime as _obs
 
 #: every named injection site in the pipeline, with what faulting there
 #: means.  Plans are validated against this catalogue; the test suite
@@ -244,6 +245,9 @@ class FaultInjector:
             self.injected[site] = self.injected.get(site, 0) + 1
             self.log.append({"site": site, "hit": hit,
                              "params": dict(rule.params)})
+            tel = _obs._active
+            if tel is not None:
+                tel.fault_injected(site, hit, self.scope)
             return FaultAction(site, rule, hit)
         return None
 

@@ -20,6 +20,7 @@ from contextlib import contextmanager
 from typing import Optional
 
 from ..errors import ConfigurationError, WatchdogExpired
+from ..obs import runtime as _obs
 from ..soc.kernel.simulator import Component
 
 
@@ -73,10 +74,16 @@ class SimulationWatchdog(Component):
         if self.max_wall_s is not None:
             self._wall_deadline = time.monotonic() + self.max_wall_s
 
+    def _trip(self, kind: str, cycle: int) -> None:
+        self.expirations += 1
+        tel = _obs._active
+        if tel is not None:
+            tel.watchdog_trip(kind, cycle)
+
     def tick(self, cycle: int) -> None:
         if self.max_cycles is not None and \
                 cycle - self._start_cycle >= self.max_cycles:
-            self.expirations += 1
+            self._trip("cycle", cycle)
             raise WatchdogExpired(
                 f"watchdog: run exceeded {self.max_cycles} cycles",
                 retryable=False)
@@ -85,7 +92,7 @@ class SimulationWatchdog(Component):
         if self._wall_deadline is not None and \
                 (cycle - self._start_cycle) % self.check_interval == 0 and \
                 time.monotonic() > self._wall_deadline:
-            self.expirations += 1
+            self._trip("wall", cycle)
             raise WatchdogExpired(
                 f"watchdog: run exceeded {self.max_wall_s} s wall clock",
                 retryable=True)

@@ -16,6 +16,7 @@ import os
 import tempfile
 from typing import Dict, Optional
 
+from ..obs import runtime as _obs
 from .spec import CampaignJob, canonical_json
 
 
@@ -38,7 +39,7 @@ class ResultCache:
             with open(path, "r") as handle:
                 entry = json.load(handle)
         except FileNotFoundError:
-            self.misses += 1
+            self._note("miss", job)
             return None
         except (json.JSONDecodeError, OSError):
             # unreadable entry: drop it and treat as a miss
@@ -46,10 +47,19 @@ class ResultCache:
                 os.unlink(path)
             except OSError:
                 pass
-            self.misses += 1
+            self._note("miss", job)
             return None
-        self.hits += 1
+        self._note("hit", job)
         return entry["payload"]
+
+    def _note(self, result: str, job: CampaignJob) -> None:
+        if result == "hit":
+            self.hits += 1
+        else:
+            self.misses += 1
+        tel = _obs._active
+        if tel is not None:
+            tel.cache_lookup(result, job.digest)
 
     def store(self, job: CampaignJob, payload: Dict) -> str:
         """Persist a job payload atomically; returns the entry path."""

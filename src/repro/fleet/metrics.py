@@ -10,7 +10,7 @@ time of every executed attempt (retries included), so utilization is
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, List
 
 
 @dataclass
@@ -28,6 +28,10 @@ class CampaignMetrics:
     busy_s: float = 0.0          # summed in-worker job wall clock
     sim_cycles: int = 0          # simulated cycles across executed jobs
     job_walls: List[float] = field(default_factory=list)
+    # degradation accounting, summed over every completed payload
+    lost_messages: int = 0
+    trace_gaps: int = 0
+    degraded_samples: int = 0
 
     @property
     def completed(self) -> int:
@@ -56,6 +60,22 @@ class CampaignMetrics:
         """
         return self.sim_cycles / self.busy_s if self.busy_s > 0 else 0.0
 
+    def note_payload(self, payload: Dict) -> None:
+        """Fold one completed job payload into the degradation counters.
+
+        Reads the canonical profile export inside the payload, so cache
+        hits and resumed records contribute the same numbers a fresh
+        execution would — the counts are properties of the results, not
+        of how they were obtained.
+        """
+        profile = payload.get("profile") if isinstance(payload, dict) else None
+        if not isinstance(profile, dict):
+            return
+        self.lost_messages += int(profile.get("lost_messages", 0) or 0)
+        self.trace_gaps += len(profile.get("gaps", ()))
+        for entry in profile.get("parameters", {}).values():
+            self.degraded_samples += len(entry.get("degraded", ()))
+
     @property
     def mean_job_wall_s(self) -> float:
         if not self.job_walls:
@@ -83,6 +103,9 @@ class CampaignMetrics:
                                f" ({self.sim_cycles:,} cycles)"),
             ("job wall mean/max", f"{self.mean_job_wall_s:.2f} s"
                                   f" / {self.max_job_wall_s:.2f} s"),
+            ("degradation", f"{self.lost_messages} lost msgs / "
+                            f"{self.trace_gaps} gaps / "
+                            f"{self.degraded_samples} degraded samples"),
         ]
         width = max(len(label) for label, _ in rows) + 2
         return "\n".join(f"{label:<{width}}{value}"

@@ -35,6 +35,8 @@ from typing import Dict, List, Optional, Sequence
 
 from ..errors import ConfigurationError
 from ..faults import FaultPlan
+from ..obs import bridge as _obs_bridge
+from ..obs import runtime as _obs
 from .cache import ResultCache
 from .metrics import CampaignMetrics
 from .spec import CampaignJob, assign_shards
@@ -176,14 +178,29 @@ class CampaignRunner:
         }
 
     def _finish(self, job: CampaignJob, record: Dict,
-                records: Dict[str, Dict]) -> None:
+                records: Dict[str, Dict],
+                metrics: Optional[CampaignMetrics] = None) -> None:
         records[job.job_id] = record
+        if metrics is not None and record["status"] == "ok":
+            metrics.note_payload(record["payload"])
         if self.store is not None:
             self.store.append(record)
+        tel = _obs._active
+        if tel is not None:
+            tel.emit("job.done", job_id=job.job_id,
+                     status=record["status"],
+                     source=record.get("source", "executed"),
+                     attempts=record.get("attempts", 0))
 
     # -- the campaign --------------------------------------------------------
     def run(self) -> CampaignReport:
         start = time.perf_counter()
+        tel = _obs._active
+        campaign_t0 = tel.tracer.now_us() if tel is not None else 0.0
+        if tel is not None:
+            tel.emit("campaign.start", total_jobs=len(self.jobs),
+                     workers=self.workers, resume=self.resume,
+                     faulted=self.fault_plan is not None)
         metrics = CampaignMetrics(total_jobs=len(self.jobs),
                                   workers=max(1, self.workers))
         records: Dict[str, Dict] = {}
@@ -202,7 +219,7 @@ class CampaignRunner:
             metrics.resumed += 1
             self._finish(job, self._ok_record(
                 job, record["payload"], "resumed",
-                record.get("attempts", 1), 0.0), records)
+                record.get("attempts", 1), 0.0), records, metrics)
 
         # content-addressed cache: hits never reach the pool
         for job in self.jobs:
@@ -212,7 +229,7 @@ class CampaignRunner:
             if payload is not None:
                 metrics.cache_hits += 1
                 self._finish(job, self._ok_record(
-                    job, payload, "cache", 0, 0.0), records)
+                    job, payload, "cache", 0, 0.0), records, metrics)
 
         pending = [job for job in self.jobs if job.job_id not in records]
 
@@ -240,6 +257,9 @@ class CampaignRunner:
                 break
             time.sleep(self.backoff_s * (2 ** (attempt - 1)))
             metrics.retries += len(failures)
+            if tel is not None:
+                tel.emit("round.retry", attempt=attempt,
+                         jobs=sorted(failures, key=str))
             retry_jobs = sorted(failures, key=str)
             outcomes = []
             for job_id in retry_jobs:
@@ -255,6 +275,9 @@ class CampaignRunner:
             outcome = leftovers[job_id]
             job = by_id[job_id]
             metrics.quarantined += 1
+            if tel is not None:
+                tel.instant("job.quarantined", cat="fleet",
+                            job_id=job.job_id, error=outcome["error"])
             self._finish(job, {
                 "job_id": job.job_id, "digest": job.digest,
                 "job": job.to_dict(), "status": "quarantined",
@@ -262,7 +285,7 @@ class CampaignRunner:
                 "attempts": outcome["attempt"] + 1,
                 "wall_s": outcome["wall_s"],
                 "error": outcome["error"],
-            }, records)
+            }, records, metrics)
 
         self._retire_pool()
         metrics.wall_s = time.perf_counter() - start
@@ -274,7 +297,38 @@ class CampaignRunner:
             report.store_path = self.store.path
             report.aggregate_path = self.store.write_aggregate(
                 report.ok_records, report.quarantined)
+        if tel is not None:
+            # registry counters are folded exactly once, here, from the
+            # final metrics snapshot — live hooks above only record spans
+            # and events, so nothing double-counts
+            _obs_bridge.record_campaign_metrics(tel.registry, metrics)
+            tel.tracer.complete(
+                "campaign", campaign_t0,
+                tel.tracer.now_us() - campaign_t0, "fleet",
+                args={"total_jobs": metrics.total_jobs,
+                      "executed": metrics.executed,
+                      "cache_hits": metrics.cache_hits,
+                      "resumed": metrics.resumed,
+                      "quarantined": metrics.quarantined})
+            tel.emit("campaign.end", total_jobs=metrics.total_jobs,
+                     executed=metrics.executed,
+                     cache_hits=metrics.cache_hits,
+                     resumed=metrics.resumed,
+                     quarantined=metrics.quarantined,
+                     retries=metrics.retries)
         return report
+
+    @staticmethod
+    def _retro_span(tel, job: CampaignJob, outcome: Dict) -> None:
+        pid = outcome.get("pid") or 0
+        if pid:
+            tel.tracer.set_process(pid, f"worker {pid}")
+        wall_us = outcome["wall_s"] * 1e6
+        tel.tracer.complete(
+            "job.execute", max(0.0, tel.tracer.now_us() - wall_us),
+            wall_us, "fleet", pid=pid,
+            args={"job": job.name, "status": outcome["status"],
+                  "attempt": outcome["attempt"]})
 
     def _absorb(self, outcomes: List[Dict], records: Dict[str, Dict],
                 metrics: CampaignMetrics,
@@ -282,9 +336,15 @@ class CampaignRunner:
                 ) -> Dict[str, Dict]:
         """Fold a round's outcomes into records; return remaining failures."""
         failures: Dict[str, Dict] = {}
+        tel = _obs._active
         for outcome in outcomes:
             job = CampaignJob.from_dict(outcome["job"])
             metrics.busy_s += outcome["wall_s"]
+            if tel is not None and self.workers > 0:
+                # pool workers don't inherit the telemetry slot, so their
+                # job spans are retro-emitted here from the reported
+                # in-worker wall clock (workers=0 records live spans)
+                self._retro_span(tel, job, outcome)
             if outcome["status"] == "ok":
                 metrics.executed += 1
                 metrics.job_walls.append(outcome["wall_s"])
@@ -294,7 +354,8 @@ class CampaignRunner:
                     self.cache.store(job, outcome["payload"])
                 self._finish(job, self._ok_record(
                     job, outcome["payload"], "executed",
-                    outcome["attempt"] + 1, outcome["wall_s"]), records)
+                    outcome["attempt"] + 1, outcome["wall_s"]), records,
+                    metrics)
             else:
                 carried = dict(outcome)
                 if prior_failures and job.job_id in prior_failures:

@@ -30,6 +30,8 @@ from ..core.profiling import spec as pspec
 from ..errors import ConfigurationError, FaultInjected
 from ..faults import (FaultInjector, FaultPlan, SimulationWatchdog,
                       fault_point)
+from ..obs import bridge as _obs_bridge
+from ..obs import runtime as _obs
 from ..soc.config import tc1767_config, tc1797_config
 from ..workloads.body import BodyGatewayScenario
 from ..workloads.engine import EngineControlScenario
@@ -74,6 +76,18 @@ def _apply_fault(fault: Optional[str], attempt: int) -> None:
 
 def _execute(job: Dict, watchdog_spec: Optional[Dict] = None) -> Dict:
     """Build the device, run the session, serialise the payload."""
+    tel = _obs._active
+    if tel is not None:
+        # only reached with in-process execution (workers=0) or inside a
+        # worker that installed its own telemetry; pool workers inherit
+        # nothing and skip straight to the bare path
+        with tel.span("job.execute", cat="fleet", job=job["name"],
+                      domain=job["domain"], device=job["device"]):
+            return _execute_bare(job, watchdog_spec)
+    return _execute_bare(job, watchdog_spec)
+
+
+def _execute_bare(job: Dict, watchdog_spec: Optional[Dict] = None) -> Dict:
     try:
         scenario = SCENARIOS[job["domain"]]()
     except KeyError:
@@ -93,6 +107,11 @@ def _execute(job: Dict, watchdog_spec: Optional[Dict] = None) -> Dict:
             result = session.run(job["cycles"])
     else:
         result = session.run(job["cycles"])
+    tel = _obs._active
+    if tel is not None:
+        # snapshot device-level stats into the registry while the device
+        # still exists; metrics only, so payload bytes are unaffected
+        _obs_bridge.record_device_stats(tel.registry, device)
     return {
         "name": job["name"],
         "domain": job["domain"],

@@ -18,6 +18,7 @@ from typing import Callable, Dict, Iterable, List, Optional
 from ..errors import ConfigurationError
 from ..faults import injector as _fi
 from ..faults.injector import fault_point
+from ..obs import runtime as _obs
 from ..soc.kernel.hub import EventHub
 
 BELOW = "below"
@@ -196,6 +197,9 @@ class Trigger:
         if state and not self.active:
             self.active = True
             self.fire_count += 1
+            tel = _obs._active       # rising edges only: the rare path
+            if tel is not None:
+                tel.trigger_fired(self.name, cycle)
             if self.on_enter is not None:
                 self.on_enter(cycle)
         elif not state and self.active:

@@ -1,0 +1,37 @@
+"""repro.obs — unified telemetry: metrics, span traces, event log.
+
+The observability layer the paper's own methodology implies: always-on
+counters and non-intrusive timeline capture for the reproduction itself.
+Opt-in (install a :class:`Telemetry`, usually via :func:`telemetry`) and
+near-zero-cost when disabled — every hook site guards on the module slot
+:data:`repro.obs.runtime._active`, the same pattern as
+:func:`repro.faults.injector.fault_point`.
+
+    with telemetry(run_id="demo") as tel:
+        report = run_campaign(jobs, workers=0)
+    tel.write_outputs("trace.json", "metrics.prom", "events.jsonl")
+
+``trace.json`` loads in ``chrome://tracing`` / Perfetto; ``metrics.prom``
+is Prometheus text exposition format; ``events.jsonl`` is one structured
+record per line, all correlated by ``run_id``.  See docs/observability.md.
+"""
+
+from .events import EventLog
+from .registry import (DEFAULT_BUCKETS, MetricFamily, MetricsRegistry,
+                       escape_label_value)
+from .runtime import Telemetry, active, telemetry
+from .tracer import SpanTracer
+from . import bridge
+
+__all__ = [
+    "EventLog",
+    "MetricFamily",
+    "MetricsRegistry",
+    "SpanTracer",
+    "Telemetry",
+    "active",
+    "bridge",
+    "telemetry",
+    "escape_label_value",
+    "DEFAULT_BUCKETS",
+]

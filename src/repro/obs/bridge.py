@@ -1,0 +1,126 @@
+"""Adapters folding the existing ad-hoc stats into the metrics registry.
+
+Each subsystem keeps its original introspection surface —
+``Simulator.kernel_stats()``, ``EmulationMemory.stats()``,
+``DapInterface.stats()``, ``CampaignMetrics`` — unchanged, so nothing
+downstream breaks.  These functions read those shapes and re-express
+them in the unified registry schema, which is what makes
+``repro profile-kernel --metrics-out`` and ``repro telemetry`` emit the
+same metric families from the same underlying numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .registry import MetricsRegistry
+
+
+def record_kernel_stats(reg: MetricsRegistry, stats: Dict,
+                        kernel: Optional[str] = None) -> None:
+    """Fold one ``Simulator.kernel_stats()`` dict into the registry."""
+    label = kernel if kernel is not None else stats.get("kernel", "unknown")
+    reg.gauge("repro_kernel_cycles_per_sec",
+              "simulation throughput of the last recorded run",
+              ("kernel",)).labels(label).set(stats.get("cycles_per_sec", 0.0))
+    reg.gauge("repro_kernel_wall_seconds",
+              "simulation wall clock of the last recorded run",
+              ("kernel",)).labels(label).set(stats.get("wall_s", 0.0))
+    ticks = reg.counter("repro_kernel_component_ticks_total",
+                        "component ticks executed", ("component",))
+    skipped = reg.counter("repro_kernel_component_skipped_total",
+                          "component ticks skipped by quiescence scheduling",
+                          ("component",))
+    wall = reg.gauge("repro_kernel_component_wall_seconds",
+                     "per-component tick wall clock (KernelProfiler "
+                     "attached runs only)", ("component",))
+    for entry in stats.get("components", ()):
+        name = entry["name"]
+        ticks.labels(name).inc(entry.get("ticks", 0))
+        skipped.labels(name).inc(entry.get("skipped", 0))
+        if "wall_s" in entry:
+            wall.labels(name).set(entry["wall_s"])
+
+
+def record_emem_stats(reg: MetricsRegistry, stats: Dict) -> None:
+    """Fold one ``EmulationMemory.stats()`` dict into the registry."""
+    reg.gauge("repro_emem_fill_ratio",
+              "EMEM trace-buffer fill ratio at last snapshot") \
+        .set(stats.get("fill_ratio", 0.0))
+    reg.counter("repro_emem_messages_stored_total",
+                "messages that reached the EMEM store path") \
+        .inc(stats.get("total_stored", 0))
+    dropped = reg.counter("repro_emem_dropped_total",
+                          "messages lost at the EMEM, by reason",
+                          ("reason",))
+    for reason, key in (("wrap", "lost_oldest"), ("reject", "lost_new"),
+                        ("corrupt", "corrupt_dropped"),
+                        ("injected", "injected_drops")):
+        dropped.labels(reason).inc(stats.get(key, 0))
+
+
+def record_dap_stats(reg: MetricsRegistry, stats: Dict) -> None:
+    """Fold one ``DapInterface.stats()`` dict into the registry."""
+    reg.counter("repro_dap_bits_transferred_total",
+                "bits moved over the DAP wire") \
+        .inc(stats.get("bits_transferred", 0))
+    reg.counter("repro_dap_saturated_cycles_total",
+                "cycles the DAP wire spent saturated") \
+        .inc(stats.get("saturated_cycles", 0))
+    reg.counter("repro_dap_dropped_total",
+                "messages lost on the DAP wire") \
+        .inc(stats.get("dropped_messages", 0))
+
+
+def record_mcds_stats(reg: MetricsRegistry, mcds) -> None:
+    """Fold the MCDS per-kind message/bit totals into the registry."""
+    messages = reg.counter("repro_pipeline_messages_total",
+                           "trace messages generated, by message kind",
+                           ("kind",))
+    bits = reg.counter("repro_pipeline_bits_total",
+                       "trace bits generated, by message kind", ("kind",))
+    for kind, count in sorted(mcds.messages_by_kind.items()):
+        messages.labels(kind).inc(count)
+    for kind, count in sorted(mcds.bits_by_kind.items()):
+        bits.labels(kind).inc(count)
+
+
+def record_device_stats(reg: MetricsRegistry, device) -> None:
+    """Snapshot one EmulationDevice's kernel + pipeline state."""
+    record_kernel_stats(reg, device.soc.sim.kernel_stats())
+    record_emem_stats(reg, device.emem.stats())
+    record_dap_stats(reg, device.dap.stats())
+    record_mcds_stats(reg, device.mcds)
+
+
+def record_campaign_metrics(reg: MetricsRegistry, metrics) -> None:
+    """Fold a :class:`~repro.fleet.metrics.CampaignMetrics` snapshot."""
+    jobs = reg.counter("repro_fleet_jobs_total",
+                       "campaign job completions", ("status", "source"))
+    jobs.labels("ok", "executed").inc(metrics.executed)
+    jobs.labels("ok", "cache").inc(metrics.cache_hits)
+    jobs.labels("ok", "resumed").inc(metrics.resumed)
+    jobs.labels("quarantined", "executed").inc(metrics.quarantined)
+    reg.counter("repro_fleet_retries_total", "job retry attempts") \
+        .inc(metrics.retries)
+    reg.counter("repro_fleet_lost_messages_total",
+                "trace messages lost across campaign payloads") \
+        .inc(metrics.lost_messages)
+    reg.counter("repro_fleet_trace_gaps_total",
+                "trace gaps across campaign payloads") \
+        .inc(metrics.trace_gaps)
+    reg.counter("repro_fleet_degraded_samples_total",
+                "degraded samples across campaign payloads") \
+        .inc(metrics.degraded_samples)
+    reg.gauge("repro_fleet_worker_utilization",
+              "busy / (wall x workers) of the last campaign") \
+        .set(metrics.worker_utilization)
+    reg.gauge("repro_fleet_wall_seconds",
+              "wall clock of the last campaign").set(metrics.wall_s)
+    reg.counter("repro_sim_cycles_total",
+                "simulated cycles, by kernel mode", ("kernel",)) \
+        .labels("fleet").inc(metrics.sim_cycles)
+    walls = reg.histogram("repro_fleet_job_wall_seconds",
+                          "in-worker wall clock per executed job")
+    for wall_s in metrics.job_walls:
+        walls.observe(wall_s)

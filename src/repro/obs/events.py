@@ -1,0 +1,70 @@
+"""Structured JSONL event log with run-id correlation.
+
+Replaces ad-hoc progress prints with machine-readable records: one JSON
+object per line, every line carrying the same ``run_id`` so the events
+of one campaign can be joined against its trace file and metrics dump.
+Records are buffered in memory and optionally streamed live to a text
+handle (the fleet's structured progress output).
+
+Record shape::
+
+    {"run_id": "…", "seq": 12, "t": 0.0831,
+     "event": "job.done", "job_id": "engine-tc1797-…", "status": "ok"}
+
+``seq`` is a per-log monotonic sequence number; ``t`` is seconds since
+the log's epoch on its (pluggable, test-fakeable) clock.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Dict, List, Optional, TextIO
+
+
+class EventLog:
+    """Append-only structured event record buffer."""
+
+    def __init__(self, run_id: str,
+                 clock: Optional[Callable[[], float]] = None,
+                 stream: Optional[TextIO] = None,
+                 max_records: int = 100_000) -> None:
+        self.run_id = run_id
+        self._clock = clock if clock is not None else time.perf_counter
+        self._epoch = self._clock()
+        self._stream = stream
+        self.max_records = max_records
+        self.records: List[Dict] = []
+        self.dropped_records = 0
+        self._seq = 0
+
+    def emit(self, event: str, **fields) -> Dict:
+        """Record one event; returns the record (also streamed if live)."""
+        record = {"run_id": self.run_id, "seq": self._seq,
+                  "t": round(self._clock() - self._epoch, 6),
+                  "event": event}
+        record.update(fields)
+        self._seq += 1
+        if len(self.records) < self.max_records:
+            self.records.append(record)
+        else:
+            self.dropped_records += 1
+        if self._stream is not None:
+            self._stream.write(json.dumps(record, sort_keys=True) + "\n")
+        return record
+
+    def to_jsonl(self) -> str:
+        return "".join(json.dumps(record, sort_keys=True) + "\n"
+                       for record in self.records)
+
+    def write(self, path: str) -> str:
+        with open(path, "w") as handle:
+            handle.write(self.to_jsonl())
+        return path
+
+    def by_event(self, event: str) -> List[Dict]:
+        """All records of one event type (tests/diagnostics)."""
+        return [r for r in self.records if r["event"] == event]
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,337 @@
+"""Metrics registry: labelled counters, gauges, and histograms.
+
+The paper's methodology is built on *rate counters* — cheap, always-on
+hardware counters sampled instead of invasive software probes.  The
+reproduction applies the same discipline to itself: every subsystem's
+ad-hoc stats dict (``Simulator.kernel_stats()``, ``EmulationMemory.
+stats()``, ``CampaignMetrics``) can be folded into one registry with a
+common naming scheme and two machine-readable exports:
+
+* **JSON** — a stable dict form for archival next to campaign artifacts;
+* **Prometheus text exposition format** — ``# HELP``/``# TYPE`` comments,
+  ``name{label="value"} 1234`` samples, standard label escaping — so the
+  file drops straight into promtool / a Pushgateway / Grafana.
+
+The registry is plain bookkeeping: no clocks, no randomness, no global
+state.  Determinism of the simulation is untouched by reading from or
+writing to it.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: default histogram bucket bounds (seconds-flavoured, like Prometheus')
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0)
+
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+
+def escape_label_value(value: str) -> str:
+    """Prometheus label-value escaping: backslash, quote, newline."""
+    return (value.replace("\\", "\\\\")
+                 .replace("\"", "\\\"")
+                 .replace("\n", "\\n"))
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _label_suffix(labelnames: Sequence[str],
+                  labelvalues: Sequence[str],
+                  extra: Sequence[Tuple[str, str]] = ()) -> str:
+    pairs = [(name, str(value))
+             for name, value in zip(labelnames, labelvalues)]
+    pairs.extend((name, str(value)) for name, value in extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{name}="{escape_label_value(value)}"'
+                    for name, value in pairs)
+    return "{" + body + "}"
+
+
+class _Child:
+    """One labelled time series of a family."""
+
+    __slots__ = ("labelvalues",)
+
+    def __init__(self, labelvalues: Tuple[str, ...]) -> None:
+        self.labelvalues = labelvalues
+
+
+class CounterChild(_Child):
+    __slots__ = ("value",)
+
+    def __init__(self, labelvalues: Tuple[str, ...]) -> None:
+        super().__init__(labelvalues)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError("counters only go up")
+        self.value += amount
+
+
+class GaugeChild(_Child):
+    __slots__ = ("value",)
+
+    def __init__(self, labelvalues: Tuple[str, ...]) -> None:
+        super().__init__(labelvalues)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class HistogramChild(_Child):
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, labelvalues: Tuple[str, ...],
+                 buckets: Tuple[float, ...]) -> None:
+        super().__init__(labelvalues)
+        self.buckets = buckets
+        self.counts = [0] * len(buckets)   # non-cumulative per bound
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                break
+
+    def cumulative(self) -> List[int]:
+        """Counts per bucket as Prometheus wants them: cumulative."""
+        out, running = [], 0
+        for count in self.counts:
+            running += count
+            out.append(running)
+        return out
+
+    def reset(self) -> None:
+        self.counts = [0] * len(self.buckets)
+        self.sum = 0.0
+        self.count = 0
+
+
+class MetricFamily:
+    """One named metric with a fixed label schema and many children."""
+
+    def __init__(self, name: str, kind: str, help_text: str,
+                 labelnames: Tuple[str, ...],
+                 buckets: Tuple[float, ...] = (),
+                 per_run: bool = False) -> None:
+        if not _NAME_RE.match(name):
+            raise ConfigurationError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise ConfigurationError(f"invalid label name {label!r}")
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.labelnames = labelnames
+        self.buckets = buckets
+        #: per-run families are cleared by ``MetricsRegistry.reset_per_run``
+        #: (wired to ``Soc.reset`` so repeated runs start from zero)
+        self.per_run = per_run
+        self._children: Dict[Tuple[str, ...], _Child] = {}
+
+    def labels(self, *values, **kv) -> _Child:
+        if kv:
+            if values:
+                raise ConfigurationError(
+                    "pass label values positionally or by name, not both")
+            try:
+                values = tuple(str(kv[name]) for name in self.labelnames)
+            except KeyError as exc:
+                raise ConfigurationError(
+                    f"{self.name}: missing label {exc}")
+            if len(kv) != len(self.labelnames):
+                raise ConfigurationError(
+                    f"{self.name}: expected labels {self.labelnames}, "
+                    f"got {sorted(kv)}")
+        else:
+            values = tuple(str(v) for v in values)
+        if len(values) != len(self.labelnames):
+            raise ConfigurationError(
+                f"{self.name}: expected {len(self.labelnames)} label "
+                f"values, got {len(values)}")
+        child = self._children.get(values)
+        if child is None:
+            if self.kind == COUNTER:
+                child = CounterChild(values)
+            elif self.kind == GAUGE:
+                child = GaugeChild(values)
+            else:
+                child = HistogramChild(values, self.buckets)
+            self._children[values] = child
+        return child
+
+    # convenience passthroughs for label-less families
+    def inc(self, amount: float = 1.0) -> None:
+        self.labels().inc(amount)
+
+    def set(self, value: float) -> None:
+        self.labels().set(value)
+
+    def observe(self, value: float) -> None:
+        self.labels().observe(value)
+
+    @property
+    def children(self) -> List[_Child]:
+        return [self._children[key] for key in sorted(self._children)]
+
+    def value(self, *values, **kv) -> float:
+        """Current value of one child (tests/diagnostics)."""
+        child = self.labels(*values, **kv)
+        if isinstance(child, HistogramChild):
+            return child.sum
+        return child.value
+
+    def clear(self) -> None:
+        for child in self._children.values():
+            if isinstance(child, HistogramChild):
+                child.reset()
+            else:
+                child.value = 0.0
+
+
+class MetricsRegistry:
+    """Ordered collection of metric families with dual export."""
+
+    def __init__(self) -> None:
+        self._families: Dict[str, MetricFamily] = {}
+
+    # -- registration --------------------------------------------------------
+    def _register(self, name: str, kind: str, help_text: str,
+                  labelnames: Iterable[str],
+                  buckets: Tuple[float, ...] = (),
+                  per_run: bool = False) -> MetricFamily:
+        existing = self._families.get(name)
+        if existing is not None:
+            if existing.kind != kind or \
+                    existing.labelnames != tuple(labelnames):
+                raise ConfigurationError(
+                    f"metric {name!r} re-registered with a different "
+                    f"type or label schema")
+            return existing
+        family = MetricFamily(name, kind, help_text, tuple(labelnames),
+                              buckets, per_run)
+        self._families[name] = family
+        return family
+
+    def counter(self, name: str, help_text: str = "",
+                labelnames: Iterable[str] = ()) -> MetricFamily:
+        return self._register(name, COUNTER, help_text, labelnames)
+
+    def gauge(self, name: str, help_text: str = "",
+              labelnames: Iterable[str] = ()) -> MetricFamily:
+        return self._register(name, GAUGE, help_text, labelnames)
+
+    def histogram(self, name: str, help_text: str = "",
+                  labelnames: Iterable[str] = (),
+                  buckets: Sequence[float] = DEFAULT_BUCKETS,
+                  per_run: bool = False) -> MetricFamily:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ConfigurationError("histogram needs at least one bucket")
+        return self._register(name, HISTOGRAM, help_text, labelnames,
+                              bounds + (math.inf,), per_run)
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        return self._families.get(name)
+
+    def __iter__(self):
+        return iter(self._families.values())
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+    # -- lifecycle -----------------------------------------------------------
+    def reset(self) -> None:
+        """Zero every family (registrations survive)."""
+        for family in self._families.values():
+            family.clear()
+
+    def reset_per_run(self) -> None:
+        """Zero only families registered with ``per_run=True``."""
+        for family in self._families.values():
+            if family.per_run:
+                family.clear()
+
+    # -- export --------------------------------------------------------------
+    def to_json(self) -> Dict:
+        """Stable dict form (family name -> type/help/series)."""
+        body: Dict = {}
+        for name in sorted(self._families):
+            family = self._families[name]
+            series = []
+            for child in family.children:
+                labels = dict(zip(family.labelnames, child.labelvalues))
+                if isinstance(child, HistogramChild):
+                    series.append({
+                        "labels": labels,
+                        "buckets": [
+                            ["+Inf" if b == math.inf else b, c]
+                            for b, c in zip(child.buckets,
+                                            child.cumulative())],
+                        "sum": child.sum,
+                        "count": child.count,
+                    })
+                else:
+                    series.append({"labels": labels, "value": child.value})
+            body[name] = {"type": family.kind, "help": family.help,
+                          "series": series}
+        return body
+
+    def to_json_text(self) -> str:
+        return json.dumps(self.to_json(), indent=2, sort_keys=True)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            if family.help:
+                lines.append(f"# HELP {name} {_escape_help(family.help)}")
+            lines.append(f"# TYPE {name} {family.kind}")
+            for child in family.children:
+                suffix = _label_suffix(family.labelnames, child.labelvalues)
+                if isinstance(child, HistogramChild):
+                    for bound, count in zip(child.buckets,
+                                            child.cumulative()):
+                        le = _label_suffix(
+                            family.labelnames, child.labelvalues,
+                            extra=(("le", _format_value(bound)),))
+                        lines.append(f"{name}_bucket{le} {count}")
+                    lines.append(
+                        f"{name}_sum{suffix} {_format_value(child.sum)}")
+                    lines.append(f"{name}_count{suffix} {child.count}")
+                else:
+                    lines.append(
+                        f"{name}{suffix} {_format_value(child.value)}")
+        return "\n".join(lines) + "\n"

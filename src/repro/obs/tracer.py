@@ -1,0 +1,156 @@
+"""Span tracer with Chrome trace-event (``chrome://tracing``) export.
+
+Records *complete* spans (phase ``X``: a name, a start timestamp, a
+duration) and *instant* events (phase ``i``: a point on the timeline —
+a fault injected, a gap recorded, a watchdog trip), grouped into
+process/thread lanes the viewer renders as rows.  The export is the
+Chrome Trace Event JSON-array format, which both ``chrome://tracing``
+and Perfetto load directly.
+
+Timestamps come from a pluggable ``clock`` (default
+``time.perf_counter``) and are reported in microseconds relative to the
+tracer's epoch.  Tests inject a deterministic fake clock, which is what
+makes the "repeated runs in one process produce identical traces"
+guarantee checkable bit-for-bit.
+
+The tracer never samples the clock, allocates, or appends unless a
+recording call is made — the zero-cost-when-disabled property lives one
+level up, in :mod:`repro.obs.runtime`'s module-slot guard.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, List, Optional, Tuple
+
+#: default logical lanes: pid 0 is the driving process (orchestrator or
+#: CLI); fleet workers appear under their real OS pid
+MAIN_PID = 0
+MAIN_TID = 0
+
+
+class SpanTracer:
+    """Bounded in-memory trace-event buffer with Chrome JSON export."""
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None,
+                 max_events: int = 200_000) -> None:
+        self._clock = clock if clock is not None else time.perf_counter
+        self._epoch = self._clock()
+        self.max_events = max_events
+        self.events: List[Dict] = []
+        self.dropped_events = 0
+        self._next_span_id = 1
+        self._process_names: Dict[int, str] = {MAIN_PID: "repro"}
+        self._thread_names: Dict[Tuple[int, int], str] = {
+            (MAIN_PID, MAIN_TID): "main"}
+
+    # -- clock ---------------------------------------------------------------
+    def now_us(self) -> float:
+        """Microseconds since the tracer epoch (monotonic given the clock)."""
+        return (self._clock() - self._epoch) * 1e6
+
+    def rebase(self) -> None:
+        """Restart the timeline at the current clock reading."""
+        self._epoch = self._clock()
+
+    # -- identity ------------------------------------------------------------
+    def next_span_id(self) -> int:
+        span_id = self._next_span_id
+        self._next_span_id += 1
+        return span_id
+
+    def reset_ids(self) -> None:
+        """Restart the span-id sequence (a device reset begins a new run)."""
+        self._next_span_id = 1
+
+    def set_process(self, pid: int, name: str) -> None:
+        self._process_names[pid] = name
+
+    def set_thread(self, pid: int, tid: int, name: str) -> None:
+        self._thread_names[(pid, tid)] = name
+
+    # -- recording -----------------------------------------------------------
+    def _append(self, event: Dict) -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped_events += 1
+            return
+        self.events.append(event)
+
+    def complete(self, name: str, ts_us: float, dur_us: float,
+                 cat: str = "repro", pid: int = MAIN_PID,
+                 tid: int = MAIN_TID, args: Optional[Dict] = None) -> None:
+        """Record a finished span with explicit timing (phase ``X``).
+
+        Used both by the live :meth:`span` context manager and to
+        retro-emit spans whose timing was measured elsewhere — e.g. a
+        fleet job's in-worker wall clock reported back to the
+        orchestrator.
+        """
+        event = {"name": name, "cat": cat, "ph": "X",
+                 "ts": round(ts_us, 3), "dur": round(max(0.0, dur_us), 3),
+                 "pid": pid, "tid": tid}
+        if args:
+            event["args"] = args
+        self._append(event)
+
+    @contextmanager
+    def span(self, name: str, cat: str = "repro", pid: int = MAIN_PID,
+             tid: int = MAIN_TID, args: Optional[Dict] = None):
+        """Record the enclosed block as a complete span."""
+        span_args = dict(args) if args else {}
+        span_args.setdefault("span_id", self.next_span_id())
+        t0 = self.now_us()
+        try:
+            yield span_args
+        finally:
+            self.complete(name, t0, self.now_us() - t0, cat, pid, tid,
+                          span_args)
+
+    def instant(self, name: str, cat: str = "repro", pid: int = MAIN_PID,
+                tid: int = MAIN_TID, args: Optional[Dict] = None,
+                ts_us: Optional[float] = None) -> None:
+        """Record a point event (phase ``i``, thread scope)."""
+        event = {"name": name, "cat": cat, "ph": "i", "s": "t",
+                 "ts": round(self.now_us() if ts_us is None else ts_us, 3),
+                 "pid": pid, "tid": tid}
+        if args:
+            event["args"] = args
+        self._append(event)
+
+    # -- export --------------------------------------------------------------
+    def _metadata_events(self) -> List[Dict]:
+        used = {(e["pid"], e["tid"]) for e in self.events}
+        meta: List[Dict] = []
+        for pid in sorted({pid for pid, _ in used}):
+            name = self._process_names.get(pid, f"process {pid}")
+            meta.append({"name": "process_name", "ph": "M", "pid": pid,
+                         "tid": 0, "args": {"name": name}})
+        for pid, tid in sorted(used):
+            name = self._thread_names.get((pid, tid), f"thread {tid}")
+            meta.append({"name": "thread_name", "ph": "M", "pid": pid,
+                         "tid": tid, "args": {"name": name}})
+        return meta
+
+    def trace_events(self) -> List[Dict]:
+        """Metadata first, then all recorded events sorted by timestamp."""
+        return self._metadata_events() + sorted(
+            self.events, key=lambda e: (e["ts"], e["pid"], e["tid"]))
+
+    def to_chrome(self, indent: Optional[int] = None) -> str:
+        """The Chrome/Perfetto JSON-object form."""
+        body = {
+            "traceEvents": self.trace_events(),
+            "displayTimeUnit": "ms",
+            "otherData": {"producer": "repro.obs"},
+        }
+        return json.dumps(body, indent=indent, sort_keys=True)
+
+    def drain(self) -> List[Dict]:
+        """Return the recorded events and clear the buffer."""
+        events, self.events = self.events, []
+        return events
+
+    def __len__(self) -> int:
+        return len(self.events)

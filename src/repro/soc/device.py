@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from ..obs import runtime as _obs
 from .config import SoCConfig, tc1797_config
 from .cpu.isa import Program
 from .cpu.tricore import TriCoreCpu
@@ -116,3 +117,8 @@ class Soc:
         self.sim.reset()
         self.memory.reset()
         self.icu.reset()
+        # a reset starts a new logical run: telemetry reseeds span ids and
+        # per-run histograms so repeated runs produce identical traces
+        tel = _obs._active
+        if tel is not None:
+            tel.on_device_reset()

@@ -55,6 +55,7 @@ from typing import Callable, Dict, List, Optional
 
 from ...errors import (ConfigurationError, KernelEquivalenceError,
                        WatchdogExpired)
+from ...obs import runtime as _obs
 from .hub import EventHub
 
 #: sleep-forever sentinel returned by ``idle_until``: the component cannot
@@ -366,6 +367,11 @@ class Simulator:
         if target <= self.cycle:
             return False
         began = self.cycle
+        # telemetry is sampled once per advance span (not per cycle): the
+        # per-cycle loops below stay untouched, so a disabled slot costs
+        # one attribute check per step()/run_until() call
+        tel = _obs._active
+        obs_t0 = tel.tracer.now_us() if tel is not None else 0.0
         t0 = time.perf_counter()
         try:
             self._sync_roster()
@@ -375,6 +381,8 @@ class Simulator:
         finally:
             self._wall_s += time.perf_counter() - t0
             self._cycles_run += self.cycle - began
+            if tel is not None:
+                tel.sim_advance(self._mode, began, self.cycle, obs_t0)
 
     def _advance_quiescent(self, target: int, predicate,
                            check_every: int) -> bool:
