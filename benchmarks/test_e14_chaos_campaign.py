@@ -37,6 +37,19 @@ def build_jobs():
     return jobs
 
 
+def checkpoint_chaos_plan(base):
+    """The base chaos plan plus checkpoint-era failure modes: mid-run
+    crashes at checkpoint boundaries and damaged checkpoint files, so
+    recovery must survive resuming from a *rejected* checkpoint too."""
+    rules = [rule.to_dict() for rule in base.rules] + [
+        {"site": "worker.crash", "probability": 0.5, "max_faults": 1,
+         "match": {"phase": "checkpoint", "attempt": 0}},
+        {"site": "checkpoint.corrupt", "probability": 0.3},
+        {"site": "checkpoint.truncated", "probability": 0.2},
+    ]
+    return {"seed": base.seed, "rules": rules, "watchdog": base.watchdog}
+
+
 def run_experiment():
     jobs = build_jobs()
     plan = load_fault_plan(PLAN_PATH)
@@ -52,19 +65,38 @@ def run_experiment():
                              fault_plan=plan.to_dict())
         chaos_wall = time.perf_counter() - t0
 
+        # third lane: the same chaos plus checkpoint-targeted faults,
+        # with periodic checkpoints absorbing the mid-run crashes
+        t0 = time.perf_counter()
+        ckpt = run_campaign(jobs, workers=WORKERS, backoff_s=0.05,
+                            campaign_dir=f"{root}/ckpt",
+                            checkpoint_every=CYCLES // 4,
+                            fault_plan=checkpoint_chaos_plan(plan))
+        ckpt_wall = time.perf_counter() - t0
+
     clean_payloads = {r["job_id"]: r["payload"] for r in clean.ok_records}
     chaos_payloads = {r["job_id"]: r["payload"] for r in chaos.ok_records}
+    ckpt_payloads = {r["job_id"]: r["payload"] for r in ckpt.ok_records}
     survivors_identical = all(
         canonical_json(chaos_payloads[job_id])
         == canonical_json(clean_payloads[job_id])
         for job_id in chaos_payloads)
+    ckpt_identical = all(
+        canonical_json(ckpt_payloads[job_id])
+        == canonical_json(clean_payloads[job_id])
+        for job_id in ckpt_payloads)
     return {
         "clean_wall": clean_wall, "chaos_wall": chaos_wall,
+        "ckpt_wall": ckpt_wall,
         "clean": clean.metrics, "chaos": chaos.metrics,
+        "ckpt": ckpt.metrics,
         "chaos_quarantined": chaos.quarantined,
         "clean_quarantined": clean.quarantined,
+        "ckpt_quarantined": ckpt.quarantined,
         "survivors": len(chaos_payloads),
+        "ckpt_survivors": len(ckpt_payloads),
         "survivors_identical": survivors_identical,
+        "ckpt_identical": ckpt_identical,
         "plan_rules": len(plan.rules),
     }
 
@@ -82,12 +114,19 @@ def test_e14_chaos_campaign(benchmark):
         f"{'chaos (fault plan)':<22}{data['chaos_wall']:>9.2f}"
         f"{data['chaos'].executed:>10}{data['chaos'].retries:>9}"
         f"{data['chaos'].quarantined:>13}",
+        f"{'chaos + checkpoints':<22}{data['ckpt_wall']:>9.2f}"
+        f"{data['ckpt'].executed:>10}{data['ckpt'].retries:>9}"
+        f"{data['ckpt'].quarantined:>13}",
         "",
         f"fault plan: {data['plan_rules']} rules "
         f"(transient crashes, hangs, 1 poisoned job)",
         f"chaos wall overhead vs clean: {overhead:.2f}x",
         f"surviving jobs: {data['survivors']}/{N_CUSTOMERS + 1}, payloads "
         f"byte-identical to clean run: {data['survivors_identical']}",
+        f"checkpoint lane: {data['ckpt'].checkpoint_saves} saves, "
+        f"{data['ckpt'].checkpoint_resumes} mid-run resumes, "
+        f"{data['ckpt'].cycles_recovered:,} cycles recovered; payloads "
+        f"byte-identical: {data['ckpt_identical']}",
     ]
     emit("E14", "chaos campaign under fault injection", lines)
 
@@ -102,3 +141,10 @@ def test_e14_chaos_campaign(benchmark):
     assert data["chaos"].retries > 0
     # ...and retries reproduced the clean payloads bit-for-bit
     assert data["survivors_identical"]
+    # the checkpointed chaos lane converges the same way, writing real
+    # checkpoints along the way, with damaged ones rejected cleanly
+    assert [r["job"]["name"] for r in data["ckpt_quarantined"]] == \
+        ["poison-drill"]
+    assert data["ckpt_survivors"] == N_CUSTOMERS
+    assert data["ckpt"].checkpoint_saves > 0
+    assert data["ckpt_identical"]

@@ -1,0 +1,89 @@
+"""Tagged-JSON codec for simulation state.
+
+Component ``snapshot_state()`` dicts are almost-JSON: the exceptions are
+tuples (``random.Random.getstate()``, the CPU's interrupt frames), byte
+strings, sets, and dicts with non-string keys (DMA channels keyed by
+channel number, flash line buffers keyed by line address).  Pickle would
+swallow all of those but gives up the properties a checkpoint format
+needs: a stable canonical byte representation to checksum, a schema that
+can be versioned and rejected, and no arbitrary-code-execution surface
+when loading a possibly-corrupt file.
+
+The codec therefore maps every supported value onto plain JSON with small
+tag objects.  A dict whose keys are all strings (and which does not
+collide with the tag key) passes through untouched; everything else is
+wrapped::
+
+    (1, 2)              -> {"__t": "tuple", "v": [1, 2]}
+    b"\\x00\\xff"         -> {"__t": "bytes", "v": "00ff"}
+    {3: "x"}            -> {"__t": "dict", "v": [[3, "x"]]}
+    {1, 2}              -> {"__t": "set", "v": [1, 2]}
+
+Encoding is total over the supported types and raises
+:class:`~repro.errors.CheckpointError` on anything else — a component
+returning an unserialisable object is a programming error that must
+surface at save time, not as a corrupt file at restore time.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import CheckpointError
+
+#: reserved key marking a tag object; a plain dict using it gets wrapped
+TAG = "__t"
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def encode_value(value: Any) -> Any:
+    """Map ``value`` onto the JSON-safe tagged representation."""
+    if isinstance(value, bool) or value is None or \
+            isinstance(value, (int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        encoded = [encode_value(item) for item in value]
+        if isinstance(value, tuple):
+            return {TAG: "tuple", "v": encoded}
+        return encoded
+    if isinstance(value, dict):
+        if all(isinstance(key, str) for key in value) and TAG not in value:
+            return {key: encode_value(item) for key, item in value.items()}
+        return {TAG: "dict",
+                "v": [[encode_value(key), encode_value(item)]
+                      for key, item in value.items()]}
+    if isinstance(value, (bytes, bytearray)):
+        return {TAG: "bytes", "v": bytes(value).hex()}
+    if isinstance(value, (set, frozenset)):
+        return {TAG: "set",
+                "v": sorted((encode_value(item) for item in value),
+                            key=repr)}
+    raise CheckpointError(
+        f"cannot encode {type(value).__name__} value in a checkpoint: "
+        f"{value!r}")
+
+
+def decode_value(value: Any) -> Any:
+    """Invert :func:`encode_value`."""
+    if isinstance(value, _SCALARS):
+        return value
+    if isinstance(value, list):
+        return [decode_value(item) for item in value]
+    if isinstance(value, dict):
+        tag = value.get(TAG)
+        if tag is None:
+            return {key: decode_value(item) for key, item in value.items()}
+        body = value.get("v")
+        if tag == "tuple":
+            return tuple(decode_value(item) for item in body)
+        if tag == "bytes":
+            return bytes.fromhex(body)
+        if tag == "set":
+            return {decode_value(item) for item in body}
+        if tag == "dict":
+            return {decode_value(key): decode_value(item)
+                    for key, item in body}
+        raise CheckpointError(f"unknown codec tag {tag!r} in checkpoint")
+    raise CheckpointError(
+        f"cannot decode {type(value).__name__} value from a checkpoint")

@@ -1,0 +1,200 @@
+"""Checkpoint file format: CRC-guarded, schema-versioned, atomic.
+
+A checkpoint is one JSON document::
+
+    {"format": "repro-checkpoint",
+     "schema": 1,                      # file-format revision
+     "version": "0.1.0",               # repro package that wrote it
+     "crc32": 3735928559,              # over canonical {"body","meta"}
+     "meta": {...},                    # cycle, kind, job digest, ...
+     "body": {...}}                    # tagged-JSON simulation state
+
+The CRC covers the canonical (sorted, whitespace-free) serialisation of
+``{"body": ..., "meta": ...}``, so any flipped bit, truncated tail, or
+hand-edited field is detected before a single value reaches a component's
+``restore_state``.  Every rejection raises
+:class:`~repro.errors.CheckpointError` — retryable, because the caller's
+correct reaction is to fall back to an older checkpoint or to cycle 0.
+
+Writes are crash-safe: the document goes to a temp file which is fsynced
+and then :func:`os.replace`'d over the target, after rotating the
+previous file to ``<path>.prev`` — a kill mid-write can never destroy the
+last good checkpoint.  The ``checkpoint.corrupt`` / ``checkpoint.truncated``
+fault sites (see :mod:`repro.faults`) deliberately damage the rendered
+document *before* it hits the disk, exercising exactly the rejection path
+a real torn write would take.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from typing import Any, Dict, Optional, Tuple
+
+from .. import __version__
+from ..errors import CheckpointError
+from ..obs import runtime as _obs
+from .codec import decode_value, encode_value
+
+#: bump on any incompatible change to the checkpoint document layout
+SCHEMA_VERSION = 1
+
+MAGIC = "repro-checkpoint"
+
+#: suffix of the rotated previous checkpoint kept as a fallback
+PREV_SUFFIX = ".prev"
+
+
+def _canonical(payload) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def render_checkpoint(body: Dict, meta: Optional[Dict] = None) -> str:
+    """Serialise ``body`` (+ ``meta``) into the checkpoint document text."""
+    inner = {"body": encode_value(body), "meta": dict(meta or {}),
+             "version": __version__}
+    canonical = _canonical(inner)
+    document = {
+        "format": MAGIC,
+        "schema": SCHEMA_VERSION,
+        "crc32": zlib.crc32(canonical.encode("utf-8")),
+    }
+    document.update(inner)
+    return json.dumps(document, sort_keys=True)
+
+
+def parse_checkpoint(text: str, source: str = "<memory>"
+                     ) -> Tuple[Dict, Dict]:
+    """Validate a checkpoint document; returns ``(body, meta)``.
+
+    Raises :class:`CheckpointError` on anything short of a fully intact,
+    schema-compatible, checksum-clean document.
+    """
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(
+            f"checkpoint {source} is not valid JSON (truncated?): {exc}")
+    if not isinstance(document, dict) or document.get("format") != MAGIC:
+        raise CheckpointError(
+            f"checkpoint {source} is not a {MAGIC} document")
+    schema = document.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise CheckpointError(
+            f"checkpoint {source} has schema {schema!r}; this build "
+            f"reads schema {SCHEMA_VERSION}")
+    if "body" not in document or "crc32" not in document:
+        raise CheckpointError(f"checkpoint {source} is missing fields")
+    # the CRC covers everything except itself and the two fields whose
+    # exact values are checked above — flipping any other character,
+    # including the informational version string, is detected
+    inner = {"body": document["body"], "meta": document.get("meta", {}),
+             "version": document.get("version")}
+    crc = zlib.crc32(_canonical(inner).encode("utf-8"))
+    if crc != document["crc32"]:
+        raise CheckpointError(
+            f"checkpoint {source} failed its CRC check "
+            f"(stored {document['crc32']}, computed {crc}) — corrupt")
+    return decode_value(inner["body"]), inner["meta"]
+
+
+def _fault_damage(text: str) -> Tuple[str, Optional[str]]:
+    """Apply any injected checkpoint corruption; returns (text, site)."""
+    from ..faults import injector as _inj
+    if _inj._active is None:
+        return text, None
+    action = _inj.fault_point("checkpoint.corrupt", size=len(text))
+    if action is not None:
+        # flip a digit inside the CRC-covered region so the checksum
+        # catches it; position is deterministic for a given document
+        mid = len(text) // 2
+        damaged = text[:mid] + ("0" if text[mid] != "0" else "1") \
+            + text[mid + 1:]
+        return damaged, "checkpoint.corrupt"
+    action = _inj.fault_point("checkpoint.truncated", size=len(text))
+    if action is not None:
+        return text[:len(text) // 2], "checkpoint.truncated"
+    return text, None
+
+
+def save_checkpoint(path: str, body: Dict,
+                    meta: Optional[Dict] = None) -> str:
+    """Atomically write a checkpoint file; returns the path written.
+
+    The existing file (if any) is rotated to ``<path>.prev`` first, so
+    the caller always has one older intact checkpoint to fall back to if
+    this one turns out damaged.
+    """
+    text = render_checkpoint(body, meta)
+    text, damaged_by = _fault_damage(text)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    tmp = path + ".tmp"
+    with open(tmp, "w") as handle:
+        handle.write(text)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    if os.path.exists(path):
+        os.replace(path, path + PREV_SUFFIX)
+    os.replace(tmp, path)
+    tel = _obs._active
+    if tel is not None:
+        tel.checkpoint_written(path, len(text) + 1,
+                              (meta or {}).get("cycle", 0),
+                              kind=(meta or {}).get("kind", "sim"),
+                              damaged=damaged_by)
+    return path
+
+
+def load_checkpoint(path: str) -> Tuple[Dict, Dict]:
+    """Read and validate one checkpoint file; returns ``(body, meta)``.
+
+    Raises :class:`CheckpointError` for a missing, truncated, corrupt,
+    or schema-incompatible file.  Use :func:`load_latest_checkpoint` to
+    get the fallback-to-previous behaviour.
+    """
+    try:
+        with open(path, "r") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}")
+    return parse_checkpoint(text, source=path)
+
+
+def load_latest_checkpoint(path: str) -> Optional[Tuple[Dict, Dict, str]]:
+    """Load ``path``, falling back to ``<path>.prev`` if it is rejected.
+
+    Returns ``(body, meta, used_path)`` or ``None`` when no usable
+    checkpoint exists — never raises for corruption: each rejected file
+    is reported through telemetry and skipped, which implements the
+    "previous checkpoint or cycle 0" fallback contract.
+    """
+    tel = _obs._active
+    for candidate in (path, path + PREV_SUFFIX):
+        if not os.path.exists(candidate):
+            continue
+        try:
+            body, meta = load_checkpoint(candidate)
+        except CheckpointError as exc:
+            if tel is not None:
+                tel.checkpoint_restored("rejected", candidate,
+                                        error=str(exc))
+            continue
+        return body, meta, candidate
+    return None
+
+
+def checkpoint_info(path: str) -> Dict[str, Any]:
+    """Summarise one checkpoint file for CLI inspection."""
+    body, meta = load_checkpoint(path)
+    return {
+        "path": path,
+        "schema": SCHEMA_VERSION,
+        "meta": meta,
+        "components": [entry["name"]
+                       for entry in body.get("components", ())]
+        if isinstance(body, dict) else [],
+        "size_bytes": os.path.getsize(path),
+    }

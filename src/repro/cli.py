@@ -9,6 +9,7 @@ Subcommands map to the workflows of the paper::
     repro customers  — profile matrix over a generated customer population
     repro campaign   — parallel fleet campaign over the population
     repro profile-kernel — simulation-kernel throughput (naive vs quiescent)
+    repro checkpoint — snapshot / inspect / resume a simulation run
 """
 
 from __future__ import annotations
@@ -217,6 +218,58 @@ def _profile_kernel(args, tel) -> int:
     return 0
 
 
+def cmd_checkpoint(args) -> int:
+    """Snapshot, inspect, or resume one scenario run.
+
+    The save path records the scenario/device/seed in the checkpoint meta,
+    so ``--restore`` rebuilds the identical device without re-specifying
+    them — resuming and running on is byte-identical to a run that was
+    never interrupted (the tentpole guarantee of docs/checkpoint.md).
+    """
+    from .checkpoint import CheckpointError, checkpoint_info
+    if args.info:
+        try:
+            info = checkpoint_info(args.info)
+        except CheckpointError as exc:
+            print(f"rejected: {exc}")
+            return 1
+        meta = info["meta"]
+        print(f"checkpoint {info['path']} (schema {info['schema']}, "
+              f"{info['size_bytes']} bytes)")
+        for key in sorted(meta):
+            print(f"  {key:<12}{meta[key]}")
+        print(f"  components  {', '.join(info['components'])}")
+        return 0
+    if args.restore:
+        from .checkpoint import load_checkpoint
+        try:
+            _, meta = load_checkpoint(args.restore)
+        except CheckpointError as exc:
+            print(f"rejected: {exc}")
+            return 1
+        scenario = _scenario(meta["scenario"])
+        device = scenario.build(_config(meta["device"]), {},
+                                seed=meta["seed"])
+        device.soc._ensure_order()
+        device.restore(args.restore)
+        print(f"restored {args.restore} at cycle {device.cycle}")
+        if args.cycles:
+            device.run(args.cycles)
+            print(f"ran {args.cycles} more cycles -> cycle {device.cycle}, "
+                  f"IPC {device.soc.ipc():.3f}")
+        return 0
+    scenario = _scenario(args.scenario)
+    device = scenario.build(_config(args.device), {}, seed=args.seed)
+    device.run(args.cycles)
+    path = device.checkpoint(args.out, meta={
+        "scenario": args.scenario, "device": args.device,
+        "seed": args.seed})
+    import os
+    print(f"cycle {device.cycle}: wrote {path} "
+          f"({os.path.getsize(path)} bytes)")
+    return 0
+
+
 def cmd_customers(args) -> int:
     from .core.optimization import CpiStack
     from .soc.kernel import signals
@@ -270,10 +323,13 @@ def _campaign(args) -> int:
         fault_plan = plan.to_dict()
         print(f"chaos: fault plan {args.fault_plan!r} (seed {plan.seed}, "
               f"{len(plan.rules)} rules) — result cache disabled")
+    if args.checkpoint_every and not args.campaign_dir:
+        raise SystemExit("--checkpoint-every needs --campaign-dir")
     runner = CampaignRunner(
         jobs, workers=args.workers, cache_dir=args.cache_dir,
         campaign_dir=args.campaign_dir, max_retries=args.retries,
-        timeout_s=args.timeout, resume=args.resume, fault_plan=fault_plan)
+        timeout_s=args.timeout, resume=args.resume, fault_plan=fault_plan,
+        checkpoint_every=args.checkpoint_every)
     report = runner.run()
     print(f"campaign: {len(jobs)} jobs over {args.workers} workers")
     print(report.metrics.summary_table())
@@ -398,6 +454,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fault-plan", metavar="PLAN.json",
                    help="chaos-test the campaign under a fault-injection "
                         "plan (see docs/faults.md; disables the cache)")
+    p.add_argument("--checkpoint-every", type=int, metavar="CYCLES",
+                   help="periodic mid-run job checkpoints: a crashed or "
+                        "killed attempt resumes from its last intact "
+                        "checkpoint instead of cycle 0 (needs "
+                        "--campaign-dir; see docs/checkpoint.md)")
     p.add_argument("--strict", action="store_true",
                    help="exit nonzero if any job was quarantined")
     p.add_argument("--rank", action="store_true",
@@ -435,6 +496,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="structured event-log path "
                         "(default telemetry_events.jsonl)")
 
+    p = sub.add_parser("checkpoint",
+                       help="snapshot / inspect / resume a simulation run")
+    p.add_argument("--scenario", default="engine")
+    p.add_argument("--cycles", type=int, default=100_000,
+                   help="cycles to run before saving (or after restoring)")
+    p.add_argument("--out", default="repro.ckpt", metavar="FILE.ckpt",
+                   help="checkpoint path to write (default repro.ckpt)")
+    p.add_argument("--info", metavar="FILE.ckpt",
+                   help="inspect an existing checkpoint and exit")
+    p.add_argument("--restore", metavar="FILE.ckpt",
+                   help="rebuild the device recorded in the checkpoint, "
+                        "restore it, and run --cycles more")
+
     p = sub.add_parser("report", help="full profiling report (+export)")
     p.add_argument("--scenario", default="engine")
     p.add_argument("--cycles", type=int, default=200_000)
@@ -452,6 +526,7 @@ COMMANDS = {
     "explore": cmd_explore,
     "profile-kernel": cmd_profile_kernel,
     "customers": cmd_customers,
+    "checkpoint": cmd_checkpoint,
     "campaign": cmd_campaign,
     "telemetry": cmd_telemetry,
     "report": cmd_report,

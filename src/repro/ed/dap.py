@@ -166,3 +166,32 @@ class DapInterface(Component):
         self.gaps = []
         self._open_gap = None
         self._saturated_until = -1
+
+    # -- checkpoint ----------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        open_gap = None
+        if self._open_gap is not None:
+            open_gap = self.gaps.index(self._open_gap)
+        return {
+            # the fractional wire credit is a float: repr round-trips exactly
+            "credit": self._credit,
+            "received": [msg.to_dict() for msg in self.received],
+            "bits_transferred": self.bits_transferred,
+            "dropped_messages": self.dropped_messages,
+            "saturated_cycles": self.saturated_cycles,
+            "gaps": [gap.to_list() for gap in self.gaps],
+            "open_gap": open_gap,
+            "saturated_until": self._saturated_until,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._credit = state["credit"]
+        self.received = [TraceMessage.from_dict(entry)
+                         for entry in state["received"]]
+        self.bits_transferred = state["bits_transferred"]
+        self.dropped_messages = state["dropped_messages"]
+        self.saturated_cycles = state["saturated_cycles"]
+        self.gaps = [Gap.from_list(entry) for entry in state["gaps"]]
+        self._open_gap = None if state["open_gap"] is None \
+            else self.gaps[state["open_gap"]]
+        self._saturated_until = state["saturated_until"]

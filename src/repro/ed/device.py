@@ -76,6 +76,9 @@ class EmulationDevice:
                                 self.config.dap_streaming)
         self.soc.add_observer(self.mcds)
         self.soc.add_observer(self.dap)
+        # the EMEM is a passive store, not a clocked component; it rides
+        # checkpoints as an attached state provider
+        self.soc.sim.attach_state("emem", self.emem)
 
     # -- product-part passthroughs -------------------------------------------
     @property
@@ -102,6 +105,17 @@ class EmulationDevice:
 
     def oracle(self) -> dict:
         return self.soc.oracle()
+
+    # -- checkpoint ----------------------------------------------------------
+    def checkpoint(self, path: str, meta: Optional[dict] = None) -> str:
+        """Write the full device state (SoC + EEC) to a checkpoint file."""
+        body = dict(meta or {})
+        body.setdefault("kind", "emulation_device")
+        return self.soc.checkpoint(path, body)
+
+    def restore(self, path: str) -> dict:
+        """Load a checkpoint into this (same-config, same-seed) device."""
+        return self.soc.restore(path)
 
     # -- calibration overlay -------------------------------------------------------
     def map_calibration_overlay(self, flash_addr: int, size: int) -> None:

@@ -249,3 +249,43 @@ class EmulationMemory:
         self.trigger_cycle = None
         self.gaps = []
         self._open_gap = None
+
+    # -- checkpoint ----------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        open_gap = None
+        if self._open_gap is not None:
+            open_gap = self.gaps.index(self._open_gap)
+        return {
+            "fifo": [msg.to_dict() for msg in self._fifo],
+            "stored_bits": self.stored_bits,
+            "frozen": self.frozen,
+            "post_trigger_bits": self._post_trigger_bits,
+            "lost_oldest": self.lost_oldest,
+            "lost_new": self.lost_new,
+            "corrupt_dropped": self.corrupt_dropped,
+            "injected_drops": self.injected_drops,
+            "total_stored": self.total_stored,
+            "trigger_cycle": self.trigger_cycle,
+            "gaps": [gap.to_list() for gap in self.gaps],
+            "open_gap": open_gap,
+            "calibration_kb": self.calibration_kb,
+            "capacity_bits": self.capacity_bits,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._fifo = deque(TraceMessage.from_dict(entry)
+                           for entry in state["fifo"])
+        self.stored_bits = state["stored_bits"]
+        self.frozen = state["frozen"]
+        self._post_trigger_bits = state["post_trigger_bits"]
+        self.lost_oldest = state["lost_oldest"]
+        self.lost_new = state["lost_new"]
+        self.corrupt_dropped = state["corrupt_dropped"]
+        self.injected_drops = state["injected_drops"]
+        self.total_stored = state["total_stored"]
+        self.trigger_cycle = state["trigger_cycle"]
+        self.gaps = [Gap.from_list(entry) for entry in state["gaps"]]
+        self._open_gap = None if state["open_gap"] is None \
+            else self.gaps[state["open_gap"]]
+        self.calibration_kb = state["calibration_kb"]
+        self.capacity_bits = state["capacity_bits"]

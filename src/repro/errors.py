@@ -79,3 +79,16 @@ class FaultInjected(ReproError, RuntimeError):
     """An injected (drill) fault — transient by construction."""
 
     retryable = True
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A checkpoint file was rejected (corrupt, truncated, mismatched).
+
+    Always ``retryable``: the simulation itself is fine — the caller falls
+    back to an earlier checkpoint (or cycle 0) and re-runs, losing cycles
+    rather than the job.  Restore never proceeds on a bad file: a silent
+    partially-restored device would break the byte-identity guarantee the
+    whole checkpoint subsystem exists to provide.
+    """
+
+    retryable = True

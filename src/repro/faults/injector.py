@@ -51,6 +51,10 @@ SITE_CATALOGUE: Dict[str, str] = {
     "trigger.spurious": "fire a trigger whose condition is false",
     "worker.crash": "raise FaultInjected inside a fleet worker job",
     "worker.hang": "stall a fleet worker job for params['seconds']",
+    "checkpoint.corrupt": "flip a byte in a checkpoint file as it is "
+                          "written; restore must reject the CRC mismatch",
+    "checkpoint.truncated": "cut a checkpoint file short mid-write, as a "
+                            "crash between write and rename would",
 }
 
 
@@ -254,6 +258,36 @@ class FaultInjector:
     @property
     def total_injected(self) -> int:
         return sum(self.injected.values())
+
+    # -- checkpoint ----------------------------------------------------------
+    def snapshot_state(self) -> Dict:
+        """Serialize decision state so a restored job replays identically.
+
+        Fire counts are keyed by rule *index* in the plan (``id(rule)`` is
+        process-local); RNG streams round-trip via ``getstate``.
+        """
+        index_of = {id(rule): i for i, rule in enumerate(self.plan.rules)}
+        return {
+            "hits": dict(self._hits),
+            "fired": {index_of[key]: count
+                      for key, count in self._fired.items()},
+            "rngs": {site: rng.getstate()
+                     for site, rng in sorted(self._rngs.items())},
+            "injected": dict(self.injected),
+            "log": [dict(entry) for entry in self.log],
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        self._hits = dict(state["hits"])
+        self._fired = {id(self.plan.rules[index]): count
+                       for index, count in state["fired"].items()}
+        self._rngs = {}
+        for site, rng_state in state["rngs"].items():
+            rng = random.Random()
+            rng.setstate(rng_state)
+            self._rngs[site] = rng
+        self.injected = dict(state["injected"])
+        self.log = [dict(entry) for entry in state["log"]]
 
     # -- installation --------------------------------------------------------
     def install(self) -> "FaultInjector":

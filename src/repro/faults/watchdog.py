@@ -119,3 +119,17 @@ class SimulationWatchdog(Component):
     def reset(self) -> None:
         self._start_cycle = 0
         self._wall_deadline = None
+
+    # -- checkpoint ----------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        # the wall deadline is host time and cannot round-trip; restore
+        # re-arms it from "now", which is the useful semantics anyway
+        return {"start_cycle": self._start_cycle,
+                "expirations": self.expirations,
+                "armed": self._wall_deadline is not None}
+
+    def restore_state(self, state: dict) -> None:
+        self._start_cycle = state["start_cycle"]
+        self.expirations = state["expirations"]
+        if state["armed"] and self.max_wall_s is not None:
+            self._wall_deadline = time.monotonic() + self.max_wall_s

@@ -32,6 +32,11 @@ class CampaignMetrics:
     lost_messages: int = 0
     trace_gaps: int = 0
     degraded_samples: int = 0
+    # crash-recovery accounting (only non-zero with --checkpoint-every):
+    # the retry budget is measured in lost cycles, not lost jobs
+    checkpoint_saves: int = 0
+    checkpoint_resumes: int = 0      # attempts that resumed mid-run
+    cycles_recovered: int = 0        # cycles NOT re-simulated on resume
 
     @property
     def completed(self) -> int:
@@ -76,6 +81,16 @@ class CampaignMetrics:
         for entry in profile.get("parameters", {}).values():
             self.degraded_samples += len(entry.get("degraded", ()))
 
+    def note_checkpoint(self, stats: Dict) -> None:
+        """Fold one attempt's checkpoint accounting (worker outcome dict)."""
+        if not isinstance(stats, dict):
+            return
+        self.checkpoint_saves += int(stats.get("saves", 0) or 0)
+        resumed = int(stats.get("resumed_from_cycle", 0) or 0)
+        if resumed > 0:
+            self.checkpoint_resumes += 1
+            self.cycles_recovered += resumed
+
     @property
     def mean_job_wall_s(self) -> float:
         if not self.job_walls:
@@ -107,6 +122,12 @@ class CampaignMetrics:
                             f"{self.trace_gaps} gaps / "
                             f"{self.degraded_samples} degraded samples"),
         ]
+        if self.checkpoint_saves or self.checkpoint_resumes:
+            rows.append(
+                ("crash recovery",
+                 f"{self.checkpoint_saves} checkpoints / "
+                 f"{self.checkpoint_resumes} resumes / "
+                 f"{self.cycles_recovered:,} cycles recovered"))
         width = max(len(label) for label, _ in rows) + 2
         return "\n".join(f"{label:<{width}}{value}"
                          for label, value in rows)

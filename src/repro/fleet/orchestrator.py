@@ -26,6 +26,7 @@ content-derived job id with timing metadata excluded.
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as \
     FutureTimeoutError
@@ -74,7 +75,8 @@ class CampaignRunner:
                  backoff_s: float = 0.25,
                  timeout_s: Optional[float] = None,
                  resume: bool = False,
-                 fault_plan: Optional[Dict] = None) -> None:
+                 fault_plan: Optional[Dict] = None,
+                 checkpoint_every: Optional[int] = None) -> None:
         if workers < 0:
             raise ConfigurationError("workers must be >= 0 (0 = in-process)")
         self.jobs = sorted(jobs, key=lambda j: j.job_id)
@@ -103,6 +105,21 @@ class CampaignRunner:
         self.backoff_s = backoff_s
         self.timeout_s = timeout_s
         self.resume = resume
+        # periodic mid-run checkpoints: a crashed/hung/killed attempt
+        # resumes from its last intact checkpoint instead of cycle 0
+        self.checkpoint: Optional[Dict] = None
+        if checkpoint_every is not None:
+            if checkpoint_every < 1:
+                raise ConfigurationError(
+                    "checkpoint_every must be >= 1 cycle")
+            if campaign_dir is None:
+                raise ConfigurationError(
+                    "checkpoint_every needs a campaign_dir to keep the "
+                    "checkpoint files in")
+            self.checkpoint = {
+                "dir": os.path.join(campaign_dir, "checkpoints"),
+                "every": int(checkpoint_every),
+            }
         self._pool: Optional[ProcessPoolExecutor] = None
 
     # -- pool lifecycle ------------------------------------------------------
@@ -140,14 +157,14 @@ class CampaignRunner:
             for shard in shards:
                 outcomes.extend(
                     run_shard([job.to_dict() for job in shard], attempt,
-                              self.fault_plan))
+                              self.fault_plan, self.checkpoint))
             return outcomes
 
         outcomes = []
         pool = self._ensure_pool()
         futures = [(pool.submit(run_shard,
                                 [job.to_dict() for job in shard], attempt,
-                                self.fault_plan),
+                                self.fault_plan, self.checkpoint),
                     shard) for shard in shards]
         abandon = False
         for future, shard in futures:
@@ -340,6 +357,8 @@ class CampaignRunner:
         for outcome in outcomes:
             job = CampaignJob.from_dict(outcome["job"])
             metrics.busy_s += outcome["wall_s"]
+            if "checkpoint" in outcome:
+                metrics.note_checkpoint(outcome["checkpoint"])
             if tel is not None and self.workers > 0:
                 # pool workers don't inherit the telemetry slot, so their
                 # job spans are retro-emitted here from the reported

@@ -1,23 +1,66 @@
-"""JSONL campaign result store.
+"""JSONL campaign result store — crash-consistent by construction.
 
 One line per completed job record, appended as jobs finish so a killed
 campaign leaves a valid prefix behind — that prefix is exactly what
-``--resume`` replays.  At campaign end the orchestrator rewrites the file
-sorted by job id, and writes the separate ``aggregate.json`` artifact
-containing only the deterministic fields (no wall-clock, no attempt
-counts), which is the thing asserted byte-identical across worker counts.
+``--resume`` replays.  Appends are durable (flushed and fsynced before
+``append`` returns) and every line carries a ``_crc32`` field computed
+over the canonical serialisation of the rest of the record, so a torn
+tail from a SIGKILL *and* a bit-flipped line from a bad disk are both
+detected on load.  Damaged lines are quarantined to
+``campaign.jsonl.quarantine`` with a warning — never silently dropped,
+and never allowed to raise: every intact record after a damaged one is
+still recovered.
+
+At campaign end the orchestrator rewrites the file sorted by job id, and
+writes the separate ``aggregate.json`` artifact containing only the
+deterministic fields (no wall-clock, no attempt counts), which is the
+thing asserted byte-identical across worker counts — and across
+crash/resume cycles (see docs/checkpoint.md).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import warnings
+import zlib
 from typing import Dict, Iterable, List
 
 from .spec import canonical_json
 
 STORE_NAME = "campaign.jsonl"
 AGGREGATE_NAME = "aggregate.json"
+
+#: per-record checksum field; stripped again on load
+CRC_FIELD = "_crc32"
+
+#: damaged lines are preserved here, one per line, for post-mortems
+QUARANTINE_SUFFIX = ".quarantine"
+
+
+def _seal(record: Dict) -> str:
+    """Render one record line with its ``_crc32`` over the canonical rest."""
+    body = {key: value for key, value in record.items() if key != CRC_FIELD}
+    crc = zlib.crc32(canonical_json(body).encode("utf-8"))
+    sealed = dict(body)
+    sealed[CRC_FIELD] = crc
+    return json.dumps(sealed, sort_keys=True)
+
+
+def _unseal(line: str) -> Dict:
+    """Parse and verify one record line; raises ``ValueError`` if damaged."""
+    record = json.loads(line)          # may raise JSONDecodeError
+    if not isinstance(record, dict):
+        raise ValueError("record line is not a JSON object")
+    if CRC_FIELD in record:
+        stored = record.pop(CRC_FIELD)
+        crc = zlib.crc32(canonical_json(record).encode("utf-8"))
+        if crc != stored:
+            raise ValueError(
+                f"record failed its CRC check (stored {stored}, "
+                f"computed {crc})")
+    # records written before checksums were introduced load unchanged
+    return record
 
 
 class ResultStore:
@@ -28,34 +71,59 @@ class ResultStore:
         os.makedirs(directory, exist_ok=True)
         self.path = os.path.join(directory, STORE_NAME)
         self.aggregate_path = os.path.join(directory, AGGREGATE_NAME)
+        self.quarantine_path = self.path + QUARANTINE_SUFFIX
 
     def append(self, record: Dict) -> None:
+        """Durably append one checksummed record line.
+
+        The line is flushed and fsynced before returning, so a record the
+        caller believes is stored survives an immediate process kill;
+        the worst a crash can leave is one torn final line, which
+        :meth:`load` detects and quarantines.
+        """
         with open(self.path, "a") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.write(_seal(record) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def _quarantine_line(self, line: str, reason: str) -> None:
+        warnings.warn(
+            f"result store {self.path}: skipping damaged record "
+            f"({reason}); preserved in {self.quarantine_path}",
+            RuntimeWarning, stacklevel=3)
+        with open(self.quarantine_path, "a") as handle:
+            handle.write(line + "\n")
 
     def load(self) -> List[Dict]:
-        """Read back all records, skipping a torn final line if present."""
+        """Read back every intact record, quarantining damaged lines.
+
+        A torn tail (killed mid-append) and a corrupt middle line are
+        treated the same: warn, copy the raw line to the quarantine file,
+        and keep scanning — records after the damage are not lost.
+        """
         records: List[Dict] = []
         try:
             with open(self.path, "r") as handle:
                 for line in handle:
-                    line = line.strip()
-                    if not line:
+                    line = line.rstrip("\n")
+                    if not line.strip():
                         continue
                     try:
-                        records.append(json.loads(line))
-                    except json.JSONDecodeError:
-                        break      # torn tail from a killed campaign
+                        records.append(_unseal(line))
+                    except (json.JSONDecodeError, ValueError) as exc:
+                        self._quarantine_line(line, str(exc))
         except FileNotFoundError:
             pass
         return records
 
     def rewrite(self, records: Iterable[Dict]) -> None:
-        """Replace the log with ``records`` (sorted by the caller)."""
+        """Atomically replace the log with ``records`` (caller-sorted)."""
         tmp = self.path + ".tmp"
         with open(tmp, "w") as handle:
             for record in records:
-                handle.write(json.dumps(record, sort_keys=True) + "\n")
+                handle.write(_seal(record) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, self.path)
 
     def clear(self) -> None:
@@ -89,5 +157,7 @@ class ResultStore:
         tmp = self.aggregate_path + ".tmp"
         with open(tmp, "w") as handle:
             handle.write(canonical_json(body))
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, self.aggregate_path)
         return self.aggregate_path

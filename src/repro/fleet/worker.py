@@ -24,15 +24,18 @@ import time
 import traceback
 from typing import Dict, List, Optional
 
+from ..checkpoint import (PREV_SUFFIX, CheckpointError,
+                          load_latest_checkpoint, save_checkpoint)
 from ..core.profiling.export import result_to_json
 from ..core.profiling.session import ProfilingSession
 from ..core.profiling import spec as pspec
 from ..errors import ConfigurationError, FaultInjected
 from ..faults import (FaultInjector, FaultPlan, SimulationWatchdog,
-                      fault_point)
+                      active_injector, fault_point)
 from ..obs import bridge as _obs_bridge
 from ..obs import runtime as _obs
 from ..soc.config import tc1767_config, tc1797_config
+from .spec import CampaignJob
 from ..workloads.body import BodyGatewayScenario
 from ..workloads.engine import EngineControlScenario
 from ..workloads.rtos import RtosScenario
@@ -74,7 +77,102 @@ def _apply_fault(fault: Optional[str], attempt: int) -> None:
     raise ConfigurationError(f"unknown fault mode {fault!r}")
 
 
-def _execute(job: Dict, watchdog_spec: Optional[Dict] = None) -> Dict:
+def checkpoint_path(checkpoint_dir: str, job: Dict) -> str:
+    """Where a job's periodic checkpoint lives (content-addressed name)."""
+    return os.path.join(checkpoint_dir,
+                        CampaignJob.from_dict(job).job_id + ".ckpt")
+
+
+def _discard_checkpoints(path: str) -> None:
+    """Remove a finished job's checkpoint (and its rotated fallback)."""
+    for candidate in (path, path + PREV_SUFFIX):
+        try:
+            os.unlink(candidate)
+        except FileNotFoundError:
+            pass
+
+
+def _try_restore(device, job: Dict, path: str) -> int:
+    """Resume ``device`` from the job's latest usable checkpoint.
+
+    Returns the cycle the device resumed at, or 0 when no checkpoint
+    exists, none passes its CRC, the digest belongs to a different job
+    spec, or the body does not fit this device — every rejection falls
+    back cleanly (ultimately to cycle 0) instead of raising.
+    """
+    loaded = load_latest_checkpoint(path)
+    if loaded is None:
+        return 0
+    body, meta, used = loaded
+    tel = _obs._active
+    digest = CampaignJob.from_dict(job).digest
+    if meta.get("digest") != digest:
+        if tel is not None:
+            tel.checkpoint_restored(
+                "rejected", used,
+                error="digest mismatch: checkpoint was written by a "
+                      "different job spec or package version")
+        return 0
+    try:
+        device.soc.sim.restore_state(body["sim"])
+    except CheckpointError as exc:
+        # restore_state validates before mutating, so the device is
+        # still pristine — run from cycle 0
+        if tel is not None:
+            tel.checkpoint_restored("rejected", used, error=str(exc))
+        return 0
+    injector = active_injector()
+    if injector is not None and body.get("injector") is not None:
+        injector.restore_state(body["injector"])
+    if tel is not None:
+        tel.checkpoint_restored("success", used, cycle=device.cycle)
+    return device.cycle
+
+
+def _run_checkpointed(job: Dict, device, checkpoint: Dict,
+                      stats: Dict, attempt: int = 0) -> None:
+    """Run the job's cycle budget in checkpoint-sized chunks.
+
+    After every full chunk an atomic checkpoint (simulator state plus
+    the fault injector's decision state) is written, then the
+    ``worker.crash`` site is evaluated at ``phase="checkpoint"`` so chaos
+    plans can kill the worker at the exact point a real crash would be
+    recovered from.  A retry finds the file and resumes mid-run — the
+    retry budget is measured in lost cycles, not lost jobs.
+    """
+    every = int(checkpoint["every"])
+    if every < 1:
+        raise ConfigurationError("checkpoint interval must be >= 1 cycle")
+    path = checkpoint_path(checkpoint["dir"], job)
+    stats["resumed_from_cycle"] = _try_restore(device, job, path)
+    stats.setdefault("saves", 0)
+    target = int(job["cycles"])
+    digest = CampaignJob.from_dict(job).digest
+    while device.cycle < target:
+        device.run(min(every, target - device.cycle))
+        if device.cycle >= target:
+            break
+        injector = active_injector()
+        save_checkpoint(path, {
+            "sim": device.soc.sim.snapshot_state(),
+            "injector": injector.snapshot_state()
+            if injector is not None else None,
+        }, meta={"kind": "worker", "job_id": CampaignJob.from_dict(job).job_id,
+                 "digest": digest, "cycle": device.cycle})
+        stats["saves"] += 1
+        action = fault_point("worker.crash", job=job["name"],
+                             attempt=attempt, phase="checkpoint",
+                             cycle=device.cycle)
+        if action is not None:
+            raise FaultInjected(
+                f"injected worker crash after checkpoint at cycle "
+                f"{device.cycle} in job {job['name']!r}")
+    _discard_checkpoints(path)
+
+
+def _execute(job: Dict, watchdog_spec: Optional[Dict] = None,
+             checkpoint: Optional[Dict] = None,
+             stats: Optional[Dict] = None, attempt: int = 0) -> Dict:
     """Build the device, run the session, serialise the payload."""
     tel = _obs._active
     if tel is not None:
@@ -83,11 +181,15 @@ def _execute(job: Dict, watchdog_spec: Optional[Dict] = None) -> Dict:
         # nothing and skip straight to the bare path
         with tel.span("job.execute", cat="fleet", job=job["name"],
                       domain=job["domain"], device=job["device"]):
-            return _execute_bare(job, watchdog_spec)
-    return _execute_bare(job, watchdog_spec)
+            return _execute_bare(job, watchdog_spec, checkpoint, stats,
+                                 attempt)
+    return _execute_bare(job, watchdog_spec, checkpoint, stats, attempt)
 
 
-def _execute_bare(job: Dict, watchdog_spec: Optional[Dict] = None) -> Dict:
+def _execute_bare(job: Dict, watchdog_spec: Optional[Dict] = None,
+                  checkpoint: Optional[Dict] = None,
+                  stats: Optional[Dict] = None,
+                  attempt: int = 0) -> Dict:
     try:
         scenario = SCENARIOS[job["domain"]]()
     except KeyError:
@@ -102,7 +204,20 @@ def _execute_bare(job: Dict, watchdog_spec: Optional[Dict] = None) -> Dict:
         device, pspec.engine_parameter_set(
             ipc_resolution=job["ipc_resolution"],
             rate_per=job["rate_per"]))
-    if watchdog_spec:
+    if checkpoint:
+        # the roster must be final before a restore can be attempted, and
+        # the watchdog must be guarded *around* the restore so a resumed
+        # roster matches the one the checkpoint captured
+        device.soc._ensure_order()
+        if stats is None:
+            stats = {}
+        if watchdog_spec:
+            with SimulationWatchdog(**watchdog_spec).guard(device):
+                _run_checkpointed(job, device, checkpoint, stats, attempt)
+        else:
+            _run_checkpointed(job, device, checkpoint, stats, attempt)
+        result = session.result()
+    elif watchdog_spec:
         with SimulationWatchdog(**watchdog_spec).guard(device):
             result = session.run(job["cycles"])
     else:
@@ -126,7 +241,9 @@ def _execute_bare(job: Dict, watchdog_spec: Optional[Dict] = None) -> Dict:
 
 
 def execute_job(job: Dict, attempt: int = 0,
-                fault_plan: Optional[Dict] = None) -> Dict:
+                fault_plan: Optional[Dict] = None,
+                checkpoint: Optional[Dict] = None,
+                stats: Optional[Dict] = None) -> Dict:
     """Run one campaign job spec (a ``CampaignJob.to_dict()`` dict).
 
     Returns the deterministic result payload: the parsed canonical-JSON
@@ -135,10 +252,18 @@ def execute_job(job: Dict, attempt: int = 0,
     the whole job runs under an installed injector scoped to the job name,
     so injection decisions are reproducible regardless of which worker or
     shard picked the job up.
+
+    ``checkpoint`` (``{"dir": str, "every": int}``) turns on periodic
+    mid-run checkpoints: the run is chunked every ``every`` cycles and a
+    retry of a crashed attempt resumes from the last intact checkpoint
+    instead of cycle 0.  ``stats`` (a caller-owned dict) receives the
+    non-deterministic checkpoint accounting — resumed cycle, save count —
+    which must stay *out* of the payload to preserve its byte-identity.
     """
     _apply_fault(job.get("fault"), attempt)
     if fault_plan is None:
-        return _execute(job)
+        return _execute(job, checkpoint=checkpoint, stats=stats,
+                        attempt=attempt)
     plan = fault_plan if isinstance(fault_plan, FaultPlan) \
         else FaultPlan.from_dict(fault_plan)
     with FaultInjector(plan, scope=job["name"]):
@@ -152,17 +277,19 @@ def execute_job(job: Dict, attempt: int = 0,
                              attempt=attempt)
         if action is not None:
             time.sleep(float(action.params.get("seconds", 0.05)))
-        return _execute(job, plan.watchdog)
+        return _execute(job, plan.watchdog, checkpoint, stats, attempt)
 
 
 def run_shard(jobs: List[Dict], attempt: int = 0,
-              fault_plan: Optional[Dict] = None) -> List[Dict]:
+              fault_plan: Optional[Dict] = None,
+              checkpoint: Optional[Dict] = None) -> List[Dict]:
     """Execute a shard of job specs, isolating failures per job.
 
     Returns one outcome dict per job, in shard order::
 
         {"job": <spec>, "status": "ok"|"error", "payload"|"error": ...,
-         "retryable": bool, "wall_s": float, "attempt": int, "pid": int}
+         "retryable": bool, "wall_s": float, "attempt": int, "pid": int,
+         "checkpoint": {...}}                # only when checkpointing
 
     ``retryable`` comes from the exception taxonomy: deterministic model
     errors (:class:`~repro.errors.ConfigurationError`, a cycle-deadline
@@ -173,18 +300,20 @@ def run_shard(jobs: List[Dict], attempt: int = 0,
     outcomes: List[Dict] = []
     for job in jobs:
         start = time.perf_counter()
+        stats: Dict = {}
         try:
-            payload = execute_job(job, attempt, fault_plan)
-            outcomes.append({
+            payload = execute_job(job, attempt, fault_plan, checkpoint,
+                                  stats)
+            outcome = {
                 "job": job,
                 "status": "ok",
                 "payload": payload,
                 "wall_s": time.perf_counter() - start,
                 "attempt": attempt,
                 "pid": os.getpid(),
-            })
+            }
         except Exception as exc:
-            outcomes.append({
+            outcome = {
                 "job": job,
                 "status": "error",
                 "error": f"{type(exc).__name__}: {exc}",
@@ -193,5 +322,11 @@ def run_shard(jobs: List[Dict], attempt: int = 0,
                 "wall_s": time.perf_counter() - start,
                 "attempt": attempt,
                 "pid": os.getpid(),
-            })
+            }
+        if checkpoint:
+            # accounting lives in the outcome, never the payload: a
+            # resumed payload must stay byte-identical to an
+            # uninterrupted one
+            outcome["checkpoint"] = stats
+        outcomes.append(outcome)
     return outcomes

@@ -163,6 +163,29 @@ class RateCounterStructure:
         self.last_sample_tainted = None
         self._taint = None
 
+    # -- checkpoint ----------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {"enabled": self.enabled,
+                "event_count": self.event_count,
+                "basis_count": self.basis_count,
+                "samples_emitted": self.samples_emitted,
+                "saturations": self.saturations,
+                "wraps": self.wraps,
+                "last_sample": self.last_sample,
+                "last_sample_tainted": self.last_sample_tainted,
+                "taint": self._taint}
+
+    def restore_state(self, state: dict) -> None:
+        self.enabled = state["enabled"]
+        self.event_count = state["event_count"]
+        self.basis_count = state["basis_count"]
+        self.samples_emitted = state["samples_emitted"]
+        self.saturations = state["saturations"]
+        self.wraps = state["wraps"]
+        self.last_sample = state["last_sample"]
+        self.last_sample_tainted = state["last_sample_tainted"]
+        self._taint = state["taint"]
+
 
 class RawCounter:
     """A plain free-running event counter (no rate generation).
@@ -190,3 +213,10 @@ class RawCounter:
 
     def reset(self) -> None:
         self.value = 0
+
+    # -- checkpoint ----------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {"value": self.value}
+
+    def restore_state(self, state: dict) -> None:
+        self.value = state["value"]

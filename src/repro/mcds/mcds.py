@@ -198,3 +198,41 @@ class Mcds(Component):
             unit.reset()
         self.messages_by_kind.clear()
         self.bits_by_kind.clear()
+
+    # -- checkpoint ----------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {
+            "factory": self.factory.snapshot_state(),
+            "rate_counters": [s.snapshot_state() for s in self.rate_counters],
+            "raw_counters": [c.snapshot_state() for c in self.raw_counters],
+            "triggers": [t.snapshot_state() for t in self.triggers],
+            "state_machines": [m.snapshot_state()
+                               for m in self.state_machines],
+            "program_traces": [u.snapshot_state()
+                               for u in self.program_traces],
+            "data_traces": [u.snapshot_state() for u in self.data_traces],
+            "bus_traces": [u.snapshot_state() for u in self.bus_traces],
+            "messages_by_kind": dict(self.messages_by_kind),
+            "bits_by_kind": dict(self.bits_by_kind),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.factory.restore_state(state["factory"])
+        for structure, entry in zip(self.rate_counters,
+                                    state["rate_counters"]):
+            structure.restore_state(entry)
+        for counter, entry in zip(self.raw_counters, state["raw_counters"]):
+            counter.restore_state(entry)
+        for trigger, entry in zip(self.triggers, state["triggers"]):
+            trigger.restore_state(entry)
+        for machine, entry in zip(self.state_machines,
+                                  state["state_machines"]):
+            machine.restore_state(entry)
+        for unit, entry in zip(self.program_traces, state["program_traces"]):
+            unit.restore_state(entry)
+        for unit, entry in zip(self.data_traces, state["data_traces"]):
+            unit.restore_state(entry)
+        for unit, entry in zip(self.bus_traces, state["bus_traces"]):
+            unit.restore_state(entry)
+        self.messages_by_kind = dict(state["messages_by_kind"])
+        self.bits_by_kind = dict(state["bits_by_kind"])

@@ -66,6 +66,18 @@ class TraceMessage:
                f"{self.address}"
         return zlib.crc32(body.encode("utf-8"))
 
+    def to_dict(self) -> dict:
+        """Checkpoint-friendly encoding (plain scalars + a dict)."""
+        return {"kind": self.kind, "cycle": self.cycle, "bits": self.bits,
+                "source": self.source, "value": self.value,
+                "address": self.address, "extra": dict(self.extra)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TraceMessage":
+        return cls(payload["kind"], payload["cycle"], payload["bits"],
+                   payload["source"], payload["value"], payload["address"],
+                   dict(payload["extra"]))
+
 
 @dataclass
 class Gap:
@@ -187,3 +199,9 @@ class MessageFactory:
 
     def reset(self) -> None:
         self._last_cycle = 0
+
+    def snapshot_state(self) -> dict:
+        return {"last_cycle": self._last_cycle}
+
+    def restore_state(self, state: dict) -> None:
+        self._last_cycle = state["last_cycle"]

@@ -101,6 +101,22 @@ class ProgramTraceUnit:
         self.messages = 0
         self.bits = 0
 
+    # -- checkpoint ----------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {"enabled": self.enabled,
+                "last_reported": self._last_reported,
+                "since_sync": self._since_sync,
+                "instructions_traced": self.instructions_traced,
+                "messages": self.messages, "bits": self.bits}
+
+    def restore_state(self, state: dict) -> None:
+        self.enabled = state["enabled"]
+        self._last_reported = state["last_reported"]
+        self._since_sync = state["since_sync"]
+        self.instructions_traced = state["instructions_traced"]
+        self.messages = state["messages"]
+        self.bits = state["bits"]
+
 
 class DataTraceUnit:
     """Qualified data-access trace (selected address ranges, selected masters).
@@ -154,6 +170,18 @@ class DataTraceUnit:
         self.messages = 0
         self.bits = 0
 
+    # -- checkpoint ----------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {"enabled": self.enabled,
+                "last_reported": self._last_reported,
+                "messages": self.messages, "bits": self.bits}
+
+    def restore_state(self, state: dict) -> None:
+        self.enabled = state["enabled"]
+        self._last_reported = state["last_reported"]
+        self.messages = state["messages"]
+        self.bits = state["bits"]
+
 
 class BusTraceUnit:
     """Bus observation: one message per observed transfer signal.
@@ -195,3 +223,13 @@ class BusTraceUnit:
     def reset(self) -> None:
         self.messages = 0
         self.bits = 0
+
+    # -- checkpoint ----------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {"enabled": self.enabled,
+                "messages": self.messages, "bits": self.bits}
+
+    def restore_state(self, state: dict) -> None:
+        self.enabled = state["enabled"]
+        self.messages = state["messages"]
+        self.bits = state["bits"]

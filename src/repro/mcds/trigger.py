@@ -31,6 +31,14 @@ class Condition:
     def evaluate(self, cycle: int) -> bool:
         raise NotImplementedError
 
+    # -- checkpoint -----------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Mutable evaluation state (stateless conditions return ``{}``)."""
+        return {}
+
+    def restore_state(self, state: dict) -> None:
+        pass
+
     # -- composition sugar ---------------------------------------------------
     def __and__(self, other: "Condition") -> "Condition":
         return BoolExpr(all, [self, other])
@@ -95,6 +103,12 @@ class SignalActive(Condition):
     def detach(self) -> None:
         self.hub.unsubscribe(self.signal, self._on_event)
 
+    def snapshot_state(self) -> dict:
+        return {"seen_cycle": self._seen_cycle}
+
+    def restore_state(self, state: dict) -> None:
+        self._seen_cycle = state["seen_cycle"]
+
 
 class PcInRange(Condition):
     """True while a core's program counter lies in an address window.
@@ -146,6 +160,13 @@ class WindowWatchdog(Condition):
     def detach(self) -> None:
         self.hub.unsubscribe(self.signal, self._on_event)
 
+    def snapshot_state(self) -> dict:
+        return {"deadline": self._deadline, "timeouts": self.timeouts}
+
+    def restore_state(self, state: dict) -> None:
+        self._deadline = state["deadline"]
+        self.timeouts = state["timeouts"]
+
 
 class BoolExpr(Condition):
     """AND/OR over sub-conditions (``combiner`` is ``all`` or ``any``)."""
@@ -158,6 +179,13 @@ class BoolExpr(Condition):
         results = [c.evaluate(cycle) for c in self.conditions]
         return self.combiner(results)
 
+    def snapshot_state(self) -> dict:
+        return {"children": [c.snapshot_state() for c in self.conditions]}
+
+    def restore_state(self, state: dict) -> None:
+        for condition, entry in zip(self.conditions, state["children"]):
+            condition.restore_state(entry)
+
 
 class NotExpr(Condition):
     def __init__(self, condition: Condition) -> None:
@@ -165,6 +193,12 @@ class NotExpr(Condition):
 
     def evaluate(self, cycle: int) -> bool:
         return not self.condition.evaluate(cycle)
+
+    def snapshot_state(self) -> dict:
+        return {"inner": self.condition.snapshot_state()}
+
+    def restore_state(self, state: dict) -> None:
+        self.condition.restore_state(state["inner"])
 
 
 class Trigger:
@@ -213,6 +247,20 @@ class Trigger:
         self.lost_injected = 0
         self.spurious_injected = 0
 
+    # -- checkpoint ----------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {"active": self.active, "fire_count": self.fire_count,
+                "lost_injected": self.lost_injected,
+                "spurious_injected": self.spurious_injected,
+                "condition": self.condition.snapshot_state()}
+
+    def restore_state(self, state: dict) -> None:
+        self.active = state["active"]
+        self.fire_count = state["fire_count"]
+        self.lost_injected = state["lost_injected"]
+        self.spurious_injected = state["spurious_injected"]
+        self.condition.restore_state(state["condition"])
+
 
 class TriggerStateMachine:
     """Explicit state machine over conditions (sequenced trigger programs).
@@ -245,3 +293,17 @@ class TriggerStateMachine:
     def reset(self) -> None:
         self.state = self.initial
         self.transitions_taken = 0
+
+    # -- checkpoint ----------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {"state": self.state,
+                "transitions_taken": self.transitions_taken,
+                "conditions": [condition.snapshot_state()
+                               for _, condition, _, _ in self._transitions]}
+
+    def restore_state(self, state: dict) -> None:
+        self.state = state["state"]
+        self.transitions_taken = state["transitions_taken"]
+        for (_, condition, _, _), entry in zip(self._transitions,
+                                               state["conditions"]):
+            condition.restore_state(entry)

@@ -97,6 +97,13 @@ def _register_core_families(reg: MetricsRegistry) -> None:
               "busy / (wall x workers) of the last campaign")
     reg.gauge("repro_fleet_wall_seconds",
               "wall clock of the last campaign")
+    # checkpoint / restore
+    reg.counter("repro_checkpoint_writes_total",
+                "checkpoint files written", ("kind",))
+    reg.counter("repro_checkpoint_bytes_total",
+                "bytes of checkpoint data written")
+    reg.counter("repro_checkpoint_restores_total",
+                "checkpoint restore attempts, by outcome", ("result",))
 
 
 class Telemetry:
@@ -168,6 +175,28 @@ class Telemetry:
         self.instant("trigger.fire", cat="mcds", trigger=trigger,
                      cycle=cycle)
         self.registry.get("repro_trigger_fires_total").labels(trigger).inc()
+
+    def checkpoint_written(self, path: str, size: int, cycle: int,
+                           kind: str = "sim",
+                           damaged: Optional[str] = None) -> None:
+        self.instant("checkpoint.written", cat="checkpoint", path=path,
+                     size=size, cycle=cycle, kind=kind,
+                     damaged=damaged or "")
+        reg = self.registry
+        reg.get("repro_checkpoint_writes_total").labels(kind).inc()
+        reg.get("repro_checkpoint_bytes_total").inc(size)
+        self.events.emit("checkpoint.written", path=path, size=size,
+                         cycle=cycle, kind=kind, damaged=damaged)
+
+    def checkpoint_restored(self, result: str, path: str,
+                            cycle: Optional[int] = None,
+                            error: Optional[str] = None) -> None:
+        self.instant("checkpoint.restored", cat="checkpoint", result=result,
+                     path=path, cycle=cycle, error=error or "")
+        self.registry.get("repro_checkpoint_restores_total") \
+            .labels(result).inc()
+        self.events.emit("checkpoint.restored", result=result, path=path,
+                         cycle=cycle, error=error)
 
     def on_device_reset(self) -> None:
         """``Soc.reset`` hook: a reset begins a new logical run.

@@ -60,6 +60,17 @@ class Bus:
         self.per_master_grants.clear()
         self.per_master_waits.clear()
 
+    # -- checkpoint ----------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {"resource": self._resource.snapshot_state(),
+                "grants": dict(self.per_master_grants),
+                "waits": dict(self.per_master_waits)}
+
+    def restore_state(self, state: dict) -> None:
+        self._resource.restore_state(state["resource"])
+        self.per_master_grants = dict(state["grants"])
+        self.per_master_waits = dict(state["waits"])
+
 
 class CrossbarBus:
     """Crossbar interconnect: one independent layer per *target*.
@@ -119,3 +130,15 @@ class CrossbarBus:
     def reset(self) -> None:
         for lane in self._lanes.values():
             lane.reset()
+
+    # -- checkpoint ----------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {"lanes": {target: lane.snapshot_state()
+                          for target, lane in sorted(self._lanes.items())}}
+
+    def restore_state(self, state: dict) -> None:
+        # lanes are created on first use; re-materialise them so a restored
+        # crossbar carries the same per-lane busy/accounting state
+        self._lanes.clear()
+        for target, entry in state["lanes"].items():
+            self._lane(target).restore_state(entry)

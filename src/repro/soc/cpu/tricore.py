@@ -333,3 +333,49 @@ class TriCoreCpu(Component):
         self._line = -1
         self.retired = 0
         self.halt_cycles = 0
+
+    # -- checkpoint ----------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        # behaviour states live keyed by id(instr), which does not survive
+        # a process boundary; remap to instruction addresses (the program
+        # image is rebuilt identically from the job spec/seed)
+        states = {}
+        if self.program is not None:
+            for addr, instr in self.program.instructions.items():
+                state = self._states.get(id(instr))
+                if state is not None:
+                    states[addr] = list(state)
+        return {
+            "pc": self.pc,
+            "halted": self.halted,
+            "debug_halt": self.debug_halt,
+            "stall_until": self.stall_until,
+            "current_priority": self.current_priority,
+            "call_stack": list(self._call_stack),
+            "irq_stack": [tuple(frame) for frame in self._irq_stack],
+            "states": states,
+            "vectors": dict(self.vectors),
+            "line": self._line,
+            "retired": self.retired,
+            "halt_cycles": self.halt_cycles,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.pc = state["pc"]
+        self.halted = state["halted"]
+        self.debug_halt = state["debug_halt"]
+        self.stall_until = state["stall_until"]
+        self.current_priority = state["current_priority"]
+        self._call_stack = list(state["call_stack"])
+        self._irq_stack = [tuple(frame) for frame in state["irq_stack"]]
+        self.vectors = dict(state["vectors"])
+        self._states.clear()
+        if self.program is not None:
+            for addr, behaviour_state in state["states"].items():
+                self._states[id(self.program.at(addr))] = \
+                    list(behaviour_state)
+        # the fetch-line latch must round-trip exactly: invalidating it
+        # would issue a spurious re-fetch the uninterrupted run never does
+        self._line = state["line"]
+        self.retired = state["retired"]
+        self.halt_cycles = state["halt_cycles"]

@@ -53,6 +53,10 @@ class Soc:
         self.peripherals: List[Component] = []
         self.observers: List[Component] = []
         self._ordered = False
+        # the memory fabric and interrupt router are not clocked
+        # components, so they ride checkpoints as attached state providers
+        self.sim.attach_state("memory", self.memory)
+        self.sim.attach_state("icu", self.icu)
 
     # -- construction -----------------------------------------------------
     def add_peripheral(self, peripheral: Component) -> Component:
@@ -91,6 +95,19 @@ class Soc:
     @property
     def cycle(self) -> int:
         return self.sim.cycle
+
+    # -- checkpoint ----------------------------------------------------------
+    def checkpoint(self, path: str, meta: Optional[dict] = None) -> str:
+        """Write the whole chip's state to a checkpoint file."""
+        self._ensure_order()        # roster must be final before capture
+        body = dict(meta or {})
+        body.setdefault("kind", "soc")
+        return self.sim.checkpoint(path, body)
+
+    def restore(self, path: str) -> dict:
+        """Load a checkpoint into this (same-spec, same-seed) chip."""
+        self._ensure_order()
+        return self.sim.restore(path)
 
     # -- inspection -------------------------------------------------------------
     def oracle(self) -> dict:

@@ -118,3 +118,27 @@ class DmaController(Component):
         self._active.clear()
         self._next_free = 0
         self.transfers_done = 0
+
+    # -- checkpoint ----------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {
+            "channels": {
+                channel: {"remaining": state.remaining, "src": state.src,
+                          "dst": state.dst, "queued": state.queued}
+                for channel, state in sorted(self.channels.items())
+            },
+            "active": list(self._active),
+            "next_free": self._next_free,
+            "transfers_done": self.transfers_done,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        for channel, entry in state["channels"].items():
+            chan = self.channels[channel]
+            chan.remaining = entry["remaining"]
+            chan.src = entry["src"]
+            chan.dst = entry["dst"]
+            chan.queued = entry["queued"]
+        self._active = list(state["active"])
+        self._next_free = state["next_free"]
+        self.transfers_done = state["transfers_done"]

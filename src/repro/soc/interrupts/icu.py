@@ -111,3 +111,21 @@ class InterruptRouter(Component):
             srn.pending = False
             srn.raised_count = 0
             srn.taken_count = 0
+
+    # -- checkpoint ----------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {
+            "srns": {
+                srn_id: {"pending": srn.pending,
+                         "raised_count": srn.raised_count,
+                         "taken_count": srn.taken_count}
+                for srn_id, srn in sorted(self.srns.items())
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        for srn_id, entry in state["srns"].items():
+            srn = self.srns[srn_id]
+            srn.pending = entry["pending"]
+            srn.raised_count = entry["raised_count"]
+            srn.taken_count = entry["taken_count"]

@@ -96,3 +96,24 @@ class EventHub:
         self.cycle = 0
         for i in range(len(self.totals)):
             self.totals[i] = 0
+
+    # -- checkpoint ------------------------------------------------------------
+    def snapshot_state(self) -> Dict:
+        """Published cycle + oracle totals, with names for validation.
+
+        Registrations and subscriptions are structural: a same-spec device
+        rebuild recreates them identically, so only the counters (and the
+        name list that proves the rebuild matches) are serialised.
+        """
+        return {"cycle": self.cycle, "names": list(self._names),
+                "totals": list(self.totals)}
+
+    def restore_state(self, state: Dict) -> None:
+        from ...errors import CheckpointError
+        names = state["names"]
+        if names != self._names:
+            raise CheckpointError(
+                "checkpoint hub signals do not match this device: "
+                f"{len(names)} recorded vs {len(self._names)} registered")
+        self.cycle = state["cycle"]
+        self.totals[:] = state["totals"]

@@ -94,3 +94,14 @@ class TimedResource:
         self.busy_until = 0
         self.total_waits = 0
         self.total_grants = 0
+
+    # -- checkpoint ------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {"busy_until": self.busy_until,
+                "total_waits": self.total_waits,
+                "total_grants": self.total_grants}
+
+    def restore_state(self, state: dict) -> None:
+        self.busy_until = state["busy_until"]
+        self.total_waits = state["total_waits"]
+        self.total_grants = state["total_grants"]

@@ -155,6 +155,30 @@ class Component:
         """
         return 0
 
+    # -- checkpoint contract -------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """All mutable state as a codec-serialisable dict.
+
+        The contract is *completeness*: restoring this dict into a
+        freshly built twin (same spec, same seed) and running on must be
+        byte-identical to never having stopped.  Values must survive
+        :mod:`repro.checkpoint.codec` — plain scalars, lists, tuples,
+        dicts; object references must be mapped to stable identities
+        (an instruction's address, a channel's number) because ``id()``
+        does not survive a process boundary.  Stateless/combinational
+        components inherit this empty default.
+        """
+        return {}
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot_state`, applied to a fresh twin.
+
+        Restore may leave scheduler-facing caches (armed lists, heap
+        hints) rebuilt rather than bit-equal: the quiescent kernel
+        restarts every component hot after a restore, and spurious ticks
+        are no-ops by the kernel's own equivalence contract.
+        """
+
 
 class _Slot:
     """Scheduler bookkeeping for one registered component."""
@@ -212,12 +236,29 @@ class Simulator:
         self._profiler = None                 # set by kprof.KernelProfiler
         self._wall_s = 0.0
         self._cycles_run = 0
+        # non-component state providers included in checkpoints (the
+        # memory system, the EMEM, ...), keyed stably by the device
+        # builder; insertion order is the restore order
+        self._state_extras: Dict[str, object] = {}
 
     # -- construction -----------------------------------------------------
     def add(self, component: Component) -> Component:
         """Register a component; tick order == registration order."""
         self.components.append(component)
         return component
+
+    def attach_state(self, key: str, provider) -> None:
+        """Register a non-component object for checkpoint inclusion.
+
+        ``provider`` implements ``snapshot_state()``/``restore_state()``
+        like a :class:`Component`; device builders attach blocks that are
+        not clocked (the memory system, the EMEM buffer) so a checkpoint
+        covers the whole device, not just the tick roster.
+        """
+        if key in self._state_extras:
+            raise ConfigurationError(
+                f"state provider {key!r} already attached")
+        self._state_extras[key] = provider
 
     def rng(self, stream: str) -> random.Random:
         """Deterministic per-purpose random stream.
@@ -556,6 +597,112 @@ class Simulator:
             "cycles_per_sec": self._cycles_run / wall if wall > 0 else 0.0,
             "components": components,
         }
+
+    # -- checkpoint ----------------------------------------------------------
+    def snapshot_state(self) -> Dict:
+        """Complete simulation state as one codec-serialisable dict.
+
+        Settles skip accounting first (so sleeper-side bookkeeping like
+        the CPU's ``halt_cycles`` is materialised to the current cycle),
+        then captures the clock, every RNG stream, the hub oracle, every
+        component, and every attached extra.  Scheduler state (hot set,
+        sleep heap, skip counters) is deliberately *not* captured: the
+        quiescent kernel restarts everyone hot after a restore, and
+        spurious ticks of quiescent components are no-ops by contract —
+        so the scheduler reconverges without affecting any observable.
+        """
+        self._sync_roster()
+        self._settle(self.cycle)
+        return {
+            "cycle": self.cycle,
+            "seed": self.seed,
+            "streams": {name: rng.getstate()
+                        for name, rng in sorted(self._streams.items())},
+            "hub": self.hub.snapshot_state(),
+            "components": [
+                {"name": comp.name, "state": comp.snapshot_state()}
+                for comp in self.components
+            ],
+            "extras": {key: provider.snapshot_state()
+                       for key, provider in self._state_extras.items()},
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        """Apply a :meth:`snapshot_state` dict to this (same-spec) sim.
+
+        Validates the component roster and hub wiring against the
+        snapshot before touching anything, so a checkpoint from a
+        different device spec is rejected whole rather than half-applied.
+        """
+        from ...errors import CheckpointError
+        recorded = [entry["name"] for entry in state["components"]]
+        current = [comp.name for comp in self.components]
+        if recorded != current:
+            raise CheckpointError(
+                f"checkpoint component roster {recorded} does not match "
+                f"this device ({current}); was it built from the same "
+                f"spec and seed?")
+        extras = state.get("extras", {})
+        missing = set(extras) - set(self._state_extras)
+        if missing:
+            raise CheckpointError(
+                f"checkpoint has state for unattached providers: "
+                f"{sorted(missing)}")
+        self.hub.restore_state(state["hub"])
+        self.cycle = state["cycle"]
+        for name, rng_state in state["streams"].items():
+            self.rng(name).setstate(rng_state)
+        for comp, entry in zip(self.components, state["components"]):
+            comp.restore_state(entry["state"])
+        for key, extra_state in extras.items():
+            self._state_extras[key].restore_state(extra_state)
+        # drop scheduler state: everyone restarts hot (mirrors reset());
+        # sleepers re-earn their heap slots on the first post-restore tick
+        self._slots = []
+        self._slot_by_id = {}
+        self._roster = None
+        self._hot = []
+        self._heap = []
+
+    def checkpoint(self, path: str, meta: Optional[Dict] = None) -> str:
+        """Write the full simulation state to a checkpoint file.
+
+        The file is CRC-guarded, schema-versioned, and atomically
+        replaced (see :mod:`repro.checkpoint.format`); restoring it with
+        :meth:`restore` on a freshly built same-spec device and running
+        on is byte-identical to an uninterrupted run.
+        """
+        from ...checkpoint import save_checkpoint
+        tel = _obs._active
+        body = dict(meta or {})
+        body.setdefault("kind", "simulator")
+        body["cycle"] = self.cycle
+        body["seed"] = self.seed
+        if tel is not None:
+            with tel.span("checkpoint.save", cat="checkpoint",
+                          cycle=self.cycle):
+                return save_checkpoint(path, self.snapshot_state(), body)
+        return save_checkpoint(path, self.snapshot_state(), body)
+
+    def restore(self, path: str) -> Dict:
+        """Load a checkpoint file into this simulator; returns its meta.
+
+        Raises :class:`~repro.errors.CheckpointError` (retryable) for a
+        corrupt, truncated, schema-incompatible, or wrong-device file —
+        and guarantees no state was modified in that case.
+        """
+        from ...checkpoint import load_checkpoint
+        tel = _obs._active
+        body, meta = load_checkpoint(path)
+        if tel is not None:
+            with tel.span("checkpoint.restore", cat="checkpoint",
+                          cycle=body.get("cycle", 0)):
+                self.restore_state(body)
+        else:
+            self.restore_state(body)
+        if tel is not None:
+            tel.checkpoint_restored("success", path, cycle=self.cycle)
+        return meta
 
     def reset(self) -> None:
         self.cycle = 0

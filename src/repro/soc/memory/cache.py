@@ -72,3 +72,13 @@ class Cache:
         self.invalidate_all()
         self.hits = 0
         self.misses = 0
+
+    # -- checkpoint ----------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {"sets": [list(ways) for ways in self._sets],
+                "hits": self.hits, "misses": self.misses}
+
+    def restore_state(self, state: dict) -> None:
+        self._sets = [list(ways) for ways in state["sets"]]
+        self.hits = state["hits"]
+        self.misses = state["misses"]

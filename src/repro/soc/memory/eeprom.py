@@ -94,6 +94,29 @@ class EepromEmulation:
         self.swaps += 1
         return cursor
 
+    # -- checkpoint ---------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {
+            "sectors": [{"used_bytes": s.used_bytes,
+                         "live_records": dict(s.live_records),
+                         "erase_count": s.erase_count}
+                        for s in self.sectors],
+            "active": self.active,
+            "writes": self.writes,
+            "swaps": self.swaps,
+            "total_erase_cycles": self.total_erase_cycles,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        for sector, entry in zip(self.sectors, state["sectors"]):
+            sector.used_bytes = entry["used_bytes"]
+            sector.live_records = dict(entry["live_records"])
+            sector.erase_count = entry["erase_count"]
+        self.active = state["active"]
+        self.writes = state["writes"]
+        self.swaps = state["swaps"]
+        self.total_erase_cycles = state["total_erase_cycles"]
+
     # -- health -------------------------------------------------------------------
     @property
     def max_erase_count(self) -> int:

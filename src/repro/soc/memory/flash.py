@@ -54,6 +54,14 @@ class _LineBuffer:
         self.ready.clear()
         self.order.clear()
 
+    def snapshot_state(self) -> dict:
+        return {"order": list(self.order),
+                "ready": [self.ready[line] for line in self.order]}
+
+    def restore_state(self, state: dict) -> None:
+        self.order = list(state["order"])
+        self.ready = dict(zip(self.order, state["ready"]))
+
 
 class EmbeddedFlash:
     """Banked flash array seen through a code port and a data port."""
@@ -165,3 +173,23 @@ class EmbeddedFlash:
         self._bank_prefetch = [None] * len(self.banks)
         self.code_buffer.clear()
         self.data_buffer.clear()
+
+    # -- checkpoint ----------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {
+            "banks": [bank.snapshot_state() for bank in self.banks],
+            "last_port": list(self._bank_last_port),
+            "prefetch": [None if pf is None else tuple(pf)
+                         for pf in self._bank_prefetch],
+            "code_buffer": self.code_buffer.snapshot_state(),
+            "data_buffer": self.data_buffer.snapshot_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        for bank, entry in zip(self.banks, state["banks"]):
+            bank.restore_state(entry)
+        self._bank_last_port = list(state["last_port"])
+        self._bank_prefetch = [None if pf is None else tuple(pf)
+                               for pf in state["prefetch"]]
+        self.code_buffer.restore_state(state["code_buffer"])
+        self.data_buffer.restore_state(state["data_buffer"])

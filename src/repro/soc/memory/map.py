@@ -115,3 +115,10 @@ class AddressMap:
     @property
     def overlay_ranges(self):
         return tuple(self._overlay_ranges)
+
+    # -- checkpoint ----------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {"overlays": [tuple(r) for r in self._overlay_ranges]}
+
+    def restore_state(self, state: dict) -> None:
+        self._overlay_ranges = [tuple(r) for r in state["overlays"]]

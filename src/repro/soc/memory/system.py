@@ -187,3 +187,28 @@ class MemorySystem:
         self.lmb.reset()
         self.spb.reset()
         self.dflash.reset()
+
+    # -- checkpoint ----------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {
+            "flash": self.flash.snapshot_state(),
+            "icache": None if self.icache is None
+            else self.icache.snapshot_state(),
+            "dcache": None if self.dcache is None
+            else self.dcache.snapshot_state(),
+            "lmb": self.lmb.snapshot_state(),
+            "spb": self.spb.snapshot_state(),
+            "dflash": self.dflash.snapshot_state(),
+            "map": self.map.snapshot_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.flash.restore_state(state["flash"])
+        if self.icache is not None and state["icache"] is not None:
+            self.icache.restore_state(state["icache"])
+        if self.dcache is not None and state["dcache"] is not None:
+            self.dcache.restore_state(state["dcache"])
+        self.lmb.restore_state(state["lmb"])
+        self.spb.restore_state(state["spb"])
+        self.dflash.restore_state(state["dflash"])
+        self.map.restore_state(state["map"])

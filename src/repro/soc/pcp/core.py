@@ -163,3 +163,58 @@ class PcpCore(Component):
         self._call_stack.clear()
         self.retired = 0
         self.services = 0
+
+    # -- checkpoint ----------------------------------------------------------
+    def _instr_keys(self):
+        """Stable ``(srn_id, addr)`` identity for every channel instruction.
+
+        A program object may be bound to several SRNs; each instruction is
+        claimed by the lowest SRN id that owns it, so shared programs
+        serialise each behaviour state exactly once.
+        """
+        seen = set()
+        for srn_id in sorted(self.channel_programs):
+            program = self.channel_programs[srn_id]
+            for addr, instr in program.instructions.items():
+                if id(instr) in seen:
+                    continue
+                seen.add(id(instr))
+                yield srn_id, addr, instr
+
+    def snapshot_state(self) -> dict:
+        active = None
+        if self.active_program is not None:
+            for srn_id in sorted(self.channel_programs):
+                if self.channel_programs[srn_id] is self.active_program:
+                    active = srn_id
+                    break
+        states = {}
+        for srn_id, addr, instr in self._instr_keys():
+            state = self._states.get(id(instr))
+            if state is not None:
+                states[(srn_id, addr)] = list(state)
+        return {
+            "pc": self.pc,
+            "active_srn": active,
+            "stall_until": self.stall_until,
+            "call_stack": list(self._call_stack),
+            "states": states,
+            "retired": self.retired,
+            "services": self.services,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.pc = state["pc"]
+        active = state["active_srn"]
+        self.active_program = None if active is None \
+            else self.channel_programs[active]
+        self.stall_until = state["stall_until"]
+        self._call_stack = list(state["call_stack"])
+        self._states.clear()
+        stored = state["states"]
+        for srn_id, addr, instr in self._instr_keys():
+            behaviour_state = stored.get((srn_id, addr))
+            if behaviour_state is not None:
+                self._states[id(instr)] = list(behaviour_state)
+        self.retired = state["retired"]
+        self.services = state["services"]

@@ -57,6 +57,13 @@ class PeriodicTimer(Component):
         self._next = self._phase if self._phase > 0 else self._period_at(0)
         self.events = 0
 
+    def snapshot_state(self) -> dict:
+        return {"next": self._next, "events": self.events}
+
+    def restore_state(self, state: dict) -> None:
+        self._next = state["next"]
+        self.events = state["events"]
+
 
 class Adc(Component):
     """Analog-to-digital converter with a fixed conversion time.
@@ -99,6 +106,15 @@ class Adc(Component):
         self._done_at = None
         self.conversions = 0
 
+    def snapshot_state(self) -> dict:
+        return {"next_start": self._next_start, "done_at": self._done_at,
+                "conversions": self.conversions}
+
+    def restore_state(self, state: dict) -> None:
+        self._next_start = state["next_start"]
+        self._done_at = state["done_at"]
+        self.conversions = state["conversions"]
+
 
 class CanNode(Component):
     """CAN message receiver with seeded stochastic arrivals.
@@ -139,3 +155,11 @@ class CanNode(Component):
     def reset(self) -> None:
         self.messages = 0
         self._next = self.min_period
+
+    def snapshot_state(self) -> dict:
+        # the arrival RNG is a named simulator stream, captured separately
+        return {"next": self._next, "messages": self.messages}
+
+    def restore_state(self, state: dict) -> None:
+        self._next = state["next"]
+        self.messages = state["messages"]

@@ -131,3 +131,23 @@ class TimerCellArray(Component):
         for cell in self.capture:
             cell.timestamps.clear()
         self._armed.clear()
+
+    # -- checkpoint ----------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {
+            "compare": [{"compare_at": cell.compare_at,
+                         "matches": cell.matches,
+                         "late_writes": cell.late_writes}
+                        for cell in self.compare],
+            "capture": [list(cell.timestamps) for cell in self.capture],
+            "armed": [cell.index for cell in self._armed],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        for cell, entry in zip(self.compare, state["compare"]):
+            cell.compare_at = entry["compare_at"]
+            cell.matches = entry["matches"]
+            cell.late_writes = entry["late_writes"]
+        for cell, stamps in zip(self.capture, state["capture"]):
+            cell.timestamps = list(stamps)
+        self._armed = [self.compare[index] for index in state["armed"]]

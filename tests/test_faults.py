@@ -259,10 +259,12 @@ def test_worker_crash_and_hang_sites():
 
 
 def test_every_catalogued_site_is_exercised():
+    # checkpoint.corrupt / checkpoint.truncated fire in test_checkpoint.py
     covered = {
         "emem.drop", "emem.overflow", "trace.corrupt", "dap.saturate",
         "dap.drop", "counter.wrap", "trigger.lost", "trigger.spurious",
         "worker.crash", "worker.hang",
+        "checkpoint.corrupt", "checkpoint.truncated",
     }
     assert covered == set(SITE_CATALOGUE)
 

@@ -343,6 +343,7 @@ def read_store(path):
         records = [json.loads(line) for line in handle]
     for record in records:
         record.pop("wall_s", None)    # the only wall-clock field
+        record.pop("_crc32", None)    # seals the record incl. wall_s
     return records
 
 
