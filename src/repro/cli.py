@@ -10,6 +10,8 @@ Subcommands map to the workflows of the paper::
     repro campaign   — parallel fleet campaign over the population
     repro profile-kernel — simulation-kernel throughput (naive vs quiescent)
     repro checkpoint — snapshot / inspect / resume a simulation run
+    repro serve      — always-on campaign service (HTTP + SSE)
+    repro catalog    — build the campaign-capability catalog artifact
 """
 
 from __future__ import annotations
@@ -302,20 +304,18 @@ def cmd_campaign(args) -> int:
 
 
 def _campaign(args) -> int:
-    from .fleet import (CampaignJob, CampaignRunner, build_matrix,
-                        campaign_matrix, matrix_table, rank_portfolio)
-    from .workloads import CustomerGenerator
-    _config(args.device)          # fail fast on unknown device names
+    from .errors import ConfigurationError
+    from .fleet import (CampaignSpec, campaign_matrix, matrix_table,
+                        rank_portfolio, run_campaign)
     if args.workers < 0:
         raise SystemExit("--workers must be >= 0 (0 = in-process)")
-    customers = CustomerGenerator(seed=args.seed).generate(args.count)
-    jobs = build_matrix(customers, devices=(args.device,),
-                        cycle_budgets=(args.cycles,), seed=args.seed,
-                        ipc_resolution=args.resolution)
-    if args.drill:
-        jobs = jobs + [CampaignJob(
-            name="fault-drill", domain="engine", device=args.device,
-            params={}, cycles=args.cycles, seed=args.seed, fault="crash")]
+    try:
+        spec = CampaignSpec(count=args.count, cycles=args.cycles,
+                            device=args.device, seed=args.seed,
+                            ipc_resolution=args.resolution,
+                            drill=args.drill)
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc))
     fault_plan = None
     if args.fault_plan:
         from .faults import load_fault_plan
@@ -325,13 +325,15 @@ def _campaign(args) -> int:
               f"{len(plan.rules)} rules) — result cache disabled")
     if args.checkpoint_every and not args.campaign_dir:
         raise SystemExit("--checkpoint-every needs --campaign-dir")
-    runner = CampaignRunner(
-        jobs, workers=args.workers, cache_dir=args.cache_dir,
+    # same entry path the HTTP service uses (repro.fleet.run_campaign),
+    # so a CLI run and a served run of one spec are the same computation
+    report = run_campaign(
+        spec, workers=args.workers, cache_dir=args.cache_dir,
         campaign_dir=args.campaign_dir, max_retries=args.retries,
         timeout_s=args.timeout, resume=args.resume, fault_plan=fault_plan,
         checkpoint_every=args.checkpoint_every)
-    report = runner.run()
-    print(f"campaign: {len(jobs)} jobs over {args.workers} workers")
+    print(f"campaign: {len(report.records)} jobs over "
+          f"{args.workers} workers")
     print(report.metrics.summary_table())
     print()
     print(matrix_table(campaign_matrix(report.records)))
@@ -344,13 +346,46 @@ def _campaign(args) -> int:
     if args.rank:
         from .core.optimization import hardware_options
         from .core.optimization.portfolio import portfolio_table
-        entries = rank_portfolio(customers, report.records,
+        entries = rank_portfolio(spec.customers(), report.records,
                                  _config(args.device), hardware_options(),
                                  work_instructions=args.work,
                                  seed=args.seed)
         print("\nvolume-weighted portfolio ranking:")
         print(portfolio_table(entries))
     return 1 if report.quarantined and args.strict else 0
+
+
+def cmd_serve(args) -> int:
+    """Run the always-on campaign service until interrupted."""
+    import asyncio
+
+    from .serve import CampaignService, QuotaManager, TenantPolicy, serve
+    quota = QuotaManager(default=TenantPolicy(
+        weight=1.0, burst=args.burst, refill_per_s=args.refill,
+        max_queued=args.max_queued))
+    service = CampaignService(
+        root=args.root, quota=quota, slots=args.slots,
+        checkpoint_every=args.checkpoint_every,
+        max_retries=args.retries, cache_dir=args.cache_dir,
+        catalog_path=args.catalog)
+    try:
+        asyncio.run(serve(service, host=args.host, port=args.port))
+    except KeyboardInterrupt:
+        print("repro serve: shutting down")
+    return 0
+
+
+def cmd_catalog(args) -> int:
+    """Build the campaign-capability catalog artifact (or print it)."""
+    from .serve.catalog import build_catalog, write_catalog
+    if args.out:
+        path = write_catalog(args.out)
+        import os
+        print(f"catalog: wrote {path} ({os.path.getsize(path)} bytes)")
+    else:
+        import json
+        print(json.dumps(build_catalog(), indent=2, sort_keys=True))
+    return 0
 
 
 def cmd_telemetry(args) -> int:
@@ -496,6 +531,44 @@ def build_parser() -> argparse.ArgumentParser:
                    help="structured event-log path "
                         "(default telemetry_events.jsonl)")
 
+    p = sub.add_parser("serve",
+                       help="always-on campaign service: HTTP submission, "
+                            "priority queue, SSE result streaming")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8787,
+                   help="listen port (0 = OS-assigned; the bound address "
+                        "is printed on startup)")
+    p.add_argument("--root", default="serve_data",
+                   help="state directory: per-campaign stores, "
+                        "checkpoints, aggregates (default serve_data)")
+    p.add_argument("--slots", type=int, default=1,
+                   help="campaigns executing concurrently (default 1)")
+    p.add_argument("--checkpoint-every", type=int, default=5_000,
+                   metavar="CYCLES",
+                   help="checkpoint cadence = preemption granularity "
+                        "(default 5000 cycles)")
+    p.add_argument("--retries", type=int, default=1,
+                   help="retry budget per failing job (default 1)")
+    p.add_argument("--cache-dir",
+                   help="shared content-addressed result cache dir")
+    p.add_argument("--catalog", metavar="CATALOG.json",
+                   help="serve this pinned catalog artifact instead of "
+                        "building one at startup (see `repro catalog`)")
+    p.add_argument("--burst", type=float, default=4.0,
+                   help="default tenant token-bucket burst (default 4)")
+    p.add_argument("--refill", type=float, default=0.5,
+                   help="default tenant refill rate, campaigns/s "
+                        "(default 0.5)")
+    p.add_argument("--max-queued", type=int, default=8,
+                   help="default per-tenant queued+running cap (default 8)")
+
+    p = sub.add_parser("catalog",
+                       help="build the campaign-capability catalog "
+                            "artifact for `repro serve --catalog`")
+    p.add_argument("--out", metavar="CATALOG.json",
+                   help="write the canonical-JSON artifact here "
+                        "(omit to print it)")
+
     p = sub.add_parser("checkpoint",
                        help="snapshot / inspect / resume a simulation run")
     p.add_argument("--scenario", default="engine")
@@ -529,6 +602,8 @@ COMMANDS = {
     "checkpoint": cmd_checkpoint,
     "campaign": cmd_campaign,
     "telemetry": cmd_telemetry,
+    "serve": cmd_serve,
+    "catalog": cmd_catalog,
     "report": cmd_report,
 }
 

@@ -81,6 +81,35 @@ class FaultInjected(ReproError, RuntimeError):
     retryable = True
 
 
+class CampaignPreempted(ReproError, RuntimeError):
+    """A cooperative yield request stopped a campaign at a safe boundary.
+
+    Raised from inside a job when the orchestrator's ``should_yield``
+    callback fires at a checkpoint boundary (or between jobs).  Not a
+    failure: everything completed so far is already durable in the
+    campaign store, the in-flight job's checkpoint stays on disk, and a
+    later ``resume=True`` run continues byte-identically.  ``retryable``
+    because re-running the same spec (once the preemption pressure is
+    gone) always succeeds.
+    """
+
+    retryable = True
+
+
+class QuotaExceeded(ReproError, RuntimeError):
+    """A tenant exceeded an admission quota (rate, queue depth, tokens).
+
+    Carries ``retry_after_s`` so a service front-end can translate it
+    into a ``Retry-After`` header; transient by construction.
+    """
+
+    retryable = True
+
+    def __init__(self, message: str, retry_after_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
 class CheckpointError(ReproError, RuntimeError):
     """A checkpoint file was rejected (corrupt, truncated, mismatched).
 

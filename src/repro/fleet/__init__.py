@@ -13,9 +13,13 @@ count — parallelism changes the wall clock, never the science.
 
 from .aggregate import (campaign_matrix, matrix_table, profile_of,
                         rank_portfolio, volume_weights)
+# run_campaign is the polymorphic api entry point (spec dict | CampaignSpec
+# | job list); the orchestrator's job-list helper stays importable as
+# repro.fleet.orchestrator.run_campaign for anyone who bound to it
+from .api import CampaignSpec, jobs_for, run_campaign
 from .cache import ResultCache
 from .metrics import CampaignMetrics
-from .orchestrator import CampaignReport, CampaignRunner, run_campaign
+from .orchestrator import CampaignReport, CampaignRunner
 from .spec import (CampaignJob, assign_shards, build_matrix, canonical_json,
                    job_digest)
 from .store import ResultStore
@@ -23,8 +27,8 @@ from .worker import execute_job, run_shard
 
 __all__ = [
     "CampaignJob", "CampaignMetrics", "CampaignReport", "CampaignRunner",
-    "ResultCache", "ResultStore", "assign_shards", "build_matrix",
-    "campaign_matrix", "canonical_json", "execute_job", "job_digest",
-    "matrix_table", "profile_of", "rank_portfolio", "run_campaign",
-    "run_shard", "volume_weights",
+    "CampaignSpec", "ResultCache", "ResultStore", "assign_shards",
+    "build_matrix", "campaign_matrix", "canonical_json", "execute_job",
+    "job_digest", "jobs_for", "matrix_table", "profile_of",
+    "rank_portfolio", "run_campaign", "run_shard", "volume_weights",
 ]

@@ -19,6 +19,14 @@ Execution model
   ``resume=True``, in the campaign's JSONL store — hits never reach the
   pool, which is why a warm re-run executes zero jobs.
 
+* In-process runs (``workers=0``) support **cooperative preemption**: a
+  ``should_yield`` callback is consulted between jobs and at every
+  checkpoint boundary; when it fires, the run stops early with
+  ``CampaignReport.preempted=True`` — completed records durable in the
+  store, the interrupted job's checkpoint on disk — and a later
+  ``resume=True`` run finishes the campaign byte-identically.  This is
+  how ``repro.serve`` evicts a low-priority campaign under load.
+
 Results are bit-identical regardless of worker count: every job builds
 its own seeded device, and the aggregate artifact is written sorted by
 content-derived job id with timing metadata excluded.
@@ -32,7 +40,7 @@ from concurrent.futures import ProcessPoolExecutor, TimeoutError as \
     FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..errors import ConfigurationError
 from ..faults import FaultPlan
@@ -47,12 +55,20 @@ from .worker import run_shard
 
 @dataclass
 class CampaignReport:
-    """Everything a campaign run produced."""
+    """Everything a campaign run produced.
+
+    ``preempted=True`` means the run stopped early at a safe boundary
+    (the orchestrator's ``should_yield`` fired): every completed record
+    is durable in the store, the interrupted job's checkpoint is on
+    disk, and no aggregate was written — a later ``resume=True`` run
+    finishes the campaign byte-identically.
+    """
 
     records: List[Dict] = field(default_factory=list)   # sorted by job_id
     metrics: CampaignMetrics = field(default_factory=CampaignMetrics)
     store_path: Optional[str] = None
     aggregate_path: Optional[str] = None
+    preempted: bool = False
 
     @property
     def ok_records(self) -> List[Dict]:
@@ -76,9 +92,14 @@ class CampaignRunner:
                  timeout_s: Optional[float] = None,
                  resume: bool = False,
                  fault_plan: Optional[Dict] = None,
-                 checkpoint_every: Optional[int] = None) -> None:
+                 checkpoint_every: Optional[int] = None,
+                 should_yield: Optional[Callable[[], bool]] = None) -> None:
         if workers < 0:
             raise ConfigurationError("workers must be >= 0 (0 = in-process)")
+        if should_yield is not None and workers != 0:
+            raise ConfigurationError(
+                "should_yield needs workers=0: a live callback cannot "
+                "cross the process-pool pickle boundary")
         self.jobs = sorted(jobs, key=lambda j: j.job_id)
         ids = [job.job_id for job in self.jobs]
         if len(set(ids)) != len(ids):
@@ -105,6 +126,8 @@ class CampaignRunner:
         self.backoff_s = backoff_s
         self.timeout_s = timeout_s
         self.resume = resume
+        self.should_yield = should_yield
+        self._preempted = False
         # periodic mid-run checkpoints: a crashed/hung/killed attempt
         # resumes from its last intact checkpoint instead of cycle 0
         self.checkpoint: Optional[Dict] = None
@@ -157,7 +180,12 @@ class CampaignRunner:
             for shard in shards:
                 outcomes.extend(
                     run_shard([job.to_dict() for job in shard], attempt,
-                              self.fault_plan, self.checkpoint))
+                              self.fault_plan, self.checkpoint,
+                              self.should_yield))
+                # a preempted outcome ends the round: later shards stay
+                # pending and re-run (or resume) on the next submission
+                if outcomes and outcomes[-1]["status"] == "preempted":
+                    break
             return outcomes
 
         outcomes = []
@@ -212,6 +240,7 @@ class CampaignRunner:
     # -- the campaign --------------------------------------------------------
     def run(self) -> CampaignReport:
         start = time.perf_counter()
+        self._preempted = False
         tel = _obs._active
         campaign_t0 = tel.tracer.now_us() if tel is not None else 0.0
         if tel is not None:
@@ -270,7 +299,7 @@ class CampaignRunner:
 
         # retry rounds: failed jobs individually, one at a time
         for attempt in range(1, self.max_retries + 1):
-            if not failures:
+            if not failures or self._preempted:
                 break
             time.sleep(self.backoff_s * (2 ** (attempt - 1)))
             metrics.retries += len(failures)
@@ -285,9 +314,12 @@ class CampaignRunner:
             failures = split_fatal(self._absorb(outcomes, records, metrics,
                                                 prior_failures=failures))
 
-        # whatever still fails is quarantined — the campaign survives it
-        leftovers = dict(fatal)
-        leftovers.update(failures)
+        # whatever still fails is quarantined — the campaign survives it.
+        # Under preemption nothing is quarantined: unfinished jobs (and
+        # even failed ones) get a fresh start on the resumed run.
+        leftovers = {} if self._preempted else dict(fatal)
+        if not self._preempted:
+            leftovers.update(failures)
         for job_id in sorted(leftovers):
             outcome = leftovers[job_id]
             job = by_id[job_id]
@@ -307,13 +339,19 @@ class CampaignRunner:
         self._retire_pool()
         metrics.wall_s = time.perf_counter() - start
 
-        ordered = [records[job.job_id] for job in self.jobs]
-        report = CampaignReport(records=ordered, metrics=metrics)
+        # under preemption only the completed prefix has records; the
+        # aggregate (the byte-identity artifact) is only ever written by
+        # the run that finishes the campaign
+        ordered = [records[job.job_id] for job in self.jobs
+                   if job.job_id in records]
+        report = CampaignReport(records=ordered, metrics=metrics,
+                                preempted=self._preempted)
         if self.store is not None:
             self.store.rewrite(ordered)
             report.store_path = self.store.path
-            report.aggregate_path = self.store.write_aggregate(
-                report.ok_records, report.quarantined)
+            if not self._preempted:
+                report.aggregate_path = self.store.write_aggregate(
+                    report.ok_records, report.quarantined)
         if tel is not None:
             # registry counters are folded exactly once, here, from the
             # final metrics snapshot — live hooks above only record spans
@@ -359,6 +397,17 @@ class CampaignRunner:
             metrics.busy_s += outcome["wall_s"]
             if "checkpoint" in outcome:
                 metrics.note_checkpoint(outcome["checkpoint"])
+            if outcome["status"] == "preempted":
+                # not a failure: the job's partial progress is on disk as
+                # a checkpoint, and the whole campaign will be offered
+                # again (resume=True) once the preemption pressure clears
+                self._preempted = True
+                if tel is not None:
+                    tel.instant("job.preempted", cat="fleet",
+                                job_id=job.job_id)
+                    tel.emit("job.preempted", job_id=job.job_id,
+                             attempt=outcome["attempt"])
+                continue
             if tel is not None and self.workers > 0:
                 # pool workers don't inherit the telemetry slot, so their
                 # job spans are retro-emitted here from the reported

@@ -11,6 +11,11 @@ detected on load.  Damaged lines are quarantined to
 and never allowed to raise: every intact record after a damaged one is
 still recovered.
 
+The store is safe to *tail while a writer appends*: :meth:`ResultStore.
+tail` consumes only newline-terminated lines, so a reader polling a live
+campaign (the ``repro.serve`` result stream) never misreads an append in
+flight as damage — it just picks the record up on its next poll.
+
 At campaign end the orchestrator rewrites the file sorted by job id, and
 writes the separate ``aggregate.json`` artifact containing only the
 deterministic fields (no wall-clock, no attempt counts), which is the
@@ -24,7 +29,7 @@ import json
 import os
 import warnings
 import zlib
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Tuple
 
 from .spec import canonical_json
 
@@ -97,24 +102,84 @@ class ResultStore:
     def load(self) -> List[Dict]:
         """Read back every intact record, quarantining damaged lines.
 
-        A torn tail (killed mid-append) and a corrupt middle line are
-        treated the same: warn, copy the raw line to the quarantine file,
-        and keep scanning — records after the damage are not lost.
+        A corrupt *complete* line (newline-terminated but failing its CRC
+        or JSON parse) is quarantined: warn, copy the raw line to the
+        quarantine file, keep scanning — records after the damage are not
+        lost.  An *unterminated* final fragment is different: it is either
+        an append in flight on a live writer or a torn tail from a kill
+        mid-append, and in both cases the writer may still complete it —
+        so it is skipped with a warning, never quarantined, and left in
+        the file for the next reader.  (Before this distinction existed,
+        any reader polling a live store would "quarantine" every append
+        it happened to race — the concurrent-tailer bug.)
         """
         records: List[Dict] = []
         try:
             with open(self.path, "r") as handle:
-                for line in handle:
-                    line = line.rstrip("\n")
-                    if not line.strip():
-                        continue
-                    try:
-                        records.append(_unseal(line))
-                    except (json.JSONDecodeError, ValueError) as exc:
-                        self._quarantine_line(line, str(exc))
+                content = handle.read()
         except FileNotFoundError:
-            pass
+            return records
+        complete, sep, partial = content.rpartition("\n")
+        if partial.strip():
+            warnings.warn(
+                f"result store {self.path}: ignoring an unterminated "
+                f"partial tail line ({len(partial)} bytes) — either an "
+                f"append in flight or a torn tail from a kill",
+                RuntimeWarning, stacklevel=2)
+        if sep:
+            for line in complete.split("\n"):
+                if not line.strip():
+                    continue
+                try:
+                    records.append(_unseal(line))
+                except (json.JSONDecodeError, ValueError) as exc:
+                    self._quarantine_line(line, str(exc))
         return records
+
+    def tail(self, offset: int = 0) -> Tuple[List[Dict], int]:
+        """Incrementally read records appended at or after byte ``offset``.
+
+        The concurrent-tailer API: safe to call while a writer is
+        appending.  Only newline-terminated lines are consumed, so a
+        partially-written last line is *not* misread as damage — it is
+        simply not consumed, and the next poll (with the returned offset)
+        picks it up once the writer finishes it.  Damaged complete lines
+        are skipped with a warning but never quarantined: a tailer is a
+        read-only observer and must not race the writer (or other
+        tailers) for the quarantine file.
+
+        Returns ``(records, next_offset)``.  If the file shrank below
+        ``offset`` (an atomic :meth:`rewrite` happened underneath), the
+        tailer holds its position and returns no records rather than
+        replaying lines it already delivered.
+        """
+        if offset < 0:
+            offset = 0
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(0, os.SEEK_END)
+                size = handle.tell()
+                if size <= offset:
+                    return [], offset
+                handle.seek(offset)
+                chunk = handle.read(size - offset)
+        except FileNotFoundError:
+            return [], offset
+        complete, sep, _partial = chunk.rpartition(b"\n")
+        if not sep:
+            return [], offset
+        records: List[Dict] = []
+        for raw in complete.split(b"\n"):
+            line = raw.decode("utf-8", "replace")
+            if not line.strip():
+                continue
+            try:
+                records.append(_unseal(line))
+            except (json.JSONDecodeError, ValueError) as exc:
+                warnings.warn(
+                    f"result store {self.path}: tail skipped a damaged "
+                    f"record ({exc})", RuntimeWarning, stacklevel=2)
+        return records, offset + len(complete) + len(sep)
 
     def rewrite(self, records: Iterable[Dict]) -> None:
         """Atomically replace the log with ``records`` (caller-sorted)."""

@@ -22,14 +22,14 @@ import json
 import os
 import time
 import traceback
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..checkpoint import (PREV_SUFFIX, CheckpointError,
                           load_latest_checkpoint, save_checkpoint)
 from ..core.profiling.export import result_to_json
 from ..core.profiling.session import ProfilingSession
 from ..core.profiling import spec as pspec
-from ..errors import ConfigurationError, FaultInjected
+from ..errors import CampaignPreempted, ConfigurationError, FaultInjected
 from ..faults import (FaultInjector, FaultPlan, SimulationWatchdog,
                       active_injector, fault_point)
 from ..obs import bridge as _obs_bridge
@@ -130,7 +130,9 @@ def _try_restore(device, job: Dict, path: str) -> int:
 
 
 def _run_checkpointed(job: Dict, device, checkpoint: Dict,
-                      stats: Dict, attempt: int = 0) -> None:
+                      stats: Dict, attempt: int = 0,
+                      should_yield: Optional[Callable[[], bool]] = None
+                      ) -> None:
     """Run the job's cycle budget in checkpoint-sized chunks.
 
     After every full chunk an atomic checkpoint (simulator state plus
@@ -139,6 +141,12 @@ def _run_checkpointed(job: Dict, device, checkpoint: Dict,
     plans can kill the worker at the exact point a real crash would be
     recovered from.  A retry finds the file and resumes mid-run — the
     retry budget is measured in lost cycles, not lost jobs.
+
+    ``should_yield`` is the cooperative-preemption hook: it is consulted
+    right after each checkpoint lands on disk, the one point where
+    stopping loses nothing — raising :class:`CampaignPreempted` here
+    leaves the checkpoint in place (completion is what discards it), so
+    a later resume continues from this exact cycle byte-identically.
     """
     every = int(checkpoint["every"])
     if every < 1:
@@ -167,12 +175,17 @@ def _run_checkpointed(job: Dict, device, checkpoint: Dict,
             raise FaultInjected(
                 f"injected worker crash after checkpoint at cycle "
                 f"{device.cycle} in job {job['name']!r}")
+        if should_yield is not None and should_yield():
+            raise CampaignPreempted(
+                f"preempted at checkpoint boundary: cycle {device.cycle} "
+                f"of {target} in job {job['name']!r}")
     _discard_checkpoints(path)
 
 
 def _execute(job: Dict, watchdog_spec: Optional[Dict] = None,
              checkpoint: Optional[Dict] = None,
-             stats: Optional[Dict] = None, attempt: int = 0) -> Dict:
+             stats: Optional[Dict] = None, attempt: int = 0,
+             should_yield: Optional[Callable[[], bool]] = None) -> Dict:
     """Build the device, run the session, serialise the payload."""
     tel = _obs._active
     if tel is not None:
@@ -182,14 +195,16 @@ def _execute(job: Dict, watchdog_spec: Optional[Dict] = None,
         with tel.span("job.execute", cat="fleet", job=job["name"],
                       domain=job["domain"], device=job["device"]):
             return _execute_bare(job, watchdog_spec, checkpoint, stats,
-                                 attempt)
-    return _execute_bare(job, watchdog_spec, checkpoint, stats, attempt)
+                                 attempt, should_yield)
+    return _execute_bare(job, watchdog_spec, checkpoint, stats, attempt,
+                         should_yield)
 
 
 def _execute_bare(job: Dict, watchdog_spec: Optional[Dict] = None,
                   checkpoint: Optional[Dict] = None,
                   stats: Optional[Dict] = None,
-                  attempt: int = 0) -> Dict:
+                  attempt: int = 0,
+                  should_yield: Optional[Callable[[], bool]] = None) -> Dict:
     try:
         scenario = SCENARIOS[job["domain"]]()
     except KeyError:
@@ -213,9 +228,11 @@ def _execute_bare(job: Dict, watchdog_spec: Optional[Dict] = None,
             stats = {}
         if watchdog_spec:
             with SimulationWatchdog(**watchdog_spec).guard(device):
-                _run_checkpointed(job, device, checkpoint, stats, attempt)
+                _run_checkpointed(job, device, checkpoint, stats, attempt,
+                                  should_yield)
         else:
-            _run_checkpointed(job, device, checkpoint, stats, attempt)
+            _run_checkpointed(job, device, checkpoint, stats, attempt,
+                              should_yield)
         result = session.result()
     elif watchdog_spec:
         with SimulationWatchdog(**watchdog_spec).guard(device):
@@ -243,7 +260,8 @@ def _execute_bare(job: Dict, watchdog_spec: Optional[Dict] = None,
 def execute_job(job: Dict, attempt: int = 0,
                 fault_plan: Optional[Dict] = None,
                 checkpoint: Optional[Dict] = None,
-                stats: Optional[Dict] = None) -> Dict:
+                stats: Optional[Dict] = None,
+                should_yield: Optional[Callable[[], bool]] = None) -> Dict:
     """Run one campaign job spec (a ``CampaignJob.to_dict()`` dict).
 
     Returns the deterministic result payload: the parsed canonical-JSON
@@ -259,11 +277,17 @@ def execute_job(job: Dict, attempt: int = 0,
     instead of cycle 0.  ``stats`` (a caller-owned dict) receives the
     non-deterministic checkpoint accounting — resumed cycle, save count —
     which must stay *out* of the payload to preserve its byte-identity.
+
+    ``should_yield`` (in-process callers only — a callback cannot cross
+    the pool's pickle boundary) requests cooperative preemption: checked
+    at every checkpoint boundary, raising
+    :class:`~repro.errors.CampaignPreempted` with the job's checkpoint
+    left on disk for a byte-identical resume.
     """
     _apply_fault(job.get("fault"), attempt)
     if fault_plan is None:
         return _execute(job, checkpoint=checkpoint, stats=stats,
-                        attempt=attempt)
+                        attempt=attempt, should_yield=should_yield)
     plan = fault_plan if isinstance(fault_plan, FaultPlan) \
         else FaultPlan.from_dict(fault_plan)
     with FaultInjector(plan, scope=job["name"]):
@@ -277,17 +301,21 @@ def execute_job(job: Dict, attempt: int = 0,
                              attempt=attempt)
         if action is not None:
             time.sleep(float(action.params.get("seconds", 0.05)))
-        return _execute(job, plan.watchdog, checkpoint, stats, attempt)
+        return _execute(job, plan.watchdog, checkpoint, stats, attempt,
+                        should_yield)
 
 
 def run_shard(jobs: List[Dict], attempt: int = 0,
               fault_plan: Optional[Dict] = None,
-              checkpoint: Optional[Dict] = None) -> List[Dict]:
+              checkpoint: Optional[Dict] = None,
+              should_yield: Optional[Callable[[], bool]] = None
+              ) -> List[Dict]:
     """Execute a shard of job specs, isolating failures per job.
 
     Returns one outcome dict per job, in shard order::
 
-        {"job": <spec>, "status": "ok"|"error", "payload"|"error": ...,
+        {"job": <spec>, "status": "ok"|"error"|"preempted",
+         "payload"|"error": ...,
          "retryable": bool, "wall_s": float, "attempt": int, "pid": int,
          "checkpoint": {...}}                # only when checkpointing
 
@@ -296,14 +324,27 @@ def run_shard(jobs: List[Dict], attempt: int = 0,
     :class:`~repro.errors.WatchdogExpired`, ...) can never succeed on a
     retry, while transient injected faults and unknown exceptions keep the
     default retry/backoff treatment.
+
+    ``should_yield`` (in-process callers only) turns on cooperative
+    preemption: consulted before each job and — via the checkpoint loop —
+    at every checkpoint boundary.  A fired yield ends the shard early
+    with a single ``"preempted"`` outcome for the interrupted job;
+    outcomes for jobs that already completed are returned normally, so
+    nothing finished is lost.
     """
     outcomes: List[Dict] = []
     for job in jobs:
+        if should_yield is not None and should_yield():
+            outcomes.append({
+                "job": job, "status": "preempted", "wall_s": 0.0,
+                "attempt": attempt, "pid": os.getpid(),
+            })
+            break
         start = time.perf_counter()
         stats: Dict = {}
         try:
             payload = execute_job(job, attempt, fault_plan, checkpoint,
-                                  stats)
+                                  stats, should_yield)
             outcome = {
                 "job": job,
                 "status": "ok",
@@ -312,6 +353,18 @@ def run_shard(jobs: List[Dict], attempt: int = 0,
                 "attempt": attempt,
                 "pid": os.getpid(),
             }
+        except CampaignPreempted:
+            outcome = {
+                "job": job,
+                "status": "preempted",
+                "wall_s": time.perf_counter() - start,
+                "attempt": attempt,
+                "pid": os.getpid(),
+            }
+            if checkpoint:
+                outcome["checkpoint"] = stats
+            outcomes.append(outcome)
+            break
         except Exception as exc:
             outcome = {
                 "job": job,

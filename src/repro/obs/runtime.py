@@ -104,6 +104,28 @@ def _register_core_families(reg: MetricsRegistry) -> None:
                 "bytes of checkpoint data written")
     reg.counter("repro_checkpoint_restores_total",
                 "checkpoint restore attempts, by outcome", ("result",))
+    # serve (the always-on campaign service)
+    reg.gauge("repro_serve_queue_depth",
+              "campaigns waiting in the admission queue", ("tenant",))
+    reg.gauge("repro_serve_running_campaigns",
+              "campaigns currently executing in a slot")
+    reg.counter("repro_serve_campaigns_total",
+                "campaign admission and terminal outcomes "
+                "(admitted/rejected/completed/failed/evicted)",
+                ("tenant", "outcome"))
+    reg.counter("repro_serve_evictions_total",
+                "campaigns preempted at a safe boundary to make room "
+                "for higher-priority work")
+    reg.gauge("repro_serve_sse_clients",
+              "currently connected SSE event-stream clients")
+    reg.gauge("repro_serve_tenant_tokens",
+              "token-bucket fill level per tenant at last admission "
+              "decision", ("tenant",))
+    reg.counter("repro_serve_requests_total",
+                "HTTP requests served, by route template and status",
+                ("method", "route", "status"))
+    reg.counter("repro_serve_results_streamed_total",
+                "per-job result records pushed to event streams")
 
 
 class Telemetry:

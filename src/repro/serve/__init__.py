@@ -1,0 +1,46 @@
+"""repro.serve — always-on asynchronous campaign service.
+
+A long-running HTTP front end over the fleet orchestrator: tenants
+submit campaign specs to a priority queue with weighted-fair scheduling
+and token-bucket quotas; workers execute them through the ordinary
+campaign machinery (checkpointed, resumable, byte-identical); results
+and lifecycle events stream back live over Server-Sent Events.
+
+Layering::
+
+    app.py      HTTP/1.1 + SSE framing            (asyncio, stdlib only)
+    service.py  admission / scheduling / slots    (the state machine)
+    queue.py    priority + start-time fair queue  (pure data structures)
+    quota.py    token buckets + tenant policies   (injectable clock)
+    stream.py   SSE frames + replayable buffers   (thread -> loop bridge)
+    catalog.py  build-time capability catalog     (static artifact)
+
+See ``docs/serve.md`` for the API reference and scheduling semantics.
+"""
+
+from .app import ServeApp, serve
+from .catalog import build_catalog, load_catalog, write_catalog
+from .queue import FairQueue, QueueEntry
+from .quota import QuotaManager, TenantPolicy, TokenBucket
+from .service import Campaign, CampaignService
+from .stream import EventBuffer, EventLogBridge, encode_comment, \
+    encode_frame
+
+__all__ = [
+    "Campaign",
+    "CampaignService",
+    "EventBuffer",
+    "EventLogBridge",
+    "FairQueue",
+    "QueueEntry",
+    "QuotaManager",
+    "ServeApp",
+    "TenantPolicy",
+    "TokenBucket",
+    "build_catalog",
+    "encode_comment",
+    "encode_frame",
+    "load_catalog",
+    "serve",
+    "write_catalog",
+]

@@ -1,0 +1,310 @@
+"""Minimal asyncio HTTP/1.1 front end for :class:`CampaignService`.
+
+Hand-rolled on ``asyncio.start_server`` — the repo's no-new-dependencies
+rule applies to the service too, and the API surface is small enough
+that a framework would be mostly dead weight:
+
+====== ================================== ================================
+Method Path                               Purpose
+====== ================================== ================================
+GET    ``/healthz``                       liveness + uptime
+GET    ``/metrics``                       Prometheus text exposition
+GET    ``/v1/catalog``                    build-time campaign catalog
+POST   ``/v1/campaigns``                  submit a spec (``X-Tenant``)
+GET    ``/v1/campaigns``                  list campaigns + queue state
+GET    ``/v1/campaigns/{id}``             one campaign's status
+GET    ``/v1/campaigns/{id}/results``     incremental JSONL page
+GET    ``/v1/campaigns/{id}/aggregate``   final aggregate.json bytes
+GET    ``/v1/campaigns/{id}/events``      live SSE stream
+====== ================================== ================================
+
+Error mapping: spec problems → 400, unknown campaign → 404, quota →
+429 with ``Retry-After``.  SSE reconnects honour ``Last-Event-ID`` (or
+``?last_event_id=N``) by replaying the campaign's buffered history.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from .. import __version__
+from ..errors import ConfigurationError, FormatError, QuotaExceeded
+from .service import CampaignService
+from .stream import encode_comment, encode_frame
+
+#: request body cap — campaign specs are small documents
+MAX_BODY = 1 << 20
+#: SSE keepalive interval while a campaign is quiet
+KEEPALIVE_S = 15.0
+
+REASONS = {200: "OK", 204: "No Content", 400: "Bad Request",
+           404: "Not Found", 405: "Method Not Allowed",
+           413: "Payload Too Large", 429: "Too Many Requests",
+           500: "Internal Server Error"}
+
+
+class HttpError(Exception):
+    def __init__(self, status: int, message: str,
+                 headers: Optional[Dict[str, str]] = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.headers = headers or {}
+
+
+def _response(status: int, body: bytes,
+              content_type: str = "application/json",
+              extra: Optional[Dict[str, str]] = None) -> bytes:
+    head = [f"HTTP/1.1 {status} {REASONS.get(status, 'Unknown')}",
+            f"Server: repro-serve/{__version__}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            "Connection: close"]
+    for name, value in (extra or {}).items():
+        head.append(f"{name}: {value}")
+    return ("\r\n".join(head) + "\r\n\r\n").encode("ascii") + body
+
+
+def _json_response(status: int, document,
+                   extra: Optional[Dict[str, str]] = None) -> bytes:
+    body = (json.dumps(document, sort_keys=True) + "\n").encode("utf-8")
+    return _response(status, body, extra=extra)
+
+
+class ServeApp:
+    """Routes HTTP requests onto one :class:`CampaignService`."""
+
+    def __init__(self, service: CampaignService) -> None:
+        self.service = service
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # -- server lifecycle ----------------------------------------------------
+    async def start(self, host: str = "127.0.0.1", port: int = 0
+                    ) -> Tuple[str, int]:
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host, port)
+        sock = self._server.sockets[0]
+        bound_host, bound_port = sock.getsockname()[:2]
+        return bound_host, bound_port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.stop()
+
+    # -- request plumbing ----------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        route = "?"
+        method = "?"
+        try:
+            method, target, headers, body = await self._read_request(reader)
+            path = urlsplit(target).path
+            query = parse_qs(urlsplit(target).query)
+            route, payload = await self._dispatch(
+                method, path, query, headers, body, writer)
+            if payload is not None:       # SSE handlers write themselves
+                self._count(method, route, 200)
+                writer.write(payload)
+                await writer.drain()
+        except HttpError as exc:
+            self._count(method, route, exc.status)
+            try:
+                writer.write(_json_response(
+                    exc.status, {"error": str(exc)}, extra=exc.headers))
+                await writer.drain()
+            except (ConnectionError, RuntimeError):
+                pass
+        except (asyncio.IncompleteReadError, ConnectionError,
+                asyncio.LimitOverrunError, asyncio.CancelledError):
+            pass                           # client went away mid-request
+        except Exception as exc:           # pragma: no cover - last resort
+            self._count(method, route, 500)
+            try:
+                writer.write(_json_response(
+                    500, {"error": f"{type(exc).__name__}: {exc}"}))
+                await writer.drain()
+            except (ConnectionError, RuntimeError):
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    @staticmethod
+    async def _read_request(reader: asyncio.StreamReader):
+        raw = await reader.readuntil(b"\r\n\r\n")
+        head = raw.decode("latin-1").split("\r\n")
+        try:
+            method, target, _version = head[0].split(" ", 2)
+        except ValueError:
+            raise HttpError(400, f"malformed request line {head[0]!r}")
+        headers: Dict[str, str] = {}
+        for line in head[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY:
+            raise HttpError(413, f"body of {length} bytes exceeds "
+                                 f"{MAX_BODY}")
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), target, headers, body
+
+    def _count(self, method: str, route: str, status: int) -> None:
+        self.service.registry.get("repro_serve_requests_total") \
+            .labels(method, route, str(status)).inc()
+
+    # -- routing -------------------------------------------------------------
+    async def _dispatch(self, method: str, path: str, query: Dict,
+                        headers: Dict[str, str], body: bytes,
+                        writer: asyncio.StreamWriter):
+        """Returns ``(route_template, response_bytes_or_None)``."""
+        if path == "/healthz" and method == "GET":
+            return "/healthz", _json_response(200, {
+                "status": "ok",
+                "version": __version__,
+                "slots": self.service.slots,
+                "campaigns": len(self.service.campaigns),
+            })
+        if path == "/metrics" and method == "GET":
+            text = self.service.registry.to_prometheus()
+            return "/metrics", _response(
+                200, text.encode("utf-8"),
+                content_type="text/plain; version=0.0.4")
+        if path == "/v1/catalog" and method == "GET":
+            return "/v1/catalog", _json_response(200, self.service.catalog)
+        if path == "/v1/campaigns":
+            if method == "POST":
+                return "/v1/campaigns", self._submit(headers, body)
+            if method == "GET":
+                return "/v1/campaigns", _json_response(
+                    200, self.service.overview())
+            raise HttpError(405, f"{method} not allowed on {path}")
+
+        parts = [p for p in path.split("/") if p]
+        if len(parts) >= 2 and parts[0] == "v1" and parts[1] == "campaigns":
+            campaign_id = parts[2] if len(parts) > 2 else ""
+            campaign = self.service.get(campaign_id)
+            if campaign is None:
+                raise HttpError(404, f"no campaign {campaign_id!r}")
+            tail = parts[3] if len(parts) > 3 else ""
+            if method != "GET":
+                raise HttpError(405, f"{method} not allowed on {path}")
+            if tail == "":
+                return "/v1/campaigns/{id}", _json_response(
+                    200, campaign.status())
+            if tail == "results":
+                offset = self._int_param(query, "offset", 0)
+                return "/v1/campaigns/{id}/results", _json_response(
+                    200, self.service.results_page(campaign, offset))
+            if tail == "aggregate":
+                text = self.service.aggregate_text(campaign)
+                if text is None:
+                    raise HttpError(404, f"campaign {campaign_id!r} has "
+                                         f"no aggregate yet")
+                return "/v1/campaigns/{id}/aggregate", _response(
+                    200, text.encode("utf-8"))
+            if tail == "events":
+                last_id = int(headers.get(
+                    "last-event-id",
+                    str(self._int_param(query, "last_event_id", 0))))
+                await self._stream_events(campaign, last_id, writer)
+                return "/v1/campaigns/{id}/events", None
+        raise HttpError(404, f"no route for {method} {path}")
+
+    @staticmethod
+    def _int_param(query: Dict, name: str, default: int) -> int:
+        values = query.get(name)
+        if not values:
+            return default
+        try:
+            return int(values[0])
+        except ValueError:
+            raise HttpError(400, f"query parameter {name!r} must be an "
+                                 f"integer, got {values[0]!r}")
+
+    # -- handlers ------------------------------------------------------------
+    def _submit(self, headers: Dict[str, str], body: bytes) -> bytes:
+        tenant = headers.get("x-tenant", "anonymous")
+        try:
+            payload = json.loads(body.decode("utf-8") or "{}")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise HttpError(400, f"request body is not JSON: {exc}")
+        if not isinstance(payload, dict):
+            raise HttpError(400, "request body must be a JSON object")
+        try:
+            campaign = self.service.submit(tenant, payload)
+        except QuotaExceeded as exc:
+            raise HttpError(429, str(exc), headers={
+                "Retry-After": str(max(1, int(exc.retry_after_s + 0.999)))})
+        except (ConfigurationError, FormatError) as exc:
+            raise HttpError(400, str(exc))
+        return _json_response(200, campaign.status(), extra={
+            "Location": f"/v1/campaigns/{campaign.campaign_id}"})
+
+    async def _stream_events(self, campaign, last_id: int,
+                             writer: asyncio.StreamWriter) -> None:
+        """Long-lived SSE response: replay after ``last_id``, then live."""
+        self._count("GET", "/v1/campaigns/{id}/events", 200)
+        gauge = self.service.registry.get("repro_serve_sse_clients")
+        gauge.inc(1)
+        try:
+            writer.write(
+                b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: text/event-stream\r\n"
+                b"Cache-Control: no-store\r\n"
+                b"Connection: close\r\n\r\n")
+            writer.write(encode_frame(
+                json.dumps({"campaign": campaign.campaign_id,
+                            "state": campaign.state}, sort_keys=True),
+                event="stream.open", retry_ms=1000))
+            await writer.drain()
+            cursor = last_id
+            while True:
+                events, closed = campaign.buffer.since(cursor)
+                for event_id, name, data in events:
+                    writer.write(encode_frame(
+                        data, event=name, event_id=event_id))
+                    cursor = event_id
+                await writer.drain()
+                if closed and cursor >= campaign.buffer.last_id:
+                    writer.write(encode_frame(
+                        json.dumps({"state": campaign.state},
+                                   sort_keys=True),
+                        event="stream.close"))
+                    await writer.drain()
+                    return
+                fresh = await campaign.buffer.wait(
+                    cursor, timeout=KEEPALIVE_S)
+                if not fresh:
+                    writer.write(encode_comment())
+                    await writer.drain()
+        finally:
+            gauge.inc(-1)
+
+
+async def serve(service: CampaignService, host: str = "127.0.0.1",
+                port: int = 8787) -> None:
+    """Run the service until cancelled (the ``repro serve`` entry point).
+
+    Prints the bound address on startup — with ``port=0`` the OS picks a
+    free port and the printed line is how scripts (and the CI smoke
+    lane) discover it.
+    """
+    app = ServeApp(service)
+    bound_host, bound_port = await app.start(host, port)
+    print(f"repro serve: listening on http://{bound_host}:{bound_port}",
+          flush=True)
+    try:
+        await asyncio.Event().wait()       # until cancelled from outside
+    finally:
+        await app.stop()

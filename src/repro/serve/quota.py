@@ -1,0 +1,145 @@
+"""Per-tenant admission control: token buckets, queue caps, weights.
+
+The paper's fleet serves *populations* of customers; the service in
+front of it serves *tenants* — architecture teams submitting campaign
+specs concurrently.  Admission control keeps one noisy tenant from
+starving the rest:
+
+* a **token bucket** per tenant bounds sustained submission rate while
+  allowing bursts (capacity = burst size, refilled continuously at
+  ``refill_per_s``);
+* a **queue-depth cap** bounds how much work a tenant may have waiting;
+* a **weight** feeds the fair queue (:mod:`repro.serve.queue`) so paying
+  twice buys twice the interleaving share, not twice the priority.
+
+Every clock read goes through an injectable ``clock`` callable so refill
+timing is testable with a fake clock — the same discipline the obs event
+log uses.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..errors import ConfigurationError, QuotaExceeded
+
+
+class TokenBucket:
+    """Continuous-refill token bucket on an injectable clock."""
+
+    def __init__(self, capacity: float, refill_per_s: float,
+                 clock: Callable[[], float] = time.monotonic,
+                 tokens: Optional[float] = None) -> None:
+        if capacity <= 0:
+            raise ConfigurationError("bucket capacity must be > 0")
+        if refill_per_s < 0:
+            raise ConfigurationError("refill rate must be >= 0")
+        self.capacity = float(capacity)
+        self.refill_per_s = float(refill_per_s)
+        self._clock = clock
+        self._tokens = self.capacity if tokens is None else float(tokens)
+        self._last = clock()
+
+    def _advance(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._last)
+        self._last = now
+        if self.refill_per_s > 0:
+            self._tokens = min(self.capacity,
+                               self._tokens + elapsed * self.refill_per_s)
+
+    def level(self) -> float:
+        """Current token count (after refill)."""
+        self._advance()
+        return self._tokens
+
+    def try_take(self, n: float = 1.0) -> bool:
+        """Take ``n`` tokens if available; never blocks."""
+        self._advance()
+        if self._tokens + 1e-12 < n:
+            return False
+        self._tokens -= n
+        return True
+
+    def seconds_until(self, n: float = 1.0) -> float:
+        """How long until ``n`` tokens will be available (Retry-After)."""
+        self._advance()
+        missing = n - self._tokens
+        if missing <= 0:
+            return 0.0
+        if self.refill_per_s <= 0:
+            return float("inf")
+        return missing / self.refill_per_s
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Admission policy for one tenant (or the default for everyone)."""
+
+    weight: float = 1.0           # fair-queue share
+    burst: float = 4.0            # token-bucket capacity
+    refill_per_s: float = 0.5     # sustained campaigns per second
+    max_queued: int = 8           # campaigns waiting at once
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ConfigurationError("tenant weight must be > 0")
+        if self.max_queued < 1:
+            raise ConfigurationError("max_queued must be >= 1")
+
+
+class QuotaManager:
+    """Admission decisions and fair-queue weights for every tenant.
+
+    Unknown tenants get the ``default`` policy; per-tenant overrides are
+    how a deployment grants a release team more burst or a scratch
+    tenant less.  State (the buckets) is created lazily on first touch.
+    """
+
+    def __init__(self, default: TenantPolicy = TenantPolicy(),
+                 overrides: Optional[Dict[str, TenantPolicy]] = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.default = default
+        self.overrides = dict(overrides or {})
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+
+    def policy(self, tenant: str) -> TenantPolicy:
+        return self.overrides.get(tenant, self.default)
+
+    def weight(self, tenant: str) -> float:
+        return self.policy(tenant).weight
+
+    def bucket(self, tenant: str) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            policy = self.policy(tenant)
+            bucket = TokenBucket(policy.burst, policy.refill_per_s,
+                                 self._clock)
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def tokens(self, tenant: str) -> float:
+        return self.bucket(tenant).level()
+
+    def admit(self, tenant: str, queued_now: int) -> None:
+        """Admit one campaign submission or raise :class:`QuotaExceeded`.
+
+        ``queued_now`` is the tenant's current queued+running campaign
+        count.  The queue-depth check runs *before* the bucket draw so a
+        rejected-for-depth submission doesn't also burn a token.
+        """
+        policy = self.policy(tenant)
+        if queued_now >= policy.max_queued:
+            raise QuotaExceeded(
+                f"tenant {tenant!r} already has {queued_now} campaigns "
+                f"queued or running (limit {policy.max_queued})",
+                retry_after_s=1.0)
+        bucket = self.bucket(tenant)
+        if not bucket.try_take(1.0):
+            raise QuotaExceeded(
+                f"tenant {tenant!r} is over its submission rate "
+                f"({policy.refill_per_s}/s, burst {policy.burst})",
+                retry_after_s=bucket.seconds_until(1.0))

@@ -1,0 +1,422 @@
+"""The always-on campaign service: admission, scheduling, execution.
+
+:class:`CampaignService` is the standing measurement infrastructure the
+MCDS/ED substrate models in hardware (PAPERS.md): clients submit
+statistical customer profiles at any time, a priority queue with
+weighted-fair tenant interleaving feeds execution slots, and results
+stream back while simulation is still running.
+
+Execution model
+---------------
+
+* Each campaign runs through the ordinary fleet orchestrator
+  (:func:`repro.fleet.api.run_campaign`) with ``workers=0`` inside a
+  dedicated executor thread — one slot, one thread, one campaign at a
+  time per slot.  Nothing about the science changes: the service is a
+  scheduler wrapped around the exact computation ``repro campaign`` runs.
+* **Preemption**: when a strictly higher-priority campaign is waiting
+  and no slot is free, the lowest-priority running campaign is asked to
+  yield.  The orchestrator honors the request at the next checkpoint
+  boundary (or job boundary), leaving the store prefix and the in-flight
+  job's checkpoint on disk; the evicted campaign re-enters the queue and
+  later *resumes* — completed jobs replayed from the store, the
+  interrupted job continued from its checkpoint, final artifacts
+  byte-identical to an uninterrupted run (the PR5 guarantee, now a
+  graceful-degradation story).
+* **Streaming**: every lifecycle event and per-job result is emitted
+  through a per-campaign :class:`repro.obs.events.EventLog` bridged into
+  a replayable SSE buffer; results are discovered by *tailing the
+  campaign's JSONL store while the runner appends to it*
+  (:meth:`repro.fleet.store.ResultStore.tail`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..errors import ConfigurationError, QuotaExceeded
+from ..fleet.api import CampaignSpec, run_campaign
+from ..fleet.spec import canonical_json
+from ..fleet.store import ResultStore
+from ..obs.events import EventLog
+from ..obs.registry import MetricsRegistry
+from ..obs.runtime import _register_core_families
+from .catalog import build_catalog, load_catalog
+from .queue import FairQueue
+from .quota import QuotaManager
+from .stream import EventBuffer, EventLogBridge
+
+#: campaign lifecycle states
+QUEUED = "queued"
+RUNNING = "running"
+EVICTING = "evicting"            # yield requested, waiting for the boundary
+COMPLETED = "completed"
+FAILED = "failed"
+
+TERMINAL = (COMPLETED, FAILED)
+
+#: how often the result tailer polls a running campaign's store
+TAIL_INTERVAL_S = 0.05
+
+
+@dataclass
+class Campaign:
+    """One submitted campaign and everything the service tracks for it."""
+
+    campaign_id: str
+    tenant: str
+    priority: int
+    spec: CampaignSpec
+    directory: str
+    state: str = QUEUED
+    jobs_total: int = 0
+    attempts: int = 0             # scheduling attempts (1 + evictions)
+    evictions: int = 0
+    error: Optional[str] = None
+    aggregate_path: Optional[str] = None
+    quarantined: List[str] = field(default_factory=list)
+    buffer: EventBuffer = field(default_factory=EventBuffer)
+    log: EventLog = field(init=False)
+    yield_flag: threading.Event = field(default_factory=threading.Event)
+    store: ResultStore = field(init=False)
+    tail_offset: int = 0
+    streamed_jobs: Set[str] = field(default_factory=set)
+    results_streamed: int = 0
+
+    def __post_init__(self) -> None:
+        self.log = EventLog(self.campaign_id,
+                            stream=EventLogBridge(self.buffer))
+        self.store = ResultStore(self.directory)
+
+    def emit(self, event: str, **fields_) -> None:
+        """Emit one structured event into the obs log → SSE buffer."""
+        self.log.emit(event, **fields_)
+
+    def status(self) -> Dict:
+        return {
+            "id": self.campaign_id,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "state": self.state,
+            "jobs_total": self.jobs_total,
+            "results_streamed": self.results_streamed,
+            "attempts": self.attempts,
+            "evictions": self.evictions,
+            "error": self.error,
+            "quarantined": list(self.quarantined),
+            "spec": self.spec.to_dict(),
+        }
+
+
+class CampaignService:
+    """Queue + quota + slots around the fleet orchestrator.
+
+    Create, ``await start()``, submit via :meth:`submit` (the HTTP layer
+    calls it), ``await stop()``.  All scheduling runs on the asyncio
+    loop; campaign execution runs in ``slots`` executor threads.
+    """
+
+    def __init__(self, root: str,
+                 quota: Optional[QuotaManager] = None,
+                 slots: int = 1,
+                 checkpoint_every: int = 5_000,
+                 max_retries: int = 1,
+                 cache_dir: Optional[str] = None,
+                 catalog_path: Optional[str] = None,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        if slots < 1:
+            raise ConfigurationError("service needs at least one slot")
+        if checkpoint_every < 1:
+            raise ConfigurationError("checkpoint_every must be >= 1")
+        self.root = root
+        os.makedirs(os.path.join(root, "campaigns"), exist_ok=True)
+        self.quota = quota if quota is not None else QuotaManager()
+        self.queue = FairQueue(weight_of=self.quota.weight)
+        self.slots = slots
+        self.checkpoint_every = checkpoint_every
+        self.max_retries = max_retries
+        self.cache_dir = cache_dir
+        self.catalog = (load_catalog(catalog_path) if catalog_path
+                        else build_catalog())
+        if registry is None:
+            registry = MetricsRegistry()
+            _register_core_families(registry)
+        self.registry = registry
+        self.campaigns: Dict[str, Campaign] = {}
+        self.started_at = time.time()
+        self._seq = 0
+        self._running_campaigns: Dict[str, Campaign] = {}
+        self._tasks: Set[asyncio.Task] = set()
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._wake = asyncio.Event()
+        self._scheduler_task: Optional[asyncio.Task] = None
+        self._stopping = False
+
+    # -- lifecycle -----------------------------------------------------------
+    async def start(self) -> None:
+        if self._scheduler_task is not None:
+            return
+        self._stopping = False
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.slots, thread_name_prefix="repro-serve")
+        self._scheduler_task = asyncio.ensure_future(self._scheduler())
+
+    async def stop(self) -> None:
+        """Graceful shutdown: evict running work at safe boundaries."""
+        self._stopping = True
+        for campaign in list(self._running_campaigns.values()):
+            campaign.yield_flag.set()
+        self._wake.set()
+        if self._scheduler_task is not None:
+            self._scheduler_task.cancel()
+            try:
+                await self._scheduler_task
+            except asyncio.CancelledError:
+                pass
+            self._scheduler_task = None
+        for task in list(self._tasks):
+            try:
+                await asyncio.wait_for(task, timeout=60)
+            except (asyncio.TimeoutError, asyncio.CancelledError):
+                task.cancel()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # -- admission -----------------------------------------------------------
+    def submit(self, tenant: str, payload: Dict) -> Campaign:
+        """Admit one campaign submission (raises on quota/spec errors)."""
+        if self._stopping:
+            raise QuotaExceeded("service is shutting down",
+                                retry_after_s=5.0)
+        body = dict(payload)
+        priority = body.pop("priority", 0)
+        try:
+            priority = int(priority)
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                f"priority must be an integer, got {priority!r}")
+        spec = CampaignSpec.from_dict(body)
+        active = sum(1 for c in self.campaigns.values()
+                     if c.tenant == tenant and c.state not in TERMINAL)
+        try:
+            self.quota.admit(tenant, active)
+        except QuotaExceeded:
+            self._count_campaign(tenant, "rejected")
+            self._gauge_tokens(tenant)
+            raise
+        self._gauge_tokens(tenant)
+        self._seq += 1
+        campaign_id = f"cmp-{self._seq:06d}"
+        directory = os.path.join(self.root, "campaigns", campaign_id)
+        os.makedirs(directory, exist_ok=True)
+        campaign = Campaign(campaign_id=campaign_id, tenant=tenant,
+                            priority=priority, spec=spec,
+                            directory=directory)
+        campaign.jobs_total = len(spec.build_jobs())
+        self.campaigns[campaign_id] = campaign
+        self.queue.push(campaign_id, tenant, priority,
+                        cost=max(1.0, float(campaign.jobs_total)))
+        self._count_campaign(tenant, "admitted")
+        self._gauge_queue()
+        campaign.emit("campaign.queued", tenant=tenant, priority=priority,
+                      jobs_total=campaign.jobs_total)
+        self._wake.set()
+        return campaign
+
+    def get(self, campaign_id: str) -> Optional[Campaign]:
+        return self.campaigns.get(campaign_id)
+
+    def overview(self) -> Dict:
+        return {
+            "campaigns": [c.status() for c in self.campaigns.values()],
+            "queue_depth": len(self.queue),
+            "running": sorted(self._running_campaigns),
+            "slots": self.slots,
+        }
+
+    # -- metrics helpers -----------------------------------------------------
+    def _count_campaign(self, tenant: str, outcome: str) -> None:
+        self.registry.get("repro_serve_campaigns_total") \
+            .labels(tenant, outcome).inc()
+
+    def _gauge_queue(self) -> None:
+        gauge = self.registry.get("repro_serve_queue_depth")
+        tenants = {c.tenant for c in self.campaigns.values()}
+        for tenant in tenants:
+            gauge.labels(tenant).set(self.queue.depth(tenant))
+        self.registry.get("repro_serve_running_campaigns") \
+            .set(len(self._running_campaigns))
+
+    def _gauge_tokens(self, tenant: str) -> None:
+        self.registry.get("repro_serve_tenant_tokens") \
+            .labels(tenant).set(self.quota.tokens(tenant))
+
+    # -- scheduling ----------------------------------------------------------
+    async def _scheduler(self) -> None:
+        while True:
+            await self._wake.wait()
+            self._wake.clear()
+            if self._stopping:
+                continue
+            # fill free slots in fair-queue order
+            while len(self._running_campaigns) < self.slots:
+                entry = self.queue.pop()
+                if entry is None:
+                    break
+                campaign = self.campaigns[entry.campaign_id]
+                # claim the slot synchronously — the task body runs a
+                # tick later, and the loop must not dispatch twice
+                self._running_campaigns[campaign.campaign_id] = campaign
+                task = asyncio.ensure_future(self._run(campaign))
+                self._tasks.add(task)
+                task.add_done_callback(self._tasks.discard)
+            # eviction: strictly higher-priority work waiting, no free slot
+            best = self.queue.best_priority()
+            if best is not None and \
+                    len(self._running_campaigns) >= self.slots:
+                victims = [c for c in self._running_campaigns.values()
+                           if c.state == RUNNING and c.priority < best]
+                if victims:
+                    victim = min(victims, key=lambda c: c.priority)
+                    victim.state = EVICTING
+                    victim.emit("campaign.evicting",
+                                displaced_by_priority=best)
+                    victim.yield_flag.set()
+            self._gauge_queue()
+
+    def _run_blocking(self, campaign: Campaign):
+        """Executed on a slot thread: one orchestrator run."""
+        return run_campaign(
+            campaign.spec,
+            workers=0,
+            campaign_dir=campaign.directory,
+            cache_dir=self.cache_dir,
+            max_retries=self.max_retries,
+            backoff_s=0.05,
+            checkpoint_every=self.checkpoint_every,
+            resume=campaign.attempts > 1,
+            should_yield=campaign.yield_flag.is_set)
+
+    async def _run(self, campaign: Campaign) -> None:
+        campaign.state = RUNNING
+        campaign.attempts += 1
+        campaign.yield_flag.clear()
+        # the store is cleared and completed records re-appended on every
+        # attempt, so the tailer restarts from byte 0 and dedups by job id
+        campaign.tail_offset = 0
+        self._gauge_queue()
+        campaign.emit("campaign.started", attempt=campaign.attempts,
+                      resumed=campaign.attempts > 1)
+        # re-run the scheduler's eviction check now that this campaign
+        # is visibly RUNNING (a high-priority submission may have landed
+        # in the gap between slot claim and task start)
+        self._wake.set()
+        loop = asyncio.get_running_loop()
+        tailer = asyncio.ensure_future(self._tail(campaign))
+        try:
+            report = await loop.run_in_executor(
+                self._pool, self._run_blocking, campaign)
+            error = None
+        except Exception as exc:             # orchestrator-level failure
+            report, error = None, f"{type(exc).__name__}: {exc}"
+        finally:
+            tailer.cancel()
+            try:
+                await tailer
+            except asyncio.CancelledError:
+                pass
+            self._drain_results(campaign)    # final, complete pass
+            self._running_campaigns.pop(campaign.campaign_id, None)
+
+        if error is not None:
+            campaign.state = FAILED
+            campaign.error = error
+            self._count_campaign(campaign.tenant, "failed")
+            campaign.emit("campaign.failed", error=error)
+            campaign.buffer.close()
+        elif report.preempted:
+            campaign.evictions += 1
+            campaign.state = QUEUED
+            self.registry.get("repro_serve_evictions_total").inc()
+            self._count_campaign(campaign.tenant, "evicted")
+            campaign.emit("campaign.evicted",
+                          completed_jobs=len(report.records),
+                          evictions=campaign.evictions)
+            # back of its tenant's line, same priority — a later
+            # dispatch resumes from the store + checkpoint
+            self.queue.push(campaign.campaign_id, campaign.tenant,
+                            campaign.priority,
+                            cost=max(1.0, float(
+                                campaign.jobs_total - len(report.records))))
+        else:
+            campaign.state = COMPLETED
+            campaign.aggregate_path = report.aggregate_path
+            campaign.quarantined = [r["job_id"] for r in report.quarantined]
+            self._count_campaign(campaign.tenant, "completed")
+            campaign.emit(
+                "campaign.completed",
+                executed=report.metrics.executed,
+                resumed=report.metrics.resumed,
+                cache_hits=report.metrics.cache_hits,
+                quarantined=campaign.quarantined,
+                checkpoint_resumes=report.metrics.checkpoint_resumes,
+                cycles_recovered=report.metrics.cycles_recovered,
+                evictions=campaign.evictions)
+            campaign.buffer.close()
+        self._gauge_queue()
+        self._wake.set()
+
+    # -- live result streaming ----------------------------------------------
+    async def _tail(self, campaign: Campaign) -> None:
+        """Poll the campaign's store while the runner appends to it."""
+        while True:
+            self._drain_results(campaign)
+            await asyncio.sleep(TAIL_INTERVAL_S)
+
+    def _drain_results(self, campaign: Campaign) -> None:
+        records, campaign.tail_offset = campaign.store.tail(
+            campaign.tail_offset)
+        for record in records:
+            job_id = record.get("job_id")
+            if job_id is None or job_id in campaign.streamed_jobs:
+                continue           # replayed on resume — already streamed
+            campaign.streamed_jobs.add(job_id)
+            campaign.results_streamed += 1
+            self.registry.get("repro_serve_results_streamed_total").inc()
+            campaign.emit("job.result", job_id=job_id,
+                          status=record.get("status"),
+                          source=record.get("source"),
+                          digest=record.get("digest"),
+                          payload=record.get("payload"))
+
+    # -- result serving ------------------------------------------------------
+    def results_page(self, campaign: Campaign, offset: int) -> Dict:
+        """Incremental page of the campaign's JSONL store from ``offset``."""
+        records, next_offset = campaign.store.tail(offset)
+        return {
+            "id": campaign.campaign_id,
+            "state": campaign.state,
+            "records": records,
+            "next_offset": next_offset,
+            "complete": campaign.state in TERMINAL,
+        }
+
+    def aggregate_text(self, campaign: Campaign) -> Optional[str]:
+        if campaign.aggregate_path is None:
+            return None
+        with open(campaign.aggregate_path) as handle:
+            return handle.read()
+
+
+def spec_digest(spec: CampaignSpec) -> str:
+    """Content digest of a spec document (client-side dedupe aid)."""
+    import hashlib
+    return hashlib.sha256(
+        canonical_json(spec.to_dict()).encode("utf-8")).hexdigest()

@@ -325,7 +325,11 @@ def test_store_append_load_roundtrip_with_checksums(tmp_path):
         assert all("_crc32" in json.loads(line) for line in handle)
 
 
-def test_store_quarantines_torn_tail_with_warning(tmp_path):
+def test_store_skips_torn_tail_without_quarantine(tmp_path):
+    """An unterminated last line is indistinguishable from a concurrent
+    writer mid-append (the serve-layer tailing contract), so load()
+    warns and skips it but must NOT quarantine — the writer may still
+    finish that line."""
     store = ResultStore(str(tmp_path))
     for record in _records(2):
         store.append(record)
@@ -334,9 +338,24 @@ def test_store_quarantines_torn_tail_with_warning(tmp_path):
     with warnings.catch_warnings(record=True) as caught:
         warnings.simplefilter("always")
         assert store.load() == _records(2)
+    assert any("partial tail" in str(w.message) for w in caught)
+    assert not os.path.exists(store.quarantine_path)
+
+
+def test_store_quarantines_terminated_damaged_tail(tmp_path):
+    """A newline-terminated damaged last line is real corruption — the
+    writer finished it — and is still quarantined."""
+    store = ResultStore(str(tmp_path))
+    for record in _records(2):
+        store.append(record)
+    with open(store.path, "a") as handle:
+        handle.write('{"job_id": "job-9, torn but terminated\n')
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        assert store.load() == _records(2)
     assert any("damaged record" in str(w.message) for w in caught)
     with open(store.quarantine_path) as handle:
-        assert "torn mid-wri" in handle.read()
+        assert "torn but terminated" in handle.read()
 
 
 def test_store_recovers_records_after_a_corrupt_middle_line(tmp_path):

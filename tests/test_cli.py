@@ -204,3 +204,21 @@ def test_profile_kernel_telemetry_flags(capsys, tmp_path):
     assert 'repro_kernel_cycles_per_sec{kernel="quiescent"}' in prom
     assert "repro_kernel_component_ticks_total" in prom
     assert "repro_kernel_component_wall_seconds" in prom
+
+
+def test_catalog_prints_document(capsys):
+    code, out = run_cli(capsys, "catalog")
+    assert code == 0
+    import json as json_mod
+    doc = json_mod.loads(out)
+    assert set(doc["devices"]) == {"tc1767", "tc1797"}
+    assert doc["catalog_schema"] == 1
+
+
+def test_catalog_writes_artifact(capsys, tmp_path):
+    path = tmp_path / "catalog.json"
+    code, out = run_cli(capsys, "catalog", "--out", str(path))
+    assert code == 0
+    assert "catalog: wrote" in out
+    from repro.serve import build_catalog, load_catalog
+    assert load_catalog(str(path)) == build_catalog()

@@ -1,0 +1,87 @@
+"""The programmatic campaign API: spec validation and CLI equivalence."""
+
+import pytest
+
+from repro.fleet import CampaignSpec, jobs_for, run_campaign
+
+SPEC = dict(count=2, cycles=8_000, seed=9)
+
+
+def test_defaults_are_the_cli_defaults():
+    spec = CampaignSpec()
+    assert spec.count == 8
+    assert spec.cycles == 100_000
+    assert spec.device == "tc1797"
+    assert spec.seed == 2008
+
+
+def test_spec_round_trips_through_dict():
+    spec = CampaignSpec(**SPEC)
+    assert CampaignSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_from_dict_rejects_unknown_fields():
+    with pytest.raises(ValueError, match="cycle"):
+        CampaignSpec.from_dict({"cycle": 1000})     # typo'd "cycles"
+
+
+def test_bounds_enforced():
+    with pytest.raises(ValueError, match="count"):
+        CampaignSpec(count=0)
+    with pytest.raises(ValueError, match="count"):
+        CampaignSpec(count=CampaignSpec.MAX_COUNT + 1)
+    with pytest.raises(ValueError, match="cycles"):
+        CampaignSpec(cycles=CampaignSpec.MAX_CYCLES + 1)
+    with pytest.raises(ValueError, match="device"):
+        CampaignSpec(device="tc9999")
+    with pytest.raises(ValueError, match="ipc_resolution"):
+        CampaignSpec(ipc_resolution=0)
+
+
+def test_build_jobs_deterministic_and_drill_appends():
+    spec = CampaignSpec(**SPEC)
+    jobs = spec.build_jobs()
+    assert [j.job_id for j in jobs] == \
+        [j.job_id for j in spec.build_jobs()]
+    drilled = CampaignSpec(drill=True, **SPEC).build_jobs()
+    assert len(drilled) == len(jobs) + 1
+    assert drilled[-1].fault == "crash"
+
+
+def test_explicit_jobs_spec():
+    base = CampaignSpec(**SPEC).build_jobs()
+    spec = CampaignSpec(jobs=tuple(j.to_dict() for j in base))
+    rebuilt = spec.build_jobs()
+    assert [j.job_id for j in rebuilt] == [j.job_id for j in base]
+    with pytest.raises(ValueError, match="empty"):
+        CampaignSpec(jobs=())
+    with pytest.raises(ValueError, match="no generated population"):
+        spec.customers()
+
+
+def test_jobs_for_accepts_all_three_forms():
+    spec = CampaignSpec(**SPEC)
+    from_spec = jobs_for(spec)
+    from_dict = jobs_for(SPEC)
+    from_list = jobs_for(from_spec)
+    assert [j.job_id for j in from_spec] == [j.job_id for j in from_dict]
+    assert from_list == from_spec
+    with pytest.raises(ValueError, match="CampaignJob"):
+        jobs_for(["not-a-job"])
+
+
+def test_run_campaign_rejects_unknown_kwargs():
+    with pytest.raises(ValueError, match="unknown runner options"):
+        run_campaign(CampaignSpec(**SPEC), worker=4)    # typo'd "workers"
+
+
+def test_spec_and_job_list_runs_byte_identical(tmp_path):
+    """The service path (spec) and the legacy path (job list) agree."""
+    spec = CampaignSpec(**SPEC)
+    by_spec = run_campaign(spec, workers=0,
+                           campaign_dir=str(tmp_path / "spec"))
+    by_jobs = run_campaign(spec.build_jobs(), workers=0,
+                           campaign_dir=str(tmp_path / "jobs"))
+    with open(by_spec.aggregate_path, "rb") as a, \
+            open(by_jobs.aggregate_path, "rb") as b:
+        assert a.read() == b.read()

@@ -222,3 +222,112 @@ def test_store_append_and_rewrite_roundtrip(tmp_path):
     assert [r["job_id"] for r in store.load()] == ["a", "b"]
     store.clear()
     assert store.load() == []
+
+
+# -- concurrent tailing (the serve-layer streaming contract) -----------------
+def test_store_tail_incremental(tmp_path):
+    from repro.fleet import ResultStore
+    store = ResultStore(str(tmp_path))
+    store.append({"job_id": "a"})
+    records, offset = store.tail(0)
+    assert [r["job_id"] for r in records] == ["a"]
+    records2, offset2 = store.tail(offset)
+    assert records2 == [] and offset2 == offset
+    store.append({"job_id": "b"})
+    records3, offset3 = store.tail(offset)
+    assert [r["job_id"] for r in records3] == ["b"]
+    assert offset3 > offset
+
+
+def test_store_tail_ignores_partial_last_line(tmp_path):
+    """A half-written record is invisible until its newline lands."""
+    from repro.fleet import ResultStore
+    store = ResultStore(str(tmp_path))
+    store.append({"job_id": "a"})
+    with open(store.path, "a") as handle:
+        handle.write('{"job_id": "b", "_crc32"')    # writer mid-append
+    records, offset = store.tail(0)
+    assert [r["job_id"] for r in records] == ["a"]
+    with open(store.path, "a") as handle:       # writer finishes the line
+        handle.write(": 1}\n")
+    # the completed line fails its CRC check — the read-only tailer
+    # skips it with a warning but must NOT quarantine
+    with pytest.warns(RuntimeWarning, match="tail skipped"):
+        records2, offset2 = store.tail(offset)
+    assert records2 == []
+    assert offset2 > offset
+    assert not os.path.exists(store.quarantine_path)
+
+
+def test_store_tail_holds_position_on_shrink(tmp_path):
+    from repro.fleet import ResultStore
+    store = ResultStore(str(tmp_path))
+    for job_id in ("a", "b", "c"):
+        store.append({"job_id": job_id})
+    records, offset = store.tail(0)
+    assert len(records) == 3
+    store.rewrite([{"job_id": "a"}])            # file shrank underneath
+    records2, offset2 = store.tail(offset)
+    assert records2 == [] and offset2 == offset
+
+
+def test_store_tail_missing_file(tmp_path):
+    from repro.fleet import ResultStore
+    store = ResultStore(str(tmp_path))
+    assert store.tail(0) == ([], 0)
+
+
+def test_store_load_skips_unterminated_tail(tmp_path):
+    """load() must tolerate a concurrent writer's partial last line."""
+    from repro.fleet import ResultStore
+    store = ResultStore(str(tmp_path))
+    store.append({"job_id": "a"})
+    with open(store.path, "a") as handle:
+        handle.write('{"job_id": "b"')
+    with pytest.warns(RuntimeWarning, match="unterminated partial tail"):
+        records = store.load()
+    assert [r["job_id"] for r in records] == ["a"]
+    assert not os.path.exists(store.quarantine_path)
+
+
+# -- cooperative preemption (the serve-layer eviction contract) --------------
+def test_preempted_campaign_resumes_byte_identical(tmp_path):
+    """Yield at a checkpoint boundary; resume finishes the same bytes."""
+    jobs = make_jobs(2)
+    reference = run_campaign(jobs, workers=0,
+                             campaign_dir=str(tmp_path / "ref"))
+    fired = {"n": 0}
+
+    def yield_after_two():
+        fired["n"] += 1
+        return fired["n"] > 2
+
+    run_dir = str(tmp_path / "run")
+    first = run_campaign(jobs, workers=0, campaign_dir=run_dir,
+                         checkpoint_every=4_000,
+                         should_yield=yield_after_two)
+    assert first.preempted
+    assert first.aggregate_path is None         # no aggregate mid-flight
+    assert len(first.records) < 2
+    second = run_campaign(jobs, workers=0, campaign_dir=run_dir,
+                          checkpoint_every=4_000, resume=True)
+    assert not second.preempted
+    assert second.metrics.checkpoint_resumes >= 1
+    with open(reference.aggregate_path, "rb") as a, \
+            open(second.aggregate_path, "rb") as b:
+        assert a.read() == b.read()
+
+
+def test_yield_before_first_job_completes_nothing(tmp_path):
+    report = run_campaign(make_jobs(1), workers=0,
+                          campaign_dir=str(tmp_path),
+                          should_yield=lambda: True)
+    assert report.preempted
+    assert report.records == []
+    assert not report.quarantined
+
+
+def test_should_yield_requires_in_process():
+    with pytest.raises(ValueError, match="workers=0"):
+        CampaignRunner(make_jobs(1), workers=2,
+                       should_yield=lambda: False)

@@ -1,0 +1,119 @@
+"""`repro serve` subprocess smoke: the CI service lane, as a test.
+
+Boots the real CLI entry point on an ephemeral port, submits a campaign
+over HTTP, follows the SSE stream to completion, and asserts the served
+artifacts are byte-identical to an offline ``repro.fleet.run_campaign``
+of the same spec.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+import pytest
+
+from repro.fleet import CampaignSpec, run_campaign
+from repro.fleet.spec import canonical_json
+
+SPEC = {"count": 2, "cycles": 8_000, "seed": 9}
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.fixture
+def server(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    env["PYTHONUNBUFFERED"] = "1"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         "--root", str(tmp_path / "serve"),
+         "--checkpoint-every", "4000"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, env=env,
+        cwd=str(tmp_path), text=True)
+    try:
+        line = proc.stdout.readline()
+        match = re.search(r"listening on (http://[\d.]+:\d+)", line)
+        assert match, f"no listen line, got {line!r}"
+        yield match.group(1)
+    finally:
+        proc.send_signal(signal.SIGINT)
+        try:
+            proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+
+
+def get_json(url):
+    with urllib.request.urlopen(url, timeout=30) as resp:
+        return json.loads(resp.read())
+
+
+def test_cli_serve_end_to_end(server, tmp_path):
+    base = server
+    health = get_json(base + "/healthz")
+    assert health["status"] == "ok"
+
+    req = urllib.request.Request(
+        base + "/v1/campaigns", data=json.dumps(SPEC).encode(),
+        headers={"X-Tenant": "ci"})
+    with urllib.request.urlopen(req, timeout=30) as resp:
+        sub = json.loads(resp.read())
+    cid = sub["id"]
+    assert sub["state"] == "queued" or sub["state"] == "running"
+
+    # follow the SSE stream until the terminal frame
+    events = []
+    with urllib.request.urlopen(base + f"/v1/campaigns/{cid}/events",
+                                timeout=120) as stream:
+        current = None
+        deadline = time.time() + 120
+        while time.time() < deadline:
+            raw = stream.readline()
+            if not raw:
+                break
+            line = raw.decode().rstrip("\n")
+            if line.startswith("event: "):
+                current = line[7:]
+            elif line.startswith("data: ") and current:
+                events.append((current, line[6:]))
+            elif line == "" and current == "stream.close":
+                break
+    names = [name for name, _ in events]
+    assert names.count("job.result") == 2
+    assert "campaign.completed" in names
+
+    status = get_json(base + f"/v1/campaigns/{cid}")
+    assert status["state"] == "completed"
+    page = get_json(base + f"/v1/campaigns/{cid}/results")
+    assert len(page["records"]) == 2
+
+    with urllib.request.urlopen(base + f"/v1/campaigns/{cid}/aggregate",
+                                timeout=30) as resp:
+        served_aggregate = resp.read()
+
+    # byte-identity against a direct offline run of the same spec
+    offline = run_campaign(CampaignSpec(**SPEC), workers=0,
+                           campaign_dir=str(tmp_path / "offline"))
+    with open(offline.aggregate_path, "rb") as handle:
+        assert served_aggregate == handle.read()
+    by_job = {r["job_id"]: r for r in offline.records}
+    for name, data in events:
+        if name != "job.result":
+            continue
+        doc = json.loads(data)
+        ref = by_job[doc["job_id"]]
+        assert doc["digest"] == ref["digest"]
+        assert canonical_json(doc["payload"]) == \
+            canonical_json(ref["payload"])
+
+    # prometheus endpoint reports the lifecycle
+    with urllib.request.urlopen(base + "/metrics", timeout=30) as resp:
+        metrics = resp.read().decode()
+    assert 'repro_serve_campaigns_total{tenant="ci",outcome="completed"}' \
+        " 1" in metrics

@@ -1,0 +1,273 @@
+"""HTTP surface: endpoints, error mapping, SSE streaming + reconnect."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve import CampaignService, QuotaManager, ServeApp, \
+    TenantPolicy
+
+SMALL = {"count": 2, "cycles": 8_000, "seed": 9}
+
+
+def open_quota():
+    return QuotaManager(default=TenantPolicy(burst=100, refill_per_s=100,
+                                             max_queued=100))
+
+
+async def http(host, port, method, path, body=None, headers=None):
+    """One minimal HTTP/1.1 request; returns (status, headers, body)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    payload = b"" if body is None else json.dumps(body).encode()
+    head = [f"{method} {path} HTTP/1.1", f"Host: {host}",
+            f"Content-Length: {len(payload)}"]
+    for name, value in (headers or {}).items():
+        head.append(f"{name}: {value}")
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + payload)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    head_raw, _, body_raw = raw.partition(b"\r\n\r\n")
+    lines = head_raw.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ")[1])
+    resp_headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        resp_headers[name.strip().lower()] = value.strip()
+    return status, resp_headers, body_raw
+
+
+class Client:
+    """Tiny test client bound to one running ServeApp."""
+
+    def __init__(self, host, port):
+        self.host, self.port = host, port
+
+    async def get(self, path, **kw):
+        return await http(self.host, self.port, "GET", path, **kw)
+
+    async def get_json(self, path, **kw):
+        status, headers, body = await self.get(path, **kw)
+        assert status == 200, body
+        return json.loads(body)
+
+    async def post(self, path, body, tenant="t1"):
+        return await http(self.host, self.port, "POST", path, body=body,
+                          headers={"X-Tenant": tenant})
+
+
+async def started_app(tmp_path, **service_kw):
+    service_kw.setdefault("quota", open_quota())
+    service_kw.setdefault("checkpoint_every", 4_000)
+    service = CampaignService(root=str(tmp_path / "serve"), **service_kw)
+    app = ServeApp(service)
+    host, port = await app.start(port=0)
+    return app, Client(host, port)
+
+
+async def wait_state(client, cid, state, timeout=90.0):
+    deadline = asyncio.get_running_loop().time() + timeout
+    while True:
+        doc = await client.get_json(f"/v1/campaigns/{cid}")
+        if doc["state"] == state:
+            return doc
+        assert asyncio.get_running_loop().time() < deadline
+        await asyncio.sleep(0.05)
+
+
+def test_basic_endpoints(tmp_path):
+    async def main():
+        app, client = await started_app(tmp_path)
+        try:
+            health = await client.get_json("/healthz")
+            assert health["status"] == "ok"
+            catalog = await client.get_json("/v1/catalog")
+            assert set(catalog["devices"]) == {"tc1767", "tc1797"}
+            assert "engine" in catalog["domains"]
+            status, headers, body = await client.get("/metrics")
+            assert status == 200
+            assert headers["content-type"].startswith("text/plain")
+            assert b"# TYPE repro_serve_queue_depth gauge" in body
+            overview = await client.get_json("/v1/campaigns")
+            assert overview["campaigns"] == []
+        finally:
+            await app.stop()
+    asyncio.run(main())
+
+
+def test_error_mapping(tmp_path):
+    async def main():
+        app, client = await started_app(tmp_path)
+        try:
+            status, _, body = await client.get("/nope")
+            assert status == 404
+            status, _, body = await client.get("/v1/campaigns/cmp-999999")
+            assert status == 404
+            assert b"cmp-999999" in body
+            status, _, body = await client.post("/v1/campaigns",
+                                                {"cycle": 100})
+            assert status == 400
+            assert b"unknown campaign spec" in body
+            status, _, _ = await http(client.host, client.port, "DELETE",
+                                      "/v1/campaigns")
+            assert status == 405
+            status, _, body = await client.get(
+                "/v1/campaigns?x=1")     # list still works with query
+            assert status == 200
+        finally:
+            await app.stop()
+    asyncio.run(main())
+
+
+def test_quota_maps_to_429_with_retry_after(tmp_path):
+    async def main():
+        quota = QuotaManager(default=TenantPolicy(
+            burst=1, refill_per_s=0.25, max_queued=100))
+        app, client = await started_app(tmp_path, quota=quota)
+        try:
+            status, _, _ = await client.post("/v1/campaigns", dict(SMALL))
+            assert status == 200
+            status, headers, body = await client.post("/v1/campaigns",
+                                                      dict(SMALL))
+            assert status == 429
+            assert int(headers["retry-after"]) >= 1
+            assert b"submission rate" in body
+        finally:
+            await app.stop()
+    asyncio.run(main())
+
+
+def test_submit_status_results_aggregate_roundtrip(tmp_path):
+    async def main():
+        app, client = await started_app(tmp_path)
+        try:
+            status, headers, body = await client.post("/v1/campaigns",
+                                                      dict(SMALL))
+            assert status == 200
+            sub = json.loads(body)
+            cid = sub["id"]
+            assert headers["location"] == f"/v1/campaigns/{cid}"
+            assert sub["tenant"] == "t1"
+            # aggregate 404s until the campaign completes
+            status, _, _ = await client.get(
+                f"/v1/campaigns/{cid}/aggregate")
+            assert status == 404
+            await wait_state(client, cid, "completed")
+            page = await client.get_json(f"/v1/campaigns/{cid}/results")
+            assert len(page["records"]) == 2 and page["complete"]
+            # incremental paging: nothing new after next_offset
+            tail = await client.get_json(
+                f"/v1/campaigns/{cid}/results?offset={page['next_offset']}")
+            assert tail["records"] == []
+            status, _, agg = await client.get(
+                f"/v1/campaigns/{cid}/aggregate")
+            assert status == 200
+            doc = json.loads(agg)
+            assert len(doc["jobs"]) == 2
+        finally:
+            await app.stop()
+    asyncio.run(main())
+
+
+async def read_sse(reader, until_event, timeout=90.0):
+    """Collect SSE frames until one named ``until_event`` arrives."""
+    frames = []
+    event, data, event_id = None, [], None
+    while True:
+        line = await asyncio.wait_for(reader.readline(), timeout)
+        assert line, "stream closed before terminal event"
+        line = line.decode().rstrip("\n")
+        if line.startswith(":"):
+            continue
+        if line.startswith("id: "):
+            event_id = int(line[4:])
+        elif line.startswith("event: "):
+            event = line[7:]
+        elif line.startswith("data: "):
+            data.append(line[6:])
+        elif line == "":
+            if event or data:
+                frames.append((event_id, event, "\n".join(data)))
+                if event == until_event:
+                    return frames
+            event, data, event_id = None, [], None
+
+
+def test_sse_stream_to_completion_and_reconnect(tmp_path):
+    async def main():
+        app, client = await started_app(tmp_path)
+        try:
+            _, _, body = await client.post("/v1/campaigns", dict(SMALL))
+            cid = json.loads(body)["id"]
+            reader, writer = await asyncio.open_connection(
+                client.host, client.port)
+            writer.write(f"GET /v1/campaigns/{cid}/events HTTP/1.1\r\n"
+                         f"Host: x\r\n\r\n".encode())
+            await writer.drain()
+            head = await reader.readuntil(b"\r\n\r\n")
+            assert b"200 OK" in head
+            assert b"text/event-stream" in head
+            frames = await read_sse(reader, "stream.close")
+            writer.close()
+            names = [f[1] for f in frames]
+            assert names[0] == "stream.open"
+            assert "campaign.queued" in names
+            assert names.count("job.result") == 2
+            assert "campaign.completed" in names
+            results = [json.loads(f[2]) for f in frames
+                       if f[1] == "job.result"]
+            assert all(r["payload"] for r in results)
+            # reconnect with Last-Event-ID replays only the tail
+            last_results = [f[0] for f in frames if f[1] == "job.result"]
+            reconnect_after = last_results[0]     # after the 1st result
+            reader2, writer2 = await asyncio.open_connection(
+                client.host, client.port)
+            writer2.write(
+                f"GET /v1/campaigns/{cid}/events HTTP/1.1\r\n"
+                f"Host: x\r\nLast-Event-ID: {reconnect_after}\r\n"
+                f"\r\n".encode())
+            await writer2.drain()
+            await reader2.readuntil(b"\r\n\r\n")
+            frames2 = await read_sse(reader2, "stream.close")
+            writer2.close()
+            replayed_ids = [f[0] for f in frames2 if f[0] is not None]
+            assert min(replayed_ids) > reconnect_after
+            assert [f[1] for f in frames2].count("job.result") == 1
+        finally:
+            await app.stop()
+    asyncio.run(main())
+
+
+def test_sse_payloads_byte_identical_to_offline_run(tmp_path):
+    """Streamed job payloads are exactly what an offline run computes."""
+    from repro.fleet import CampaignSpec, run_campaign
+    from repro.fleet.spec import canonical_json
+
+    async def main():
+        app, client = await started_app(tmp_path)
+        try:
+            _, _, body = await client.post("/v1/campaigns", dict(SMALL))
+            cid = json.loads(body)["id"]
+            reader, writer = await asyncio.open_connection(
+                client.host, client.port)
+            writer.write(f"GET /v1/campaigns/{cid}/events HTTP/1.1\r\n"
+                         f"Host: x\r\n\r\n".encode())
+            await writer.drain()
+            await reader.readuntil(b"\r\n\r\n")
+            frames = await read_sse(reader, "stream.close")
+            writer.close()
+            return [json.loads(f[2]) for f in frames
+                    if f[1] == "job.result"]
+        finally:
+            await app.stop()
+    streamed = asyncio.run(main())
+    offline = run_campaign(CampaignSpec(**SMALL), workers=0,
+                           campaign_dir=str(tmp_path / "offline"))
+    by_job = {r["job_id"]: r for r in offline.records}
+    assert {s["job_id"] for s in streamed} == set(by_job)
+    for s in streamed:
+        ref = by_job[s["job_id"]]
+        assert s["digest"] == ref["digest"]
+        assert canonical_json(s["payload"]) == \
+            canonical_json(ref["payload"])

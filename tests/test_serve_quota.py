@@ -1,0 +1,120 @@
+"""Token buckets and tenant admission on a fake clock."""
+
+import pytest
+
+from repro.errors import QuotaExceeded
+from repro.serve import QuotaManager, TenantPolicy, TokenBucket
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def test_bucket_starts_full_and_allows_burst():
+    clock = FakeClock()
+    bucket = TokenBucket(capacity=3, refill_per_s=1.0, clock=clock)
+    assert bucket.level() == pytest.approx(3.0)
+    assert bucket.try_take() and bucket.try_take() and bucket.try_take()
+    assert not bucket.try_take()
+
+
+def test_refill_is_continuous_and_capped():
+    clock = FakeClock()
+    bucket = TokenBucket(capacity=2, refill_per_s=0.5, clock=clock)
+    assert bucket.try_take(2)
+    clock.advance(1.0)            # +0.5 tokens: not enough for 1
+    assert not bucket.try_take()
+    clock.advance(1.0)            # exactly 1.0 token now
+    assert bucket.try_take()
+    clock.advance(100.0)          # refill saturates at capacity
+    assert bucket.level() == pytest.approx(2.0)
+
+
+def test_seconds_until_matches_refill_rate():
+    clock = FakeClock()
+    bucket = TokenBucket(capacity=4, refill_per_s=2.0, clock=clock)
+    assert bucket.try_take(4)
+    assert bucket.seconds_until(1.0) == pytest.approx(0.5)
+    assert bucket.seconds_until(3.0) == pytest.approx(1.5)
+    clock.advance(0.5)
+    assert bucket.seconds_until(1.0) == pytest.approx(0.0)
+
+
+def test_zero_refill_never_recovers():
+    clock = FakeClock()
+    bucket = TokenBucket(capacity=1, refill_per_s=0.0, clock=clock)
+    assert bucket.try_take()
+    clock.advance(1e6)
+    assert not bucket.try_take()
+    assert bucket.seconds_until(1.0) == float("inf")
+
+
+def test_bucket_validation():
+    with pytest.raises(ValueError):
+        TokenBucket(capacity=0, refill_per_s=1.0)
+    with pytest.raises(ValueError):
+        TokenBucket(capacity=1, refill_per_s=-1.0)
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        TenantPolicy(weight=0.0)
+    with pytest.raises(ValueError):
+        TenantPolicy(max_queued=0)
+
+
+def test_admit_depth_cap_checked_before_token_draw():
+    clock = FakeClock()
+    quota = QuotaManager(default=TenantPolicy(burst=2, refill_per_s=0.0,
+                                              max_queued=1), clock=clock)
+    with pytest.raises(QuotaExceeded, match="queued or running"):
+        quota.admit("t1", queued_now=1)
+    # the rejected submission must not have burned a token
+    assert quota.tokens("t1") == pytest.approx(2.0)
+    quota.admit("t1", queued_now=0)
+    assert quota.tokens("t1") == pytest.approx(1.0)
+
+
+def test_admit_rate_limit_reports_retry_after():
+    clock = FakeClock()
+    quota = QuotaManager(default=TenantPolicy(burst=1, refill_per_s=0.25,
+                                              max_queued=8), clock=clock)
+    quota.admit("t1", queued_now=0)
+    with pytest.raises(QuotaExceeded) as exc:
+        quota.admit("t1", queued_now=1)
+    assert exc.value.retry_after_s == pytest.approx(4.0)
+    clock.advance(4.0)
+    quota.admit("t1", queued_now=1)       # refilled
+
+
+def test_overrides_grant_different_policies():
+    clock = FakeClock()
+    quota = QuotaManager(
+        default=TenantPolicy(weight=1.0, burst=1, refill_per_s=0.0),
+        overrides={"vip": TenantPolicy(weight=4.0, burst=10,
+                                       refill_per_s=5.0)},
+        clock=clock)
+    assert quota.weight("anyone") == 1.0
+    assert quota.weight("vip") == 4.0
+    for _ in range(10):
+        quota.admit("vip", queued_now=0)
+    quota.admit("someone-else", queued_now=0)
+    with pytest.raises(QuotaExceeded):      # default burst=1 exhausted
+        quota.admit("someone-else", queued_now=1)
+
+
+def test_buckets_are_per_tenant():
+    clock = FakeClock()
+    quota = QuotaManager(default=TenantPolicy(burst=1, refill_per_s=0.0),
+                         clock=clock)
+    quota.admit("a", queued_now=0)
+    quota.admit("b", queued_now=0)        # b has its own bucket
+    with pytest.raises(QuotaExceeded):
+        quota.admit("a", queued_now=0)
