@@ -313,7 +313,7 @@ def _campaign(args) -> int:
         spec = CampaignSpec(count=args.count, cycles=args.cycles,
                             device=args.device, seed=args.seed,
                             ipc_resolution=args.resolution,
-                            drill=args.drill)
+                            drill=args.drill, deadline_s=args.deadline)
     except ConfigurationError as exc:
         raise SystemExit(str(exc))
     fault_plan = None
@@ -332,6 +332,11 @@ def _campaign(args) -> int:
         campaign_dir=args.campaign_dir, max_retries=args.retries,
         timeout_s=args.timeout, resume=args.resume, fault_plan=fault_plan,
         checkpoint_every=args.checkpoint_every)
+    if report.deadline_exceeded:
+        print(f"campaign: DEADLINE EXCEEDED after {args.deadline}s — "
+              f"{len(report.records)} of the jobs finished, "
+              f"no aggregate written")
+        return 1
     print(f"campaign: {len(report.records)} jobs over "
           f"{args.workers} workers")
     print(report.metrics.summary_table())
@@ -359,15 +364,21 @@ def cmd_serve(args) -> int:
     """Run the always-on campaign service until interrupted."""
     import asyncio
 
+    from .resilience import CircuitBreaker
     from .serve import CampaignService, QuotaManager, TenantPolicy, serve
     quota = QuotaManager(default=TenantPolicy(
         weight=1.0, burst=args.burst, refill_per_s=args.refill,
         max_queued=args.max_queued))
+    breaker = CircuitBreaker(
+        window_s=args.breaker_window,
+        min_samples=args.breaker_min_samples,
+        failure_threshold=args.breaker_threshold,
+        cooldown_s=args.breaker_cooldown)
     service = CampaignService(
         root=args.root, quota=quota, slots=args.slots,
         checkpoint_every=args.checkpoint_every,
         max_retries=args.retries, cache_dir=args.cache_dir,
-        catalog_path=args.catalog)
+        catalog_path=args.catalog, breaker=breaker)
     try:
         asyncio.run(serve(service, host=args.host, port=args.port))
     except KeyboardInterrupt:
@@ -484,6 +495,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="retry budget per failing job")
     p.add_argument("--timeout", type=float, default=None,
                    help="per-job timeout in seconds")
+    p.add_argument("--deadline", type=float, default=None,
+                   metavar="SECONDS",
+                   help="wall-clock deadline for the whole campaign; "
+                        "expiry is terminal (no aggregate, exit 1)")
     p.add_argument("--drill", action="store_true",
                    help="inject an always-crashing job (quarantine demo)")
     p.add_argument("--fault-plan", metavar="PLAN.json",
@@ -561,6 +576,19 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default 0.5)")
     p.add_argument("--max-queued", type=int, default=8,
                    help="default per-tenant queued+running cap (default 8)")
+    p.add_argument("--breaker-window", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="circuit-breaker failure-rate window (default 30)")
+    p.add_argument("--breaker-threshold", type=float, default=0.5,
+                   help="failure fraction that trips the breaker "
+                        "(default 0.5)")
+    p.add_argument("--breaker-cooldown", type=float, default=5.0,
+                   metavar="SECONDS",
+                   help="initial open-state cooldown; doubles per "
+                        "consecutive trip (default 5)")
+    p.add_argument("--breaker-min-samples", type=int, default=5,
+                   help="outcomes required before the breaker may trip "
+                        "(default 5)")
 
     p = sub.add_parser("catalog",
                        help="build the campaign-capability catalog "

@@ -100,7 +100,9 @@ class QuotaExceeded(ReproError, RuntimeError):
     """A tenant exceeded an admission quota (rate, queue depth, tokens).
 
     Carries ``retry_after_s`` so a service front-end can translate it
-    into a ``Retry-After`` header; transient by construction.
+    into a ``Retry-After`` header; transient by construction.  Strictly
+    a *tenant* condition (HTTP 429) — when the *service* cannot accept
+    work, raise :class:`ServiceUnavailable` instead.
     """
 
     retryable = True
@@ -108,6 +110,33 @@ class QuotaExceeded(ReproError, RuntimeError):
     def __init__(self, message: str, retry_after_s: float = 0.0) -> None:
         super().__init__(message)
         self.retry_after_s = retry_after_s
+
+
+class ServiceUnavailable(ReproError, RuntimeError):
+    """The service as a whole cannot accept work right now (HTTP 503).
+
+    Raised for conditions that are nobody's quota: a draining service, a
+    tripped circuit breaker shedding admissions during a failure storm.
+    Transient by construction — the client should retry after
+    ``retry_after_s``, unchanged.
+    """
+
+    retryable = True
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class DeadlineExceeded(ReproError, RuntimeError):
+    """A campaign outlived its client-supplied wall-clock deadline.
+
+    Deterministically terminal for the *submission* (``retryable=False``):
+    re-running the same stale request cannot un-expire it — the client
+    must submit afresh with a new deadline.  Queued work past its
+    deadline is expired instead of silently run; running work stops at
+    the next job or checkpoint boundary.
+    """
 
 
 class CheckpointError(ReproError, RuntimeError):

@@ -26,8 +26,9 @@ from .spec import CampaignJob, build_matrix
 
 #: runner knobs forwarded verbatim to :class:`CampaignRunner`
 RUNNER_KWARGS = ("workers", "cache_dir", "campaign_dir", "max_retries",
-                 "backoff_s", "timeout_s", "resume", "fault_plan",
-                 "checkpoint_every", "should_yield")
+                 "backoff_s", "max_backoff_s", "timeout_s", "resume",
+                 "fault_plan", "checkpoint_every", "should_yield",
+                 "deadline_s")
 
 
 @dataclass(frozen=True)
@@ -53,6 +54,11 @@ class CampaignSpec:
     rate_per: int = 100           # event-rate resolution (instructions)
     drill: bool = False           # append an always-crashing drill job
     jobs: Optional[Tuple[Dict, ...]] = None   # explicit job dicts instead
+    #: optional wall-clock deadline for the whole campaign, in seconds
+    #: from admission.  The one spec field that is *not* job content: it
+    #: bounds how long the result is worth computing, not what to
+    #: compute, so it never feeds cache digests or payload bytes.
+    deadline_s: Optional[float] = None
 
     #: admissible bounds — the service exposes this spec to untrusted
     #: tenants, so limits live with the spec, not with each front-end
@@ -60,6 +66,18 @@ class CampaignSpec:
     MAX_CYCLES = 50_000_000
 
     def __post_init__(self) -> None:
+        if self.deadline_s is not None:
+            try:
+                deadline = float(self.deadline_s)
+            except (TypeError, ValueError):
+                raise ConfigurationError(
+                    f"deadline_s must be a number of seconds, got "
+                    f"{self.deadline_s!r}")
+            if not 0 < deadline < float("inf"):
+                raise ConfigurationError(
+                    f"deadline_s must be a positive finite number of "
+                    f"seconds, got {self.deadline_s!r}")
+            object.__setattr__(self, "deadline_s", deadline)
         if self.jobs is not None:
             object.__setattr__(self, "jobs", tuple(
                 dict(job) for job in self.jobs))
@@ -110,6 +128,10 @@ class CampaignSpec:
         }
         if self.jobs is not None:
             body["jobs"] = [dict(job) for job in self.jobs]
+        # only present when set, so pre-deadline spec documents (and
+        # their client-side digests) are byte-for-byte unchanged
+        if self.deadline_s is not None:
+            body["deadline_s"] = self.deadline_s
         return body
 
     def customers(self) -> List:
@@ -171,4 +193,11 @@ def run_campaign(spec: SpecLike, **kwargs) -> CampaignReport:
         raise ConfigurationError(
             f"unknown runner options {unknown}; known: "
             f"{sorted(RUNNER_KWARGS)}")
+    # a spec-carried deadline flows into the runner unless the caller
+    # overrides it explicitly (the service passes the *remaining* time)
+    if "deadline_s" not in kwargs:
+        if isinstance(spec, dict):
+            spec = CampaignSpec.from_dict(spec)
+        if isinstance(spec, CampaignSpec) and spec.deadline_s is not None:
+            kwargs["deadline_s"] = spec.deadline_s
     return CampaignRunner(jobs_for(spec), **kwargs).run()

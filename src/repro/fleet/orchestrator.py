@@ -35,7 +35,9 @@ content-derived job id with timing metadata excluded.
 from __future__ import annotations
 
 import os
+import random
 import time
+import zlib
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as \
     FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
@@ -69,6 +71,10 @@ class CampaignReport:
     store_path: Optional[str] = None
     aggregate_path: Optional[str] = None
     preempted: bool = False
+    #: the run hit its wall-clock deadline: terminal for this submission
+    #: (unlike ``preempted``, nobody will resume it), no aggregate is
+    #: written, and unfinished jobs are simply not run — never quarantined
+    deadline_exceeded: bool = False
 
     @property
     def ok_records(self) -> List[Dict]:
@@ -89,11 +95,13 @@ class CampaignRunner:
                  campaign_dir: Optional[str] = None,
                  max_retries: int = 2,
                  backoff_s: float = 0.25,
+                 max_backoff_s: float = 5.0,
                  timeout_s: Optional[float] = None,
                  resume: bool = False,
                  fault_plan: Optional[Dict] = None,
                  checkpoint_every: Optional[int] = None,
-                 should_yield: Optional[Callable[[], bool]] = None) -> None:
+                 should_yield: Optional[Callable[[], bool]] = None,
+                 deadline_s: Optional[float] = None) -> None:
         if workers < 0:
             raise ConfigurationError("workers must be >= 0 (0 = in-process)")
         if should_yield is not None and workers != 0:
@@ -123,11 +131,26 @@ class CampaignRunner:
         self.cache = ResultCache(cache_dir) if cache_dir else None
         self.store = ResultStore(campaign_dir) if campaign_dir else None
         self.max_retries = max_retries
+        if max_backoff_s < 0:
+            raise ConfigurationError("max_backoff_s must be >= 0")
         self.backoff_s = backoff_s
+        self.max_backoff_s = max_backoff_s
+        # full-jitter retry backoff, seeded from the (stable) job matrix
+        # rather than the global RNG: a retried campaign draws the same
+        # delays every run, so nothing about campaign artifacts — which
+        # never include wall clock anyway — can drift between repeats
+        self._backoff_rng = random.Random(zlib.crc32(
+            ",".join(job.job_id for job in self.jobs).encode("utf-8")))
         self.timeout_s = timeout_s
         self.resume = resume
         self.should_yield = should_yield
+        if deadline_s is not None and deadline_s <= 0:
+            raise ConfigurationError(
+                "deadline_s must be positive (or None for no deadline)")
+        self.deadline_s = deadline_s
+        self._deadline_at: Optional[float] = None
         self._preempted = False
+        self._deadline_hit = False
         # periodic mid-run checkpoints: a crashed/hung/killed attempt
         # resumes from its last intact checkpoint instead of cycle 0
         self.checkpoint: Optional[Dict] = None
@@ -172,6 +195,21 @@ class CampaignRunner:
             return None
         return self.timeout_s * len(shard)
 
+    def _backoff_delay(self, attempt: int) -> float:
+        """Full-jitter exponential backoff with a hard cap.
+
+        ``uniform(0, min(cap, base * 2^(attempt-1)))`` — the AWS full-
+        jitter form: retry storms decorrelate instead of thundering in
+        lockstep, and a large retry budget can never sleep unboundedly.
+        """
+        ceiling = min(self.max_backoff_s,
+                      self.backoff_s * (2 ** (attempt - 1)))
+        return self._backoff_rng.uniform(0.0, ceiling)
+
+    def _deadline_expired(self) -> bool:
+        return self._deadline_at is not None and \
+            time.time() > self._deadline_at
+
     def _run_round(self, shards: List[List[CampaignJob]],
                    attempt: int) -> List[Dict]:
         """Execute one round of shards, surviving pool breakage."""
@@ -181,10 +219,13 @@ class CampaignRunner:
                 outcomes.extend(
                     run_shard([job.to_dict() for job in shard], attempt,
                               self.fault_plan, self.checkpoint,
-                              self.should_yield))
-                # a preempted outcome ends the round: later shards stay
-                # pending and re-run (or resume) on the next submission
-                if outcomes and outcomes[-1]["status"] == "preempted":
+                              self.should_yield,
+                              deadline_at=self._deadline_at))
+                # a preempted/expired outcome ends the round: later
+                # shards stay pending (resumable after a preemption,
+                # moot after a deadline)
+                if outcomes and outcomes[-1]["status"] in ("preempted",
+                                                           "deadline"):
                     break
             return outcomes
 
@@ -192,7 +233,8 @@ class CampaignRunner:
         pool = self._ensure_pool()
         futures = [(pool.submit(run_shard,
                                 [job.to_dict() for job in shard], attempt,
-                                self.fault_plan, self.checkpoint),
+                                self.fault_plan, self.checkpoint,
+                                deadline_at=self._deadline_at),
                     shard) for shard in shards]
         abandon = False
         for future, shard in futures:
@@ -241,6 +283,12 @@ class CampaignRunner:
     def run(self) -> CampaignReport:
         start = time.perf_counter()
         self._preempted = False
+        self._deadline_hit = False
+        # armed at run start, as absolute wall-clock time: a plain float
+        # crosses the pool's pickle boundary, and time.time() readings
+        # are comparable between orchestrator and worker processes
+        self._deadline_at = (time.time() + self.deadline_s
+                             if self.deadline_s is not None else None)
         tel = _obs._active
         campaign_t0 = tel.tracer.now_us() if tel is not None else 0.0
         if tel is not None:
@@ -292,6 +340,10 @@ class CampaignRunner:
                     fatal[job_id] = failed.pop(job_id)
             return failed
 
+        if pending and self._deadline_expired():
+            # stale before a single job ran — never silently run it
+            self._deadline_hit = True
+            pending = []
         if pending:
             n_shards = max(1, min(len(pending), max(1, self.workers) * 2))
             outcomes = self._run_round(assign_shards(pending, n_shards), 0)
@@ -299,9 +351,12 @@ class CampaignRunner:
 
         # retry rounds: failed jobs individually, one at a time
         for attempt in range(1, self.max_retries + 1):
-            if not failures or self._preempted:
+            if not failures or self._preempted or self._deadline_hit:
                 break
-            time.sleep(self.backoff_s * (2 ** (attempt - 1)))
+            time.sleep(self._backoff_delay(attempt))
+            if self._deadline_expired():
+                self._deadline_hit = True
+                break
             metrics.retries += len(failures)
             if tel is not None:
                 tel.emit("round.retry", attempt=attempt,
@@ -316,9 +371,12 @@ class CampaignRunner:
 
         # whatever still fails is quarantined — the campaign survives it.
         # Under preemption nothing is quarantined: unfinished jobs (and
-        # even failed ones) get a fresh start on the resumed run.
-        leftovers = {} if self._preempted else dict(fatal)
-        if not self._preempted:
+        # even failed ones) get a fresh start on the resumed run.  Under
+        # a deadline nothing is quarantined either — the submission is
+        # terminal, and "didn't finish in time" is not a job defect.
+        stopped_early = self._preempted or self._deadline_hit
+        leftovers = {} if stopped_early else dict(fatal)
+        if not stopped_early:
             leftovers.update(failures)
         for job_id in sorted(leftovers):
             outcome = leftovers[job_id]
@@ -345,11 +403,12 @@ class CampaignRunner:
         ordered = [records[job.job_id] for job in self.jobs
                    if job.job_id in records]
         report = CampaignReport(records=ordered, metrics=metrics,
-                                preempted=self._preempted)
+                                preempted=self._preempted,
+                                deadline_exceeded=self._deadline_hit)
         if self.store is not None:
             self.store.rewrite(ordered)
             report.store_path = self.store.path
-            if not self._preempted:
+            if not self._preempted and not self._deadline_hit:
                 report.aggregate_path = self.store.write_aggregate(
                     report.ok_records, report.quarantined)
         if tel is not None:
@@ -406,6 +465,17 @@ class CampaignRunner:
                     tel.instant("job.preempted", cat="fleet",
                                 job_id=job.job_id)
                     tel.emit("job.preempted", job_id=job.job_id,
+                             attempt=outcome["attempt"])
+                continue
+            if outcome["status"] == "deadline":
+                # terminal for the submission, not a job defect: the
+                # campaign stops at this safe boundary and reports
+                # deadline_exceeded instead of running stale work
+                self._deadline_hit = True
+                if tel is not None:
+                    tel.instant("job.deadline", cat="fleet",
+                                job_id=job.job_id)
+                    tel.emit("job.deadline", job_id=job.job_id,
                              attempt=outcome["attempt"])
                 continue
             if tel is not None and self.workers > 0:

@@ -43,8 +43,12 @@ CRC_FIELD = "_crc32"
 QUARANTINE_SUFFIX = ".quarantine"
 
 
-def _seal(record: Dict) -> str:
-    """Render one record line with its ``_crc32`` over the canonical rest."""
+def seal_record(record: Dict) -> str:
+    """Render one record line with its ``_crc32`` over the canonical rest.
+
+    Public: the resilience admission journal shares this exact line
+    format, so one pair of seal/unseal functions guards both logs.
+    """
     body = {key: value for key, value in record.items() if key != CRC_FIELD}
     crc = zlib.crc32(canonical_json(body).encode("utf-8"))
     sealed = dict(body)
@@ -52,7 +56,7 @@ def _seal(record: Dict) -> str:
     return json.dumps(sealed, sort_keys=True)
 
 
-def _unseal(line: str) -> Dict:
+def unseal_record(line: str) -> Dict:
     """Parse and verify one record line; raises ``ValueError`` if damaged."""
     record = json.loads(line)          # may raise JSONDecodeError
     if not isinstance(record, dict):
@@ -66,6 +70,11 @@ def _unseal(line: str) -> Dict:
                 f"computed {crc})")
     # records written before checksums were introduced load unchanged
     return record
+
+
+# internal aliases kept for the store's own call sites
+_seal = seal_record
+_unseal = unseal_record
 
 
 class ResultStore:

@@ -29,7 +29,8 @@ from ..checkpoint import (PREV_SUFFIX, CheckpointError,
 from ..core.profiling.export import result_to_json
 from ..core.profiling.session import ProfilingSession
 from ..core.profiling import spec as pspec
-from ..errors import CampaignPreempted, ConfigurationError, FaultInjected
+from ..errors import (CampaignPreempted, ConfigurationError,
+                      DeadlineExceeded, FaultInjected)
 from ..faults import (FaultInjector, FaultPlan, SimulationWatchdog,
                       active_injector, fault_point)
 from ..obs import bridge as _obs_bridge
@@ -131,8 +132,8 @@ def _try_restore(device, job: Dict, path: str) -> int:
 
 def _run_checkpointed(job: Dict, device, checkpoint: Dict,
                       stats: Dict, attempt: int = 0,
-                      should_yield: Optional[Callable[[], bool]] = None
-                      ) -> None:
+                      should_yield: Optional[Callable[[], bool]] = None,
+                      deadline_at: Optional[float] = None) -> None:
     """Run the job's cycle budget in checkpoint-sized chunks.
 
     After every full chunk an atomic checkpoint (simulator state plus
@@ -147,6 +148,12 @@ def _run_checkpointed(job: Dict, device, checkpoint: Dict,
     stopping loses nothing — raising :class:`CampaignPreempted` here
     leaves the checkpoint in place (completion is what discards it), so
     a later resume continues from this exact cycle byte-identically.
+
+    ``deadline_at`` (absolute ``time.time()``) is the campaign's
+    wall-clock watchdog at the same granularity: checked at every
+    checkpoint boundary, raising :class:`DeadlineExceeded` instead of
+    letting a stale job keep simulating.  The checkpoint cadence bounds
+    how far past the deadline a job can overshoot.
     """
     every = int(checkpoint["every"])
     if every < 1:
@@ -179,13 +186,18 @@ def _run_checkpointed(job: Dict, device, checkpoint: Dict,
             raise CampaignPreempted(
                 f"preempted at checkpoint boundary: cycle {device.cycle} "
                 f"of {target} in job {job['name']!r}")
+        if deadline_at is not None and time.time() > deadline_at:
+            raise DeadlineExceeded(
+                f"campaign deadline passed at checkpoint boundary: cycle "
+                f"{device.cycle} of {target} in job {job['name']!r}")
     _discard_checkpoints(path)
 
 
 def _execute(job: Dict, watchdog_spec: Optional[Dict] = None,
              checkpoint: Optional[Dict] = None,
              stats: Optional[Dict] = None, attempt: int = 0,
-             should_yield: Optional[Callable[[], bool]] = None) -> Dict:
+             should_yield: Optional[Callable[[], bool]] = None,
+             deadline_at: Optional[float] = None) -> Dict:
     """Build the device, run the session, serialise the payload."""
     tel = _obs._active
     if tel is not None:
@@ -195,16 +207,17 @@ def _execute(job: Dict, watchdog_spec: Optional[Dict] = None,
         with tel.span("job.execute", cat="fleet", job=job["name"],
                       domain=job["domain"], device=job["device"]):
             return _execute_bare(job, watchdog_spec, checkpoint, stats,
-                                 attempt, should_yield)
+                                 attempt, should_yield, deadline_at)
     return _execute_bare(job, watchdog_spec, checkpoint, stats, attempt,
-                         should_yield)
+                         should_yield, deadline_at)
 
 
 def _execute_bare(job: Dict, watchdog_spec: Optional[Dict] = None,
                   checkpoint: Optional[Dict] = None,
                   stats: Optional[Dict] = None,
                   attempt: int = 0,
-                  should_yield: Optional[Callable[[], bool]] = None) -> Dict:
+                  should_yield: Optional[Callable[[], bool]] = None,
+                  deadline_at: Optional[float] = None) -> Dict:
     try:
         scenario = SCENARIOS[job["domain"]]()
     except KeyError:
@@ -229,10 +242,10 @@ def _execute_bare(job: Dict, watchdog_spec: Optional[Dict] = None,
         if watchdog_spec:
             with SimulationWatchdog(**watchdog_spec).guard(device):
                 _run_checkpointed(job, device, checkpoint, stats, attempt,
-                                  should_yield)
+                                  should_yield, deadline_at)
         else:
             _run_checkpointed(job, device, checkpoint, stats, attempt,
-                              should_yield)
+                              should_yield, deadline_at)
         result = session.result()
     elif watchdog_spec:
         with SimulationWatchdog(**watchdog_spec).guard(device):
@@ -261,7 +274,8 @@ def execute_job(job: Dict, attempt: int = 0,
                 fault_plan: Optional[Dict] = None,
                 checkpoint: Optional[Dict] = None,
                 stats: Optional[Dict] = None,
-                should_yield: Optional[Callable[[], bool]] = None) -> Dict:
+                should_yield: Optional[Callable[[], bool]] = None,
+                deadline_at: Optional[float] = None) -> Dict:
     """Run one campaign job spec (a ``CampaignJob.to_dict()`` dict).
 
     Returns the deterministic result payload: the parsed canonical-JSON
@@ -283,11 +297,17 @@ def execute_job(job: Dict, attempt: int = 0,
     at every checkpoint boundary, raising
     :class:`~repro.errors.CampaignPreempted` with the job's checkpoint
     left on disk for a byte-identical resume.
+
+    ``deadline_at`` (absolute ``time.time()``, a plain float so it *does*
+    cross the pickle boundary) is the campaign wall-clock deadline:
+    checked at every checkpoint boundary, raising
+    :class:`~repro.errors.DeadlineExceeded`.
     """
     _apply_fault(job.get("fault"), attempt)
     if fault_plan is None:
         return _execute(job, checkpoint=checkpoint, stats=stats,
-                        attempt=attempt, should_yield=should_yield)
+                        attempt=attempt, should_yield=should_yield,
+                        deadline_at=deadline_at)
     plan = fault_plan if isinstance(fault_plan, FaultPlan) \
         else FaultPlan.from_dict(fault_plan)
     with FaultInjector(plan, scope=job["name"]):
@@ -302,14 +322,14 @@ def execute_job(job: Dict, attempt: int = 0,
         if action is not None:
             time.sleep(float(action.params.get("seconds", 0.05)))
         return _execute(job, plan.watchdog, checkpoint, stats, attempt,
-                        should_yield)
+                        should_yield, deadline_at)
 
 
 def run_shard(jobs: List[Dict], attempt: int = 0,
               fault_plan: Optional[Dict] = None,
               checkpoint: Optional[Dict] = None,
-              should_yield: Optional[Callable[[], bool]] = None
-              ) -> List[Dict]:
+              should_yield: Optional[Callable[[], bool]] = None,
+              deadline_at: Optional[float] = None) -> List[Dict]:
     """Execute a shard of job specs, isolating failures per job.
 
     Returns one outcome dict per job, in shard order::
@@ -331,6 +351,12 @@ def run_shard(jobs: List[Dict], attempt: int = 0,
     with a single ``"preempted"`` outcome for the interrupted job;
     outcomes for jobs that already completed are returned normally, so
     nothing finished is lost.
+
+    ``deadline_at`` is the campaign wall-clock deadline (absolute
+    ``time.time()``; pool-safe): checked before each job and at every
+    checkpoint boundary.  An expired deadline ends the shard with a
+    single ``"deadline"`` outcome — completed jobs are still returned,
+    but the campaign is terminal (``deadline_exceeded``), never resumed.
     """
     outcomes: List[Dict] = []
     for job in jobs:
@@ -340,11 +366,17 @@ def run_shard(jobs: List[Dict], attempt: int = 0,
                 "attempt": attempt, "pid": os.getpid(),
             })
             break
+        if deadline_at is not None and time.time() > deadline_at:
+            outcomes.append({
+                "job": job, "status": "deadline", "wall_s": 0.0,
+                "attempt": attempt, "pid": os.getpid(),
+            })
+            break
         start = time.perf_counter()
         stats: Dict = {}
         try:
             payload = execute_job(job, attempt, fault_plan, checkpoint,
-                                  stats, should_yield)
+                                  stats, should_yield, deadline_at)
             outcome = {
                 "job": job,
                 "status": "ok",
@@ -357,6 +389,18 @@ def run_shard(jobs: List[Dict], attempt: int = 0,
             outcome = {
                 "job": job,
                 "status": "preempted",
+                "wall_s": time.perf_counter() - start,
+                "attempt": attempt,
+                "pid": os.getpid(),
+            }
+            if checkpoint:
+                outcome["checkpoint"] = stats
+            outcomes.append(outcome)
+            break
+        except DeadlineExceeded:
+            outcome = {
+                "job": job,
+                "status": "deadline",
                 "wall_s": time.perf_counter() - start,
                 "attempt": attempt,
                 "pid": os.getpid(),

@@ -93,6 +93,24 @@ def record_device_stats(reg: MetricsRegistry, device) -> None:
     record_mcds_stats(reg, device.mcds)
 
 
+def record_breaker_state(reg: MetricsRegistry, breaker) -> None:
+    """Fold a :class:`~repro.resilience.CircuitBreaker` snapshot.
+
+    Gauges only — the breaker's monotonic totals (transitions, sheds)
+    are counted at the moment they happen by the service, so folding
+    them here repeatedly would double-count.
+    """
+    from ..resilience import STATE_VALUES
+    snap = breaker.snapshot()
+    reg.gauge("repro_resilience_breaker_state",
+              "admission circuit breaker state "
+              "(0 closed, 1 half-open, 2 open)") \
+        .set(STATE_VALUES[snap["state"]])
+    reg.gauge("repro_resilience_breaker_failure_rate",
+              "campaign failure rate over the breaker's sliding window") \
+        .set(snap["failure_rate"])
+
+
 def record_campaign_metrics(reg: MetricsRegistry, metrics) -> None:
     """Fold a :class:`~repro.fleet.metrics.CampaignMetrics` snapshot."""
     jobs = reg.counter("repro_fleet_jobs_total",

@@ -126,6 +126,28 @@ def _register_core_families(reg: MetricsRegistry) -> None:
                 ("method", "route", "status"))
     reg.counter("repro_serve_results_streamed_total",
                 "per-job result records pushed to event streams")
+    # resilience (admission journal, crash recovery, circuit breaker)
+    reg.counter("repro_resilience_journal_records_total",
+                "write-ahead admission journal appends, by record op",
+                ("op",))
+    reg.counter("repro_resilience_recovered_total",
+                "campaigns rebuilt from the journal at service start, "
+                "by disposition (requeued/terminal/unrecoverable)",
+                ("disposition",))
+    reg.gauge("repro_resilience_breaker_state",
+              "admission circuit breaker state "
+              "(0 closed, 1 half-open, 2 open)")
+    reg.gauge("repro_resilience_breaker_failure_rate",
+              "campaign failure rate over the breaker's sliding window")
+    reg.counter("repro_resilience_breaker_transitions_total",
+                "circuit breaker state transitions, by new state", ("to",))
+    reg.counter("repro_resilience_shed_total",
+                "admissions shed with 503 while the breaker was not closed")
+    reg.counter("repro_resilience_idempotent_replays_total",
+                "duplicate submissions answered with the original campaign")
+    reg.counter("repro_resilience_deadline_exceeded_total",
+                "campaigns expired at their wall-clock deadline, by the "
+                "phase they were in (queued/running)", ("phase",))
 
 
 class Telemetry:

@@ -1,0 +1,37 @@
+"""repro.resilience — the service's survival layer.
+
+PR5 made simulation state durable (checkpoints); PR6 made the fleet a
+service (``repro.serve``).  This package closes the loop between them:
+the *service's own* state — what was admitted, what was running, which
+client retry is a duplicate — becomes durable too, and the service
+learns to protect itself under failure storms.
+
+::
+
+    journal.py   write-ahead admission journal    (CRC-guarded JSONL)
+    breaker.py   failure-rate circuit breaker     (closed/open/half-open)
+
+Recovery itself lives in :meth:`repro.serve.service.CampaignService.
+start`, which replays the journal, rebuilds the queue and id sequence,
+and re-enqueues interrupted campaigns to resume from their checkpoints
+byte-identically.  Deadline propagation rides the ordinary campaign
+path: ``CampaignSpec.deadline_s`` → orchestrator → worker boundary
+checks.  See ``docs/resilience.md``.
+"""
+
+from .breaker import CLOSED, HALF_OPEN, OPEN, STATE_VALUES, CircuitBreaker
+from .journal import (AdmissionJournal, JournalState, JournaledCampaign,
+                      compaction_records, fold_journal)
+
+__all__ = [
+    "AdmissionJournal",
+    "CLOSED",
+    "CircuitBreaker",
+    "HALF_OPEN",
+    "JournalState",
+    "JournaledCampaign",
+    "OPEN",
+    "STATE_VALUES",
+    "compaction_records",
+    "fold_journal",
+]

@@ -1,0 +1,202 @@
+"""Failure-rate circuit breaker with adaptive shedding.
+
+The always-on service must survive *storms* — a chaos plan gone feral, a
+bad deploy whose every campaign crashes its workers, a host so loaded
+that wall-clock watchdogs fire everywhere.  Retrying each failure
+individually (the orchestrator's job) makes a storm worse at the
+admission layer: new submissions pile onto a fleet that cannot finish
+anything.  The breaker watches the recent outcome rate and, when
+failures dominate, sheds new admissions at the front door with
+``503 + Retry-After`` until probe traffic proves the fleet healthy.
+
+Classic three-state machine on a sliding window, every clock read
+injectable (the quota-bucket discipline):
+
+* **closed** — normal operation; outcomes are recorded into the window;
+  when at least ``min_samples`` outcomes exist and the failure fraction
+  reaches ``failure_threshold``, the breaker trips open.
+* **open** — :meth:`allow` refuses everything until ``cooldown_s`` has
+  elapsed.  The cooldown is *adaptive*: each consecutive re-trip doubles
+  it (full recovery resets it), capped at ``max_cooldown_s`` — a
+  persistent storm backs the service off exponentially instead of
+  letting it flap.
+* **half-open** — up to ``half_open_probes`` admissions are let through
+  as probes.  ``half_open_probes`` successes close the breaker and clear
+  the window; any failure re-trips it immediately.
+
+The breaker never raises — it answers :meth:`allow`; translating a
+refusal into :class:`~repro.errors.ServiceUnavailable` is the service's
+job, keeping policy (here) and error surface (there) separate.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, Optional, Tuple
+
+from ..errors import ConfigurationError
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: numeric encoding for the state gauge (monitoring dashboards)
+STATE_VALUES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class CircuitBreaker:
+    """Sliding-window failure-rate breaker on an injectable clock."""
+
+    def __init__(self, window_s: float = 30.0,
+                 min_samples: int = 5,
+                 failure_threshold: float = 0.5,
+                 cooldown_s: float = 5.0,
+                 max_cooldown_s: float = 300.0,
+                 half_open_probes: int = 2,
+                 clock: Callable[[], float] = time.monotonic,
+                 on_transition: Optional[
+                     Callable[[str, str], None]] = None) -> None:
+        if window_s <= 0:
+            raise ConfigurationError("breaker window_s must be > 0")
+        if min_samples < 1:
+            raise ConfigurationError("breaker min_samples must be >= 1")
+        if not 0.0 < failure_threshold <= 1.0:
+            raise ConfigurationError(
+                "breaker failure_threshold must be in (0, 1]")
+        if cooldown_s <= 0 or max_cooldown_s < cooldown_s:
+            raise ConfigurationError(
+                "breaker needs 0 < cooldown_s <= max_cooldown_s")
+        if half_open_probes < 1:
+            raise ConfigurationError(
+                "breaker half_open_probes must be >= 1")
+        self.window_s = float(window_s)
+        self.min_samples = int(min_samples)
+        self.failure_threshold = float(failure_threshold)
+        self.cooldown_s = float(cooldown_s)
+        self.max_cooldown_s = float(max_cooldown_s)
+        self.half_open_probes = int(half_open_probes)
+        self._clock = clock
+        self._on_transition = on_transition
+        self._state = CLOSED
+        self._outcomes: Deque[Tuple[float, bool]] = deque()
+        self._opened_at = 0.0
+        self._current_cooldown = self.cooldown_s
+        self._consecutive_trips = 0
+        self._probes_allowed = 0
+        self._probe_successes = 0
+        self.shed_total = 0
+        self.transitions = 0
+
+    # -- state machine -------------------------------------------------------
+    def _transition(self, new_state: str) -> None:
+        old, self._state = self._state, new_state
+        if old != new_state:
+            self.transitions += 1
+            if self._on_transition is not None:
+                self._on_transition(old, new_state)
+
+    def _prune(self, now: float) -> None:
+        horizon = now - self.window_s
+        while self._outcomes and self._outcomes[0][0] < horizon:
+            self._outcomes.popleft()
+
+    def _trip(self, now: float) -> None:
+        self._current_cooldown = min(
+            self.max_cooldown_s,
+            self.cooldown_s * (2 ** self._consecutive_trips))
+        self._consecutive_trips += 1
+        self._opened_at = now
+        self._probes_allowed = 0
+        self._probe_successes = 0
+        self._transition(OPEN)
+
+    def _maybe_half_open(self, now: float) -> None:
+        if self._state == OPEN and \
+                now - self._opened_at >= self._current_cooldown:
+            self._probes_allowed = 0
+            self._probe_successes = 0
+            self._transition(HALF_OPEN)
+
+    # -- recording outcomes --------------------------------------------------
+    def record_success(self) -> None:
+        now = self._clock()
+        self._maybe_half_open(now)
+        if self._state == HALF_OPEN:
+            self._probe_successes += 1
+            if self._probe_successes >= self.half_open_probes:
+                # proven healthy: full reset, adaptive cooldown cleared
+                self._outcomes.clear()
+                self._consecutive_trips = 0
+                self._current_cooldown = self.cooldown_s
+                self._transition(CLOSED)
+            return
+        self._outcomes.append((now, True))
+        self._prune(now)
+
+    def record_failure(self) -> None:
+        now = self._clock()
+        self._maybe_half_open(now)
+        if self._state == HALF_OPEN:
+            # a failed probe is proof the storm is still on
+            self._trip(now)
+            return
+        self._outcomes.append((now, False))
+        self._prune(now)
+        if self._state == CLOSED:
+            total = len(self._outcomes)
+            failures = sum(1 for _, ok in self._outcomes if not ok)
+            if total >= self.min_samples and \
+                    failures / total >= self.failure_threshold:
+                self._trip(now)
+
+    # -- admission decisions -------------------------------------------------
+    def allow(self) -> bool:
+        """May one admission proceed right now?
+
+        In ``half_open`` only ``half_open_probes`` calls return True per
+        probe round; the rest are shed like ``open``.  A refusal counts
+        into ``shed_total``.
+        """
+        now = self._clock()
+        self._maybe_half_open(now)
+        if self._state == CLOSED:
+            return True
+        if self._state == HALF_OPEN and \
+                self._probes_allowed < self.half_open_probes:
+            self._probes_allowed += 1
+            return True
+        self.shed_total += 1
+        return False
+
+    def retry_after_s(self) -> float:
+        """Suggested client back-off (the 503 ``Retry-After`` value)."""
+        now = self._clock()
+        if self._state == OPEN:
+            return max(1.0, self._opened_at + self._current_cooldown - now)
+        return 1.0
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def state(self) -> str:
+        self._maybe_half_open(self._clock())
+        return self._state
+
+    def failure_rate(self) -> float:
+        self._prune(self._clock())
+        if not self._outcomes:
+            return 0.0
+        return sum(1 for _, ok in self._outcomes if not ok) \
+            / len(self._outcomes)
+
+    def snapshot(self) -> Dict:
+        """Status-endpoint view of the breaker."""
+        return {
+            "state": self.state,
+            "failure_rate": round(self.failure_rate(), 4),
+            "window_samples": len(self._outcomes),
+            "consecutive_trips": self._consecutive_trips,
+            "cooldown_s": self._current_cooldown,
+            "shed_total": self.shed_total,
+            "transitions": self.transitions,
+        }

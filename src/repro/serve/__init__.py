@@ -15,10 +15,13 @@ Layering::
     stream.py   SSE frames + replayable buffers   (thread -> loop bridge)
     catalog.py  build-time capability catalog     (static artifact)
 
-See ``docs/serve.md`` for the API reference and scheduling semantics.
+Durability and overload protection (write-ahead admission journal,
+crash recovery on start, circuit-breaker shedding, deadlines) come from
+:mod:`repro.resilience` — see ``docs/serve.md`` for the API reference
+and scheduling semantics, ``docs/resilience.md`` for the failure story.
 """
 
-from .app import ServeApp, serve
+from .app import ServeApp, retry_after_header, serve
 from .catalog import build_catalog, load_catalog, write_catalog
 from .queue import FairQueue, QueueEntry
 from .quota import QuotaManager, TenantPolicy, TokenBucket
@@ -41,6 +44,7 @@ __all__ = [
     "encode_comment",
     "encode_frame",
     "load_catalog",
+    "retry_after_header",
     "serve",
     "write_catalog",
 ]

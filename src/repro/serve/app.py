@@ -18,8 +18,11 @@ GET    ``/v1/campaigns/{id}/aggregate``   final aggregate.json bytes
 GET    ``/v1/campaigns/{id}/events``      live SSE stream
 ====== ================================== ================================
 
-Error mapping: spec problems → 400, unknown campaign → 404, quota →
-429 with ``Retry-After``.  SSE reconnects honour ``Last-Event-ID`` (or
+Error mapping: spec problems → 400, unknown campaign → 404, tenant
+quota → 429 with ``Retry-After``, service-wide unavailability (drain,
+circuit breaker shedding) → 503 with ``Retry-After``.  A repeated
+``Idempotency-Key`` header returns the original campaign instead of
+admitting a duplicate.  SSE reconnects honour ``Last-Event-ID`` (or
 ``?last_event_id=N``) by replaying the campaign's buffered history.
 """
 
@@ -27,11 +30,13 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from .. import __version__
-from ..errors import ConfigurationError, FormatError, QuotaExceeded
+from ..errors import (ConfigurationError, FormatError, QuotaExceeded,
+                      ServiceUnavailable)
 from .service import CampaignService
 from .stream import encode_comment, encode_frame
 
@@ -39,11 +44,29 @@ from .stream import encode_comment, encode_frame
 MAX_BODY = 1 << 20
 #: SSE keepalive interval while a campaign is quiet
 KEEPALIVE_S = 15.0
+#: ceiling for Retry-After — an unbounded back-off hint (a zero-refill
+#: quota bucket reports ``inf``) still has to serialise as a header
+MAX_RETRY_AFTER_S = 3600
 
 REASONS = {200: "OK", 204: "No Content", 400: "Bad Request",
            404: "Not Found", 405: "Method Not Allowed",
            413: "Payload Too Large", 429: "Too Many Requests",
-           500: "Internal Server Error"}
+           500: "Internal Server Error", 503: "Service Unavailable"}
+
+
+def retry_after_header(retry_after_s: float) -> str:
+    """Serialise a back-off hint as an RFC-compliant ``Retry-After``.
+
+    Fractional seconds round *up* (``math.ceil``, not the old
+    ``int(x + 0.999)`` trick, which under-rounded values like 2.0005
+    and overflowed on ``inf``); the result is clamped to
+    ``[1, MAX_RETRY_AFTER_S]`` so zero, negative, and infinite hints
+    all serialise sanely.
+    """
+    if not retry_after_s == retry_after_s:        # NaN guard
+        return "1"
+    seconds = min(float(MAX_RETRY_AFTER_S), max(1.0, retry_after_s))
+    return str(int(math.ceil(seconds)))
 
 
 class HttpError(Exception):
@@ -176,6 +199,11 @@ class ServeApp:
                 "campaigns": len(self.service.campaigns),
             })
         if path == "/metrics" and method == "GET":
+            # breaker gauges are point-in-time: fold a fresh snapshot so
+            # a scrape sees the state *now*, not at the last transition
+            from ..obs.bridge import record_breaker_state
+            record_breaker_state(self.service.registry,
+                                 self.service.breaker)
             text = self.service.registry.to_prometheus()
             return "/metrics", _response(
                 200, text.encode("utf-8"),
@@ -235,6 +263,7 @@ class ServeApp:
     # -- handlers ------------------------------------------------------------
     def _submit(self, headers: Dict[str, str], body: bytes) -> bytes:
         tenant = headers.get("x-tenant", "anonymous")
+        idempotency_key = headers.get("idempotency-key") or None
         try:
             payload = json.loads(body.decode("utf-8") or "{}")
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
@@ -242,10 +271,14 @@ class ServeApp:
         if not isinstance(payload, dict):
             raise HttpError(400, "request body must be a JSON object")
         try:
-            campaign = self.service.submit(tenant, payload)
-        except QuotaExceeded as exc:
+            campaign = self.service.submit(
+                tenant, payload, idempotency_key=idempotency_key)
+        except QuotaExceeded as exc:          # this tenant is over quota
             raise HttpError(429, str(exc), headers={
-                "Retry-After": str(max(1, int(exc.retry_after_s + 0.999)))})
+                "Retry-After": retry_after_header(exc.retry_after_s)})
+        except ServiceUnavailable as exc:     # the service itself is not well
+            raise HttpError(503, str(exc), headers={
+                "Retry-After": retry_after_header(exc.retry_after_s)})
         except (ConfigurationError, FormatError) as exc:
             raise HttpError(400, str(exc))
         return _json_response(200, campaign.status(), extra={

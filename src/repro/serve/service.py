@@ -36,17 +36,22 @@ import asyncio
 import os
 import threading
 import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
-from ..errors import ConfigurationError, QuotaExceeded
+from ..errors import (ConfigurationError, QuotaExceeded,
+                      ServiceUnavailable)
 from ..fleet.api import CampaignSpec, run_campaign
 from ..fleet.spec import canonical_json
 from ..fleet.store import ResultStore
+from ..obs import bridge as _obs_bridge
 from ..obs.events import EventLog
 from ..obs.registry import MetricsRegistry
 from ..obs.runtime import _register_core_families
+from ..resilience import (AdmissionJournal, CircuitBreaker,
+                          compaction_records, fold_journal)
 from .catalog import build_catalog, load_catalog
 from .queue import FairQueue
 from .quota import QuotaManager
@@ -58,8 +63,9 @@ RUNNING = "running"
 EVICTING = "evicting"            # yield requested, waiting for the boundary
 COMPLETED = "completed"
 FAILED = "failed"
+DEADLINE_EXCEEDED = "deadline_exceeded"
 
-TERMINAL = (COMPLETED, FAILED)
+TERMINAL = (COMPLETED, FAILED, DEADLINE_EXCEEDED)
 
 #: how often the result tailer polls a running campaign's store
 TAIL_INTERVAL_S = 0.05
@@ -78,6 +84,9 @@ class Campaign:
     jobs_total: int = 0
     attempts: int = 0             # scheduling attempts (1 + evictions)
     evictions: int = 0
+    idempotency_key: Optional[str] = None
+    deadline_at: Optional[float] = None   # absolute wall clock (time.time)
+    recovered: bool = False       # rebuilt from the journal after a crash
     error: Optional[str] = None
     aggregate_path: Optional[str] = None
     quarantined: List[str] = field(default_factory=list)
@@ -110,6 +119,8 @@ class Campaign:
             "evictions": self.evictions,
             "error": self.error,
             "quarantined": list(self.quarantined),
+            "deadline_at": self.deadline_at,
+            "recovered": self.recovered,
             "spec": self.spec.to_dict(),
         }
 
@@ -129,7 +140,9 @@ class CampaignService:
                  max_retries: int = 1,
                  cache_dir: Optional[str] = None,
                  catalog_path: Optional[str] = None,
-                 registry: Optional[MetricsRegistry] = None) -> None:
+                 registry: Optional[MetricsRegistry] = None,
+                 breaker: Optional[CircuitBreaker] = None,
+                 clock: Callable[[], float] = time.time) -> None:
         if slots < 1:
             raise ConfigurationError("service needs at least one slot")
         if checkpoint_every < 1:
@@ -150,6 +163,7 @@ class CampaignService:
         self.registry = registry
         self.campaigns: Dict[str, Campaign] = {}
         self.started_at = time.time()
+        self._clock = clock
         self._seq = 0
         self._running_campaigns: Dict[str, Campaign] = {}
         self._tasks: Set[asyncio.Task] = set()
@@ -157,15 +171,128 @@ class CampaignService:
         self._wake = asyncio.Event()
         self._scheduler_task: Optional[asyncio.Task] = None
         self._stopping = False
+        # resilience: write-ahead journal + admission circuit breaker.
+        # The seq watermark and idempotency map are rebuilt eagerly so
+        # even a pre-start() submit can never mint a colliding cmp id;
+        # queue/campaign *reconstruction* waits for start() (needs the
+        # loop).
+        self.events = EventLog("serve")
+        self.journal = AdmissionJournal(root)
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.breaker._on_transition = self._on_breaker_transition
+        self._idempotency: Dict[Tuple[str, str], str] = {}
+        self._recovered_state = fold_journal(self.journal.replay())
+        self._seq = self._recovered_state.max_seq
+        self._idempotency.update(self._recovered_state.idempotency)
+        _obs_bridge.record_breaker_state(self.registry, self.breaker)
 
     # -- lifecycle -----------------------------------------------------------
     async def start(self) -> None:
         if self._scheduler_task is not None:
             return
         self._stopping = False
+        self._recover()
         self._pool = ThreadPoolExecutor(
             max_workers=self.slots, thread_name_prefix="repro-serve")
         self._scheduler_task = asyncio.ensure_future(self._scheduler())
+        self._wake.set()
+
+    # -- crash recovery ------------------------------------------------------
+    def _recover(self) -> None:
+        """Rebuild campaigns, queue, and accounting from the journal.
+
+        Terminal campaigns come back as terminal records (their on-disk
+        aggregate re-attached when it survived); queued *and previously
+        running* campaigns re-enter the queue — a recovered running
+        campaign keeps its journaled attempt count, so its next dispatch
+        resumes from the store prefix + checkpoint exactly like an
+        eviction would, and the resumed artifacts stay byte-identical.
+        """
+        state, self._recovered_state = self._recovered_state, None
+        if state is None or not state.campaigns:
+            return
+        requeued = terminal = unrecoverable = 0
+        for entry in sorted(state.campaigns.values(),
+                            key=lambda e: e.order):
+            if entry.campaign_id in self.campaigns:
+                continue             # admitted pre-start in this process
+            try:
+                spec = CampaignSpec.from_dict(entry.spec)
+            except Exception as exc:
+                unrecoverable += 1
+                warnings.warn(
+                    f"recovery: journaled spec for {entry.campaign_id} "
+                    f"no longer builds ({exc}); leaving its directory "
+                    f"for inspection", RuntimeWarning)
+                self._count_recovered("unrecoverable")
+                continue
+            directory = os.path.join(self.root, "campaigns",
+                                     entry.campaign_id)
+            os.makedirs(directory, exist_ok=True)
+            campaign = Campaign(
+                campaign_id=entry.campaign_id, tenant=entry.tenant,
+                priority=entry.priority, spec=spec, directory=directory,
+                idempotency_key=entry.idempotency_key,
+                deadline_at=entry.deadline_at, recovered=True)
+            campaign.jobs_total = len(spec.build_jobs())
+            campaign.attempts = entry.attempts
+            self.campaigns[entry.campaign_id] = campaign
+            if entry.state in TERMINAL:
+                campaign.state = entry.state
+                if entry.state == COMPLETED and \
+                        os.path.exists(campaign.store.aggregate_path):
+                    campaign.aggregate_path = campaign.store.aggregate_path
+                campaign.buffer.close()
+                terminal += 1
+                self._count_recovered("terminal")
+                continue
+            # queued / running / evicting at crash time → queued again.
+            # attempts >= 1 marks "has dispatched before": the next run
+            # goes down the resume path instead of clearing the store.
+            if entry.state in (RUNNING, EVICTING):
+                campaign.attempts = max(1, entry.attempts)
+            campaign.state = QUEUED
+            self.queue.push(entry.campaign_id, entry.tenant,
+                            entry.priority,
+                            cost=max(1.0, float(campaign.jobs_total)))
+            campaign.emit("campaign.recovered",
+                          prior_state=entry.state,
+                          attempts=campaign.attempts)
+            requeued += 1
+            self._count_recovered("requeued")
+        # compact: the journal now needs one admit (+ maybe one state)
+        # per campaign, not the full transition history since epoch.
+        # Re-fold from the live file, not the __init__-time snapshot —
+        # submissions admitted before start() must survive the rewrite.
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            self.journal.rewrite(
+                compaction_records(fold_journal(self.journal.replay())))
+        self._gauge_queue()
+        if requeued or terminal or unrecoverable:
+            self.events.emit("service.recovered", requeued=requeued,
+                             terminal=terminal,
+                             unrecoverable=unrecoverable,
+                             seq_watermark=self._seq)
+
+    # -- breaker wiring ------------------------------------------------------
+    def _on_breaker_transition(self, old: str, new: str) -> None:
+        self.registry.get("repro_resilience_breaker_transitions_total") \
+            .labels(new).inc()
+        _obs_bridge.record_breaker_state(self.registry, self.breaker)
+        self.events.emit("breaker.transition", old=old, new=new,
+                         failure_rate=round(self.breaker.failure_rate(), 4))
+
+    def _count_recovered(self, disposition: str) -> None:
+        self.registry.get("repro_resilience_recovered_total") \
+            .labels(disposition).inc()
+
+    def _journal_state(self, campaign: Campaign, state: str) -> None:
+        """Durably record a transition *before* it takes effect."""
+        self.journal.state(campaign.campaign_id, state,
+                           attempts=campaign.attempts)
+        self.registry.get("repro_resilience_journal_records_total") \
+            .labels("state").inc()
 
     async def stop(self) -> None:
         """Graceful shutdown: evict running work at safe boundaries."""
@@ -190,11 +317,39 @@ class CampaignService:
             self._pool = None
 
     # -- admission -----------------------------------------------------------
-    def submit(self, tenant: str, payload: Dict) -> Campaign:
-        """Admit one campaign submission (raises on quota/spec errors)."""
+    def submit(self, tenant: str, payload: Dict,
+               idempotency_key: Optional[str] = None) -> Campaign:
+        """Admit one campaign submission (raises on quota/spec errors).
+
+        A repeated ``idempotency_key`` for the same tenant returns the
+        *original* campaign — no quota draw, no new admission — so a
+        client that lost the response to a network blip can retry
+        ``POST /v1/campaigns`` safely, even across a service restart
+        (the key map is journaled).
+        """
         if self._stopping:
-            raise QuotaExceeded("service is shutting down",
-                                retry_after_s=5.0)
+            # a drain is an availability condition, not a quota verdict:
+            # 503, retryable against the replacement process
+            raise ServiceUnavailable("service is shutting down",
+                                     retry_after_s=5.0)
+        if idempotency_key is not None:
+            known = self._idempotency.get((tenant, idempotency_key))
+            if known is not None and known in self.campaigns:
+                self.registry.get(
+                    "repro_resilience_idempotent_replays_total").inc()
+                self.events.emit("admission.replayed", tenant=tenant,
+                                 campaign_id=known)
+                return self.campaigns[known]
+        if not self.breaker.allow():
+            self._count_campaign(tenant, "shed")
+            self.registry.get("repro_resilience_shed_total").inc()
+            self.events.emit("admission.shed", tenant=tenant,
+                             breaker_state=self.breaker.state)
+            raise ServiceUnavailable(
+                f"service is shedding load "
+                f"(circuit breaker {self.breaker.state}, recent failure "
+                f"rate {self.breaker.failure_rate():.0%})",
+                retry_after_s=self.breaker.retry_after_s())
         body = dict(payload)
         priority = body.pop("priority", 0)
         try:
@@ -216,19 +371,45 @@ class CampaignService:
         campaign_id = f"cmp-{self._seq:06d}"
         directory = os.path.join(self.root, "campaigns", campaign_id)
         os.makedirs(directory, exist_ok=True)
+        deadline_at = None
+        if spec.deadline_s is not None:
+            deadline_at = self._clock() + spec.deadline_s
+        # write-ahead: the admission is durable before it is visible
+        self.journal.admit(campaign_id, tenant, priority, spec.to_dict(),
+                           idempotency_key=idempotency_key,
+                           deadline_at=deadline_at)
+        self.registry.get("repro_resilience_journal_records_total") \
+            .labels("admit").inc()
         campaign = Campaign(campaign_id=campaign_id, tenant=tenant,
                             priority=priority, spec=spec,
-                            directory=directory)
+                            directory=directory,
+                            idempotency_key=idempotency_key,
+                            deadline_at=deadline_at)
         campaign.jobs_total = len(spec.build_jobs())
         self.campaigns[campaign_id] = campaign
+        if idempotency_key is not None:
+            self._idempotency[(tenant, idempotency_key)] = campaign_id
         self.queue.push(campaign_id, tenant, priority,
                         cost=max(1.0, float(campaign.jobs_total)))
         self._count_campaign(tenant, "admitted")
         self._gauge_queue()
         campaign.emit("campaign.queued", tenant=tenant, priority=priority,
-                      jobs_total=campaign.jobs_total)
+                      jobs_total=campaign.jobs_total,
+                      deadline_at=deadline_at)
         self._wake.set()
+        if deadline_at is not None:
+            self._arm_deadline_wakeup(deadline_at)
         return campaign
+
+    def _arm_deadline_wakeup(self, deadline_at: float) -> None:
+        """Schedule a scheduler pass just after a deadline lapses, so a
+        queued campaign expires on time even on an otherwise idle loop."""
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            return                   # no loop yet — the sweep will catch it
+        delay = max(0.0, deadline_at - self._clock()) + 0.01
+        loop.call_later(delay, self._wake.set)
 
     def get(self, campaign_id: str) -> Optional[Campaign]:
         return self.campaigns.get(campaign_id)
@@ -239,6 +420,7 @@ class CampaignService:
             "queue_depth": len(self.queue),
             "running": sorted(self._running_campaigns),
             "slots": self.slots,
+            "breaker": self.breaker.snapshot(),
         }
 
     # -- metrics helpers -----------------------------------------------------
@@ -265,6 +447,13 @@ class CampaignService:
             self._wake.clear()
             if self._stopping:
                 continue
+            # expire queued work whose deadline lapsed before dispatch
+            for campaign in list(self.campaigns.values()):
+                if campaign.state == QUEUED and \
+                        campaign.deadline_at is not None and \
+                        self._clock() > campaign.deadline_at:
+                    if self.queue.remove(campaign.campaign_id):
+                        self._expire_deadline(campaign, phase="queued")
             # fill free slots in fair-queue order
             while len(self._running_campaigns) < self.slots:
                 entry = self.queue.pop()
@@ -293,6 +482,11 @@ class CampaignService:
 
     def _run_blocking(self, campaign: Campaign):
         """Executed on a slot thread: one orchestrator run."""
+        deadline_s = None
+        if campaign.deadline_at is not None:
+            # pass the *remaining* budget; if it is already spent the
+            # runner expires before round 0 and reports deadline_exceeded
+            deadline_s = max(1e-6, campaign.deadline_at - self._clock())
         return run_campaign(
             campaign.spec,
             workers=0,
@@ -302,11 +496,13 @@ class CampaignService:
             backoff_s=0.05,
             checkpoint_every=self.checkpoint_every,
             resume=campaign.attempts > 1,
-            should_yield=campaign.yield_flag.is_set)
+            should_yield=campaign.yield_flag.is_set,
+            deadline_s=deadline_s)
 
     async def _run(self, campaign: Campaign) -> None:
-        campaign.state = RUNNING
         campaign.attempts += 1
+        self._journal_state(campaign, RUNNING)
+        campaign.state = RUNNING
         campaign.yield_flag.clear()
         # the store is cleared and completed records re-appended on every
         # attempt, so the tailer restarts from byte 0 and dedups by job id
@@ -336,13 +532,18 @@ class CampaignService:
             self._running_campaigns.pop(campaign.campaign_id, None)
 
         if error is not None:
+            self._journal_state(campaign, FAILED)
             campaign.state = FAILED
             campaign.error = error
             self._count_campaign(campaign.tenant, "failed")
+            self.breaker.record_failure()
             campaign.emit("campaign.failed", error=error)
             campaign.buffer.close()
+        elif report.deadline_exceeded:
+            self._expire_deadline(campaign, phase="running")
         elif report.preempted:
             campaign.evictions += 1
+            self._journal_state(campaign, QUEUED)
             campaign.state = QUEUED
             self.registry.get("repro_serve_evictions_total").inc()
             self._count_campaign(campaign.tenant, "evicted")
@@ -356,9 +557,17 @@ class CampaignService:
                             cost=max(1.0, float(
                                 campaign.jobs_total - len(report.records))))
         else:
+            self._journal_state(campaign, COMPLETED)
             campaign.state = COMPLETED
             campaign.aggregate_path = report.aggregate_path
             campaign.quarantined = [r["job_id"] for r in report.quarantined]
+            # breaker diet: each quarantined job is one failure sample,
+            # a clean completion one success — a crash storm trips it,
+            # a stray flake does not
+            for _ in campaign.quarantined:
+                self.breaker.record_failure()
+            if not campaign.quarantined:
+                self.breaker.record_success()
             self._count_campaign(campaign.tenant, "completed")
             campaign.emit(
                 "campaign.completed",
@@ -370,8 +579,25 @@ class CampaignService:
                 cycles_recovered=report.metrics.cycles_recovered,
                 evictions=campaign.evictions)
             campaign.buffer.close()
+        _obs_bridge.record_breaker_state(self.registry, self.breaker)
         self._gauge_queue()
         self._wake.set()
+
+    def _expire_deadline(self, campaign: Campaign, phase: str) -> None:
+        """Terminal expiry: the deadline is a property of the *request*,
+        so unlike an eviction there is nothing to resume later."""
+        self._journal_state(campaign, DEADLINE_EXCEEDED)
+        campaign.state = DEADLINE_EXCEEDED
+        campaign.error = (
+            f"deadline exceeded while {phase} "
+            f"(deadline_s={campaign.spec.deadline_s})")
+        self.registry.get("repro_resilience_deadline_exceeded_total") \
+            .labels(phase).inc()
+        self._count_campaign(campaign.tenant, "deadline_exceeded")
+        campaign.emit("campaign.deadline_exceeded", phase=phase,
+                      deadline_at=campaign.deadline_at)
+        campaign.buffer.close()
+        self._gauge_queue()
 
     # -- live result streaming ----------------------------------------------
     async def _tail(self, campaign: Campaign) -> None:

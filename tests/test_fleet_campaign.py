@@ -259,6 +259,39 @@ def test_store_tail_ignores_partial_last_line(tmp_path):
     assert not os.path.exists(store.quarantine_path)
 
 
+def test_store_tail_races_live_writer_across_flush_boundary(tmp_path):
+    """A *valid* record flushed in two halves is delivered exactly once.
+
+    The orchestrator's append is write+flush+fsync, but the OS may make
+    the bytes visible to a concurrent reader between the writer's two
+    ``write`` syscalls — the tailer can observe the first half of a
+    perfectly good line with no newline yet.  The contract: the record
+    is invisible while partial, delivered exactly once when its newline
+    lands, and the read-only tailer never quarantines anything.
+    """
+    from repro.fleet import ResultStore
+    from repro.fleet.store import seal_record
+    store = ResultStore(str(tmp_path))
+    store.append({"job_id": "a"})
+    line = seal_record({"job_id": "b", "payload": {"ipc": 0.75}}) + "\n"
+    split = len(line) // 2                      # mid-record, mid-field
+    with open(store.path, "a") as handle:
+        handle.write(line[:split])
+        handle.flush()                          # first half hits the file
+        records, offset = store.tail(0)
+        assert [r["job_id"] for r in records] == ["a"]
+        seen_partial = store.tail(offset)
+        assert seen_partial == ([], offset)     # half a line is nothing
+        handle.write(line[split:])
+        handle.flush()                          # newline lands
+    records2, offset2 = store.tail(offset)
+    assert [r["job_id"] for r in records2] == ["b"]
+    assert records2[0]["payload"] == {"ipc": 0.75}
+    # delivered once: the cursor moved past it, a re-poll yields nothing
+    assert store.tail(offset2) == ([], offset2)
+    assert not os.path.exists(store.quarantine_path)
+
+
 def test_store_tail_holds_position_on_shrink(tmp_path):
     from repro.fleet import ResultStore
     store = ResultStore(str(tmp_path))

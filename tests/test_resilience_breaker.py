@@ -1,0 +1,153 @@
+"""CircuitBreaker: trip/cooldown/probe state machine on a fake clock."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.resilience import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, s):
+        self.now += s
+
+
+def make(clock, **kwargs):
+    defaults = dict(window_s=30.0, min_samples=4, failure_threshold=0.5,
+                    cooldown_s=10.0, max_cooldown_s=80.0,
+                    half_open_probes=2, clock=clock)
+    defaults.update(kwargs)
+    return CircuitBreaker(**defaults)
+
+
+def trip(breaker, clock, failures=4):
+    for _ in range(failures):
+        breaker.record_failure()
+        clock.advance(0.1)
+    assert breaker.state == OPEN
+
+
+def test_stays_closed_below_min_samples():
+    clock = FakeClock()
+    breaker = make(clock)
+    for _ in range(3):
+        breaker.record_failure()
+    assert breaker.state == CLOSED and breaker.allow()
+
+
+def test_trips_at_threshold_and_sheds():
+    clock = FakeClock()
+    breaker = make(clock)
+    breaker.record_success()
+    breaker.record_success()
+    breaker.record_failure()
+    assert breaker.state == CLOSED
+    breaker.record_failure()          # 2/4 = threshold
+    assert breaker.state == OPEN
+    assert not breaker.allow()
+    assert breaker.shed_total == 1
+    assert breaker.retry_after_s() == pytest.approx(10.0)
+
+
+def test_old_outcomes_age_out_of_the_window():
+    clock = FakeClock()
+    breaker = make(clock)
+    breaker.record_failure()
+    breaker.record_failure()
+    clock.advance(31.0)               # both fall off the window
+    breaker.record_success()
+    breaker.record_failure()
+    breaker.record_failure()
+    breaker.record_failure()          # 3/4 >= 0.5 but window only has 4
+    assert breaker.failure_rate() == pytest.approx(0.75)
+    assert breaker.state == OPEN      # still trips — on *recent* truth
+
+
+def test_half_open_probes_then_close_on_success():
+    clock = FakeClock()
+    breaker = make(clock)
+    trip(breaker, clock)
+    clock.advance(10.1)
+    assert breaker.state == HALF_OPEN
+    assert breaker.allow() and breaker.allow()      # the probe budget
+    assert not breaker.allow()                      # budget exhausted
+    breaker.record_success()
+    assert breaker.state == HALF_OPEN               # one probe is not proof
+    breaker.record_success()
+    assert breaker.state == CLOSED
+    # full recovery clears the window and the adaptive cooldown
+    assert breaker.failure_rate() == 0.0
+    assert breaker.snapshot()["consecutive_trips"] == 0
+
+
+def test_probe_failure_retrips_with_doubled_cooldown():
+    clock = FakeClock()
+    breaker = make(clock)
+    trip(breaker, clock)                            # cooldown 10
+    clock.advance(10.1)
+    assert breaker.allow()                          # half-open probe
+    breaker.record_failure()                        # probe failed
+    assert breaker.state == OPEN
+    assert breaker.retry_after_s() == pytest.approx(20.0)   # doubled
+    clock.advance(20.1)
+    assert breaker.allow()
+    breaker.record_failure()
+    assert breaker.retry_after_s() == pytest.approx(40.0)   # doubled again
+    clock.advance(40.1)
+    assert breaker.allow()
+    breaker.record_failure()
+    assert breaker.retry_after_s() == pytest.approx(80.0)   # capped
+    clock.advance(80.1)
+    assert breaker.allow()
+    breaker.record_failure()
+    assert breaker.retry_after_s() == pytest.approx(80.0)   # stays capped
+
+
+def test_retry_after_shrinks_as_cooldown_elapses():
+    clock = FakeClock()
+    breaker = make(clock)
+    trip(breaker, clock)                # trips at now=1000.3, ends +10s
+    clock.advance(6.9)
+    assert breaker.retry_after_s() == pytest.approx(3.0)
+    clock.advance(2.9)
+    assert breaker.retry_after_s() >= 1.0           # floor of one second
+
+
+def test_transition_callback_fires_once_per_change():
+    clock = FakeClock()
+    seen = []
+    breaker = make(clock)
+    breaker._on_transition = lambda old, new: seen.append((old, new))
+    trip(breaker, clock)
+    clock.advance(10.1)
+    breaker.allow()                                 # forces half-open check
+    breaker.record_success()
+    breaker.record_success()
+    assert seen == [(CLOSED, OPEN), (OPEN, HALF_OPEN),
+                    (HALF_OPEN, CLOSED)]
+    assert breaker.transitions == 3
+
+
+def test_snapshot_shape():
+    clock = FakeClock()
+    breaker = make(clock)
+    snap = breaker.snapshot()
+    assert snap["state"] == CLOSED
+    assert set(snap) == {"state", "failure_rate", "window_samples",
+                         "consecutive_trips", "cooldown_s", "shed_total",
+                         "transitions"}
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"window_s": 0}, {"min_samples": 0}, {"failure_threshold": 0.0},
+    {"failure_threshold": 1.5}, {"cooldown_s": 0},
+    {"cooldown_s": 10, "max_cooldown_s": 5}, {"half_open_probes": 0},
+])
+def test_config_validation(kwargs):
+    with pytest.raises(ConfigurationError):
+        make(FakeClock(), **kwargs)

@@ -52,9 +52,11 @@ class Client:
         assert status == 200, body
         return json.loads(body)
 
-    async def post(self, path, body, tenant="t1"):
+    async def post(self, path, body, tenant="t1", extra=None):
+        headers = {"X-Tenant": tenant}
+        headers.update(extra or {})
         return await http(self.host, self.port, "POST", path, body=body,
-                          headers={"X-Tenant": tenant})
+                          headers=headers)
 
 
 async def started_app(tmp_path, **service_kw):
@@ -133,6 +135,80 @@ def test_quota_maps_to_429_with_retry_after(tmp_path):
             assert status == 429
             assert int(headers["retry-after"]) >= 1
             assert b"submission rate" in body
+        finally:
+            await app.stop()
+    asyncio.run(main())
+
+
+def test_zero_refill_quota_serialises_infinite_retry_after(tmp_path):
+    """refill_per_s=0 reports retry_after_s=inf — the header must clamp
+    to the ceiling instead of 500ing on int(inf) (the pre-math.ceil bug)."""
+    async def main():
+        quota = QuotaManager(default=TenantPolicy(
+            burst=1, refill_per_s=0.0, max_queued=100))
+        app, client = await started_app(tmp_path, quota=quota)
+        try:
+            status, _, _ = await client.post("/v1/campaigns", dict(SMALL))
+            assert status == 200
+            status, headers, _ = await client.post("/v1/campaigns",
+                                                   dict(SMALL))
+            assert status == 429
+            assert headers["retry-after"] == "3600"
+        finally:
+            await app.stop()
+    asyncio.run(main())
+
+
+def test_idempotency_key_replays_original_campaign(tmp_path):
+    async def main():
+        app, client = await started_app(tmp_path)
+        try:
+            status, _, body = await client.post(
+                "/v1/campaigns", dict(SMALL),
+                extra={"Idempotency-Key": "retry-42"})
+            assert status == 200
+            first = json.loads(body)["id"]
+            # the client's network blip: same key, same tenant → the
+            # original campaign, not a duplicate admission
+            status, headers, body = await client.post(
+                "/v1/campaigns", dict(SMALL),
+                extra={"Idempotency-Key": "retry-42"})
+            assert status == 200
+            assert json.loads(body)["id"] == first
+            assert headers["location"] == f"/v1/campaigns/{first}"
+            # a different key is a different request
+            status, _, body = await client.post(
+                "/v1/campaigns", dict(SMALL),
+                extra={"Idempotency-Key": "retry-43"})
+            assert json.loads(body)["id"] != first
+            # another tenant's identical key is also a different request
+            status, _, body = await client.post(
+                "/v1/campaigns", dict(SMALL), tenant="t2",
+                extra={"Idempotency-Key": "retry-42"})
+            assert json.loads(body)["id"] != first
+        finally:
+            await app.stop()
+    asyncio.run(main())
+
+
+def test_tripped_breaker_maps_to_503_with_retry_after(tmp_path):
+    async def main():
+        from repro.resilience import CircuitBreaker
+        breaker = CircuitBreaker(min_samples=2, cooldown_s=120.0,
+                                 clock=lambda: 1000.0)
+        app, client = await started_app(tmp_path, breaker=breaker)
+        try:
+            breaker.record_failure()
+            breaker.record_failure()            # trips open
+            status, headers, body = await client.post("/v1/campaigns",
+                                                      dict(SMALL))
+            assert status == 503
+            assert headers["retry-after"] == "120"
+            assert b"shedding" in body
+            # 503 is service-wide and retryable; 429 stays tenant quota
+            metrics = (await client.get("/metrics"))[2].decode()
+            assert "repro_resilience_shed_total 1" in metrics
+            assert 'repro_resilience_breaker_state 2' in metrics
         finally:
             await app.stop()
     asyncio.run(main())

@@ -1,0 +1,197 @@
+"""The SIGKILL drill: kill a live `repro serve` mid-campaign, restart it
+against the same root, and hold the service to the recovery contract:
+
+* every admitted campaign is re-admitted from the journal, in order;
+* the interrupted campaign *resumes* (store prefix + checkpoint), and
+  its final aggregate is byte-identical to an uninterrupted offline run;
+* a replayed ``Idempotency-Key`` never double-admits, even across the
+  process boundary.
+
+This file doubles as the CI ``restart-recovery`` lane.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+from repro.fleet import CampaignSpec, run_campaign
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: slow enough (~5s of simulation) that the SIGKILL lands mid-campaign
+VICTIM_SPEC = {"count": 4, "cycles": 120_000, "seed": 9}
+QUEUED_SPEC = {"count": 2, "cycles": 8_000, "seed": 9}
+
+
+def start_server(root, cwd):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    env["PYTHONUNBUFFERED"] = "1"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         "--root", str(root), "--checkpoint-every", "4000"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, env=env,
+        cwd=str(cwd), text=True)
+    line = proc.stdout.readline()
+    match = re.search(r"listening on (http://[\d.]+:\d+)", line)
+    assert match, f"no listen line, got {line!r}"
+    return proc, match.group(1)
+
+
+def get_json(url):
+    with urllib.request.urlopen(url, timeout=30) as resp:
+        return json.loads(resp.read())
+
+
+def post_campaign(base, spec, tenant="drill", idempotency_key=None):
+    headers = {"X-Tenant": tenant}
+    if idempotency_key:
+        headers["Idempotency-Key"] = idempotency_key
+    req = urllib.request.Request(
+        base + "/v1/campaigns", data=json.dumps(spec).encode(),
+        headers=headers)
+    with urllib.request.urlopen(req, timeout=30) as resp:
+        return json.loads(resp.read())
+
+
+def wait_for_state(base, cid, states, timeout=120.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        status = get_json(base + f"/v1/campaigns/{cid}")
+        if status["state"] in states:
+            return status
+        time.sleep(0.05)
+    raise AssertionError(
+        f"{cid} never reached {states}; last: {status['state']}")
+
+
+def test_sigkill_restart_recovers_and_resumes(tmp_path):
+    root = tmp_path / "serve"
+    proc, base = start_server(root, tmp_path)
+    try:
+        victim = post_campaign(base, VICTIM_SPEC,
+                               idempotency_key="victim-1")["id"]
+        queued = post_campaign(base, QUEUED_SPEC)["id"]
+        # wait for the victim's FIRST durable result by watching its
+        # store file directly (HTTP polls stall for seconds while the
+        # compute thread holds the GIL, wide enough for the campaign to
+        # finish under us), then KILL — no drain, nothing flushed beyond
+        # what already hit the disk
+        store_path = root / "campaigns" / victim / "campaign.jsonl"
+        deadline = time.time() + 90
+        while time.time() < deadline:
+            if store_path.exists() and \
+                    open(store_path).read().count("\n") >= 1:
+                break
+            time.sleep(0.02)
+        else:
+            raise AssertionError("victim produced no results to resume on")
+    finally:
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+
+    # the journal survived the kill and still folds
+    assert os.path.exists(root / "journal.jsonl")
+
+    proc, base = start_server(root, tmp_path)
+    try:
+        # both campaigns were re-admitted, ids intact, admission order
+        # preserved in the overview
+        overview = get_json(base + "/v1/campaigns")
+        recovered = {c["id"]: c for c in overview["campaigns"]}
+        assert victim in recovered and queued in recovered
+        assert recovered[victim]["recovered"] is True
+        # the kill landed mid-campaign: the victim came back as work to
+        # finish, not as a terminal record
+        assert recovered[victim]["state"] in ("queued", "running")
+
+        # idempotent re-POST of the victim maps to the original id —
+        # the client's retry after the outage does not double-admit
+        replay = post_campaign(base, VICTIM_SPEC,
+                               idempotency_key="victim-1")
+        assert replay["id"] == victim
+
+        # a fresh submission gets a fresh id beyond the watermark
+        fresh = post_campaign(base, QUEUED_SPEC)["id"]
+        assert fresh not in (victim, queued)
+
+        # everything runs to completion, the victim via the resume path
+        for cid in (victim, queued, fresh):
+            wait_for_state(base, cid, ("completed",), timeout=240.0)
+        victim_status = get_json(base + f"/v1/campaigns/{victim}")
+        assert victim_status["attempts"] >= 2      # dispatched as a resume
+
+        with urllib.request.urlopen(
+                base + f"/v1/campaigns/{victim}/aggregate",
+                timeout=30) as resp:
+            served_aggregate = resp.read()
+
+        # recovery is visible in the metrics
+        with urllib.request.urlopen(base + "/metrics", timeout=30) as resp:
+            metrics = resp.read().decode()
+        assert 'repro_resilience_recovered_total{disposition="requeued"} 2' \
+            in metrics
+        assert "repro_resilience_idempotent_replays_total 1" in metrics
+    finally:
+        proc.send_signal(signal.SIGINT)
+        try:
+            proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+
+    # the acceptance bar: byte-identical to an uninterrupted offline run
+    offline = run_campaign(CampaignSpec(**VICTIM_SPEC), workers=0,
+                           campaign_dir=str(tmp_path / "offline"))
+    with open(offline.aggregate_path, "rb") as handle:
+        assert served_aggregate == handle.read()
+
+
+def test_double_crash_recovery_is_stable(tmp_path):
+    """Recovery itself is crash-safe: kill → restart → kill → restart
+    loses nothing, compaction keeps the journal bounded, and ids stay
+    collision-free across every generation."""
+    root = tmp_path / "serve"
+    proc, base = start_server(root, tmp_path)
+    try:
+        first = post_campaign(base, QUEUED_SPEC,
+                              idempotency_key="gen-1")["id"]
+        wait_for_state(base, first, ("running", "completed"))
+    finally:
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+
+    proc, base = start_server(root, tmp_path)
+    try:
+        second = post_campaign(base, QUEUED_SPEC)["id"]
+        assert second != first
+        wait_for_state(base, second, ("queued", "running", "completed"))
+    finally:
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+
+    proc, base = start_server(root, tmp_path)
+    try:
+        overview = get_json(base + "/v1/campaigns")
+        ids = {c["id"] for c in overview["campaigns"]}
+        assert {first, second} <= ids
+        # idempotency map survived two crashes
+        assert post_campaign(base, QUEUED_SPEC,
+                             idempotency_key="gen-1")["id"] == first
+        third = post_campaign(base, QUEUED_SPEC)["id"]
+        assert third not in ids
+        for cid in (first, second, third):
+            wait_for_state(base, cid, ("completed",), timeout=240.0)
+    finally:
+        proc.send_signal(signal.SIGINT)
+        try:
+            proc.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
