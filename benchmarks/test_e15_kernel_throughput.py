@@ -50,12 +50,26 @@ def observables(device):
     }
 
 
+REPEATS = 3
+
+
 def run_workload(scenario, params, mode):
-    with kernel_mode(mode):
-        device = scenario().build(tc1797_config(), dict(params))
-    t0 = time.perf_counter()
-    device.run(CYCLES)
-    wall = time.perf_counter() - t0
+    """Best-of-``REPEATS`` wall time for one kernel mode.
+
+    Each repeat builds a fresh device (runs are deterministic, so the
+    observables are identical across repeats); taking the fastest leg
+    filters OS scheduling noise out of the committed speedup the same way
+    interval timers are read on quiet systems.
+    """
+    wall = None
+    for _ in range(REPEATS):
+        with kernel_mode(mode):
+            device = scenario().build(tc1797_config(), dict(params))
+        t0 = time.perf_counter()
+        device.run(CYCLES)
+        leg = time.perf_counter() - t0
+        if wall is None or leg < wall:
+            wall = leg
     return observables(device), CYCLES / wall, device.soc.sim.kernel_stats()
 
 

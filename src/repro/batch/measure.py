@@ -1,0 +1,218 @@
+"""Analytic reconstruction of a profiling capture from an emission log.
+
+The scalar measurement plane is event-driven hardware emulation: counter
+structures subscribe to hub signals, cross their resolution windows, emit
+rate-sample messages through the :class:`~repro.mcds.messages.MessageFactory`
+into the EMEM, and a session decodes the stored stream back into series.
+For a passive, fault-free capture all of that is a *pure function* of the
+ordered emission stream — so the batch backend records the stream once
+(:class:`EmissionLog`) and replays the arithmetic as numpy array math:
+
+* window crossings are ``searchsorted`` over cumulative basis counts;
+* counted values are differences of cumulative event counts at the
+  crossing positions;
+* message sizes (header + varlen value + shared-timestamp varlen delta)
+  are vectorized over the *globally ordered* sample stream, which is
+  reconstructed with the same intra-cycle ordering the kernel produces
+  (all component emissions of a cycle precede the MCDS tick that closes
+  cycle-basis windows).
+
+Byte-identity with the scalar kernel is the contract, not an aspiration:
+E17 and the property tests assert it payload-for-payload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+try:
+    import numpy as np
+except ImportError:          # pragma: no cover - guarded by require_numpy
+    np = None
+
+from ..core.profiling.session import ProfileResult, SeriesData
+from ..core.profiling.spec import ParameterSpec
+from ..mcds.counters import CYCLES
+from ..mcds.messages import _HEADER_BITS, _SOURCE_BITS
+
+#: sample stream positions are scaled by 2 so that the MCDS tick that
+#: closes cycle-basis windows can sit *between* the last emission row of
+#: its cycle (2*row) and the first row of the next cycle
+_ROW = 2
+
+
+class EmissionLog:
+    """Ordered (cycle, signal, count) record of one lane's watched emits."""
+
+    __slots__ = ("signals", "_sids", "cycles", "sids", "counts")
+
+    def __init__(self, hub, signal_names: Sequence[str]) -> None:
+        self.signals = tuple(signal_names)
+        self.cycles: List[int] = []
+        self.sids: List[int] = []
+        self.counts: List[int] = []
+        self._sids = {}
+        for name in self.signals:
+            sid = hub.register(name)
+            self._sids[name] = sid
+            hub.subscribe(name, self._recorder(hub, sid))
+
+    def _recorder(self, hub, sid):
+        append_cycle = self.cycles.append
+        append_sid = self.sids.append
+        append_count = self.counts.append
+
+        def record(count, _hub=hub, _sid=sid):
+            append_cycle(_hub.cycle)
+            append_sid(_sid)
+            append_count(count)
+
+        return record
+
+    def sid(self, name: str) -> int:
+        return self._sids[name]
+
+    def __len__(self) -> int:
+        return len(self.cycles)
+
+
+def watched_signals(specs: Sequence[ParameterSpec]) -> List[str]:
+    """Every hub signal the reconstruction needs, in stable order."""
+    names: List[str] = []
+    for spec in specs:
+        for event in spec.events:
+            if event not in names:
+                names.append(event)
+        if spec.basis != CYCLES and spec.basis not in names:
+            names.append(spec.basis)
+    return names
+
+
+def _varlen_bits_array(values):
+    """Vectorized :func:`repro.mcds.messages._varlen_bits` (8-bit groups)."""
+    groups = np.ones(len(values), dtype=np.int64)
+    for j in range(1, 8):
+        groups += values >= (1 << (8 * j))
+    return groups * 8
+
+
+def reconstruct_result(specs: Sequence[ParameterSpec], log: EmissionLog,
+                       start_cycle: int, cycles_run: int,
+                       frequency_mhz: int,
+                       capacity_bits: Optional[int] = None) -> ProfileResult:
+    """Rebuild the :class:`ProfileResult` a scalar session would decode.
+
+    ``capacity_bits`` is the EMEM trace share; when the reconstructed
+    message volume would not have fit (the ring would have wrapped and
+    degraded the capture), :class:`BatchUnsupported` is raised so the
+    caller can fall back to the scalar kernel instead of diverging.
+    """
+    from . import BatchUnsupported
+
+    cyc = np.asarray(log.cycles, dtype=np.int64)
+    sid = np.asarray(log.sids, dtype=np.int64)
+    cnt = np.asarray(log.counts, dtype=np.int64)
+    nrows = len(cyc)
+
+    # cumulative per-signal counts, prefixed with 0: cum[sid][i] = counts
+    # of that signal in rows [0, i)
+    cum_by_sid: Dict[int, "np.ndarray"] = {}
+
+    def cum(signal_id):
+        arr = cum_by_sid.get(signal_id)
+        if arr is None:
+            arr = np.zeros(nrows + 1, dtype=np.int64)
+            np.cumsum(np.where(sid == signal_id, cnt, 0), out=arr[1:])
+            cum_by_sid[signal_id] = arr
+        return arr
+
+    rows_by_basis: Dict[int, "np.ndarray"] = {}
+
+    def basis_rows(signal_id):
+        rows = rows_by_basis.get(signal_id)
+        if rows is None:
+            rows = np.flatnonzero(sid == signal_id)
+            rows_by_basis[signal_id] = rows
+        return rows
+
+    series: Dict[str, SeriesData] = {}
+    pos_parts, sub_parts, k_parts, cyc_parts, val_parts = [], [], [], [], []
+    cycle_basis_index = 0
+    for index, spec in enumerate(specs):
+        cum_events = cum(log.sid(spec.events[0]))
+        if len(spec.events) > 1:
+            cum_events = cum_events.copy()
+            for event in spec.events[1:]:
+                cum_events += cum(log.sid(event))
+        if spec.basis == CYCLES:
+            # the MCDS ticks every cycle while a cycle-basis structure is
+            # armed, so window k closes at the MCDS tick of cycle
+            # start + k*resolution - 1; every emission of that cycle has
+            # already happened when the tick runs
+            count = cycles_run // spec.resolution
+            sample_cycles = (start_cycle - 1
+                             + np.arange(1, count + 1, dtype=np.int64)
+                             * spec.resolution)
+            row_end = np.searchsorted(cyc, sample_cycles, side="right")
+            events_at = cum_events[row_end]
+            order_pos = row_end * _ROW - 1
+            order_sub = cycle_basis_index
+            cycle_basis_index += 1
+        else:
+            rows = basis_rows(log.sid(spec.basis))
+            cum_basis = np.cumsum(cnt[rows])
+            total = int(cum_basis[-1]) if len(cum_basis) else 0
+            count = total // spec.resolution
+            thresholds = (np.arange(1, count + 1, dtype=np.int64)
+                          * spec.resolution)
+            crossing = rows[np.searchsorted(cum_basis, thresholds,
+                                            side="left")]
+            sample_cycles = cyc[crossing]
+            # events logged before the crossing row belong to this window;
+            # the basis signal and the event signals are distinct rows
+            events_at = cum_events[crossing]
+            order_pos = crossing * _ROW
+            order_sub = index
+        values = np.diff(events_at, prepend=0)
+        data = SeriesData(spec)
+        data._cycles = sample_cycles.tolist()
+        data._values = values.tolist()
+        data._degraded = [False] * count
+        series[spec.name] = data
+        pos_parts.append(order_pos)
+        sub_parts.append(np.full(count, order_sub, dtype=np.int64))
+        k_parts.append(np.arange(count, dtype=np.int64))
+        cyc_parts.append(sample_cycles)
+        val_parts.append(values)
+
+    if pos_parts:
+        pos_all = np.concatenate(pos_parts)
+        sub_all = np.concatenate(sub_parts)
+        k_all = np.concatenate(k_parts)
+        cyc_all = np.concatenate(cyc_parts)
+        val_all = np.concatenate(val_parts)
+        # emission order: stream position, then subscription order at the
+        # same position, then crossing order within one structure's emit
+        order = np.lexsort((k_all, sub_all, pos_all))
+        ordered_cycles = cyc_all[order]
+        ordered_values = val_all[order]
+        deltas = np.diff(ordered_cycles, prepend=0)
+        bits = (_HEADER_BITS + _SOURCE_BITS
+                + _varlen_bits_array(ordered_values)
+                + _varlen_bits_array(deltas))
+        trace_bits = int(bits.sum())
+        if np.any(ordered_values >= (1 << 32)):
+            raise BatchUnsupported(
+                "a counter window would have saturated its 32-bit "
+                "hardware counter; the scalar kernel must model it")
+    else:
+        trace_bits = 0
+    if capacity_bits is not None and trace_bits > capacity_bits:
+        raise BatchUnsupported(
+            f"capture needs {trace_bits} bits but the EMEM trace share "
+            f"holds {capacity_bits}; the ring would wrap and degrade the "
+            f"capture, which only the scalar kernel models")
+    return ProfileResult(series, cycles_run=cycles_run,
+                         trace_bits=trace_bits,
+                         frequency_mhz=frequency_mhz,
+                         lost_messages=0, gaps=[])

@@ -183,16 +183,19 @@ def cmd_profile_kernel(args) -> int:
 
 def _profile_kernel(args, tel) -> int:
     from .soc.kernel import kernel_mode
-    from .soc.kernel.kprof import KernelProfiler, format_kernel_stats
+    from .soc.kernel.kprof import (KernelProfiler, format_kernel_stats,
+                                   format_top_components)
     scenario = _scenario(args.scenario)
     params = {"idle_halt": True} if args.idle_halt else {}
+    top = getattr(args, "top", None)
+    want_wall = args.wall or top is not None   # --top needs wall times
     runs = {}
     for mode in ("naive", "quiescent"):
         with kernel_mode(mode):
             device = scenario.build(_config(args.device), dict(params),
                                     seed=args.seed)
         sim = device.soc.sim
-        profiler = KernelProfiler(sim) if args.wall else None
+        profiler = KernelProfiler(sim) if want_wall else None
         if profiler is not None:
             profiler.attach()
         device.run(args.cycles)
@@ -207,6 +210,9 @@ def _profile_kernel(args, tel) -> int:
                                        kernel=mode)
         print(f"\n== {mode} kernel ==")
         print(format_kernel_stats(runs[mode][0]))
+        if top is not None:
+            print(f"\ntop {top} components by tick self-time ({mode}):")
+            print(format_top_components(runs[mode][0], top))
     naive_stats, naive_oracle = runs["naive"]
     quiesc_stats, quiesc_oracle = runs["quiescent"]
     if naive_oracle != quiesc_oracle:
@@ -313,7 +319,8 @@ def _campaign(args) -> int:
         spec = CampaignSpec(count=args.count, cycles=args.cycles,
                             device=args.device, seed=args.seed,
                             ipc_resolution=args.resolution,
-                            drill=args.drill, deadline_s=args.deadline)
+                            drill=args.drill, deadline_s=args.deadline,
+                            backend=args.backend)
     except ConfigurationError as exc:
         raise SystemExit(str(exc))
     fault_plan = None
@@ -327,11 +334,17 @@ def _campaign(args) -> int:
         raise SystemExit("--checkpoint-every needs --campaign-dir")
     # same entry path the HTTP service uses (repro.fleet.run_campaign),
     # so a CLI run and a served run of one spec are the same computation
-    report = run_campaign(
-        spec, workers=args.workers, cache_dir=args.cache_dir,
-        campaign_dir=args.campaign_dir, max_retries=args.retries,
-        timeout_s=args.timeout, resume=args.resume, fault_plan=fault_plan,
-        checkpoint_every=args.checkpoint_every)
+    try:
+        report = run_campaign(
+            spec, workers=args.workers, cache_dir=args.cache_dir,
+            campaign_dir=args.campaign_dir, max_retries=args.retries,
+            timeout_s=args.timeout, resume=args.resume,
+            fault_plan=fault_plan,
+            checkpoint_every=args.checkpoint_every)
+    except ConfigurationError as exc:
+        # e.g. --backend batch without the repro[batch] extra installed:
+        # surface the actionable message, not a traceback
+        raise SystemExit(str(exc))
     if report.deadline_exceeded:
         print(f"campaign: DEADLINE EXCEEDED after {args.deadline}s — "
               f"{len(report.records)} of the jobs finished, "
@@ -474,6 +487,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--wall", action="store_true",
                    help="attach the kernel profiler for per-component "
                         "wall-time shares (adds measurement overhead)")
+    p.add_argument("--top", type=int, metavar="N",
+                   help="print the top-N components by tick self-time "
+                        "(sorted, stable output; implies --wall)")
     _add_telemetry_flags(p)
 
     p = sub.add_parser("customers", help="customer profile matrix")
@@ -485,6 +501,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="generated customer population size")
     p.add_argument("--cycles", type=int, default=100_000)
     p.add_argument("--resolution", type=int, default=256)
+    p.add_argument("--backend", choices=("scalar", "batch"),
+                   default="scalar",
+                   help="execution backend: 'batch' fans same-config jobs "
+                        "into numpy lane groups with byte-identical "
+                        "payloads (needs the repro[batch] extra; see "
+                        "docs/batch.md)")
     p.add_argument("--workers", type=int, default=4,
                    help="worker processes (0 = in-process, no pool)")
     p.add_argument("--cache-dir", help="content-addressed result cache dir")

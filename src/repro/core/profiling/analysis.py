@@ -12,9 +12,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-import numpy as np
+try:                                    # analysis is array math through and
+    import numpy as np                  # through — it genuinely needs the
+except ImportError:                     # optional ``repro[batch]`` extra,
+    np = None                           # unlike the measurement path
 
 from .session import ProfileResult, SeriesData
+
+
+def _require_numpy() -> None:
+    if np is None:
+        raise ImportError(
+            "profile analysis requires numpy; install the optional extra "
+            "with 'pip install repro[batch]' (or 'pip install numpy')")
 
 
 @dataclass
@@ -46,6 +56,7 @@ class Diagnosis:
 def find_low_windows(series: SeriesData, threshold_rate: float,
                      min_samples: int = 1) -> List[Window]:
     """Spans where the measured rate stayed below ``threshold_rate``."""
+    _require_numpy()
     cycles = series.cycles
     rates = series.rates
     windows: List[Window] = []
@@ -81,6 +92,7 @@ def diagnose(result: ProfileResult, ipc_name: str = "tc.ipc",
     standard deviations its in-window mean lies away from its overall mean
     (higher rate inside the bad window == stronger suspicion).
     """
+    _require_numpy()
     ipc_series = result[ipc_name]
     if cause_names is None:
         cause_names = [n for n in result.names if n != ipc_name]
@@ -120,6 +132,7 @@ def compare_profiles(before: ProfileResult, after: ProfileResult,
     profiles are compared by mean rate; the delta column is the engineer's
     receipt for the change.
     """
+    _require_numpy()
     names = sorted(set(before.names) & set(after.names))
     lines = [f"{'parameter':<28}{label_before:>12}{label_after:>12}"
              f"{'delta':>10}"]
@@ -145,6 +158,7 @@ def estimate_periodicity(series: SeriesData,
     autocorrelation of the mean-removed series; returns None when no lag
     beats the significance floor.
     """
+    _require_numpy()
     values = series.rates
     n = len(values)
     if n < 8:
@@ -171,6 +185,7 @@ def estimate_periodicity(series: SeriesData,
 def rate_timeline_table(result: ProfileResult, names: List[str],
                         buckets: int = 10) -> str:
     """Coarse text timeline of selected rates (tooling-style display)."""
+    _require_numpy()
     if not names:
         return ""
     end = max(int(result[n].cycles[-1]) for n in names if len(result[n]))

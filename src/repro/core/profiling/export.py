@@ -17,8 +17,6 @@ import io
 import json
 from typing import Dict, List, Optional
 
-import numpy as np
-
 from ...errors import FormatError
 from ...mcds.messages import Gap
 from .session import ProfileResult, SeriesData
@@ -55,10 +53,10 @@ def result_to_json(result: ProfileResult, include_series: bool = True,
             "mean_rate": data.mean_rate(),
         }
         if include_series:
-            entry["cycles"] = data.cycles.tolist()
-            entry["values"] = data.values.tolist()
+            entry["cycles"] = list(data.cycle_list())
+            entry["values"] = list(data.value_list())
             if data.degraded_count:
-                entry["degraded"] = np.flatnonzero(data.degraded).tolist()
+                entry["degraded"] = data.degraded_indices()
         payload["parameters"][name] = entry
     if compact:
         return json.dumps(payload, sort_keys=True, separators=(",", ":"))
@@ -117,7 +115,7 @@ def series_to_csv(result: ProfileResult,
     for name in names:
         data = result[name]
         resolution = data.spec.resolution
-        for cycle, value in zip(data.cycles, data.values):
+        for cycle, value in zip(data.cycle_list(), data.value_list()):
             writer.writerow([name, int(cycle), int(value),
                              value / resolution])
     return buffer.getvalue()

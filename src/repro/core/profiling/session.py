@@ -22,8 +22,6 @@ from __future__ import annotations
 import bisect
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from ...ed.device import EmulationDevice
 from ...errors import ConfigurationError
 from ...mcds import messages as msgs
@@ -45,17 +43,31 @@ class SeriesData:
         self._values.append(value)
         self._degraded.append(degraded)
 
+    # -- list views (numpy-free, the scalar path's native form) --------------
+    def cycle_list(self) -> List[int]:
+        return self._cycles
+
+    def value_list(self) -> List[int]:
+        return self._values
+
+    def degraded_indices(self) -> List[int]:
+        return [i for i, flag in enumerate(self._degraded) if flag]
+
+    # -- array views (require the optional numpy extra) ----------------------
     @property
-    def cycles(self) -> np.ndarray:
+    def cycles(self):
+        import numpy as np
         return np.asarray(self._cycles, dtype=np.int64)
 
     @property
-    def values(self) -> np.ndarray:
+    def values(self):
+        import numpy as np
         return np.asarray(self._values, dtype=np.int64)
 
     @property
-    def degraded(self) -> np.ndarray:
+    def degraded(self):
         """Per-sample flag: the window overlapped a trace gap / taint."""
+        import numpy as np
         return np.asarray(self._degraded, dtype=bool)
 
     @property
@@ -63,14 +75,17 @@ class SeriesData:
         return sum(self._degraded)
 
     @property
-    def rates(self) -> np.ndarray:
+    def rates(self):
         """Values normalised by the resolution (events per basis unit)."""
         return self.values / float(self.spec.resolution)
 
     def mean_rate(self) -> float:
+        # integer sum is exact, so this equals the former float(np.mean(...))
+        # for any realistic series (values are counter readings < 2**32 and
+        # float64 pairwise summation of such integers is exact below 2**53)
         if not self._values:
             return 0.0
-        return float(np.mean(self.values)) / self.spec.resolution
+        return sum(self._values) / len(self._values) / self.spec.resolution
 
     def mean_percent(self) -> float:
         return self.mean_rate() * 100.0

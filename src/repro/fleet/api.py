@@ -28,7 +28,7 @@ from .spec import CampaignJob, build_matrix
 RUNNER_KWARGS = ("workers", "cache_dir", "campaign_dir", "max_retries",
                  "backoff_s", "max_backoff_s", "timeout_s", "resume",
                  "fault_plan", "checkpoint_every", "should_yield",
-                 "deadline_s")
+                 "deadline_s", "backend")
 
 
 @dataclass(frozen=True)
@@ -59,6 +59,13 @@ class CampaignSpec:
     #: bounds how long the result is worth computing, not what to
     #: compute, so it never feeds cache digests or payload bytes.
     deadline_s: Optional[float] = None
+    #: execution backend: ``"scalar"`` (one job at a time, the live
+    #: measurement plane) or ``"batch"`` (numpy lane groups — same-config
+    #: jobs fanned into one :class:`~repro.batch.LaneSimulator`).  Like
+    #: ``deadline_s`` it is not job content: payloads are byte-identical
+    #: either way (the batch backend's contract), so it never feeds cache
+    #: digests or payload bytes.
+    backend: str = "scalar"
 
     #: admissible bounds — the service exposes this spec to untrusted
     #: tenants, so limits live with the spec, not with each front-end
@@ -66,6 +73,10 @@ class CampaignSpec:
     MAX_CYCLES = 50_000_000
 
     def __post_init__(self) -> None:
+        if self.backend not in ("scalar", "batch"):
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; "
+                f"choose from ['batch', 'scalar']")
         if self.deadline_s is not None:
             try:
                 deadline = float(self.deadline_s)
@@ -132,6 +143,8 @@ class CampaignSpec:
         # their client-side digests) are byte-for-byte unchanged
         if self.deadline_s is not None:
             body["deadline_s"] = self.deadline_s
+        if self.backend != "scalar":
+            body["backend"] = self.backend
         return body
 
     def customers(self) -> List:
@@ -193,11 +206,15 @@ def run_campaign(spec: SpecLike, **kwargs) -> CampaignReport:
         raise ConfigurationError(
             f"unknown runner options {unknown}; known: "
             f"{sorted(RUNNER_KWARGS)}")
-    # a spec-carried deadline flows into the runner unless the caller
-    # overrides it explicitly (the service passes the *remaining* time)
-    if "deadline_s" not in kwargs:
+    # a spec-carried deadline/backend flows into the runner unless the
+    # caller overrides it explicitly (the service passes the *remaining*
+    # time, and a CLI --backend flag wins over the spec document)
+    if "deadline_s" not in kwargs or "backend" not in kwargs:
         if isinstance(spec, dict):
             spec = CampaignSpec.from_dict(spec)
-        if isinstance(spec, CampaignSpec) and spec.deadline_s is not None:
-            kwargs["deadline_s"] = spec.deadline_s
+        if isinstance(spec, CampaignSpec):
+            if "deadline_s" not in kwargs and spec.deadline_s is not None:
+                kwargs["deadline_s"] = spec.deadline_s
+            if "backend" not in kwargs and spec.backend != "scalar":
+                kwargs["backend"] = spec.backend
     return CampaignRunner(jobs_for(spec), **kwargs).run()

@@ -52,7 +52,7 @@ from .cache import ResultCache
 from .metrics import CampaignMetrics
 from .spec import CampaignJob, assign_shards
 from .store import ResultStore
-from .worker import run_shard
+from .worker import run_batch_shard, run_shard
 
 
 @dataclass
@@ -101,7 +101,16 @@ class CampaignRunner:
                  fault_plan: Optional[Dict] = None,
                  checkpoint_every: Optional[int] = None,
                  should_yield: Optional[Callable[[], bool]] = None,
-                 deadline_s: Optional[float] = None) -> None:
+                 deadline_s: Optional[float] = None,
+                 backend: str = "scalar") -> None:
+        if backend not in ("scalar", "batch"):
+            raise ConfigurationError(
+                f"unknown backend {backend!r}; "
+                f"choose from ['batch', 'scalar']")
+        if backend == "batch":
+            from ..batch import require_numpy
+            require_numpy()       # fail at admission, not mid-campaign
+        self.backend = backend
         if workers < 0:
             raise ConfigurationError("workers must be >= 0 (0 = in-process)")
         if should_yield is not None and workers != 0:
@@ -213,14 +222,15 @@ class CampaignRunner:
     def _run_round(self, shards: List[List[CampaignJob]],
                    attempt: int) -> List[Dict]:
         """Execute one round of shards, surviving pool breakage."""
+        shard_fn = run_batch_shard if self.backend == "batch" else run_shard
         if self.workers == 0:
             outcomes: List[Dict] = []
             for shard in shards:
                 outcomes.extend(
-                    run_shard([job.to_dict() for job in shard], attempt,
-                              self.fault_plan, self.checkpoint,
-                              self.should_yield,
-                              deadline_at=self._deadline_at))
+                    shard_fn([job.to_dict() for job in shard], attempt,
+                             self.fault_plan, self.checkpoint,
+                             self.should_yield,
+                             deadline_at=self._deadline_at))
                 # a preempted/expired outcome ends the round: later
                 # shards stay pending (resumable after a preemption,
                 # moot after a deadline)
@@ -231,7 +241,7 @@ class CampaignRunner:
 
         outcomes = []
         pool = self._ensure_pool()
-        futures = [(pool.submit(run_shard,
+        futures = [(pool.submit(shard_fn,
                                 [job.to_dict() for job in shard], attempt,
                                 self.fault_plan, self.checkpoint,
                                 deadline_at=self._deadline_at),
@@ -345,8 +355,21 @@ class CampaignRunner:
             self._deadline_hit = True
             pending = []
         if pending:
-            n_shards = max(1, min(len(pending), max(1, self.workers) * 2))
-            outcomes = self._run_round(assign_shards(pending, n_shards), 0)
+            if self.backend == "batch":
+                # pack cache-missed jobs into lane groups: every job
+                # sharing a group key rides one worker invocation, so the
+                # lane simulator sees the whole portfolio at once
+                from ..batch import group_key
+                groups: Dict[tuple, List[CampaignJob]] = {}
+                for job in pending:
+                    groups.setdefault(group_key(job.to_dict()),
+                                      []).append(job)
+                shards = list(groups.values())
+            else:
+                n_shards = max(1, min(len(pending),
+                                      max(1, self.workers) * 2))
+                shards = assign_shards(pending, n_shards)
+            outcomes = self._run_round(shards, 0)
             failures = split_fatal(self._absorb(outcomes, records, metrics))
 
         # retry rounds: failed jobs individually, one at a time

@@ -427,3 +427,104 @@ def run_shard(jobs: List[Dict], attempt: int = 0,
             outcome["checkpoint"] = stats
         outcomes.append(outcome)
     return outcomes
+
+
+def _stop_outcome(job: Dict, status: str, wall_s: float,
+                  attempt: int) -> Dict:
+    return {"job": job, "status": status, "wall_s": wall_s,
+            "attempt": attempt, "pid": os.getpid()}
+
+
+def run_batch_shard(jobs: List[Dict], attempt: int = 0,
+                    fault_plan: Optional[Dict] = None,
+                    checkpoint: Optional[Dict] = None,
+                    should_yield: Optional[Callable[[], bool]] = None,
+                    deadline_at: Optional[float] = None) -> List[Dict]:
+    """:func:`run_shard` on the batch-lane backend.
+
+    Jobs are grouped by :func:`repro.batch.group_key` (same SoC config,
+    seed, cycle budget, and measurement grid) and each group executes as
+    one :class:`~repro.batch.LaneSimulator` — N portfolio customers per
+    invocation instead of N invocations.  Everything the lanes cannot
+    model falls back to the scalar path with unchanged semantics:
+
+    * a ``fault_plan`` or ``checkpoint`` request routes the whole shard
+      to :func:`run_shard` (injection and mid-run checkpoints are scalar
+      features by contract);
+    * a group the lanes refuse (:class:`~repro.batch.BatchUnsupported`:
+      fault-drill jobs, would-be EMEM overflow, counter saturation) or
+      one that raises mid-sweep re-runs scalar per job, so a poisoned
+      job is isolated exactly as on the scalar path.
+
+    Outcome dicts are shaped exactly like :func:`run_shard`'s, and —
+    the backend's whole contract — an ``"ok"`` payload is byte-identical
+    to the one the scalar worker would have produced.  ``wall_s`` is the
+    group wall clock split evenly across its lanes (wall time never
+    enters payloads, so the split only feeds busy-time metrics).
+    """
+    if fault_plan is not None or checkpoint is not None:
+        return run_shard(jobs, attempt, fault_plan, checkpoint,
+                         should_yield, deadline_at)
+    from ..batch import (BatchUnsupported, group_key, require_numpy,
+                         run_lane_group)
+    require_numpy()
+    groups: Dict[tuple, List[Dict]] = {}
+    for job in jobs:
+        groups.setdefault(group_key(job), []).append(job)
+
+    outcomes: List[Dict] = []
+    for group in groups.values():       # first-seen job order
+        if should_yield is not None and should_yield():
+            outcomes.append(_stop_outcome(group[0], "preempted", 0.0,
+                                          attempt))
+            break
+        if deadline_at is not None and time.time() > deadline_at:
+            outcomes.append(_stop_outcome(group[0], "deadline", 0.0,
+                                          attempt))
+            break
+        start = time.perf_counter()
+        try:
+            payloads = run_lane_group(group, should_yield=should_yield,
+                                      deadline_at=deadline_at)
+        except CampaignPreempted:
+            outcomes.append(_stop_outcome(
+                group[0], "preempted", time.perf_counter() - start,
+                attempt))
+            break
+        except DeadlineExceeded:
+            outcomes.append(_stop_outcome(
+                group[0], "deadline", time.perf_counter() - start,
+                attempt))
+            break
+        except BatchUnsupported:
+            # the lanes refused the group up front — nothing ran; the
+            # scalar path models whatever they could not
+            outcomes.extend(run_shard(group, attempt, fault_plan,
+                                      checkpoint, should_yield,
+                                      deadline_at))
+            if outcomes and outcomes[-1]["status"] in ("preempted",
+                                                       "deadline"):
+                break
+            continue
+        except Exception:
+            # a group failing mid-sweep re-runs scalar per job: the
+            # offending job gets its structured error outcome and its
+            # group-mates still complete
+            outcomes.extend(run_shard(group, attempt, fault_plan,
+                                      checkpoint, should_yield,
+                                      deadline_at))
+            if outcomes and outcomes[-1]["status"] in ("preempted",
+                                                       "deadline"):
+                break
+            continue
+        wall = (time.perf_counter() - start) / len(group)
+        for job, payload in zip(group, payloads):
+            outcomes.append({
+                "job": job,
+                "status": "ok",
+                "payload": payload,
+                "wall_s": wall,
+                "attempt": attempt,
+                "pid": os.getpid(),
+            })
+    return outcomes

@@ -10,7 +10,7 @@ one of the paper's headline profiling parameters.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..kernel.hub import EventHub
 from ..kernel.resource import TimedResource
@@ -28,8 +28,9 @@ class Bus:
             name, occupancy, latency, hub=hub,
             contention_signal=contention_signal)
         self._sid_xfer = hub.register(transfer_signal)
-        self.per_master_grants: Dict[str, int] = {}
-        self.per_master_waits: Dict[str, int] = {}
+        #: master -> [grants, waits]; a single mutable cell per master keeps
+        #: the per-beat accounting to one dict probe on the transfer path
+        self._masters: Dict[str, List[int]] = {}
 
     def transfer(self, now: int, master: str,
                  latency: Optional[int] = None,
@@ -41,11 +42,23 @@ class Bus:
         """
         wait, done = self._resource.access(now, latency=latency)
         self.hub.emit(self._sid_xfer)
-        self.per_master_grants[master] = self.per_master_grants.get(master, 0) + 1
+        cell = self._masters.get(master)
+        if cell is None:
+            cell = self._masters[master] = [0, 0]
+        cell[0] += 1
         if wait:
-            self.per_master_waits[master] = (
-                self.per_master_waits.get(master, 0) + wait)
+            cell[1] += wait
         return wait, done
+
+    @property
+    def per_master_grants(self) -> Dict[str, int]:
+        return {master: cell[0] for master, cell in self._masters.items()
+                if cell[0]}
+
+    @property
+    def per_master_waits(self) -> Dict[str, int]:
+        return {master: cell[1] for master, cell in self._masters.items()
+                if cell[1]}
 
     @property
     def total_contention(self) -> int:
@@ -57,19 +70,24 @@ class Bus:
 
     def reset(self) -> None:
         self._resource.reset()
-        self.per_master_grants.clear()
-        self.per_master_waits.clear()
+        self._masters.clear()
 
     # -- checkpoint ----------------------------------------------------------
     def snapshot_state(self) -> dict:
         return {"resource": self._resource.snapshot_state(),
-                "grants": dict(self.per_master_grants),
-                "waits": dict(self.per_master_waits)}
+                "grants": self.per_master_grants,
+                "waits": self.per_master_waits}
 
     def restore_state(self, state: dict) -> None:
         self._resource.restore_state(state["resource"])
-        self.per_master_grants = dict(state["grants"])
-        self.per_master_waits = dict(state["waits"])
+        self._masters.clear()
+        for master, count in state["grants"].items():
+            self._masters[master] = [count, 0]
+        for master, wait in state["waits"].items():
+            cell = self._masters.get(master)
+            if cell is None:
+                cell = self._masters[master] = [0, 0]
+            cell[1] = wait
 
 
 class CrossbarBus:

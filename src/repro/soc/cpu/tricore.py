@@ -25,6 +25,20 @@ from ..kernel.simulator import FOREVER, Component
 from ..memory.system import MemorySystem
 from . import isa
 
+# hot-loop constants: the issue loop compares opcodes and advances the PC
+# hundreds of thousands of times per run, so bind the ISA names once here
+# instead of re-reading module attributes per instruction
+_IP = isa.IP
+_LD = isa.LD
+_ST = isa.ST
+_BR = isa.BR
+_JUMP = isa.JUMP
+_LOOP = isa.LOOP
+_CALL = isa.CALL
+_RET = isa.RET
+_RFE = isa.RFE
+_INSTR_BYTES = isa.INSTR_BYTES
+
 
 class TriCoreCpu(Component):
     name = "tricore"
@@ -56,6 +70,15 @@ class TriCoreCpu(Component):
         self.retired = 0
         self.halt_cycles = 0
 
+        # cfg-derived latencies, folded once (configs are frozen after
+        # build); the ICU's pending cell is shared in-place, so one list
+        # read replaces the per-cycle highest() scan when nothing pends
+        self._issue_width = cfg.issue_width
+        self._branch_lat = 1 + cfg.branch_penalty
+        self._cs_lat = 1 + cfg.context_switch_cycles
+        self._irq_entry_lat = cfg.irq_entry_cycles + cfg.context_switch_cycles
+        self._icu_cell = icu.pending_cell("tc") if icu is not None else None
+
         register = hub.register
         self._sid_instr = register(signals.TC_INSTR)
         self._sid_stall_fetch = register(signals.TC_STALL_FETCH)
@@ -66,6 +89,20 @@ class TriCoreCpu(Component):
         self._sid_csa = register(signals.TC_CSA)
         self._sid_irq_entry = register(signals.TC_IRQ_ENTRY)
         self._sid_irq_cycles = register(signals.TC_IRQ_CYCLES)
+        self._rebind_hot()
+
+    def _rebind_hot(self) -> None:
+        """Fold the issue loop's per-tick collaborator binds into one tuple.
+
+        One attribute read plus a sequence unpack replaces nine attribute
+        walks per tick; rebuilt whenever a program is (re)loaded.  All
+        members are construction-time-fixed except the instruction map.
+        """
+        self._hot_binds = (
+            self._issue_width, self.memory, self.hub.emit, self.rng,
+            self._line_shift,
+            None if self.program is None else self.program.instructions,
+            self._sid_instr, self._sid_branch, self._sid_branch_taken)
 
     # -- setup ---------------------------------------------------------------
     def load_program(self, program: isa.Program) -> None:
@@ -73,6 +110,7 @@ class TriCoreCpu(Component):
         self.pc = program.entry
         self.halted = False
         self._line = -1
+        self._rebind_hot()
         self.wake()
 
     def set_vector(self, srn_id: int, handler: str) -> None:
@@ -86,7 +124,7 @@ class TriCoreCpu(Component):
     def _state_of(self, instr: isa.Instr, behaviour) -> object:
         key = id(instr)
         state = self._states.get(key)
-        if state is None or key not in self._states:
+        if state is None:
             state = behaviour.make_state()
             self._states[key] = state
         return state
@@ -108,8 +146,7 @@ class TriCoreCpu(Component):
         self.pc = handler
         self.halted = False
         self._line = -1
-        entry = self.cfg.irq_entry_cycles + self.cfg.context_switch_cycles
-        self.stall_until = cycle + entry
+        self.stall_until = cycle + self._irq_entry_lat
         self.hub.emit(self._sid_irq_entry)
         self.hub.emit(self._sid_csa)
         if self.trace is not None:
@@ -120,6 +157,9 @@ class TriCoreCpu(Component):
     def _serviceable_pending(self) -> bool:
         """Would ``_try_interrupt`` take something right now?"""
         if self.icu is None:
+            return False
+        cell = self._icu_cell
+        if cell is not None and not cell[0]:
             return False
         srn = self.icu.highest("tc")
         return (srn is not None and srn.priority > self.current_priority
@@ -151,73 +191,78 @@ class TriCoreCpu(Component):
             self.halt_cycles += stop - start
 
     # -- main clock tick ----------------------------------------------------------
-    def tick(self, cycle: int) -> None:
+    def tick(self, cycle: int):
         if self.debug_halt:
-            return
+            return None
         if self.current_priority > 0:
             self.hub.emit(self._sid_irq_cycles)
         if cycle < self.stall_until:
-            return
-        if self._try_interrupt(cycle):
-            return
+            # inline idle bid (see Component.tick): a priority-0 stall is
+            # opaque even to pending interrupts, so the wait can be slept
+            # through; at priority > 0 the per-cycle IRQ-cycle emission
+            # above must keep the core hot
+            return None if self.current_priority > 0 else self.stall_until
+        cell = self._icu_cell
+        if (cell[0] if cell is not None else self.icu is not None) \
+                and self._try_interrupt(cycle):
+            return None
         if self.halted:
             self.halt_cycles += 1
-            return
-
+            return None
         program = self.program
         if program is None:
-            return
+            return None
+        (width, memory, emit, rng, line_shift, instructions,
+         sid_instr, sid_branch, sid_branch_taken) = self._hot_binds
         issued = 0
         ip_used = False
         ls_used = False
         ctl_used = False
         pc = self.pc
         start_pc = pc
-        width = self.cfg.issue_width
-        memory = self.memory
-        hub = self.hub
-        emit = hub.emit
-        rng = self.rng
+        cur_line = self._line
 
         while issued < width:
-            line = pc >> self._line_shift
-            if line != self._line:
+            line = pc >> line_shift
+            if line != cur_line:
                 done = memory.fetch(cycle, pc, "tc")
-                self._line = line
+                cur_line = line
                 if done > cycle + 1:
                     self.stall_until = done
                     emit(self._sid_stall_fetch, done - cycle - 1)
                     break
-            instr = program.at(pc)
+            instr = instructions.get(pc)
+            if instr is None:
+                instr = program.at(pc)   # raises the decorated KeyError
             op = instr.op
 
-            if op == isa.IP:
+            if op == _IP:
                 # one integer-pipeline op per cycle (dual-pipeline issue:
                 # IP + LS + loop can retire together, never two IP ops)
                 if ip_used:
                     break
                 ip_used = True
-                pc += isa.INSTR_BYTES
+                pc += _INSTR_BYTES
                 issued += 1
                 continue
 
-            if op == isa.LD or op == isa.ST:
+            if op == _LD or op == _ST:
                 if ls_used:
                     break
                 ls_used = True
                 gen = instr.addr_gen
                 addr = gen.next(self._state_of(instr, gen), rng)
                 issued += 1
-                if op == isa.LD:
+                if op == _LD:
                     done = memory.read(cycle, addr, "tc")
-                    pc += isa.INSTR_BYTES
+                    pc += _INSTR_BYTES
                     if done > cycle + 1:
                         self.stall_until = done
                         emit(self._sid_stall_load, done - cycle - 1)
                         break
                 else:
                     done = memory.write(cycle, addr, "tc")
-                    pc += isa.INSTR_BYTES
+                    pc += _INSTR_BYTES
                     if done > cycle + 1:
                         self.stall_until = done
                         emit(self._sid_stall_store, done - cycle - 1)
@@ -237,88 +282,96 @@ class TriCoreCpu(Component):
             issued += 1
             src = pc
 
-            if op == isa.BR:
+            if op == _BR:
                 pattern = instr.pattern
                 taken = pattern.taken(self._state_of(instr, pattern), rng)
-                emit(self._sid_branch)
+                emit(sid_branch)
                 if taken:
-                    emit(self._sid_branch_taken)
+                    emit(sid_branch_taken)
                     pc = instr.target
-                    self._line = -1
-                    self.stall_until = cycle + 1 + self.cfg.branch_penalty
+                    cur_line = -1
+                    self.stall_until = cycle + self._branch_lat
                     if self.trace is not None:
                         self.trace.on_discontinuity(cycle, src, pc, "br")
                     break
-                pc += isa.INSTR_BYTES
+                pc += _INSTR_BYTES
                 continue
 
-            if op == isa.JUMP:
-                emit(self._sid_branch)
-                emit(self._sid_branch_taken)
+            if op == _JUMP:
+                emit(sid_branch)
+                emit(sid_branch_taken)
                 pc = instr.target
-                self._line = -1
-                self.stall_until = cycle + 1 + self.cfg.branch_penalty
+                cur_line = -1
+                self.stall_until = cycle + self._branch_lat
                 if self.trace is not None:
                     self.trace.on_discontinuity(cycle, src, pc, "br")
                 break
 
-            if op == isa.LOOP:
+            if op == _LOOP:
                 pattern = instr.pattern
                 taken = pattern.taken(self._state_of(instr, pattern), rng)
-                emit(self._sid_branch)
+                emit(sid_branch)
                 if taken:
                     # loop pipeline: zero-cycle taken loop-close
-                    emit(self._sid_branch_taken)
+                    emit(sid_branch_taken)
                     pc = instr.target
-                    self._line = -1
+                    cur_line = -1
                     if self.trace is not None:
                         self.trace.on_discontinuity(cycle, src, pc, "loop")
                     break
-                pc += isa.INSTR_BYTES
+                pc += _INSTR_BYTES
                 continue
 
-            if op == isa.CALL:
-                self._call_stack.append(pc + isa.INSTR_BYTES)
+            if op == _CALL:
+                self._call_stack.append(pc + _INSTR_BYTES)
                 pc = instr.target
-                self._line = -1
+                cur_line = -1
                 emit(self._sid_csa)
-                self.stall_until = cycle + 1 + self.cfg.context_switch_cycles
+                self.stall_until = cycle + self._cs_lat
                 if self.trace is not None:
                     self.trace.on_discontinuity(cycle, src, pc, "call")
                 break
 
-            if op == isa.RET:
+            if op == _RET:
                 if not self._call_stack:
                     raise RuntimeError(
                         f"RET with empty call stack at 0x{pc:08x}")
                 pc = self._call_stack.pop()
-                self._line = -1
+                cur_line = -1
                 emit(self._sid_csa)
-                self.stall_until = cycle + 1 + self.cfg.context_switch_cycles
+                self.stall_until = cycle + self._cs_lat
                 if self.trace is not None:
                     self.trace.on_discontinuity(cycle, src, pc, "ret")
                 break
 
-            if op == isa.RFE:
+            if op == _RFE:
                 if not self._irq_stack:
                     raise RuntimeError(
                         f"RFE with empty interrupt stack at 0x{pc:08x}")
                 pc, self.current_priority, self.halted = self._irq_stack.pop()
-                self._line = -1
+                cur_line = -1
                 emit(self._sid_csa)
-                self.stall_until = cycle + 1 + self.cfg.context_switch_cycles
+                self.stall_until = cycle + self._cs_lat
                 if self.trace is not None:
                     self.trace.on_discontinuity(cycle, src, pc, "rfe")
                 break
 
             raise ValueError(f"unknown opcode {op!r} at 0x{pc:08x}")
 
+        self._line = cur_line
         self.pc = pc
         if issued:
             self.retired += issued
-            emit(self._sid_instr, issued)
+            emit(sid_instr, issued)
             if self.trace is not None:
                 self.trace.on_cycle(cycle, start_pc, issued)
+        # inline idle bid, mirroring idle_until for the common end-of-tick
+        # states; anything subtler (halt wake conditions, debug freeze)
+        # defers to idle_until via None
+        if self.current_priority > 0 or self.halted or self.debug_halt:
+            return None
+        stall = self.stall_until
+        return stall if stall > cycle + 1 else cycle + 1
 
     def reset(self) -> None:
         if self.program is not None:

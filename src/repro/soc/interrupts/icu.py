@@ -51,6 +51,10 @@ class InterruptRouter(Component):
         self.hub = hub
         self.srns: Dict[int, ServiceRequestNode] = {}
         self._by_core: Dict[str, List[ServiceRequestNode]] = {}
+        #: core name -> single-element pending-request count, shared with
+        #: the service providers so their per-cycle poll is one list read
+        #: instead of a scan over the priority-sorted SRN list
+        self._pending_cells: Dict[str, List[int]] = {}
         self._sid_raised = hub.register(signals.IRQ_RAISED)
         self._sid_taken = hub.register(signals.IRQ_TAKEN)
         self.dma_controller = None   # wired by the device builder
@@ -69,9 +73,28 @@ class InterruptRouter(Component):
         srn.taken_sid = self.hub.register(srn_taken_signal(name))
         self.srns[srn.id] = srn
         self._by_core.setdefault(core, []).append(srn)
+        self.pending_cell(core)
         # keep highest priority first so lookup is a linear scan to first hit
         self._by_core[core].sort(key=lambda s: -s.priority)
         return srn
+
+    def pending_cell(self, core: str) -> List[int]:
+        """The mutable ``[count]`` of pending requests for one core.
+
+        Callers may cache the list itself; it is updated in place by
+        raise/take/reset/restore, so ``cell[0]`` is always current.
+        """
+        cell = self._pending_cells.get(core)
+        if cell is None:
+            cell = self._pending_cells[core] = [0]
+        return cell
+
+    def _recount_pending(self) -> None:
+        for cell in self._pending_cells.values():
+            cell[0] = 0
+        for srn in self.srns.values():
+            if srn.pending:
+                self.pending_cell(srn.core)[0] += 1
 
     def raise_request(self, srn_id: int) -> None:
         """Peripheral-side: set the request flag (idempotent while pending)."""
@@ -89,19 +112,26 @@ class InterruptRouter(Component):
             if self.dma_controller is not None:
                 self.dma_controller.trigger(srn.dma_channel)
             return
-        srn.pending = True
+        if not srn.pending:
+            srn.pending = True
+            self._pending_cells[srn.core][0] += 1
         provider = self.providers.get(srn.core)
         if provider is not None:
             provider.wake()
 
     def highest(self, core: str) -> Optional[ServiceRequestNode]:
+        cell = self._pending_cells.get(core)
+        if cell is not None and not cell[0]:
+            return None
         for srn in self._by_core.get(core, ()):
             if srn.pending:
                 return srn
         return None
 
     def take(self, srn: ServiceRequestNode) -> None:
-        srn.pending = False
+        if srn.pending:
+            srn.pending = False
+            self._pending_cells[srn.core][0] -= 1
         srn.taken_count += 1
         self.hub.emit(self._sid_taken)
         self.hub.emit(srn.taken_sid)
@@ -111,6 +141,8 @@ class InterruptRouter(Component):
             srn.pending = False
             srn.raised_count = 0
             srn.taken_count = 0
+        for cell in self._pending_cells.values():
+            cell[0] = 0
 
     # -- checkpoint ----------------------------------------------------------
     def snapshot_state(self) -> dict:
@@ -129,3 +161,4 @@ class InterruptRouter(Component):
             srn.pending = entry["pending"]
             srn.raised_count = entry["raised_count"]
             srn.taken_count = entry["taken_count"]
+        self._recount_pending()

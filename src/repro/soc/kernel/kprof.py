@@ -65,11 +65,43 @@ class KernelProfiler:
 
         def timed_tick(cycle, _tick=tick, _cell=cell, _perf=perf):
             t0 = _perf()
-            _tick(cycle)
+            bid = _tick(cycle)
             _cell[1] += 1
             _cell[2] += _perf() - t0
+            return bid               # inline idle bids must pass through
 
         return timed_tick
+
+
+def format_top_components(stats: Dict, top: int) -> str:
+    """Render the top-``top`` components by tick self-time (wall seconds).
+
+    The table is the profile-guided optimization worklist: it names the
+    components whose ``tick`` bodies burn the wall clock, ordered by
+    measured self-time.  Sorting is stable and deterministic — wall
+    seconds descending, then component name ascending — so two runs of
+    the same workload produce comparable tables.  Requires stats gathered
+    with a :class:`KernelProfiler` attached (the ``wall_s`` fields).
+    """
+    rows = [e for e in stats["components"] if "wall_s" in e]
+    if not rows:
+        return ("(no per-component wall times: attach a KernelProfiler "
+                "or pass --wall)")
+    rows.sort(key=lambda e: (-e["wall_s"], e["name"]))
+    total = sum(e["wall_s"] for e in rows) or 1.0
+    lines = [
+        f"{'#':>3} {'component':<20}{'ticks':>12}{'wall s':>10}"
+        f"{'self%':>8}{'cum%':>8}",
+    ]
+    cum = 0.0
+    for rank, entry in enumerate(rows[:top], 1):
+        cum += entry["wall_s"]
+        lines.append(
+            f"{rank:>3} {entry['name']:<20}{entry['ticks']:>12}"
+            f"{entry['wall_s']:>10.4f}"
+            f"{100 * entry['wall_s'] / total:>7.1f}%"
+            f"{100 * cum / total:>7.1f}%")
+    return "\n".join(lines)
 
 
 def format_kernel_stats(stats: Dict) -> str:

@@ -103,8 +103,18 @@ class Component:
     #: ``wake()`` routes through it
     _kernel: Optional["Simulator"] = None
 
-    def tick(self, cycle: int) -> None:
-        """Advance one CPU cycle.  Default: combinational block, no state."""
+    def tick(self, cycle: int):
+        """Advance one CPU cycle.  Default: combinational block, no state.
+
+        A tick may return an *inline idle bid*: the same value
+        :meth:`idle_until` would return for ``cycle + 1``.  The quiescent
+        kernel then skips the separate ``idle_until`` round-trip for that
+        cycle — worthwhile for components ticking hundreds of thousands
+        of times per run.  Returning ``None`` (the default) means "ask
+        ``idle_until`` as usual"; returning ``cycle + 1`` means "keep me
+        hot without asking".  The two sources must agree: strict mode
+        audits claims against :meth:`idle_until` only.
+        """
 
     def reset(self) -> None:
         """Return to power-on state.  Components with state must override."""
@@ -431,6 +441,9 @@ class Simulator:
         hot = self._hot
         heap = self._heap
         hub = self.hub
+        insert_hot = self._insert_hot
+        credit = self._credit
+        has_pred = predicate is not None
         c = self.cycle
         while c < target:
             # wake sleepers that are due this cycle (lazy heap entries:
@@ -441,8 +454,8 @@ class Simulator:
                 if slot is not None and slot.asleep \
                         and slot.wake_at == wake_at:
                     slot.asleep = False
-                    self._insert_hot(slot)
-                    self._credit(slot, c)
+                    insert_hot(slot)
+                    credit(slot, c)
 
             if not hot:
                 # quiescent span: fast-forward to the next wake point; no
@@ -477,38 +490,118 @@ class Simulator:
                 self.cycle = c
                 continue
 
-            # hot cycle: tick the hot set in registration order, letting
-            # each has_idle component bid for sleep right after its tick
-            hub.cycle = c
-            self._now = c
-            self._in_cycle = True
-            pos = 0
-            try:
-                while pos < len(hot):
-                    slot = hot[pos]
-                    self._tick_pos = pos
-                    slot.tick(c)
-                    pos = self._tick_pos     # mid-tick wakes may shift it
-                    if slot.has_idle:
-                        wake_at = slot.idle(c + 1)
+            if not has_pred and len(hot) == 1:
+                # fused single-owner span: one slot (typically the CPU)
+                # owns the clock, so the per-cycle cost collapses to the
+                # tick and its idle bid.  The loop runs until the next
+                # heap wake is due, a mid-tick wake grows the hot set, or
+                # the owner goes properly to sleep.  A short nap that
+                # would end before anyone else is due never touches the
+                # heap at all: the clock jumps in place and the skip is
+                # credited immediately, exactly as a wake would have.
+                slot = hot[0]
+                tick = slot.tick
+                idle = slot.idle if slot.has_idle else None
+                span_end = target
+                if heap and heap[0][0] < span_end:
+                    span_end = heap[0][0]
+                self._tick_pos = 0
+                self._in_cycle = True
+                try:
+                    # self.cycle is written once on exit (see finally):
+                    # nothing observes it mid-advance — components get the
+                    # cycle as a tick argument, wakes read _now, and event
+                    # observers timestamp off hub.cycle
+                    while c < span_end:
+                        hub.cycle = c
+                        self._now = c
+                        wake_at = tick(c)
+                        if len(hot) != 1:
+                            # a mid-tick wake joined this cycle: place
+                            # the owner's own sleep bid, finish the
+                            # cycle in registration order, and rejoin
+                            # the outer loop
+                            pos = self._tick_pos
+                            if wake_at is None and idle is not None:
+                                wake_at = idle(c + 1)
+                            if wake_at is not None and wake_at > c + 1:
+                                hot.pop(pos)
+                                slot.asleep = True
+                                slot.wake_at = wake_at
+                                slot.slept_from = c + 1
+                                slot.sleeps += 1
+                                heappush(heap, (wake_at, slot.index))
+                            else:
+                                pos += 1
+                            self._tick_cycle(c, pos)
+                            c += 1
+                            break
+                        if wake_at is None and idle is not None:
+                            wake_at = idle(c + 1)
                         if wake_at is not None and wake_at > c + 1:
-                            hot.pop(pos)
+                            if wake_at <= span_end:
+                                # sole-owner nap ending before any
+                                # sleeper is due: skip straight to
+                                # the wake cycle in place
+                                slot.skipped += wake_at - (c + 1)
+                                slot.sleeps += 1
+                                slot.comp.on_kernel_skip(c + 1, wake_at)
+                                c = wake_at
+                                continue
+                            hot.pop(0)
                             slot.asleep = True
                             slot.wake_at = wake_at
                             slot.slept_from = c + 1
                             slot.sleeps += 1
                             heappush(heap, (wake_at, slot.index))
-                            continue         # next slot slid into pos
-                    pos += 1
+                            c += 1
+                            break
+                        c += 1
+                finally:
+                    self._in_cycle = False
+                    self.cycle = c
+                continue
+
+            # hot cycle: tick the hot set in registration order, letting
+            # each has_idle component bid for sleep right after its tick
+            hub.cycle = c
+            self._now = c
+            self._in_cycle = True
+            try:
+                self._tick_cycle(c, 0)
             finally:
                 self._in_cycle = False
             c += 1
             self.cycle = c
-            if predicate is not None and predicate(self):
+            if has_pred and predicate(self):
                 self._settle(c)
                 return True
         self._settle(target)
         return False
+
+    def _tick_cycle(self, c: int, pos: int) -> None:
+        """Tick ``self._hot[pos:]`` for cycle ``c`` in registration order,
+        letting each ``has_idle`` component bid for sleep right after its
+        tick.  The caller owns the cycle framing (``hub.cycle``,
+        ``_now``, ``_in_cycle``)."""
+        hot = self._hot
+        heap = self._heap
+        while pos < len(hot):
+            slot = hot[pos]
+            self._tick_pos = pos
+            wake_at = slot.tick(c)
+            pos = self._tick_pos         # mid-tick wakes may shift it
+            if wake_at is None and slot.has_idle:
+                wake_at = slot.idle(c + 1)
+            if wake_at is not None and wake_at > c + 1:
+                hot.pop(pos)
+                slot.asleep = True
+                slot.wake_at = wake_at
+                slot.slept_from = c + 1
+                slot.sleeps += 1
+                heappush(heap, (wake_at, slot.index))
+                continue                 # next slot slid into pos
+            pos += 1
 
     def _advance_lockstep(self, target: int, predicate,
                           check_every: int) -> bool:

@@ -60,6 +60,14 @@ class AddressMap:
             last = (region.end - 1) >> 28
             for seg in range(first, last + 1):
                 self._by_segment.setdefault(seg, []).append(region)
+        # flat (base, end, kind) decode table per segment: classify runs on
+        # every fetch/read/write of every master, so the hot path iterates
+        # plain tuples instead of calling Region methods (regions are fixed
+        # after construction; only overlay ranges ever change)
+        self._decode: Dict[int, tuple] = {
+            seg: tuple((r.base, r.end, r.kind) for r in lst)
+            for seg, lst in self._by_segment.items()
+        }
         # calibration overlay ranges: list of (start, end) within flash that
         # the ED redirects into EMEM; empty on the production device
         self._overlay_ranges: list = []
@@ -86,13 +94,13 @@ class AddressMap:
         Overlay redirection is checked only for flash addresses, keeping the
         common path one segment lookup.
         """
-        for region in self._by_segment.get(addr >> 28, ()):
-            if region.contains(addr):
-                if region.kind == PFLASH_CACHED and self._overlay_ranges:
-                    for start, end in self._overlay_ranges:
-                        if start <= addr < end:
+        for base, end, kind in self._decode.get(addr >> 28, ()):
+            if base <= addr < end:
+                if kind == PFLASH_CACHED and self._overlay_ranges:
+                    for start, stop in self._overlay_ranges:
+                        if start <= addr < stop:
                             return OVERLAY
-                return region.kind
+                return kind
         raise ValueError(f"address 0x{addr:08x} maps to no region")
 
     def region(self, name: str) -> Region:

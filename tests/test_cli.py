@@ -206,6 +206,26 @@ def test_profile_kernel_telemetry_flags(capsys, tmp_path):
     assert "repro_kernel_component_wall_seconds" in prom
 
 
+def test_profile_kernel_top_table(capsys):
+    # --top implies --wall: no explicit flag needed for self-time ranking
+    code, out = run_cli(capsys, "profile-kernel", "--cycles", "20000",
+                        "--top", "2")
+    assert code == 0
+    for mode in ("naive", "quiescent"):
+        header = f"top 2 components by tick self-time ({mode}):"
+        assert header in out
+        block = out.split(header, 1)[1].splitlines()
+        # header row + exactly 2 ranked rows before the blank line
+        ranked = []
+        for line in block[2:]:
+            if not line.strip():
+                break
+            ranked.append(line)
+        assert len(ranked) == 2
+    # the hottest engine component is the CPU, on both kernels
+    assert out.count("  1 tricore") == 2
+
+
 def test_catalog_prints_document(capsys):
     code, out = run_cli(capsys, "catalog")
     assert code == 0

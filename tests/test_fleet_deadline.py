@@ -59,7 +59,9 @@ def test_deadline_carried_by_the_spec_itself(tmp_path):
 
 def test_mid_campaign_expiry_keeps_finished_prefix(tmp_path):
     """Expiry at a job boundary: done jobs stay, the rest never run."""
-    spec = CampaignSpec(count=4, cycles=60_000, seed=9)
+    # cycles sized so one job comfortably outlives the deadline even as
+    # the kernel gets faster — expiry must hit a mid-campaign boundary
+    spec = CampaignSpec(count=4, cycles=250_000, seed=9)
     t0 = time.time()
     report = run_campaign(spec, workers=0, campaign_dir=str(tmp_path),
                           deadline_s=0.7)

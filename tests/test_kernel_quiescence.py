@@ -15,7 +15,8 @@ from repro.errors import KernelEquivalenceError, WatchdogExpired
 from repro.faults.watchdog import SimulationWatchdog
 from repro.soc.config import tc1797_config
 from repro.soc.kernel import kernel_mode
-from repro.soc.kernel.kprof import KernelProfiler, format_kernel_stats
+from repro.soc.kernel.kprof import (KernelProfiler, format_kernel_stats,
+                                    format_top_components)
 from repro.soc.kernel.simulator import (FOREVER, Component, Simulator,
                                         set_default_kernel)
 from repro.workloads import EngineControlScenario, RtosScenario
@@ -107,6 +108,25 @@ def test_kernel_profiler_measures_wall_shares():
     device.run(1_000)
     stats = sim.kernel_stats()
     assert "wall_s" not in stats["components"][0]
+
+
+def test_top_components_table_sorted_stable_truncated():
+    stats = {"components": [
+        {"name": "zeta", "ticks": 10, "wall_s": 0.5},
+        {"name": "alpha", "ticks": 20, "wall_s": 0.5},   # wall tie
+        {"name": "mid", "ticks": 30, "wall_s": 1.0},
+        {"name": "tiny", "ticks": 5, "wall_s": 0.1},
+    ]}
+    rendered = format_top_components(stats, 3)
+    rows = rendered.splitlines()[1:]
+    names = [row.split()[1] for row in rows]
+    # wall seconds descending, name ascending on ties, truncated to N
+    assert names == ["mid", "alpha", "zeta"]
+    assert rendered == format_top_components(stats, 3)   # deterministic
+    assert "100.0%" not in rows[-1]      # cum% excludes the dropped row
+    # without profiler wall times there is nothing to rank
+    plain = {"components": [{"name": "a", "ticks": 1}]}
+    assert "attach a KernelProfiler" in format_top_components(plain, 3)
 
 
 # -- strict mode catches liars ----------------------------------------------
