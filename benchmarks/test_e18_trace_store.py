@@ -1,0 +1,192 @@
+"""E18 — Trace-store ingest throughput, query selectivity, diff exactness.
+
+Four legs, each one of the trace store's load-bearing claims:
+
+* **ingest** — a synthetic 120k-event stream (the shape a large fleet
+  campaign emits: ``job.execute`` spans plus gap/profile instants) is
+  streamed through a :class:`~repro.traces.TraceWriter` with its
+  streaming summary enabled.  Gated on events/s against the committed
+  floor in ``traces_baseline.json``.
+* **query** — a 500us window over the full segment must answer by
+  reading the footer plus only the overlapping column blocks: the
+  instrumented reader proves ``bytes_read / file_bytes < 0.20``.
+* **identity** — one small campaign run with the trace store attached
+  and one without produce byte-identical payloads (canonical JSON):
+  recording is observation, never participation.
+* **diff** — two seeded campaign runs, the second with one customer's
+  cycle budget deliberately doubled, must diff to exactly that
+  customer — no false positives from wall-clock noise, because the
+  diff joins on payload-derived instants only.
+
+Outputs ``BENCH_traces.json`` at the repo root for the CI
+trace-analytics lane.
+"""
+
+import gc
+import json
+import os
+import time
+
+import pytest
+
+from repro import traces
+from repro.fleet import CampaignSpec, run_campaign
+from repro.fleet.spec import canonical_json
+from repro.obs import telemetry
+
+from _common import emit, once
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__),
+                             "traces_baseline.json")
+BENCH_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                          "BENCH_traces.json")
+
+INGEST_EVENTS = 120_000
+CAMPAIGN_CYCLES = 6_000
+SEED = 2008
+
+
+def synthetic_events(total):
+    """A fleet-shaped event stream: 9 spans + 1 instant per 10 events."""
+    for i in range(total):
+        if i % 10 == 9:
+            yield {"name": "gap.recorded", "cat": "mcds", "ph": "i",
+                   "s": "t", "ts": i * 5.0, "pid": 0, "tid": 0,
+                   "args": {"lost": i % 3, "job": f"cust-{i % 16}"}}
+        else:
+            yield {"name": "job.execute", "cat": "fleet", "ph": "X",
+                   "ts": i * 5.0, "dur": 4.0, "pid": 0, "tid": 0,
+                   "args": {"job": f"cust-{i % 16}", "index": i}}
+
+
+def run_ingest(segment_path):
+    gc.collect()
+    t0 = time.perf_counter()
+    with traces.TraceWriter(segment_path, run_id="e18") as writer:
+        for event in synthetic_events(INGEST_EVENTS):
+            writer.append(event)
+    wall_s = time.perf_counter() - t0
+    assert writer.events_written == INGEST_EVENTS
+    return {
+        "events": INGEST_EVENTS,
+        "wall_s": wall_s,
+        "events_per_s": INGEST_EVENTS / wall_s,
+        "file_bytes": os.path.getsize(segment_path),
+        "bytes_per_event": os.path.getsize(segment_path) / INGEST_EVENTS,
+        "blocks": len(writer._blocks),
+    }
+
+
+def run_query(segment_path):
+    # a 500us window in the middle of a ~600ms timeline
+    begin = INGEST_EVENTS * 5.0 / 2
+    result = traces.query_segment(segment_path, traces.TraceQuery(
+        begin_us=begin, end_us=begin + 500.0))
+    assert result.events, "the window must not be empty"
+    return {
+        "window_us": 500.0,
+        "events": len(result.events),
+        "blocks_scanned": result.blocks_scanned,
+        "blocks_total": result.blocks_total,
+        "bytes_read": result.bytes_read,
+        "file_bytes": result.file_bytes,
+        "bytes_fraction": result.bytes_fraction,
+    }
+
+
+def payload_canon(report):
+    return canonical_json([r["payload"] for r in
+                           sorted(report.records,
+                                  key=lambda r: r["job_id"])])
+
+
+def run_identity(tmp_dir):
+    spec = CampaignSpec(count=2, cycles=CAMPAIGN_CYCLES, seed=SEED,
+                        ipc_resolution=256)
+    bare = payload_canon(run_campaign(spec, workers=0))
+    path = os.path.join(tmp_dir, "identity.rtrace")
+    with telemetry(run_id="identity") as tel:
+        with traces.recording(tel, path):
+            stored = payload_canon(run_campaign(spec, workers=0))
+    assert bare == stored, \
+        "payloads diverged with the trace store attached"
+    return {"jobs": 2, "identical": True,
+            "payload_bytes": len(bare)}
+
+
+def run_diff(tmp_dir):
+    spec = CampaignSpec(count=3, cycles=CAMPAIGN_CYCLES, seed=SEED,
+                        ipc_resolution=256)
+    jobs = [job.to_dict() for job in spec.build_jobs()]
+    perturbed = [dict(job) for job in jobs]
+    perturbed[1]["cycles"] = CAMPAIGN_CYCLES * 2
+    target = perturbed[1]["name"]
+
+    segments = {}
+    for label, job_list in (("before", jobs), ("after", perturbed)):
+        path = os.path.join(tmp_dir, f"{label}.rtrace")
+        with telemetry(run_id=label) as tel:
+            with traces.recording(tel, path):
+                run_campaign(CampaignSpec(jobs=job_list), workers=0)
+        segments[label] = path
+
+    diff = traces.diff_summaries(traces.summary_for(segments["before"]),
+                                 traces.summary_for(segments["after"]))
+    assert diff.changed_jobs == [target], \
+        f"expected exactly [{target}], got {diff.changed_jobs}"
+    return {
+        "compared_jobs": diff.compared_jobs,
+        "perturbed": target,
+        "changed_jobs": diff.changed_jobs,
+        "changes": len(diff.changes),
+        "regressions": len(diff.regressions),
+    }
+
+
+@pytest.mark.benchmark(group="e18")
+def test_e18_trace_store(benchmark, tmp_path):
+    segment = str(tmp_path / "e18.rtrace")
+
+    def run_experiment():
+        return {
+            "ingest": run_ingest(segment),
+            "query": run_query(segment),
+            "identity": run_identity(str(tmp_path)),
+            "diff": run_diff(str(tmp_path)),
+        }
+
+    data = once(benchmark, run_experiment)
+    with open(BASELINE_PATH) as handle:
+        baseline = json.load(handle)
+
+    ingest, query = data["ingest"], data["query"]
+    lines = [
+        f"ingest: {ingest['events']} events in {ingest['wall_s']:.2f}s "
+        f"= {ingest['events_per_s']:,.0f} events/s "
+        f"({ingest['bytes_per_event']:.1f} B/event, "
+        f"{ingest['blocks']} blocks)",
+        f"query:  {query['window_us']:.0f}us window matched "
+        f"{query['events']} events reading "
+        f"{query['blocks_scanned']}/{query['blocks_total']} blocks, "
+        f"{query['bytes_read']}/{query['file_bytes']} bytes "
+        f"({query['bytes_fraction']:.1%} of the file)",
+        f"identity: {data['identity']['jobs']} campaign payloads "
+        f"byte-identical with the store on vs off",
+        f"diff:   perturbing {data['diff']['perturbed']!r} surfaced "
+        f"exactly {data['diff']['changed_jobs']} "
+        f"({data['diff']['changes']} changed metrics)",
+    ]
+    emit("E18", "columnar trace store: ingest, query, diff", lines)
+
+    with open(BENCH_PATH, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    # acceptance gates (ISSUE): ingest throughput floor, windowed query
+    # reads < 20% of the file, diff surfaces exactly the perturbation
+    floor = baseline["ingest"]["events_per_s_floor"]
+    assert ingest["events_per_s"] >= floor, \
+        f"ingest {ingest['events_per_s']:,.0f} events/s below the " \
+        f"committed floor ({floor:,.0f})"
+    assert query["bytes_fraction"] < 0.20
+    assert query["blocks_scanned"] < query["blocks_total"]

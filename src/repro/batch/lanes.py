@@ -31,6 +31,7 @@ from ..core.profiling.export import result_to_json  # noqa: F401  (tests)
 from ..core.profiling.session import ProfileResult
 from ..errors import CampaignPreempted, ConfigurationError, DeadlineExceeded
 from ..faults import injector as _fi
+from ..obs import runtime as _obs
 from .measure import EmissionLog, reconstruct_result, watched_signals
 
 #: default sweep stride in cycles — small enough that preemption and
@@ -126,11 +127,22 @@ class LaneSimulator:
         (sleeping components are skipped, empty hot sets fast-forward), so
         an idle lane costs almost nothing to keep in the sweep.
         """
+        tel = _obs._active
         active = np.flatnonzero(self.remaining)
         steps = np.minimum(self.remaining[active], self.stride)
+        t0 = tel.tracer.now_us() if tel is not None else 0.0
         for lane, step in zip(active.tolist(), steps.tolist()):
             self.devices[lane].run(step)
         self.remaining[active] -= steps
+        if tel is not None:
+            cycles = int(steps.sum())
+            tel.tracer.complete(
+                "batch.stride", t0, tel.tracer.now_us() - t0, "batch",
+                args={"lanes": int(active.size), "cycles": cycles,
+                      "stride": self.stride})
+            reg = tel.registry
+            reg.get("repro_batch_strides_total").inc()
+            reg.get("repro_batch_sweep_cycles_total").inc(cycles)
         return int(np.count_nonzero(self.remaining))
 
     def run(self, should_yield: Optional[Callable[[], bool]] = None,
@@ -158,7 +170,15 @@ class LaneSimulator:
     def payload(self, lane: int) -> Dict:
         """The scalar worker's payload dict, reconstructed for one lane."""
         job = self.jobs[lane]
-        result = self.result(lane)
+        tel = _obs._active
+        if tel is not None:
+            # telemetry reads lane state, never writes: the payload is
+            # byte-identical with the span on or off
+            with tel.span("batch.reconstruct", cat="batch",
+                          job=job["name"], device=job["device"]):
+                result = self.result(lane)
+        else:
+            result = self.result(lane)
         return {
             "name": job["name"],
             "domain": job["domain"],

@@ -52,11 +52,26 @@ def _add_telemetry_flags(p) -> None:
                    help="write a Chrome/Perfetto trace-event timeline")
     p.add_argument("--metrics-out", metavar="METRICS.prom",
                    help="write Prometheus text-format metrics")
+    p.add_argument("--trace-store", metavar="SEGMENT.rtrace",
+                   help="stream every span into a columnar trace-store "
+                        "segment (+ .summary.json sidecar; see "
+                        "`repro traces` and docs/traces.md)")
 
 
 def _telemetry_wanted(args) -> bool:
     return bool(getattr(args, "trace_out", None)
-                or getattr(args, "metrics_out", None))
+                or getattr(args, "metrics_out", None)
+                or getattr(args, "trace_store", None))
+
+
+def _maybe_recording(tel, args):
+    """``traces.recording`` when ``--trace-store`` was given, else a no-op."""
+    from contextlib import nullcontext
+    path = getattr(args, "trace_store", None)
+    if not path:
+        return nullcontext()
+    from . import traces
+    return traces.recording(tel, path)
 
 
 def _write_telemetry(tel, args, events_out=None) -> None:
@@ -175,7 +190,8 @@ def cmd_profile_kernel(args) -> int:
     if _telemetry_wanted(args):
         from .obs import telemetry
         with telemetry() as tel:
-            status = _profile_kernel(args, tel)
+            with _maybe_recording(tel, args):
+                status = _profile_kernel(args, tel)
             _write_telemetry(tel, args)
         return status
     return _profile_kernel(args, None)
@@ -303,7 +319,10 @@ def cmd_campaign(args) -> int:
     if _telemetry_wanted(args):
         from .obs import telemetry
         with telemetry() as tel:
-            status = _campaign(args)
+            with _maybe_recording(tel, args):
+                status = _campaign(args)
+            if args.trace_store:
+                print(f"trace store: {args.trace_store}")
             _write_telemetry(tel, args)
         return status
     return _campaign(args)
@@ -391,7 +410,8 @@ def cmd_serve(args) -> int:
         root=args.root, quota=quota, slots=args.slots,
         checkpoint_every=args.checkpoint_every,
         max_retries=args.retries, cache_dir=args.cache_dir,
-        catalog_path=args.catalog, breaker=breaker)
+        catalog_path=args.catalog, breaker=breaker,
+        trace_store=args.trace_store)
     try:
         asyncio.run(serve(service, host=args.host, port=args.port))
     except KeyboardInterrupt:
@@ -436,17 +456,156 @@ def cmd_telemetry(args) -> int:
         from .faults import load_fault_plan
         fault_plan = load_fault_plan(args.fault_plan).to_dict()
     with telemetry(run_id=args.run_id) as tel:
-        report = CampaignRunner(
-            jobs, workers=args.workers, cache_dir=args.cache_dir,
-            campaign_dir=args.campaign_dir,
-            fault_plan=fault_plan).run()
+        with _maybe_recording(tel, args):
+            report = CampaignRunner(
+                jobs, workers=args.workers, cache_dir=args.cache_dir,
+                campaign_dir=args.campaign_dir,
+                fault_plan=fault_plan).run()
         print(f"run {tel.run_id}: {len(jobs)} jobs, "
               f"{args.workers} workers")
         print(report.metrics.summary_table())
         print(f"\nrecorded {len(tel.tracer)} trace events, "
               f"{len(tel.events)} log records")
+        if args.trace_store:
+            print(f"trace store: {args.trace_store}")
         _write_telemetry(tel, args, events_out=args.events_out)
     return 0
+
+
+def cmd_traces(args) -> int:
+    """Trace-store analytics: ingest / info / query / diff / export."""
+    from .errors import ConfigurationError, TraceStoreError
+    try:
+        return _TRACES_ACTIONS[args.traces_command](args)
+    except (ConfigurationError, TraceStoreError) as exc:
+        print(f"traces: {exc}", file=sys.stderr)
+        return 1
+
+
+def _traces_ingest(args) -> int:
+    from . import traces
+    dest = args.out
+    if not dest:
+        base = args.source
+        for suffix in (".json", ".jsonl"):
+            if base.endswith(suffix):
+                base = base[:-len(suffix)]
+                break
+        dest = base + ".rtrace"
+    writer = traces.ingest_chrome(args.source, dest, run_id=args.run_id)
+    print(f"ingested {writer.events_written} events "
+          f"({writer.spans_written} spans, {writer.instants_written} "
+          f"instants, {writer.skipped_events} skipped) into {dest}")
+    print(f"summary sidecar: {traces.sidecar_path(dest)}")
+    return 0
+
+
+def _traces_info(args) -> int:
+    import json as _json
+
+    from . import traces
+    with traces.TraceReader(args.segment) as reader:
+        counts = reader.counts
+        info = {
+            "segment": args.segment,
+            "run_id": reader.run_id,
+            "file_bytes": reader.file_bytes,
+            "blocks": len(reader.blocks),
+            "events": counts.get("events", 0),
+            "spans": counts.get("spans", 0),
+            "instants": counts.get("instants", 0),
+            "skipped": counts.get("skipped", 0),
+            "lanes": [list(lane) for lane in reader.lanes],
+        }
+    summary = traces.summary_for(args.segment)
+    info["totals"] = summary.get("totals", {})
+    if args.json:
+        print(_json.dumps(info, indent=2, sort_keys=True))
+        return 0
+    print(f"segment {args.segment} (run {info['run_id'] or '-'}): "
+          f"{info['events']} events in {info['blocks']} blocks, "
+          f"{info['file_bytes']} bytes")
+    print(f"  spans {info['spans']}, instants {info['instants']}, "
+          f"skipped {info['skipped']}, lanes {len(info['lanes'])}")
+    for key in sorted(info["totals"]):
+        print(f"  {key:<18}{info['totals'][key]}")
+    slowest = summary.get("slowest", [])
+    if slowest:
+        print("slowest spans:")
+        for entry in slowest[:5]:
+            print(f"  {entry['name']:<28}{entry['dur_us']:>12.1f}us  "
+                  f"ts={entry['ts_us']:.1f}"
+                  + (f"  job={entry['job']}" if entry.get("job") else ""))
+    return 0
+
+
+def _traces_query(args) -> int:
+    import json as _json
+
+    from . import traces
+    query = traces.TraceQuery(
+        begin_us=args.begin, end_us=args.end,
+        names=tuple(args.name) if args.name else None,
+        jobs=tuple(args.job) if args.job else None,
+        phase=args.phase, limit=args.limit)
+    result = traces.query_segment(args.segment, query)
+    if args.json:
+        print(_json.dumps({
+            "events": result.events,
+            "blocks_total": result.blocks_total,
+            "blocks_scanned": result.blocks_scanned,
+            "bytes_read": result.bytes_read,
+            "file_bytes": result.file_bytes,
+            "bytes_fraction": round(result.bytes_fraction, 4),
+            "truncated": result.truncated,
+        }, indent=2, sort_keys=True))
+        return 0
+    for event in result.events:
+        job = (event.get("args") or {}).get("job", "")
+        dur = f" dur={event['dur']:.1f}us" if event["ph"] == "X" else ""
+        print(f"{event['ts']:>14.1f}  {event['ph']}  "
+              f"{event['name']:<24}{dur}"
+              + (f"  job={job}" if job else ""))
+    print(f"-- {len(result.events)} events"
+          + (" (truncated)" if result.truncated else "")
+          + f"; scanned {result.blocks_scanned}/{result.blocks_total} "
+          f"blocks, read {result.bytes_read}/{result.file_bytes} bytes "
+          f"({result.bytes_fraction:.1%})")
+    return 0
+
+
+def _traces_diff(args) -> int:
+    from . import traces
+    diff = traces.diff_summaries(
+        traces.summary_for(args.before), traces.summary_for(args.after),
+        rel_threshold=args.threshold, abs_threshold=args.min_abs)
+    print(traces.format_diff(diff))
+    if args.strict and diff.regressions:
+        return 1
+    return 0
+
+
+def _traces_export(args) -> int:
+    from . import traces
+    if not args.chrome and not args.perfetto:
+        raise SystemExit("traces export: give --chrome and/or --perfetto")
+    with traces.TraceReader(args.segment) as reader:
+        if args.chrome:
+            traces.write_chrome(reader, args.chrome)
+            print(f"chrome trace: {args.chrome}")
+        if args.perfetto:
+            traces.write_perfetto(reader, args.perfetto)
+            print(f"perfetto trace: {args.perfetto}")
+    return 0
+
+
+_TRACES_ACTIONS = {
+    "ingest": _traces_ingest,
+    "info": _traces_info,
+    "query": _traces_query,
+    "diff": _traces_diff,
+    "export": _traces_export,
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -567,6 +726,9 @@ def build_parser() -> argparse.ArgumentParser:
                    default="telemetry_events.jsonl",
                    help="structured event-log path "
                         "(default telemetry_events.jsonl)")
+    p.add_argument("--trace-store", metavar="SEGMENT.rtrace",
+                   help="also stream every span into a columnar "
+                        "trace-store segment (see `repro traces`)")
 
     p = sub.add_parser("serve",
                        help="always-on campaign service: HTTP submission, "
@@ -611,6 +773,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--breaker-min-samples", type=int, default=5,
                    help="outcomes required before the breaker may trip "
                         "(default 5)")
+    p.add_argument("--trace-store", metavar="DIR",
+                   help="record each campaign into a .rtrace segment "
+                        "under DIR (one at a time; see docs/traces.md)")
 
     p = sub.add_parser("catalog",
                        help="build the campaign-capability catalog "
@@ -631,6 +796,58 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--restore", metavar="FILE.ckpt",
                    help="rebuild the device recorded in the checkpoint, "
                         "restore it, and run --cycles more")
+
+    p = sub.add_parser("traces",
+                       help="trace-store analytics: ingest, query, "
+                            "cross-run diff, Chrome/Perfetto export")
+    tsub = p.add_subparsers(dest="traces_command", required=True)
+
+    tp = tsub.add_parser("ingest",
+                         help="convert a Chrome trace JSON file into a "
+                              "columnar .rtrace segment")
+    tp.add_argument("source", help="Chrome trace-event JSON file")
+    tp.add_argument("-o", "--out", metavar="SEGMENT.rtrace",
+                    help="segment path (default: source with .rtrace)")
+    tp.add_argument("--run-id", help="run id recorded in the footer")
+
+    tp = tsub.add_parser("info", help="segment footer + summary overview")
+    tp.add_argument("segment")
+    tp.add_argument("--json", action="store_true")
+
+    tp = tsub.add_parser("query",
+                         help="predicate query reading only matching "
+                              "column blocks")
+    tp.add_argument("segment")
+    tp.add_argument("--begin", type=float, metavar="US",
+                    help="window start (microseconds since trace epoch)")
+    tp.add_argument("--end", type=float, metavar="US", help="window end")
+    tp.add_argument("--name", action="append", metavar="SPAN",
+                    help="span/instant name filter (repeatable)")
+    tp.add_argument("--job", action="append", metavar="CUSTOMER",
+                    help="customer/job filter (repeatable)")
+    tp.add_argument("--phase", choices=("X", "i"),
+                    help="spans only (X) or instants only (i)")
+    tp.add_argument("--limit", type=int, help="stop after N matches")
+    tp.add_argument("--json", action="store_true")
+
+    tp = tsub.add_parser("diff",
+                         help="cross-run diff of two segments by "
+                              "(customer, signal)")
+    tp.add_argument("before", help="baseline .rtrace segment")
+    tp.add_argument("after", help="candidate .rtrace segment")
+    tp.add_argument("--threshold", type=float, default=0.01,
+                    help="relative change required (default 0.01 = 1%%)")
+    tp.add_argument("--min-abs", type=float, default=1e-9,
+                    help="absolute change floor (default 1e-9)")
+    tp.add_argument("--strict", action="store_true",
+                    help="exit 1 when any regression is found")
+
+    tp = tsub.add_parser("export",
+                         help="export a segment to Chrome JSON and/or "
+                              "Perfetto protobuf")
+    tp.add_argument("segment")
+    tp.add_argument("--chrome", metavar="OUT.json")
+    tp.add_argument("--perfetto", metavar="OUT.pftrace")
 
     p = sub.add_parser("report", help="full profiling report (+export)")
     p.add_argument("--scenario", default="engine")
@@ -654,6 +871,7 @@ COMMANDS = {
     "telemetry": cmd_telemetry,
     "serve": cmd_serve,
     "catalog": cmd_catalog,
+    "traces": cmd_traces,
     "report": cmd_report,
 }
 

@@ -139,6 +139,17 @@ class DeadlineExceeded(ReproError, RuntimeError):
     """
 
 
+class TraceStoreError(ReproError, RuntimeError):
+    """A trace-store segment or summary sidecar was rejected.
+
+    Raised for a missing/garbled footer, a column block whose CRC does
+    not match, or a sidecar that fails validation.  Deterministic
+    (``retryable=False``): the artifact on disk is what it is — the
+    caller re-ingests from the source trace rather than re-reading a
+    damaged segment and hoping.
+    """
+
+
 class CheckpointError(ReproError, RuntimeError):
     """A checkpoint file was rejected (corrupt, truncated, mismatched).
 

@@ -288,6 +288,39 @@ class CampaignRunner:
                      status=record["status"],
                      source=record.get("source", "executed"),
                      attempts=record.get("attempts", 0))
+            if record["status"] == "ok":
+                self._profile_instants(tel, job, record["payload"])
+
+    @staticmethod
+    def _profile_instants(tel, job: CampaignJob, payload: Dict) -> None:
+        """Per-customer profile summary instants on the trace timeline.
+
+        Derived purely from the (byte-identical) payload, so the values
+        are the same for executed, cached, resumed, scalar, and batch
+        records — which is what makes the trace store's per-(customer,
+        signal) series deterministic and cross-run diffing exact, while
+        wall-clock span durations stay informational.
+        """
+        profile = payload.get("profile") or {}
+        parameters = profile.get("parameters") or {}
+        stall_events = 0
+        degraded = 0
+        for signal in sorted(parameters):
+            entry = parameters[signal]
+            entry_degraded = len(entry.get("degraded", ()))
+            degraded += entry_degraded
+            tel.instant("job.profile", cat="fleet", job=job.name,
+                        signal=signal,
+                        mean_rate=entry.get("mean_rate", 0.0),
+                        samples=entry.get("samples", 0),
+                        degraded=entry_degraded)
+            if signal == "tc.load_stall_rate":
+                stall_events = int(sum(entry.get("values", ())))
+        tel.instant("job.stats", cat="fleet", job=job.name,
+                    lost=int(profile.get("lost_messages", 0)),
+                    gaps=len(profile.get("gaps", ())),
+                    degraded=degraded, stall_events=stall_events,
+                    trace_bits=int(profile.get("trace_bits", 0)))
 
     # -- the campaign --------------------------------------------------------
     def run(self) -> CampaignReport:

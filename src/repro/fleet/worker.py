@@ -435,6 +435,34 @@ def _stop_outcome(job: Dict, status: str, wall_s: float,
             "attempt": attempt, "pid": os.getpid()}
 
 
+def _note_batch_group(tel, group: List[Dict], wall_s: float) -> None:
+    """Record a completed lane group: counters plus one ``job.execute``
+    span per lane, all covering the group's wall-clock interval.
+
+    Lanes run interleaved inside the sweep, so the honest span for any
+    one lane *is* the whole group interval; the ``backend: "batch"`` arg
+    is how trace queries tell these spans from scalar ones.
+    """
+    reg = tel.registry
+    reg.get("repro_batch_groups_total").labels("ok").inc()
+    reg.get("repro_batch_lanes_total").inc(len(group))
+    now_us = tel.tracer.now_us()
+    wall_us = wall_s * 1e6
+    t0 = max(0.0, now_us - wall_us)
+    for job in group:
+        tel.tracer.complete(
+            "job.execute", t0, now_us - t0, "fleet",
+            args={"job": job["name"], "domain": job["domain"],
+                  "device": job["device"], "backend": "batch",
+                  "lanes": len(group)})
+
+
+def _note_batch_fallback(tel, reason: str) -> None:
+    reg = tel.registry
+    reg.get("repro_batch_fallbacks_total").labels(reason).inc()
+    reg.get("repro_batch_groups_total").labels("fallback").inc()
+
+
 def run_batch_shard(jobs: List[Dict], attempt: int = 0,
                     fault_plan: Optional[Dict] = None,
                     checkpoint: Optional[Dict] = None,
@@ -499,6 +527,9 @@ def run_batch_shard(jobs: List[Dict], attempt: int = 0,
         except BatchUnsupported:
             # the lanes refused the group up front — nothing ran; the
             # scalar path models whatever they could not
+            tel = _obs._active
+            if tel is not None:
+                _note_batch_fallback(tel, "unsupported")
             outcomes.extend(run_shard(group, attempt, fault_plan,
                                       checkpoint, should_yield,
                                       deadline_at))
@@ -510,6 +541,9 @@ def run_batch_shard(jobs: List[Dict], attempt: int = 0,
             # a group failing mid-sweep re-runs scalar per job: the
             # offending job gets its structured error outcome and its
             # group-mates still complete
+            tel = _obs._active
+            if tel is not None:
+                _note_batch_fallback(tel, "error")
             outcomes.extend(run_shard(group, attempt, fault_plan,
                                       checkpoint, should_yield,
                                       deadline_at))
@@ -517,7 +551,11 @@ def run_batch_shard(jobs: List[Dict], attempt: int = 0,
                                                        "deadline"):
                 break
             continue
-        wall = (time.perf_counter() - start) / len(group)
+        group_wall = time.perf_counter() - start
+        tel = _obs._active
+        if tel is not None:
+            _note_batch_group(tel, group, group_wall)
+        wall = group_wall / len(group)
         for job, payload in zip(group, payloads):
             outcomes.append({
                 "job": job,

@@ -74,6 +74,28 @@ def _register_core_families(reg: MetricsRegistry) -> None:
               "EMEM trace-buffer fill ratio at last snapshot")
     reg.counter("repro_trigger_fires_total",
                 "MCDS trigger rising edges", ("trigger",))
+    # obs self-observation + trace store
+    reg.counter("repro_obs_spans_dropped_total",
+                "trace events rejected by the bounded in-memory buffer")
+    reg.counter("repro_trace_store_events_total",
+                "events streamed into columnar trace-store segments")
+    reg.counter("repro_trace_store_blocks_total",
+                "column blocks flushed to trace-store segments")
+    reg.counter("repro_trace_store_bytes_total",
+                "bytes appended to trace-store segments")
+    # batch-lane backend
+    reg.counter("repro_batch_groups_total",
+                "lane groups executed by the batch backend, by outcome "
+                "(ok/fallback)", ("status",))
+    reg.counter("repro_batch_lanes_total",
+                "portfolio lanes executed on the batch backend")
+    reg.counter("repro_batch_strides_total",
+                "lockstep sweep strides executed across all lane groups")
+    reg.counter("repro_batch_sweep_cycles_total",
+                "cycles simulated inside batch lane sweeps")
+    reg.counter("repro_batch_fallbacks_total",
+                "lane groups re-routed to the scalar path, by reason",
+                ("reason",))
     # faults
     reg.counter("repro_faults_injected_total",
                 "faults injected, by site", ("site",))
@@ -163,7 +185,11 @@ class Telemetry:
         self.tracer = SpanTracer(clock)
         self.events = EventLog(run_id, clock, stream)
         _register_core_families(self.registry)
+        self.tracer.on_drop = self._note_dropped
         self._previous: Optional["Telemetry"] = None
+
+    def _note_dropped(self, count: int) -> None:
+        self.registry.get("repro_obs_spans_dropped_total").inc(count)
 
     # -- sugar over the three sinks ------------------------------------------
     def span(self, name: str, cat: str = "repro", pid: int = MAIN_PID,

@@ -41,6 +41,11 @@ class SpanTracer:
         self.max_events = max_events
         self.events: List[Dict] = []
         self.dropped_events = 0
+        #: called with the drop count whenever the bounded buffer rejects
+        #: an event (the runtime wires it to repro_obs_spans_dropped_total)
+        self.on_drop: Optional[Callable[[int], None]] = None
+        self._overflow_marked = False
+        self._sink = None
         self._next_span_id = 1
         self._process_names: Dict[int, str] = {MAIN_PID: "repro"}
         self._thread_names: Dict[Tuple[int, int], str] = {
@@ -67,14 +72,57 @@ class SpanTracer:
 
     def set_process(self, pid: int, name: str) -> None:
         self._process_names[pid] = name
+        if self._sink is not None:
+            self._sink.set_process(pid, name)
 
     def set_thread(self, pid: int, tid: int, name: str) -> None:
         self._thread_names[(pid, tid)] = name
+        if self._sink is not None:
+            self._sink.set_thread(pid, tid, name)
+
+    # -- streaming sink ------------------------------------------------------
+    def attach_sink(self, sink):
+        """Forward every recorded event to ``sink`` (a TraceWriter-shaped
+        object with ``append``/``set_process``/``set_thread``).
+
+        The sink sees the full stream — including events the bounded
+        in-memory buffer drops — which is how a trace store captures a
+        campaign of any length while ``events`` stays bounded.  Lane
+        names registered before attachment are replayed so the sink's
+        metadata matches the buffer's.
+        """
+        if self._sink is not None:
+            raise RuntimeError("a trace sink is already attached")
+        for pid, name in self._process_names.items():
+            sink.set_process(pid, name)
+        for (pid, tid), name in self._thread_names.items():
+            sink.set_thread(pid, tid, name)
+        self._sink = sink
+        return sink
+
+    def detach_sink(self):
+        sink, self._sink = self._sink, None
+        return sink
 
     # -- recording -----------------------------------------------------------
     def _append(self, event: Dict) -> None:
+        if self._sink is not None:
+            self._sink.append(event)
         if len(self.events) >= self.max_events:
             self.dropped_events += 1
+            if self.on_drop is not None:
+                self.on_drop(1)
+            if not self._overflow_marked:
+                # one-shot overflow marker in the *buffer* itself, so an
+                # exported bounded trace says it was truncated instead of
+                # silently ending; placed at the first dropped event's
+                # timestamp (deterministic under a fake clock)
+                self._overflow_marked = True
+                self.events.append({
+                    "name": "trace.buffer_full", "cat": "obs", "ph": "i",
+                    "s": "t", "ts": event["ts"], "pid": MAIN_PID,
+                    "tid": MAIN_TID,
+                    "args": {"max_events": self.max_events}})
             return
         self.events.append(event)
 

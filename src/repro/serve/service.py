@@ -89,6 +89,7 @@ class Campaign:
     recovered: bool = False       # rebuilt from the journal after a crash
     error: Optional[str] = None
     aggregate_path: Optional[str] = None
+    trace_path: Optional[str] = None      # sealed .rtrace segment, if any
     quarantined: List[str] = field(default_factory=list)
     buffer: EventBuffer = field(default_factory=EventBuffer)
     log: EventLog = field(init=False)
@@ -121,6 +122,7 @@ class Campaign:
             "quarantined": list(self.quarantined),
             "deadline_at": self.deadline_at,
             "recovered": self.recovered,
+            "trace_path": self.trace_path,
             "spec": self.spec.to_dict(),
         }
 
@@ -142,7 +144,8 @@ class CampaignService:
                  catalog_path: Optional[str] = None,
                  registry: Optional[MetricsRegistry] = None,
                  breaker: Optional[CircuitBreaker] = None,
-                 clock: Callable[[], float] = time.time) -> None:
+                 clock: Callable[[], float] = time.time,
+                 trace_store: Optional[str] = None) -> None:
         if slots < 1:
             raise ConfigurationError("service needs at least one slot")
         if checkpoint_every < 1:
@@ -155,6 +158,13 @@ class CampaignService:
         self.checkpoint_every = checkpoint_every
         self.max_retries = max_retries
         self.cache_dir = cache_dir
+        self.trace_store = trace_store
+        if trace_store:
+            os.makedirs(trace_store, exist_ok=True)
+        # the telemetry slot is process-global, so at most one slot thread
+        # records a trace at a time; the lock is taken non-blocking and a
+        # loser simply runs untraced (science unchanged either way)
+        self._trace_lock = threading.Lock()
         self.catalog = (load_catalog(catalog_path) if catalog_path
                         else build_catalog())
         if registry is None:
@@ -487,17 +497,40 @@ class CampaignService:
             # pass the *remaining* budget; if it is already spent the
             # runner expires before round 0 and reports deadline_exceeded
             deadline_s = max(1e-6, campaign.deadline_at - self._clock())
-        return run_campaign(
-            campaign.spec,
-            workers=0,
-            campaign_dir=campaign.directory,
-            cache_dir=self.cache_dir,
-            max_retries=self.max_retries,
-            backoff_s=0.05,
-            checkpoint_every=self.checkpoint_every,
-            resume=campaign.attempts > 1,
-            should_yield=campaign.yield_flag.is_set,
-            deadline_s=deadline_s)
+
+        def execute():
+            return run_campaign(
+                campaign.spec,
+                workers=0,
+                campaign_dir=campaign.directory,
+                cache_dir=self.cache_dir,
+                max_retries=self.max_retries,
+                backoff_s=0.05,
+                checkpoint_every=self.checkpoint_every,
+                resume=campaign.attempts > 1,
+                should_yield=campaign.yield_flag.is_set,
+                deadline_s=deadline_s)
+
+        if self.trace_store and self._trace_lock.acquire(blocking=False):
+            try:
+                from .. import traces
+                from ..obs import telemetry
+                # one segment per dispatch attempt: an evicted campaign's
+                # re-dispatch gets its own file instead of clobbering the
+                # sealed one
+                path = os.path.join(
+                    self.trace_store,
+                    f"{campaign.campaign_id}-a{campaign.attempts}.rtrace")
+                with telemetry(run_id=campaign.campaign_id) as tel:
+                    with traces.recording(tel, path):
+                        report = execute()
+                # plain attribute write, thread-safe; the asyncio side
+                # only reads it for status()
+                campaign.trace_path = path
+                return report
+            finally:
+                self._trace_lock.release()
+        return execute()
 
     async def _run(self, campaign: Campaign) -> None:
         campaign.attempts += 1

@@ -1,0 +1,69 @@
+"""``repro.traces``: trace analytics at scale.
+
+The obs layer (PR4) answers "what happened in this run" with a bounded
+in-memory Chrome trace.  This package answers the fleet-scale questions
+— *store* every span a campaign emits without holding the trace in
+memory, *aggregate* at ingest so multi-GB traces are queryable in
+O(summary), *query* time windows and customers reading only matching
+column blocks, *diff* two stored runs by (customer, signal), and
+*export* to Chrome JSON or Perfetto protobuf.  See docs/traces.md for
+the on-disk format specification.
+
+Typical wiring — stream a live telemetry run into a segment::
+
+    from repro.obs import telemetry
+    from repro import traces
+
+    with telemetry(run_id="baseline") as tel:
+        with traces.recording(tel, "baseline.rtrace"):
+            report = run_campaign(jobs, workers=0)
+
+    summary = traces.summary_for("baseline.rtrace")
+
+and later, offline::
+
+    result = traces.query_segment("baseline.rtrace", traces.TraceQuery(
+        begin_us=1e6, end_us=2e6, names=("job.execute",)))
+    diff = traces.diff_summaries(traces.summary_for("baseline.rtrace"),
+                                 traces.summary_for("candidate.rtrace"))
+"""
+
+from contextlib import contextmanager
+
+from .diff import DiffEntry, TraceDiff, diff_summaries, format_diff
+from .export import (to_chrome, to_perfetto, write_chrome, write_perfetto)
+from .format import DEFAULT_BLOCK_EVENTS
+from .query import QueryResult, TraceQuery, query_segment, run_query
+from .store import (TraceReader, TraceWriter, ingest_chrome, summary_for)
+from .summary import (StreamingSummary, load_summary, sidecar_path,
+                      write_summary)
+
+__all__ = [
+    "DEFAULT_BLOCK_EVENTS", "DiffEntry", "QueryResult", "StreamingSummary",
+    "TraceDiff", "TraceQuery", "TraceReader", "TraceWriter",
+    "diff_summaries", "format_diff", "ingest_chrome", "load_summary",
+    "query_segment", "recording", "run_query", "sidecar_path",
+    "summary_for", "to_chrome", "to_perfetto", "write_chrome",
+    "write_perfetto", "write_summary",
+]
+
+
+@contextmanager
+def recording(tel, path: str, block_events: int = DEFAULT_BLOCK_EVENTS,
+              top_n: int = 20):
+    """Stream everything ``tel``'s tracer records into a segment at
+    ``path`` for the duration of the block.
+
+    The tracer's bounded buffer keeps working exactly as before (so
+    ``--trace-out`` still gets its bounded view); the sink sees *every*
+    event, including ones the buffer drops.  The segment and its summary
+    sidecar are sealed on exit, even when the block raises.
+    """
+    writer = TraceWriter(path, run_id=tel.run_id,
+                         block_events=block_events, top_n=top_n)
+    tel.tracer.attach_sink(writer)
+    try:
+        yield writer
+    finally:
+        tel.tracer.detach_sink()
+        writer.close()

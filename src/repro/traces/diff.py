@@ -1,0 +1,220 @@
+"""Cross-run diffing: which customers regressed between run A and run B?
+
+Joins two summary sidecars on (customer, signal) and on the per-customer
+pipeline counters, and reports every value that moved beyond the
+configured thresholds.  The join key is the *deterministic* part of the
+trace — the ``job.profile`` / ``job.stats`` instants the orchestrator
+derives from campaign payloads, which are byte-identical across
+backends, worker counts, and resumes — so a diff of two runs of the same
+spec is exactly empty, and a perturbed config surfaces exactly the
+perturbed customers.  Span durations are wall clock and deliberately
+stay out of the changed-set: the mean duration per span name is reported
+informationally instead.
+
+Direction matters for "regressed": more stalls, misses, contention,
+lost messages, or degraded samples is worse; more IPC or buffer hits is
+better.  Signals the table doesn't know are reported as neutral changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: per-signal direction: True = a higher value is worse (a regression),
+#: False = a higher value is better (an improvement)
+HIGHER_IS_WORSE = {
+    "tc.ipc": False,
+    "pcp.ipc": False,
+    "flash.data_buffer_hit_rate": False,
+    "icache.miss_rate": True,
+    "flash.data_access_rate": True,
+    "dspr.access_rate": True,
+    "lmu.access_rate": True,
+    "bus.contention_rate": True,
+    "tc.load_stall_rate": True,
+    "irq.rate": True,
+}
+
+#: per-job pipeline counters from ``job.stats`` — more is always worse
+COUNTER_METRICS = ("lost", "gaps", "degraded", "stall_events")
+
+
+@dataclass(frozen=True)
+class DiffEntry:
+    """One (customer, metric) value that moved beyond the thresholds."""
+
+    job: str
+    metric: str                  # "<signal>.mean_rate", "lost", ...
+    before: float
+    after: float
+    worse: Optional[bool]        # None when the direction is unknown
+
+    @property
+    def delta(self) -> float:
+        return self.after - self.before
+
+    @property
+    def rel(self) -> float:
+        base = abs(self.before)
+        if base == 0.0:
+            return float("inf") if self.after != self.before else 0.0
+        return abs(self.delta) / base
+
+
+@dataclass
+class TraceDiff:
+    """Everything :func:`diff_summaries` found."""
+
+    changes: List[DiffEntry] = field(default_factory=list)
+    added_jobs: List[str] = field(default_factory=list)
+    removed_jobs: List[str] = field(default_factory=list)
+    compared_jobs: int = 0
+    #: mean span duration per name in both runs (informational only —
+    #: wall clock, so it never enters the changed-set)
+    duration_deltas: Dict[str, Dict] = field(default_factory=dict)
+
+    @property
+    def changed_jobs(self) -> List[str]:
+        return sorted({entry.job for entry in self.changes})
+
+    @property
+    def regressions(self) -> List[DiffEntry]:
+        return [entry for entry in self.changes if entry.worse is True]
+
+    @property
+    def improvements(self) -> List[DiffEntry]:
+        return [entry for entry in self.changes if entry.worse is False]
+
+    def to_dict(self) -> Dict:
+        return {
+            "compared_jobs": self.compared_jobs,
+            "changed_jobs": self.changed_jobs,
+            "added_jobs": self.added_jobs,
+            "removed_jobs": self.removed_jobs,
+            "regressions": len(self.regressions),
+            "improvements": len(self.improvements),
+            "changes": [{
+                "job": e.job, "metric": e.metric,
+                "before": e.before, "after": e.after,
+                "delta": e.delta, "worse": e.worse,
+            } for e in self.changes],
+            "duration_deltas": self.duration_deltas,
+        }
+
+
+def _significant(before: float, after: float, rel_threshold: float,
+                 abs_threshold: float) -> bool:
+    delta = abs(after - before)
+    if delta <= abs_threshold:
+        return False
+    base = abs(before)
+    if base == 0.0:
+        return True                  # appeared from nothing: always news
+    return delta / base > rel_threshold
+
+
+def _worse(metric: str, delta: float) -> Optional[bool]:
+    signal = metric.rsplit(".mean_rate", 1)[0] if \
+        metric.endswith(".mean_rate") else metric
+    if signal in COUNTER_METRICS or metric.endswith(".degraded") or \
+            metric.endswith(".samples"):
+        up_is_worse = True
+    elif signal in HIGHER_IS_WORSE:
+        up_is_worse = HIGHER_IS_WORSE[signal]
+    else:
+        return None
+    return (delta > 0) == up_is_worse
+
+
+def diff_summaries(before: Dict, after: Dict,
+                   rel_threshold: float = 0.01,
+                   abs_threshold: float = 1e-9) -> TraceDiff:
+    """Join two summary bodies; report values that moved past thresholds.
+
+    ``rel_threshold`` is the fractional change required (relative to the
+    *before* value), ``abs_threshold`` the absolute floor below which a
+    change is noise by definition.  Both must be exceeded.
+    """
+    diff = TraceDiff()
+    series_a: Dict[str, Dict] = before.get("series", {})
+    series_b: Dict[str, Dict] = after.get("series", {})
+    jobs_a, jobs_b = set(series_a), set(series_b)
+    diff.added_jobs = sorted(jobs_b - jobs_a)
+    diff.removed_jobs = sorted(jobs_a - jobs_b)
+    common = sorted(jobs_a & jobs_b)
+    diff.compared_jobs = len(common)
+
+    def note(job: str, metric: str, va: float, vb: float) -> None:
+        if _significant(va, vb, rel_threshold, abs_threshold):
+            diff.changes.append(DiffEntry(
+                job=job, metric=metric, before=va, after=vb,
+                worse=_worse(metric, vb - va)))
+
+    for job in common:
+        signals_a, signals_b = series_a[job], series_b[job]
+        for signal in sorted(set(signals_a) & set(signals_b)):
+            sa, sb = signals_a[signal], signals_b[signal]
+            note(job, f"{signal}.mean_rate",
+                 float(sa.get("mean_rate", 0.0)),
+                 float(sb.get("mean_rate", 0.0)))
+            note(job, f"{signal}.samples",
+                 float(sa.get("samples", 0)), float(sb.get("samples", 0)))
+            note(job, f"{signal}.degraded",
+                 float(sa.get("degraded", 0)), float(sb.get("degraded", 0)))
+        for signal in sorted(set(signals_a) ^ set(signals_b)):
+            side = signals_a.get(signal, signals_b.get(signal))
+            va = float(side.get("mean_rate", 0.0)) \
+                if signal in signals_a else 0.0
+            vb = float(side.get("mean_rate", 0.0)) \
+                if signal in signals_b else 0.0
+            note(job, f"{signal}.mean_rate", va, vb)
+
+    by_job_a: Dict[str, Dict] = before.get("by_job", {})
+    by_job_b: Dict[str, Dict] = after.get("by_job", {})
+    for job in sorted(set(by_job_a) & set(by_job_b)):
+        for metric in COUNTER_METRICS:
+            note(job, metric,
+                 float(by_job_a[job].get(metric, 0)),
+                 float(by_job_b[job].get(metric, 0)))
+
+    names_a: Dict[str, Dict] = before.get("by_name", {})
+    names_b: Dict[str, Dict] = after.get("by_name", {})
+    for name in sorted(set(names_a) & set(names_b)):
+        mean_a = names_a[name].get("dur_mean_us", 0.0)
+        mean_b = names_b[name].get("dur_mean_us", 0.0)
+        diff.duration_deltas[name] = {
+            "before_mean_us": mean_a, "after_mean_us": mean_b,
+            "delta_us": round(mean_b - mean_a, 3),
+        }
+    return diff
+
+
+def format_diff(diff: TraceDiff) -> str:
+    """Human-readable diff report (the CLI's output)."""
+    lines = [f"compared {diff.compared_jobs} customers: "
+             f"{len(diff.changed_jobs)} changed, "
+             f"{len(diff.regressions)} regressions, "
+             f"{len(diff.improvements)} improvements"]
+    for label, jobs in (("added", diff.added_jobs),
+                        ("removed", diff.removed_jobs)):
+        if jobs:
+            lines.append(f"{label} customers: {', '.join(jobs)}")
+    if diff.changes:
+        lines.append(f"{'customer':<28}{'metric':<30}{'before':>12}"
+                     f"{'after':>12}  verdict")
+        for entry in diff.changes:
+            verdict = {True: "REGRESSED", False: "improved",
+                       None: "changed"}[entry.worse]
+            lines.append(f"{entry.job:<28}{entry.metric:<30}"
+                         f"{entry.before:>12.6g}{entry.after:>12.6g}"
+                         f"  {verdict}")
+    slower = [(name, d) for name, d in diff.duration_deltas.items()
+              if d["delta_us"] > 0]
+    if slower:
+        slower.sort(key=lambda item: -item[1]["delta_us"])
+        lines.append("slower span means (wall clock, informational):")
+        for name, d in slower[:5]:
+            lines.append(f"  {name:<28}{d['before_mean_us']:>12.1f}us"
+                         f"{d['after_mean_us']:>12.1f}us")
+    return "\n".join(lines)

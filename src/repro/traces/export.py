@@ -1,0 +1,225 @@
+"""Exports: Chrome trace-event JSON and Perfetto protobuf TracePackets.
+
+Chrome export streams the segment back into the same JSON-object form
+``--trace-out`` writes (``{"traceEvents": [...]}`` with process/thread
+metadata events first), one block in memory at a time — viewers sort by
+timestamp themselves, so events are emitted in stored order.
+
+Perfetto export hand-encodes the protobuf wire format (varints +
+length-delimited submessages) for the tiny subset of
+``perfetto.protos.Trace`` the timeline needs: one ``TrackDescriptor``
+packet per process and thread lane, then ``TrackEvent`` packets —
+``TYPE_SLICE_BEGIN``/``TYPE_SLICE_END`` pairs for complete spans,
+``TYPE_INSTANT`` for instants — sorted by timestamp on one trusted
+packet sequence.  No protobuf dependency: the writer is ~60 lines of
+wire-format arithmetic, and the tests decode it back with the same
+primitives.
+
+Field numbers (from the Perfetto proto schema, stable by protobuf
+contract): Trace.packet=1; TracePacket.timestamp=8,
+.trusted_packet_sequence_id=10, .track_event=11, .track_descriptor=60;
+TrackEvent.type=9, .track_uuid=11, .name=23; TrackDescriptor.uuid=1,
+.name=2, .process=3, .thread=4; ProcessDescriptor.pid=1,
+.process_name=6; ThreadDescriptor.pid=1, .tid=2, .thread_name=5.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from .store import TraceReader
+
+# TrackEvent.Type enum values
+TYPE_SLICE_BEGIN = 1
+TYPE_SLICE_END = 2
+TYPE_INSTANT = 3
+
+#: every packet claims the same trusted sequence — one writer, one stream
+SEQUENCE_ID = 1
+
+
+# -- chrome ------------------------------------------------------------------
+def chrome_metadata_events(reader: TraceReader) -> List[Dict]:
+    """Process/thread name metadata events, same shape as the tracer's."""
+    meta: List[Dict] = []
+    for pid in sorted({pid for pid, _ in reader.lanes}):
+        name = reader.process_names.get(pid, f"process {pid}")
+        meta.append({"name": "process_name", "ph": "M", "pid": pid,
+                     "tid": 0, "args": {"name": name}})
+    for pid, tid in sorted(reader.lanes):
+        name = reader.thread_names.get((pid, tid), f"thread {tid}")
+        meta.append({"name": "thread_name", "ph": "M", "pid": pid,
+                     "tid": tid, "args": {"name": name}})
+    return meta
+
+
+def chrome_events(reader: TraceReader) -> Iterator[Dict]:
+    """Metadata events, then every stored event in segment order."""
+    for event in chrome_metadata_events(reader):
+        yield event
+    for event in reader.events():
+        yield event
+
+
+def write_chrome(reader: TraceReader, path: str) -> str:
+    """Stream the segment to a Chrome JSON-object trace file."""
+    with open(path, "w") as handle:
+        handle.write('{"displayTimeUnit": "ms", '
+                     '"otherData": {"producer": "repro.traces"}, '
+                     '"traceEvents": [')
+        first = True
+        for event in chrome_events(reader):
+            if not first:
+                handle.write(", ")
+            handle.write(json.dumps(event, sort_keys=True))
+            first = False
+        handle.write("]}\n")
+    return path
+
+
+def to_chrome(reader: TraceReader) -> str:
+    """The whole trace as one Chrome JSON string (small traces only)."""
+    body = {
+        "traceEvents": list(chrome_events(reader)),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.traces"},
+    }
+    return json.dumps(body, sort_keys=True)
+
+
+# -- protobuf wire-format primitives -----------------------------------------
+def encode_varint(value: int) -> bytes:
+    if value < 0:
+        raise ValueError("varints here are unsigned")
+    out = bytearray()
+    while True:
+        bits = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(bits | 0x80)
+        else:
+            out.append(bits)
+            return bytes(out)
+
+
+def _key(field_number: int, wire_type: int) -> bytes:
+    return encode_varint((field_number << 3) | wire_type)
+
+
+def field_uint(field_number: int, value: int) -> bytes:
+    return _key(field_number, 0) + encode_varint(value)
+
+
+def field_bytes(field_number: int, payload: bytes) -> bytes:
+    return _key(field_number, 2) + encode_varint(len(payload)) + payload
+
+
+def field_str(field_number: int, value: str) -> bytes:
+    return field_bytes(field_number, value.encode("utf-8"))
+
+
+def decode_varint(data: bytes, offset: int) -> Tuple[int, int]:
+    """(value, next_offset) — the test-side inverse of encode_varint."""
+    result = shift = 0
+    while True:
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+
+
+def decode_message(data: bytes) -> List[Tuple[int, int, object]]:
+    """Decode one message into (field_number, wire_type, value) triples."""
+    fields: List[Tuple[int, int, object]] = []
+    offset = 0
+    while offset < len(data):
+        key, offset = decode_varint(data, offset)
+        field_number, wire_type = key >> 3, key & 0x7
+        if wire_type == 0:
+            value, offset = decode_varint(data, offset)
+        elif wire_type == 2:
+            length, offset = decode_varint(data, offset)
+            value = data[offset:offset + length]
+            offset += length
+        else:
+            raise ValueError(f"unsupported wire type {wire_type}")
+        fields.append((field_number, wire_type, value))
+    return fields
+
+
+# -- perfetto trace assembly -------------------------------------------------
+def _process_uuid(pid: int) -> int:
+    return (pid + 1) << 32
+
+
+def _thread_uuid(pid: int, tid: int) -> int:
+    return _process_uuid(pid) + tid + 1
+
+
+def _descriptor_packets(reader: TraceReader) -> List[bytes]:
+    packets: List[bytes] = []
+    for pid in sorted({pid for pid, _ in reader.lanes}):
+        name = reader.process_names.get(pid, f"process {pid}")
+        process = field_uint(1, pid) + field_str(6, name)
+        descriptor = field_uint(1, _process_uuid(pid)) + \
+            field_str(2, name) + field_bytes(3, process)
+        packets.append(field_uint(10, SEQUENCE_ID) +
+                       field_bytes(60, descriptor))
+    for pid, tid in sorted(reader.lanes):
+        name = reader.thread_names.get((pid, tid), f"thread {tid}")
+        thread = field_uint(1, pid) + field_uint(2, tid) + \
+            field_str(5, name)
+        descriptor = field_uint(1, _thread_uuid(pid, tid)) + \
+            field_str(2, name) + field_bytes(4, thread)
+        packets.append(field_uint(10, SEQUENCE_ID) +
+                       field_bytes(60, descriptor))
+    return packets
+
+
+def _event_packets(events: Iterable[Dict]) -> List[Tuple[int, int, bytes]]:
+    """(ts_ns, order, packet_bytes) triples, ready to sort."""
+    packets: List[Tuple[int, int, bytes]] = []
+    order = 0
+    for event in events:
+        uuid = _thread_uuid(event["pid"], event["tid"])
+        ts_ns = int(round(event["ts"] * 1000.0))
+        if event["ph"] == "X":
+            end_ns = ts_ns + max(0, int(round(event.get("dur", 0.0)
+                                              * 1000.0)))
+            begin = field_uint(9, TYPE_SLICE_BEGIN) + \
+                field_uint(11, uuid) + field_str(23, event["name"])
+            end = field_uint(9, TYPE_SLICE_END) + field_uint(11, uuid)
+            packets.append((ts_ns, order, field_uint(8, ts_ns) +
+                            field_uint(10, SEQUENCE_ID) +
+                            field_bytes(11, begin)))
+            # order+1 keeps a zero-duration span's END after its BEGIN
+            packets.append((end_ns, order + 1, field_uint(8, end_ns) +
+                            field_uint(10, SEQUENCE_ID) +
+                            field_bytes(11, end)))
+        else:
+            instant = field_uint(9, TYPE_INSTANT) + field_uint(11, uuid) + \
+                field_str(23, event["name"])
+            packets.append((ts_ns, order, field_uint(8, ts_ns) +
+                            field_uint(10, SEQUENCE_ID) +
+                            field_bytes(11, instant)))
+        order += 2
+    return packets
+
+
+def to_perfetto(reader: TraceReader) -> bytes:
+    """The segment as a perfetto.protos.Trace byte string."""
+    out = bytearray()
+    for packet in _descriptor_packets(reader):
+        out += field_bytes(1, packet)
+    for _, _, packet in sorted(_event_packets(reader.events())):
+        out += field_bytes(1, packet)
+    return bytes(out)
+
+
+def write_perfetto(reader: TraceReader, path: str) -> str:
+    with open(path, "wb") as handle:
+        handle.write(to_perfetto(reader))
+    return path

@@ -1,0 +1,312 @@
+"""Columnar trace store: streaming writer, pruning reader, ingest.
+
+:class:`TraceWriter` is the sink end of the pipeline.  Attach one to a
+live :class:`~repro.obs.tracer.SpanTracer` (``tracer.attach_sink``) or
+feed it Chrome-form event dicts directly: events accumulate in one
+in-flight block (``block_events`` rows, ~4k by default) and are flushed
+column-packed + CRC'd to disk, so a campaign of any length holds at most
+one block in memory.  Every event also feeds the
+:class:`~repro.traces.summary.StreamingSummary`, persisted as the
+``.summary.json`` sidecar at close — ingest-time aggregation, queries in
+O(summary).
+
+:class:`TraceReader` is the other end: it reads the footer with two
+seeks from the end of the file, prunes column blocks on time-window /
+span-name / job predicates, and counts every byte it touches in
+``bytes_read`` — the instrumentation benchmark E18 uses to prove a
+windowed query never loads the full file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import TraceStoreError
+from ..obs import runtime as _obs
+from .format import (DEFAULT_BLOCK_EVENTS, FORMAT_NAME, MAGIC, PH_CHARS,
+                     PH_CODES, SCHEMA_VERSION, StringTable, pack_block,
+                     read_footer, render_footer, unpack_block)
+from .summary import StreamingSummary, load_summary, sidecar_path, \
+    write_summary
+
+
+def _job_of(args: Optional[Dict]) -> str:
+    if not args:
+        return ""
+    job = args.get("job")
+    if job is None:
+        job = args.get("job_id")
+    return str(job) if job is not None else ""
+
+
+class TraceWriter:
+    """Append-only segment writer with one in-flight column block."""
+
+    def __init__(self, path: str, run_id: Optional[str] = None,
+                 block_events: int = DEFAULT_BLOCK_EVENTS,
+                 top_n: int = 20) -> None:
+        if block_events < 1:
+            raise TraceStoreError("block_events must be >= 1")
+        self.path = path
+        self.run_id = run_id
+        self.block_events = block_events
+        self.summary = StreamingSummary(top_n=top_n)
+        self._strings = StringTable()
+        self._blocks: List[Dict] = []
+        self._rows: List[Tuple] = []
+        self._process_names: Dict[int, str] = {}
+        self._thread_names: Dict[Tuple[int, int], str] = {}
+        self._lanes: set = set()
+        self.events_written = 0
+        self.spans_written = 0
+        self.instants_written = 0
+        self.skipped_events = 0
+        self.bytes_written = 0
+        self.closed = False
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        self._handle = open(path, "wb")
+        self._handle.write(MAGIC)
+        self._offset = len(MAGIC)
+
+    # -- lane metadata (mirrors SpanTracer.set_process/set_thread) -----------
+    def set_process(self, pid: int, name: str) -> None:
+        self._process_names[int(pid)] = name
+
+    def set_thread(self, pid: int, tid: int, name: str) -> None:
+        self._thread_names[(int(pid), int(tid))] = name
+
+    # -- ingest --------------------------------------------------------------
+    def append(self, event: Dict) -> None:
+        """Stream one Chrome-form event dict into the segment.
+
+        ``X`` (complete span) and ``i`` (instant) events are stored;
+        ``M`` metadata events update the lane-name tables; anything else
+        (nestable async phases, flow events, counters) is counted in
+        ``skipped_events`` — the store models the tracer's vocabulary,
+        not the whole Chrome zoo.
+        """
+        if self.closed:
+            raise TraceStoreError(f"writer for {self.path} is closed")
+        ph = event.get("ph", "X")
+        if ph == "M":
+            args = event.get("args") or {}
+            if event.get("name") == "process_name":
+                self.set_process(event.get("pid", 0), args.get("name", ""))
+            elif event.get("name") == "thread_name":
+                self.set_thread(event.get("pid", 0), event.get("tid", 0),
+                                args.get("name", ""))
+            return
+        code = PH_CODES.get(ph)
+        if code is None:
+            self.skipped_events += 1
+            return
+        args = event.get("args")
+        job = _job_of(args)
+        ts = float(event.get("ts", 0.0))
+        dur = float(event.get("dur", 0.0)) if ph == "X" else 0.0
+        pid = int(event.get("pid", 0))
+        tid = int(event.get("tid", 0))
+        self._lanes.add((pid, tid))
+        self._rows.append((ts, dur,
+                           self._strings.intern(event.get("name", "")),
+                           self._strings.intern(event.get("cat", "")),
+                           self._strings.intern(job) if job else 0,
+                           pid, tid, code, args))
+        self.events_written += 1
+        if ph == "X":
+            self.spans_written += 1
+        else:
+            self.instants_written += 1
+        self.summary.observe(event.get("name", ""), ph, ts, dur, job, args)
+        if len(self._rows) >= self.block_events:
+            self.flush()
+
+    def flush(self) -> None:
+        """Flush the in-flight block (if any) to disk."""
+        if not self._rows:
+            return
+        rows, self._rows = self._rows, []
+        body, entry = pack_block(rows)
+        entry["offset"] = self._offset
+        self._handle.write(body)
+        self._offset += len(body)
+        self._blocks.append(entry)
+        self.bytes_written += len(body)
+        tel = _obs._active
+        if tel is not None:
+            reg = tel.registry
+            reg.get("repro_trace_store_events_total").inc(len(rows))
+            reg.get("repro_trace_store_blocks_total").inc()
+            reg.get("repro_trace_store_bytes_total").inc(len(body))
+
+    def _footer(self) -> Dict:
+        return {
+            "format": FORMAT_NAME,
+            "schema": SCHEMA_VERSION,
+            "run_id": self.run_id,
+            "time_unit": "us",
+            "strings": self._strings.strings,
+            "blocks": self._blocks,
+            "counts": {
+                "events": self.events_written,
+                "spans": self.spans_written,
+                "instants": self.instants_written,
+                "skipped": self.skipped_events,
+            },
+            "process_names": {str(pid): name for pid, name
+                              in self._process_names.items()},
+            "thread_names": {f"{pid}:{tid}": name for (pid, tid), name
+                             in self._thread_names.items()},
+            "lanes": sorted([pid, tid] for pid, tid in self._lanes),
+        }
+
+    def close(self) -> str:
+        """Seal the segment: footer + tail + fsync, then the sidecar."""
+        if self.closed:
+            return self.path
+        self.flush()
+        tail = render_footer(self._footer())
+        self._handle.write(tail)
+        self.bytes_written += len(tail)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._handle.close()
+        self.closed = True
+        write_summary(sidecar_path(self.path), self.summary.to_dict())
+        return self.path
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class TraceReader:
+    """Footer-indexed segment reader with byte-level instrumentation."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.bytes_read = 0
+        try:
+            self.file_bytes = os.path.getsize(path)
+            self._handle = open(path, "rb")
+        except OSError as exc:
+            raise TraceStoreError(f"cannot open trace segment: {exc}")
+        try:
+            self.footer, footer_bytes = read_footer(self._handle,
+                                                    self.file_bytes)
+        except TraceStoreError:
+            self._handle.close()
+            raise
+        self.bytes_read += footer_bytes
+        self.strings = StringTable(self.footer["strings"])
+        self.blocks: List[Dict] = self.footer["blocks"]
+        self.counts: Dict = self.footer["counts"]
+        self.run_id = self.footer.get("run_id")
+        self.process_names = {int(pid): name for pid, name
+                              in self.footer["process_names"].items()}
+        self.thread_names = {}
+        for key, name in self.footer["thread_names"].items():
+            pid, tid = key.split(":", 1)
+            self.thread_names[(int(pid), int(tid))] = name
+        self.lanes = [tuple(lane) for lane in self.footer.get("lanes", [])]
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "TraceReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- block access --------------------------------------------------------
+    def read_block(self, index: int, want_args: bool = True) -> List[Dict]:
+        """Read, verify, and decode one column block into event dicts."""
+        entry = self.blocks[index]
+        self._handle.seek(entry["offset"])
+        data = self._handle.read(entry["length"])
+        self.bytes_read += len(data)
+        events = []
+        for ts, dur, name_id, cat_id, _job_id, pid, tid, code, args \
+                in unpack_block(data, entry, want_args=want_args):
+            ph = PH_CHARS[code]
+            event = {"name": self.strings[name_id],
+                     "cat": self.strings[cat_id], "ph": ph,
+                     "ts": ts, "pid": pid, "tid": tid}
+            if ph == "X":
+                event["dur"] = dur
+            else:
+                event["s"] = "t"
+            if args is not None:
+                event["args"] = args
+            events.append(event)
+        return events
+
+    def events(self, want_args: bool = True) -> Iterator[Dict]:
+        """Stream every stored event, one block in memory at a time."""
+        for index in range(len(self.blocks)):
+            for event in self.read_block(index, want_args=want_args):
+                yield event
+
+    def rebuild_summary(self) -> StreamingSummary:
+        """Recompute the streaming summary from the stored blocks."""
+        summary = StreamingSummary()
+        for event in self.events():
+            summary.observe_event(event, job=_job_of(event.get("args")))
+        return summary
+
+
+# -- segment-level helpers ---------------------------------------------------
+def summary_for(segment_path: str) -> Dict:
+    """The segment's summary body: sidecar if intact, else recomputed."""
+    sidecar = sidecar_path(segment_path)
+    if os.path.exists(sidecar):
+        try:
+            return load_summary(sidecar)
+        except TraceStoreError:
+            pass                     # fall through to the rebuild
+    with TraceReader(segment_path) as reader:
+        return reader.rebuild_summary().to_dict()
+
+
+def ingest_chrome(source_path: str, dest_path: str,
+                  block_events: int = DEFAULT_BLOCK_EVENTS,
+                  run_id: Optional[str] = None) -> TraceWriter:
+    """Convert a Chrome trace-event JSON file into a segment.
+
+    Accepts both the object form (``{"traceEvents": [...]}`` — what
+    ``--trace-out`` writes) and the bare JSON-array form.  Returns the
+    closed writer so callers can report its counters.
+    """
+    try:
+        with open(source_path) as handle:
+            body = json.load(handle)
+    except OSError as exc:
+        raise TraceStoreError(f"cannot read source trace: {exc}")
+    except ValueError as exc:
+        raise TraceStoreError(f"source trace is not valid JSON: {exc}")
+    if isinstance(body, dict):
+        events = body.get("traceEvents")
+        if not isinstance(events, list):
+            raise TraceStoreError(
+                "source trace object has no traceEvents array")
+    elif isinstance(body, list):
+        events = body
+    else:
+        raise TraceStoreError("source trace must be a JSON object or array")
+    writer = TraceWriter(dest_path, run_id=run_id,
+                         block_events=block_events)
+    try:
+        for event in events:
+            if isinstance(event, dict):
+                writer.append(event)
+            else:
+                writer.skipped_events += 1
+    finally:
+        writer.close()
+    return writer

@@ -189,8 +189,22 @@ def test_tracer_buffer_bound():
     tracer = SpanTracer(clock=fake_clock(), max_events=2)
     for _ in range(5):
         tracer.instant("x")
-    assert len(tracer) == 2
+    # the bounded buffer keeps max_events real events plus exactly one
+    # trace.buffer_full marker so an exported trace says it was truncated
+    assert len(tracer) == 3
     assert tracer.dropped_events == 3
+    markers = [e for e in tracer.events if e["name"] == "trace.buffer_full"]
+    assert len(markers) == 1
+    assert markers[0]["args"] == {"max_events": 2}
+
+
+def test_tracer_drop_callback_counts():
+    dropped = []
+    tracer = SpanTracer(clock=fake_clock(), max_events=1)
+    tracer.on_drop = dropped.append
+    for _ in range(4):
+        tracer.instant("x")
+    assert sum(dropped) == 3 == tracer.dropped_events
 
 
 # --- event log --------------------------------------------------------------
