@@ -11,6 +11,8 @@ Subcommands map to the workflows of the paper::
     repro profile-kernel — simulation-kernel throughput (naive vs quiescent)
     repro checkpoint — snapshot / inspect / resume a simulation run
     repro serve      — always-on campaign service (HTTP + SSE)
+    repro node       — one cluster worker node over a shared directory
+    repro cluster    — multi-node campaign: submit / run / status / stop
     repro catalog    — build the campaign-capability catalog artifact
 """
 
@@ -392,6 +394,128 @@ def _campaign(args) -> int:
     return 1 if report.quarantined and args.strict else 0
 
 
+def cmd_node(args) -> int:
+    """Run one cluster worker node over a shared cluster directory."""
+    from .cluster import ClusterNode
+    from .errors import ClusterError
+
+    def _run() -> int:
+        try:
+            node = ClusterNode(args.cluster_dir, node_id=args.node_id,
+                               ttl_s=args.ttl, poll_s=args.poll)
+        except ClusterError as exc:
+            raise SystemExit(str(exc))
+        summary = node.run()
+        print(f"node {summary['node']}: {summary['state']} — "
+              f"{summary['jobs_done']} jobs, "
+              f"{summary['batches_done']} batches, "
+              f"{summary['fenced']} fenced")
+        if summary["aggregate_path"]:
+            print(f"aggregate: {summary['aggregate_path']}")
+        return 0 if summary["state"] in ("done", "stopped") else 1
+
+    if _telemetry_wanted(args):
+        from .obs import telemetry
+        with telemetry(run_id=args.node_id) as tel:
+            with _maybe_recording(tel, args):
+                status = _run()
+            _write_telemetry(tel, args)
+        return status
+    return _run()
+
+
+def cmd_cluster(args) -> int:
+    """Cluster campaign coordination: submit, run locally, inspect."""
+    import json
+
+    from .cluster import cluster_status, request_stop, run_clustered, submit
+    from .errors import ClusterError, ConfigurationError
+    from .fleet import CampaignSpec, jobs_for
+
+    if args.cluster_command == "status":
+        status = cluster_status(args.cluster_dir)
+        if args.json:
+            print(json.dumps(status, indent=2, sort_keys=True))
+            return 0
+        if status.get("state") == "empty":
+            print(f"cluster {args.cluster_dir}: no campaign submitted")
+            return 1
+        print(f"cluster {args.cluster_dir}: "
+              f"{status['records']['ok']}/{status['total_jobs']} jobs ok, "
+              f"{status['records']['quarantined']} quarantined")
+        print(f"  batches: {status['done_batches']}/{status['batches']} "
+              f"done; planned={status['planned']} final={status['final']} "
+              f"stop={status['stop_requested']}")
+        for entry in status["batch_states"]:
+            lease = entry.get("lease")
+            held = ""
+            if lease is not None:
+                held = (" [damaged lease]" if lease.get("damaged") else
+                        f" [{lease['node']} token {lease['token']} "
+                        f"expires {lease['expires_in_s']:+.1f}s]")
+            print(f"    {entry['name']}: "
+                  f"{'done' if entry['done'] else 'pending'}{held}")
+        for node in status["nodes"]:
+            print(f"  node {node['node']}: {node['state']} "
+                  f"(heartbeat {node['heartbeat_age_s']:.1f}s ago, "
+                  f"{node['jobs_done']} jobs)")
+        print(f"  nodes alive: {status['nodes_alive']}")
+        return 0
+    if args.cluster_command == "stop":
+        request_stop(args.cluster_dir)
+        print(f"cluster {args.cluster_dir}: stop requested")
+        return 0
+
+    # submit | run: build the job matrix from the campaign spec flags
+    try:
+        spec = CampaignSpec(count=args.count, cycles=args.cycles,
+                            device=args.device, seed=args.seed,
+                            ipc_resolution=args.resolution)
+        jobs = jobs_for(spec)
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc))
+    fault_plan = None
+    if args.fault_plan:
+        from .faults import load_fault_plan
+        fault_plan = load_fault_plan(args.fault_plan).to_dict()
+        print(f"chaos: fault plan {args.fault_plan!r} — "
+              f"shared result cache disabled")
+    try:
+        if args.cluster_command == "submit":
+            path = submit(args.cluster_dir, jobs, batches=args.batches,
+                          checkpoint_every=args.checkpoint_every,
+                          max_retries=args.retries, fault_plan=fault_plan,
+                          deadline_s=args.deadline,
+                          cache=not args.no_cache)
+            print(f"cluster submit: {len(jobs)} jobs -> {path}")
+            print(f"start workers with: repro node "
+                  f"--cluster-dir {args.cluster_dir}")
+            return 0
+        report = run_clustered(jobs, args.cluster_dir, nodes=args.nodes,
+                               batches=args.batches,
+                               checkpoint_every=args.checkpoint_every,
+                               max_retries=args.retries,
+                               fault_plan=fault_plan,
+                               deadline_s=args.deadline,
+                               cache=not args.no_cache, ttl_s=args.ttl)
+    except (ClusterError, ConfigurationError) as exc:
+        raise SystemExit(str(exc))
+    if report.deadline_exceeded:
+        print(f"cluster: DEADLINE EXCEEDED — {len(report.records)} jobs "
+              f"committed, no aggregate written")
+        return 1
+    print(f"cluster: {len(report.records)} jobs over "
+          f"{max(1, args.nodes)} nodes")
+    print(report.metrics.summary_table())
+    for record in report.quarantined:
+        print(f"quarantined: {record['job_id']} after "
+              f"{record['attempts']} attempts — {record['error']}")
+    if report.aggregate_path:
+        print(f"\nstore: {report.store_path}")
+        print(f"aggregate: {report.aggregate_path}")
+    return 0
+
+
 def cmd_serve(args) -> int:
     """Run the always-on campaign service until interrupted."""
     import asyncio
@@ -411,7 +535,7 @@ def cmd_serve(args) -> int:
         checkpoint_every=args.checkpoint_every,
         max_retries=args.retries, cache_dir=args.cache_dir,
         catalog_path=args.catalog, breaker=breaker,
-        trace_store=args.trace_store)
+        trace_store=args.trace_store, cluster_nodes=args.cluster_nodes)
     try:
         asyncio.run(serve(service, host=args.host, port=args.port))
     except KeyboardInterrupt:
@@ -730,6 +854,80 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also stream every span into a columnar "
                         "trace-store segment (see `repro traces`)")
 
+    p = sub.add_parser("node",
+                       help="one cluster worker node: claim job batches "
+                            "via leases over a shared directory, execute, "
+                            "migrate work off dead peers (docs/cluster.md)")
+    p.add_argument("--cluster-dir", required=True,
+                   help="shared cluster coordination directory")
+    p.add_argument("--node-id",
+                   help="stable node name (default node-<pid>)")
+    p.add_argument("--ttl", type=float, default=10.0, metavar="SECONDS",
+                   help="lease TTL: miss heartbeats for this long and "
+                        "the node's batches migrate (default 10)")
+    p.add_argument("--poll", type=float, default=0.2, metavar="SECONDS",
+                   help="idle poll interval while batches are all "
+                        "leased out (default 0.2)")
+    _add_telemetry_flags(p)
+
+    p = sub.add_parser("cluster",
+                       help="multi-node campaign coordination: submit a "
+                            "manifest, run N local nodes, inspect state")
+    csub = p.add_subparsers(dest="cluster_command", required=True)
+
+    def _cluster_campaign_flags(cp) -> None:
+        cp.add_argument("--cluster-dir", required=True,
+                        help="shared cluster coordination directory")
+        cp.add_argument("--count", type=int, default=8,
+                        help="generated customer population size")
+        cp.add_argument("--cycles", type=int, default=100_000)
+        cp.add_argument("--resolution", type=int, default=256)
+        cp.add_argument("--batches", type=int, default=None,
+                        help="job batches = units of claiming/migration "
+                             "(default min(jobs, 8))")
+        cp.add_argument("--checkpoint-every", type=int, default=5_000,
+                        metavar="CYCLES",
+                        help="mandatory checkpoint cadence: checkpoint "
+                             "boundaries are heartbeat points, and what "
+                             "migration resumes from (default 5000)")
+        cp.add_argument("--retries", type=int, default=2,
+                        help="retry budget per failing job")
+        cp.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock deadline for the whole campaign")
+        cp.add_argument("--fault-plan", metavar="PLAN.json",
+                        help="chaos-test under a fault-injection plan "
+                             "(disables the shared cache)")
+        cp.add_argument("--no-cache", action="store_true",
+                        help="disable the shared content-addressed "
+                             "result cache")
+
+    cp = csub.add_parser("submit",
+                         help="publish a campaign manifest; start "
+                              "`repro node` workers to execute it")
+    _cluster_campaign_flags(cp)
+
+    cp = csub.add_parser("run",
+                         help="submit + run N local node subprocesses to "
+                              "completion (0 = one in-process node)")
+    _cluster_campaign_flags(cp)
+    cp.add_argument("--nodes", type=int, default=2,
+                    help="worker node subprocesses (default 2; "
+                         "0 = in-process)")
+    cp.add_argument("--ttl", type=float, default=5.0, metavar="SECONDS",
+                    help="lease TTL for the spawned nodes (default 5)")
+
+    cp = csub.add_parser("status",
+                         help="snapshot of batches, leases, node "
+                              "heartbeats, and results")
+    cp.add_argument("--cluster-dir", required=True)
+    cp.add_argument("--json", action="store_true")
+
+    cp = csub.add_parser("stop",
+                         help="ask every node to stop at its next safe "
+                              "boundary (checkpoints survive)")
+    cp.add_argument("--cluster-dir", required=True)
+
     p = sub.add_parser("serve",
                        help="always-on campaign service: HTTP submission, "
                             "priority queue, SSE result streaming")
@@ -776,6 +974,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-store", metavar="DIR",
                    help="record each campaign into a .rtrace segment "
                         "under DIR (one at a time; see docs/traces.md)")
+    p.add_argument("--cluster-nodes", type=int, default=0, metavar="N",
+                   help="execute each campaign over N cluster worker "
+                        "node subprocesses (survives node death; "
+                        "default 0 = in-process orchestrator; see "
+                        "docs/cluster.md)")
 
     p = sub.add_parser("catalog",
                        help="build the campaign-capability catalog "
@@ -869,6 +1072,8 @@ COMMANDS = {
     "checkpoint": cmd_checkpoint,
     "campaign": cmd_campaign,
     "telemetry": cmd_telemetry,
+    "node": cmd_node,
+    "cluster": cmd_cluster,
     "serve": cmd_serve,
     "catalog": cmd_catalog,
     "traces": cmd_traces,

@@ -1,0 +1,25 @@
+"""repro.cluster — failure-tolerant multi-node campaign execution.
+
+Coordinates N worker processes over a **shared directory** — no network
+protocol, no external services: lease files with monotonic fencing
+tokens decide who works on what, per-job checkpoints migrate work off
+dead nodes, and the result store's fenced append makes a revived stale
+node unable to double-commit.  The campaign's ``aggregate.json`` is
+byte-identical to a single-node run — including runs where a node was
+SIGKILLed mid-campaign (see docs/cluster.md and the cluster-chaos CI
+lane).
+"""
+
+from .coordinator import (cluster_status, dedupe_records, finalize,
+                          is_final, load_manifest, load_plan, publish_plan,
+                          request_stop, stop_requested, submit)
+from .lease import Lease, LeaseManager
+from .local import fold_report, run_clustered, spawn_node
+from .node import ClusterNode
+
+__all__ = [
+    "ClusterNode", "Lease", "LeaseManager", "cluster_status",
+    "dedupe_records", "finalize", "fold_report", "is_final",
+    "load_manifest", "load_plan", "publish_plan", "request_stop",
+    "run_clustered", "spawn_node", "stop_requested", "submit",
+]

@@ -1,0 +1,407 @@
+"""Cluster worker node: claim batches, execute jobs, survive peers dying.
+
+A :class:`ClusterNode` is one worker *process* cooperating with its
+peers purely through the shared cluster directory:
+
+1.  **Elect**: try the ``coordinator`` lease; the winner publishes the
+    batch plan (deterministic, so a coordinator dying mid-publish just
+    means the next winner rewrites the same bytes).
+2.  **Claim**: walk the plan's batches, skip done ones, and try each
+    lease.  Claiming over an expired lease is a *migration* — the node
+    inherits the dead peer's per-job checkpoints from the shared
+    checkpoint directory and resumes mid-job, byte-identically.
+3.  **Execute**: jobs run through the ordinary fleet worker with
+    mandatory mid-run checkpoints; the checkpoint boundary doubles as
+    the **heartbeat** (the lease is renewed there and between jobs), so
+    the lease TTL bounds the time a hung simulation can sit on a batch.
+4.  **Commit**: every record lands via the result store's fenced append;
+    a node whose lease was claimed away raises
+    :class:`~repro.errors.StaleLeaseError` *inside the store lock* and
+    abandons the batch without writing a byte.
+5.  **Finalize**: when every batch is done, whoever wins the
+    ``finalize`` lease writes the deterministic aggregate — byte-
+    identical to a single-node run of the same campaign.
+
+Per-job failures feed a node-local circuit breaker: a node whose own
+environment is poisoned (every job crashing) backs off claiming instead
+of burning through the retry budget of every batch in the plan.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, Dict, List, Optional
+
+from ..errors import (CampaignPreempted, DeadlineExceeded, StaleLeaseError)
+from ..fleet.cache import ResultCache
+from ..fleet.spec import CampaignJob
+from ..fleet.store import ResultStore, seal_record
+from ..fleet.worker import checkpoint_path, execute_job
+from ..obs import runtime as _obs
+from ..resilience.breaker import CircuitBreaker
+from ..resilience.journal import AdmissionJournal
+from .coordinator import (CACHE_DIR, CHECKPOINT_DIR, CLUSTER_JOURNAL_NAME,
+                          NODE_DIR, cluster_status, finalize, is_done,
+                          is_final, load_batch, load_manifest, load_plan,
+                          mark_done, publish_plan, stop_requested)
+from .lease import Lease, LeaseManager, _atomic_write
+
+#: lease resources that are not job batches
+COORDINATOR_RESOURCE = "coordinator"
+FINALIZE_RESOURCE = "finalize"
+
+#: node exit summaries (``ClusterNode.run`` return value ``state``)
+NODE_DONE = "done"          # campaign finalized (by us or a peer)
+NODE_STOPPED = "stopped"    # STOP file honoured at a safe boundary
+NODE_DEADLINE = "deadline"  # campaign deadline passed
+
+
+class ClusterNode:
+    """One worker process in a shared-directory cluster campaign."""
+
+    def __init__(self, cluster_dir: str, node_id: Optional[str] = None,
+                 ttl_s: float = 10.0, poll_s: float = 0.2,
+                 clock: Callable[[], float] = time.time,
+                 breaker: Optional[CircuitBreaker] = None) -> None:
+        self.cluster_dir = cluster_dir
+        self.node_id = node_id or f"node-{os.getpid()}"
+        self.poll_s = float(poll_s)
+        self.clock = clock
+        self.journal = AdmissionJournal(cluster_dir,
+                                        name=CLUSTER_JOURNAL_NAME)
+        self.leases = LeaseManager(cluster_dir, self.node_id, ttl_s=ttl_s,
+                                   clock=clock, journal=self.journal)
+        self.store = ResultStore(cluster_dir)
+        self.manifest = load_manifest(cluster_dir)
+        self.cache = ResultCache(os.path.join(cluster_dir, CACHE_DIR)) \
+            if self.manifest.get("cache") else None
+        self.checkpoint = {
+            "dir": os.path.join(cluster_dir, CHECKPOINT_DIR),
+            "every": int(self.manifest["checkpoint_every"]),
+        }
+        self.deadline_at = self.manifest.get("deadline_at")
+        # node-local breaker: generous defaults tuned for "this *node* is
+        # sick" (bad mount, poisoned env), not for flaky individual jobs
+        self.breaker = breaker if breaker is not None else CircuitBreaker(
+            window_s=30.0, min_samples=4, failure_threshold=0.75,
+            cooldown_s=0.5, max_cooldown_s=10.0)
+        self.jobs_done = 0
+        self.batches_done = 0
+        self.migrations = 0
+        self.fenced = 0
+        self._stop_reason: Optional[str] = None
+
+    # -- node heartbeat record ----------------------------------------------
+    def _beat(self, state: str) -> None:
+        """Publish this node's liveness record (``nodes/<id>.json``)."""
+        node_dir = os.path.join(self.cluster_dir, NODE_DIR)
+        os.makedirs(node_dir, exist_ok=True)
+        _atomic_write(
+            os.path.join(node_dir, self.node_id + ".json"),
+            seal_record({
+                "kind": "node", "node": self.node_id, "pid": os.getpid(),
+                "ttl_s": self.leases.ttl_s, "state": state,
+                "updated_at": self.clock(),
+                "jobs_done": self.jobs_done,
+                "batches_done": self.batches_done,
+                "migrations": self.migrations,
+            }) + "\n")
+        tel = _obs._active
+        if tel is not None:
+            tel.registry.get("repro_cluster_heartbeat_age_seconds") \
+                .labels(self.node_id).set(0.0)
+
+    def _count_job(self, status: str) -> None:
+        tel = _obs._active
+        if tel is not None:
+            tel.registry.get("repro_cluster_jobs_total").labels(status).inc()
+
+    def _emit(self, name: str, **fields) -> None:
+        tel = _obs._active
+        if tel is not None:
+            tel.emit(name, node=self.node_id, **fields)
+
+    # -- stopping conditions -------------------------------------------------
+    def _should_stop(self) -> Optional[str]:
+        if stop_requested(self.cluster_dir):
+            return NODE_STOPPED
+        if self.deadline_at is not None and time.time() > self.deadline_at:
+            return NODE_DEADLINE
+        return None
+
+    # -- coordination --------------------------------------------------------
+    def _ensure_plan(self) -> Dict:
+        """Return the published plan, electing ourselves if needed."""
+        while True:
+            plan = load_plan(self.cluster_dir)
+            if plan is not None:
+                return plan
+            lease = self.leases.claim(COORDINATOR_RESOURCE)
+            if lease is not None:
+                try:
+                    plan = publish_plan(self.cluster_dir, self.manifest)
+                    self._emit("cluster.plan", batches=len(plan["batches"]))
+                finally:
+                    self.leases.release(lease)
+                return plan
+            # another node is coordinator — wait for its plan (or its
+            # lease to expire, at which point we take over)
+            time.sleep(self.poll_s)
+
+    def _completed_ids(self) -> set:
+        """Job ids already committed to the shared store.
+
+        Callers that are about to *start work* take the store lock
+        around this scan plus the claim decision — that is the other
+        half of the fencing linearisation: a commit either happened
+        before the scan (we see it and skip) or will be fenced.
+        """
+        return {record["job_id"] for record in self.store.load()
+                if record.get("status") in ("ok", "quarantined")}
+
+    # -- job execution -------------------------------------------------------
+    def _heartbeat_factory(self, holder: List[Lease]) -> Callable[[], bool]:
+        """The ``should_yield`` hook: renew the lease, yield if fenced.
+
+        Called by the fleet worker at every checkpoint boundary.  A
+        failed renewal means the batch migrated — yield immediately (the
+        checkpoint just written is exactly what the new holder resumes
+        from).  A STOP file or deadline also yields; the caller tells
+        the cases apart via :meth:`_should_stop` and lease state.
+        """
+        def heartbeat() -> bool:
+            if self._should_stop() is not None:
+                return True
+            renewed = self.leases.renew(holder[0])
+            if renewed is None:
+                return True
+            holder[0] = renewed
+            self._beat("working")
+            return False
+        return heartbeat
+
+    def _execute_with_retries(self, job_dict: Dict, holder: List[Lease],
+                              heartbeat: Callable[[], bool]) -> Dict:
+        """Run one job to a terminal record (ok / quarantined).
+
+        Raises :class:`CampaignPreempted` when the heartbeat yielded
+        (fenced or stopping) — the caller inspects which.  Retries stay
+        *inside* the lease: each attempt starts by renewing, so a retry
+        loop can never outlive the node's claim.
+        """
+        job = CampaignJob.from_dict(job_dict)
+        max_retries = int(self.manifest["max_retries"])
+        last_error = "unknown"
+        attempts = 0
+        start = time.perf_counter()
+        for attempt in range(max_retries + 1):
+            if heartbeat():
+                raise CampaignPreempted(
+                    f"node {self.node_id} yielded before attempt "
+                    f"{attempt} of job {job.job_id}")
+            attempts = attempt + 1
+            stats: Dict = {}
+            try:
+                payload = execute_job(
+                    job_dict, attempt, self.manifest.get("fault_plan"),
+                    self.checkpoint, stats, should_yield=heartbeat,
+                    deadline_at=self.deadline_at)
+            except (CampaignPreempted, DeadlineExceeded):
+                raise
+            except Exception as exc:
+                last_error = f"{type(exc).__name__}: {exc}"
+                self.breaker.record_failure()
+                if not getattr(exc, "retryable", True):
+                    break              # deterministic: retries can't help
+                continue
+            self.breaker.record_success()
+            if stats.get("resumed_from_cycle"):
+                self._emit("node.job.migrated", job_id=job.job_id,
+                           resumed_from_cycle=stats["resumed_from_cycle"])
+            return {
+                "job_id": job.job_id, "digest": job.digest,
+                "job": job.to_dict(), "status": "ok", "source": "executed",
+                "attempts": attempts,
+                "wall_s": time.perf_counter() - start, "payload": payload,
+            }
+        return {
+            "job_id": job.job_id, "digest": job.digest,
+            "job": job.to_dict(), "status": "quarantined",
+            "source": "executed", "attempts": attempts,
+            "wall_s": time.perf_counter() - start, "error": last_error,
+        }
+
+    def _commit(self, record: Dict, lease: Lease) -> None:
+        """Fenced append: verify-the-lease-then-write, atomically."""
+        self.store.append(record, fence=self.leases.fence_for(lease))
+
+    def _run_batch(self, lease: Lease) -> str:
+        """Execute one claimed batch to completion; returns an outcome.
+
+        Outcomes: ``"done"`` (marker written, lease released),
+        ``"fenced"`` (lost the lease — a peer migrated the batch away),
+        ``"stopped"``/``"deadline"`` (yielded at a safe boundary, lease
+        released so a peer — or a later restart — picks the batch up
+        without waiting out the TTL).
+        """
+        holder = [lease]
+        heartbeat = self._heartbeat_factory(holder)
+        jobs = sorted(load_batch(self.cluster_dir, lease.resource),
+                      key=lambda j: CampaignJob.from_dict(j).job_id)
+        tel = _obs._active
+        t0 = tel.tracer.now_us() if tel is not None else 0.0
+        # the resume scan shares the store lock with commits: a record
+        # is either visible here or its writer will be fenced
+        with self.store.lock():
+            done_ids = {record["job_id"] for record in self.store.load()
+                        if record.get("status") in ("ok", "quarantined")}
+        outcome = "done"
+        for job_dict in jobs:
+            job = CampaignJob.from_dict(job_dict)
+            if job.job_id in done_ids:
+                continue
+            if not self.breaker.allow():
+                # this node looks sick — hand the batch back rather than
+                # quarantine jobs a healthy peer would complete
+                self._emit("node.breaker.open", batch=lease.resource,
+                           retry_after_s=self.breaker.retry_after_s())
+                outcome = "stopped" if self._should_stop() else "fenced"
+                self.leases.release(holder[0])
+                break
+            payload = self.cache.lookup(job) if self.cache else None
+            if payload is not None:
+                record = {
+                    "job_id": job.job_id, "digest": job.digest,
+                    "job": job.to_dict(), "status": "ok",
+                    "source": "cache", "attempts": 0, "wall_s": 0.0,
+                    "payload": payload,
+                }
+            else:
+                try:
+                    record = self._execute_with_retries(job_dict, holder,
+                                                        heartbeat)
+                except (CampaignPreempted, DeadlineExceeded):
+                    stop = self._should_stop()
+                    if stop is not None:
+                        # release so a surviving peer need not wait out
+                        # the TTL; the checkpoint stays for the resume
+                        self.leases.release(holder[0])
+                        outcome = stop
+                        break
+                    self.fenced += 1
+                    self._emit("node.fenced", batch=lease.resource,
+                               token=holder[0].token)
+                    outcome = "fenced"
+                    break
+            try:
+                self._commit(record, holder[0])
+            except StaleLeaseError:
+                self.fenced += 1
+                self._emit("node.fenced", batch=lease.resource,
+                           token=holder[0].token, at="commit")
+                outcome = "fenced"
+                break
+            done_ids.add(job.job_id)
+            self.jobs_done += 1
+            self._count_job(record["status"])
+            if record["status"] == "ok" and record["source"] == "executed" \
+                    and self.cache is not None:
+                self.cache.store(job, record["payload"])
+            self._beat("working")
+        else:
+            # every job committed: mark done while the lease still holds
+            renewed = self.leases.renew(holder[0])
+            if renewed is None:
+                outcome = "fenced"
+            else:
+                mark_done(self.cluster_dir, lease.resource, self.node_id,
+                          renewed.token)
+                self.batches_done += 1
+                self.leases.release(renewed)
+                self._emit("node.batch.done", batch=lease.resource,
+                           jobs=len(jobs))
+        if tel is not None:
+            tel.tracer.complete(
+                "cluster.batch", t0, tel.tracer.now_us() - t0, "cluster",
+                args={"batch": lease.resource, "node": self.node_id,
+                      "outcome": outcome})
+        return outcome
+
+    # -- the node loop -------------------------------------------------------
+    def run(self) -> Dict:
+        """Work until the campaign finalizes (or stop/deadline); returns
+        a summary dict (``state``, counters, aggregate path when final).
+        """
+        self._beat("starting")
+        self._emit("node.start", cluster_dir=self.cluster_dir,
+                   ttl_s=self.leases.ttl_s)
+        plan = self._ensure_plan()
+        names: List[str] = list(plan["batches"])
+        state = NODE_DONE
+        aggregate_path = None
+        while True:
+            stop = self._should_stop()
+            if stop is not None:
+                state = stop
+                break
+            if is_final(self.cluster_dir):
+                break
+            self._beat("scanning")
+            if not self.breaker.allow():
+                # this node's own failure rate tripped its breaker:
+                # stop claiming (healthy peers keep the campaign moving)
+                # until the cooldown lets a probe batch through
+                time.sleep(min(max(self.breaker.retry_after_s(), 0.05),
+                               1.0))
+                continue
+            claimed = None
+            pending = 0
+            for name in names:
+                if is_done(self.cluster_dir, name):
+                    continue
+                pending += 1
+                lease = self.leases.claim(name)
+                if lease is not None:
+                    claimed = lease
+                    break
+            if claimed is not None:
+                self._emit("node.batch.claimed", batch=claimed.resource,
+                           token=claimed.token)
+                outcome = self._run_batch(claimed)
+                if outcome in (NODE_STOPPED, NODE_DEADLINE):
+                    state = outcome
+                    break
+                continue
+            if pending == 0:
+                # everything done: race for the finalize lease
+                final_lease = self.leases.claim(FINALIZE_RESOURCE)
+                if final_lease is not None:
+                    try:
+                        if not is_final(self.cluster_dir):
+                            aggregate_path = finalize(self.cluster_dir,
+                                                      self.node_id)
+                            self._emit("cluster.final",
+                                       aggregate=aggregate_path)
+                    finally:
+                        self.leases.release(final_lease)
+                    break
+            # batches all leased out (or finalize contended): idle-wait
+            time.sleep(self.poll_s)
+        if aggregate_path is None and is_final(self.cluster_dir):
+            aggregate_path = self.store.aggregate_path
+        self._beat(state)
+        self._emit("node.stop", state=state, jobs_done=self.jobs_done,
+                   batches_done=self.batches_done, fenced=self.fenced)
+        tel = _obs._active
+        if tel is not None:
+            status = cluster_status(self.cluster_dir)
+            tel.registry.get("repro_cluster_nodes_alive") \
+                .set(status["nodes_alive"])
+        return {
+            "state": state, "node": self.node_id,
+            "jobs_done": self.jobs_done,
+            "batches_done": self.batches_done,
+            "fenced": self.fenced,
+            "aggregate_path": aggregate_path,
+        }

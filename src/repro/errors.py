@@ -150,6 +150,30 @@ class TraceStoreError(ReproError, RuntimeError):
     """
 
 
+class ClusterError(ReproError, RuntimeError):
+    """A multi-node coordination artifact was rejected or unusable.
+
+    Raised for a damaged cluster manifest, a batch claim file that fails
+    its CRC, or a plan that no longer builds.  Deterministic
+    (``retryable=False``): the shared directory holds what it holds — an
+    operator has to repair or resubmit, retrying cannot.
+    """
+
+
+class StaleLeaseError(ClusterError):
+    """A node tried to act on a lease it no longer holds.
+
+    The fencing backbone of ``repro.cluster``: a node that was paused,
+    partitioned, or just slow past its lease TTL may revive and try to
+    commit work for a batch that has since migrated to another node.
+    The commit path re-reads the lease *inside* the result store's
+    inter-process lock and raises this instead of appending — a stale
+    holder can never double-commit.  ``retryable=False`` for the *lease*:
+    the node must abandon the batch (the new holder owns it now), not
+    retry the commit.
+    """
+
+
 class CheckpointError(ReproError, RuntimeError):
     """A checkpoint file was rejected (corrupt, truncated, mismatched).
 

@@ -29,7 +29,13 @@ import json
 import os
 import warnings
 import zlib
-from typing import Dict, Iterable, List, Tuple
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+try:                                   # POSIX advisory file locking
+    import fcntl
+except ImportError:                    # pragma: no cover - non-POSIX host
+    fcntl = None
 
 from .spec import canonical_json
 
@@ -41,6 +47,9 @@ CRC_FIELD = "_crc32"
 
 #: damaged lines are preserved here, one per line, for post-mortems
 QUARANTINE_SUFFIX = ".quarantine"
+
+#: advisory inter-process lock guarding appends (and fenced commits)
+LOCK_SUFFIX = ".lock"
 
 
 def seal_record(record: Dict) -> str:
@@ -86,19 +95,60 @@ class ResultStore:
         self.path = os.path.join(directory, STORE_NAME)
         self.aggregate_path = os.path.join(directory, AGGREGATE_NAME)
         self.quarantine_path = self.path + QUARANTINE_SUFFIX
+        self.lock_path = self.path + LOCK_SUFFIX
 
-    def append(self, record: Dict) -> None:
+    @contextmanager
+    def lock(self):
+        """Advisory inter-process lock on the store (``flock``).
+
+        Held around every :meth:`append`, so two writer *processes* (the
+        multi-node cluster's whole premise) can never interleave a torn
+        line.  The lock lives in a sidecar file — never the JSONL itself,
+        whose atomic :meth:`rewrite` would otherwise swap the inode out
+        from under a waiting locker.  A SIGKILLed holder releases the
+        lock automatically (the kernel drops ``flock`` locks on close).
+        Callers may also take it explicitly to make a read-then-append
+        sequence atomic against other writers — it is reentrant-unsafe,
+        so never nest it.
+        """
+        if fcntl is None:              # pragma: no cover - non-POSIX host
+            yield
+            return
+        handle = open(self.lock_path, "a")
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            yield
+        finally:
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+            finally:
+                handle.close()
+
+    def append(self, record: Dict,
+               fence: Optional[Callable[[], None]] = None) -> None:
         """Durably append one checksummed record line.
 
         The line is flushed and fsynced before returning, so a record the
         caller believes is stored survives an immediate process kill;
         the worst a crash can leave is one torn final line, which
-        :meth:`load` detects and quarantines.
+        :meth:`load` detects and quarantines.  The whole append runs
+        under the store's inter-process :meth:`lock`, so concurrent
+        writer processes serialize instead of interleaving.
+
+        ``fence`` is the stale-claim guard for multi-node execution: a
+        callable invoked *inside* the lock, before any byte is written.
+        If it raises (``repro.errors.StaleLeaseError`` by convention),
+        nothing is appended — which is how a revived node that lost its
+        lease while paused is prevented from double-committing work that
+        has since migrated to another node.
         """
-        with open(self.path, "a") as handle:
-            handle.write(_seal(record) + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        with self.lock():
+            if fence is not None:
+                fence()
+            with open(self.path, "a") as handle:
+                handle.write(_seal(record) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
 
     def _quarantine_line(self, line: str, reason: str) -> None:
         warnings.warn(
@@ -157,10 +207,12 @@ class ResultStore:
         read-only observer and must not race the writer (or other
         tailers) for the quarantine file.
 
-        Returns ``(records, next_offset)``.  If the file shrank below
-        ``offset`` (an atomic :meth:`rewrite` happened underneath), the
-        tailer holds its position and returns no records rather than
-        replaying lines it already delivered.
+        Returns ``(records, next_offset)``.  If an atomic :meth:`rewrite`
+        happened underneath — the file shrank below ``offset``, or
+        ``offset`` no longer sits on a record boundary (the byte before
+        it is not a newline) — the tailer holds its position and returns
+        no records rather than replaying lines it already delivered or
+        misreading mid-line bytes as damage.
         """
         if offset < 0:
             offset = 0
@@ -170,7 +222,12 @@ class ResultStore:
                 size = handle.tell()
                 if size <= offset:
                     return [], offset
-                handle.seek(offset)
+                if offset > 0:
+                    handle.seek(offset - 1)
+                    if handle.read(1) != b"\n":
+                        return [], offset
+                else:
+                    handle.seek(offset)
                 chunk = handle.read(size - offset)
         except FileNotFoundError:
             return [], offset

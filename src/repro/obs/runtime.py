@@ -148,6 +148,21 @@ def _register_core_families(reg: MetricsRegistry) -> None:
                 ("method", "route", "status"))
     reg.counter("repro_serve_results_streamed_total",
                 "per-job result records pushed to event streams")
+    # cluster (multi-node campaign execution over a shared directory)
+    reg.gauge("repro_cluster_nodes_alive",
+              "cluster nodes with a heartbeat younger than the liveness "
+              "horizon at last status scan")
+    reg.counter("repro_cluster_leases_total",
+                "lease lifecycle events, by event "
+                "(claimed/renewed/expired/fenced/released)", ("event",))
+    reg.counter("repro_cluster_batches_migrated_total",
+                "job batches reclaimed from another holder's expired lease")
+    reg.gauge("repro_cluster_heartbeat_age_seconds",
+              "seconds since each node's last heartbeat at last status "
+              "scan", ("node",))
+    reg.counter("repro_cluster_jobs_total",
+                "jobs this node committed to the shared store, by status",
+                ("status",))
     # resilience (admission journal, crash recovery, circuit breaker)
     reg.counter("repro_resilience_journal_records_total",
                 "write-ahead admission journal appends, by record op",

@@ -45,12 +45,18 @@ _CAMPAIGN_ID = re.compile(r"^cmp-(\d+)$")
 
 
 class AdmissionJournal:
-    """Append-only, CRC-guarded JSONL journal with atomic compaction."""
+    """Append-only, CRC-guarded JSONL journal with atomic compaction.
 
-    def __init__(self, directory: str) -> None:
+    ``name`` selects the file inside ``directory`` — the default is the
+    service admission journal; ``repro.cluster`` reuses the exact same
+    machinery (seal/unseal lines, torn-tail-tolerant replay, atomic
+    compaction) for its lease/claim event log under ``cluster.jsonl``.
+    """
+
+    def __init__(self, directory: str, name: str = JOURNAL_NAME) -> None:
         self.directory = directory
         os.makedirs(directory, exist_ok=True)
-        self.path = os.path.join(directory, JOURNAL_NAME)
+        self.path = os.path.join(directory, name)
 
     def append(self, op: str, **fields) -> Dict:
         """Durably append one journal record; returns the record."""

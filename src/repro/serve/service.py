@@ -145,11 +145,18 @@ class CampaignService:
                  registry: Optional[MetricsRegistry] = None,
                  breaker: Optional[CircuitBreaker] = None,
                  clock: Callable[[], float] = time.time,
-                 trace_store: Optional[str] = None) -> None:
+                 trace_store: Optional[str] = None,
+                 cluster_nodes: int = 0) -> None:
         if slots < 1:
             raise ConfigurationError("service needs at least one slot")
         if checkpoint_every < 1:
             raise ConfigurationError("checkpoint_every must be >= 1")
+        if cluster_nodes < 0:
+            raise ConfigurationError("cluster_nodes must be >= 0 "
+                                     "(0 = in-process orchestrator)")
+        #: >0 routes each campaign through repro.cluster: N worker node
+        #: subprocesses over the campaign directory, surviving node death
+        self.cluster_nodes = cluster_nodes
         self.root = root
         os.makedirs(os.path.join(root, "campaigns"), exist_ok=True)
         self.quota = quota if quota is not None else QuotaManager()
@@ -499,6 +506,8 @@ class CampaignService:
             deadline_s = max(1e-6, campaign.deadline_at - self._clock())
 
         def execute():
+            if self.cluster_nodes:
+                return self._run_clustered_blocking(campaign, deadline_s)
             return run_campaign(
                 campaign.spec,
                 workers=0,
@@ -531,6 +540,48 @@ class CampaignService:
             finally:
                 self._trace_lock.release()
         return execute()
+
+    def _run_clustered_blocking(self, campaign: Campaign,
+                                deadline_s: Optional[float]):
+        """One campaign attempt over ``cluster_nodes`` worker processes.
+
+        The campaign directory doubles as the cluster directory, so the
+        result tailer streams the shared store exactly as in the
+        in-process path.  The first attempt submits the manifest; a
+        re-dispatch after an eviction reuses it — the nodes' resume
+        scan plus the per-job checkpoints make the continuation
+        byte-identical, same contract as ``resume=True``.  The service's
+        ``yield_flag`` is bridged to the cluster STOP file by a watcher
+        thread, so an eviction reaches the node subprocesses too.
+        """
+        from ..cluster import run_clustered
+        from ..cluster.coordinator import (MANIFEST_NAME, clear_stop,
+                                           request_stop)
+        from ..fleet import jobs_for
+        directory = campaign.directory
+        jobs = None
+        if not os.path.exists(os.path.join(directory, MANIFEST_NAME)):
+            jobs = jobs_for(campaign.spec)
+        clear_stop(directory)
+        done = threading.Event()
+
+        def bridge_stop() -> None:
+            while not done.is_set():
+                if campaign.yield_flag.wait(0.1):
+                    request_stop(directory)
+                    return
+
+        watcher = threading.Thread(target=bridge_stop, daemon=True,
+                                   name="repro-serve-cluster-stop")
+        watcher.start()
+        try:
+            return run_clustered(jobs, directory, nodes=self.cluster_nodes,
+                                 checkpoint_every=self.checkpoint_every,
+                                 max_retries=self.max_retries,
+                                 deadline_s=deadline_s)
+        finally:
+            done.set()
+            watcher.join(timeout=1.0)
 
     async def _run(self, campaign: Campaign) -> None:
         campaign.attempts += 1

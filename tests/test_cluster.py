@@ -1,0 +1,307 @@
+"""Cluster coordination units + the end-to-end in-process guarantees.
+
+Covers the coordinator artifacts (manifest validation, deterministic
+plan publishing, deduped finalization), the multi-writer hardening of
+the result store (advisory lock + two *processes* appending
+concurrently) and the content-addressed cache (atomic writes, digest /
+CRC re-verification, quarantine-on-damage), and the flagship property:
+an in-process cluster run produces an ``aggregate.json`` byte-identical
+to a plain single-node campaign.  (Node *death* is exercised by the
+subprocess drill in ``test_cluster_chaos.py``.)
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.cluster import (ClusterNode, cluster_status, dedupe_records,
+                           run_clustered, submit)
+from repro.cluster.coordinator import load_batch, load_manifest, publish_plan
+from repro.errors import ConfigurationError
+from repro.fleet.api import run_campaign
+from repro.fleet.cache import QUARANTINE_SUFFIX, ResultCache, payload_crc
+from repro.fleet.spec import CampaignJob
+from repro.fleet.store import ResultStore
+
+CYCLES = 2_000
+EVERY = 500
+
+
+def make_jobs(n=4, cycles=CYCLES, **overrides):
+    return [CampaignJob(name=f"c{i}", domain="engine", device="tc1797",
+                        params={}, cycles=cycles, seed=7, **overrides)
+            for i in range(n)]
+
+
+# --- coordinator artifacts --------------------------------------------------
+def test_submit_validates(tmp_path):
+    cdir = str(tmp_path / "c")
+    with pytest.raises(ConfigurationError):
+        submit(cdir, [])                       # no jobs
+    jobs = make_jobs(2)
+    with pytest.raises(ConfigurationError):
+        submit(cdir, jobs + jobs)              # duplicates
+    with pytest.raises(ConfigurationError):    # a job that kills its node
+        submit(cdir, make_jobs(1, fault="exit"))
+    with pytest.raises(ConfigurationError):
+        submit(cdir, jobs, checkpoint_every=0)
+    submit(cdir, jobs)
+    with pytest.raises(ConfigurationError):    # one dir = one campaign
+        submit(cdir, jobs)
+
+
+def test_fault_plan_disables_shared_cache(tmp_path):
+    plan = {"seed": 1, "rules": []}
+    submit(str(tmp_path / "a"), make_jobs(1), fault_plan=plan)
+    manifest = load_manifest(str(tmp_path / "a"))
+    assert manifest["cache"] is False
+    submit(str(tmp_path / "b"), make_jobs(1))
+    assert load_manifest(str(tmp_path / "b"))["cache"] is True
+
+
+def test_publish_plan_is_deterministic(tmp_path):
+    """A coordinator dying mid-publish is harmless: a re-publish writes
+    byte-identical batch files and the same plan."""
+    cdir = str(tmp_path)
+    submit(cdir, make_jobs(5), batches=3)
+    manifest = load_manifest(cdir)
+    plan_a = publish_plan(cdir, manifest)
+    first = {name: open(os.path.join(cdir, "batches", name + ".json"),
+                        "rb").read()
+             for name in plan_a["batches"]}
+    plan_b = publish_plan(cdir, manifest)      # elected again, re-publishes
+    assert plan_a == plan_b
+    for name, content in first.items():
+        with open(os.path.join(cdir, "batches", name + ".json"),
+                  "rb") as handle:
+            assert handle.read() == content
+    # every job appears in exactly one batch
+    seen = [job["name"] for name in plan_a["batches"]
+            for job in load_batch(cdir, name)]
+    assert sorted(seen) == sorted(job.name for job in make_jobs(5))
+
+
+def test_dedupe_records_first_commit_wins():
+    records = [
+        {"job_id": "b", "status": "ok", "attempts": 1},
+        {"job_id": "a", "status": "ok", "attempts": 2},
+        {"job_id": "b", "status": "ok", "attempts": 9},   # benign dup
+    ]
+    deduped = dedupe_records(records)
+    assert [r["job_id"] for r in deduped] == ["a", "b"]
+    assert deduped[1]["attempts"] == 1
+
+
+# --- result store: multi-writer hardening -----------------------------------
+APPENDER = textwrap.dedent("""
+    import sys
+    from repro.fleet.store import ResultStore
+    store = ResultStore(sys.argv[1])
+    who = sys.argv[2]
+    for i in range(40):
+        store.append({"job_id": f"{who}-{i:03d}", "status": "ok",
+                      "payload": {"who": who, "i": i}})
+""")
+
+
+def test_concurrent_append_from_two_processes(tmp_path):
+    """Two writer processes interleave whole records, never bytes: every
+    line loads back intact and nothing is quarantined."""
+    env = dict(os.environ)
+    src = os.path.abspath(os.path.join(os.path.dirname(__file__), "..",
+                                       "src"))
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    procs = [subprocess.Popen([sys.executable, "-c", APPENDER,
+                               str(tmp_path), who], env=env)
+             for who in ("alpha", "beta")]
+    for proc in procs:
+        assert proc.wait(timeout=60) == 0
+    store = ResultStore(str(tmp_path))
+    records = store.load()
+    assert len(records) == 80
+    assert len({r["job_id"] for r in records}) == 80
+    assert not os.path.exists(store.quarantine_path)
+
+
+def test_store_lock_serializes_read_then_append(tmp_path):
+    store = ResultStore(str(tmp_path))
+    with store.lock():
+        assert store.load() == []
+        store_b = ResultStore(str(tmp_path))   # an uncontended reader
+        assert store_b.load() == []
+    store.append({"job_id": "x", "status": "ok"})
+    assert len(store.load()) == 1
+
+
+def test_fenced_append_rejects_before_writing(tmp_path):
+    calls = []
+
+    def fence():
+        calls.append(True)
+        raise RuntimeError("stale")
+
+    store = ResultStore(str(tmp_path))
+    with pytest.raises(RuntimeError):
+        store.append({"job_id": "x"}, fence=fence)
+    assert calls and not os.path.exists(store.path)
+
+
+# --- result cache: multi-node hardening -------------------------------------
+def test_cache_quarantines_unparseable_entry(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    job = make_jobs(1)[0]
+    path = cache.store(job, {"name": job.name, "profile": {}})
+    with open(path, "w") as handle:
+        handle.write("{torn")
+    with pytest.warns(RuntimeWarning):
+        assert cache.lookup(job) is None
+    assert os.path.exists(path + QUARANTINE_SUFFIX)
+    assert not os.path.exists(path)            # never served again
+    assert cache.lookup(job) is None           # plain miss now
+
+
+def test_cache_rejects_foreign_digest(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    a, b = make_jobs(2)
+    path_a = cache.store(a, {"name": a.name})
+    # a foreign entry copied under the wrong name must not be a hit
+    os.replace(path_a, os.path.join(str(tmp_path), f"{b.digest}.json"))
+    with pytest.warns(RuntimeWarning):
+        assert cache.lookup(b) is None
+
+
+def test_cache_rejects_bitflipped_payload(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    job = make_jobs(1)[0]
+    path = cache.store(job, {"name": job.name, "value": 1})
+    with open(path) as handle:
+        entry = json.load(handle)
+    entry["payload"]["value"] = 2              # flip a payload bit
+    with open(path, "w") as handle:
+        json.dump(entry, handle)
+    with pytest.warns(RuntimeWarning):
+        assert cache.lookup(job) is None
+    # legacy entries (no stored CRC) are still served
+    entry["payload"]["value"] = 1
+    del entry["payload_crc32"]
+    with open(path, "w") as handle:
+        json.dump(entry, handle)
+    assert cache.lookup(job) == {"name": job.name, "value": 1}
+
+
+def test_cache_store_is_atomic_and_verified(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    job = make_jobs(1)[0]
+    payload = {"name": job.name, "profile": {"parameters": {}}}
+    cache.store(job, payload)
+    assert not [n for n in os.listdir(str(tmp_path))
+                if n.endswith(".tmp")]         # no droppings
+    with open(cache._path(job.digest)) as handle:
+        entry = json.load(handle)
+    assert entry["payload_crc32"] == payload_crc(payload)
+    assert cache.lookup(job) == payload
+
+
+# --- end-to-end: in-process cluster runs ------------------------------------
+def test_cluster_aggregate_matches_single_node_bytes(tmp_path):
+    """The acceptance criterion: a clustered campaign's aggregate is
+    byte-identical to a plain ``run_campaign`` of the same jobs."""
+    jobs = make_jobs(4)
+    report = run_clustered(jobs, str(tmp_path / "cluster"), nodes=0,
+                           batches=2, checkpoint_every=EVERY)
+    assert report.aggregate_path and not report.preempted
+    assert len(report.ok_records) == 4
+    ref = run_campaign(jobs, workers=0,
+                       campaign_dir=str(tmp_path / "single"),
+                       checkpoint_every=EVERY)
+    with open(report.aggregate_path, "rb") as handle:
+        cluster_bytes = handle.read()
+    with open(ref.aggregate_path, "rb") as handle:
+        assert handle.read() == cluster_bytes
+
+
+def test_cluster_quarantines_poison_jobs(tmp_path):
+    jobs = make_jobs(3) + [CampaignJob(name="poison", domain="engine",
+                                       device="tc1797", params={},
+                                       cycles=CYCLES, seed=7,
+                                       fault="crash")]
+    report = run_clustered(jobs, str(tmp_path), nodes=0, batches=2,
+                           checkpoint_every=EVERY, max_retries=1)
+    assert len(report.ok_records) == 3
+    assert [r["job_id"] for r in report.quarantined] == \
+        [j.job_id for j in jobs if j.fault]
+    assert report.quarantined[0]["attempts"] == 2
+
+
+def test_cluster_flaky_job_retries_in_place(tmp_path):
+    jobs = make_jobs(2) + [CampaignJob(name="flaky", domain="engine",
+                                       device="tc1797", params={},
+                                       cycles=CYCLES, seed=7,
+                                       fault="flaky:2")]
+    report = run_clustered(jobs, str(tmp_path), nodes=0, batches=1,
+                           checkpoint_every=EVERY, max_retries=3)
+    assert len(report.ok_records) == 3 and not report.quarantined
+    flaky = [r for r in report.records if r["job"]["name"] == "flaky"][0]
+    assert flaky["attempts"] == 3              # failed twice, then ok
+
+
+def test_second_node_resumes_a_half_finished_campaign(tmp_path):
+    """A node joining after records already exist skips committed jobs
+    (the resume scan) and completes the rest."""
+    cdir = str(tmp_path)
+    jobs = make_jobs(4)
+    submit(cdir, jobs, batches=2, checkpoint_every=EVERY)
+    first = ClusterNode(cdir, node_id="n1")
+    plan = first._ensure_plan()
+    lease = first.leases.claim(plan["batches"][0])
+    assert first._run_batch(lease) == "done"
+    done_before = first.jobs_done
+    assert 0 < done_before < 4
+    second = ClusterNode(cdir, node_id="n2")
+    summary = second.run()
+    assert summary["state"] == "done"
+    assert second.jobs_done == 4 - done_before
+    status = cluster_status(cdir)
+    assert status["final"] and status["records"]["ok"] == 4
+
+
+def test_cluster_status_shapes(tmp_path):
+    empty = cluster_status(str(tmp_path / "nothing"))
+    assert empty["state"] == "empty"
+    cdir = str(tmp_path / "c")
+    submit(cdir, make_jobs(2), batches=2)
+    status = cluster_status(cdir)
+    assert status["total_jobs"] == 2 and not status["planned"]
+    run_clustered(None, cdir, nodes=0)
+    status = cluster_status(cdir)
+    assert status["planned"] and status["final"]
+    assert status["done_batches"] == status["batches"]
+    assert status["records"] == {"ok": 2, "quarantined": 0}
+    assert status["nodes"] and status["nodes"][0]["node"] == "node-local"
+
+
+def test_shared_cache_dedupes_across_campaigns(tmp_path):
+    """Two cluster campaigns over different dirs share nothing, but a
+    second run over a *pre-seeded* store dir serves from cache files a
+    previous node wrote (the content-addressed dedupe layer)."""
+    jobs = make_jobs(3)
+    report_a = run_clustered(jobs, str(tmp_path / "a"), nodes=0,
+                             batches=2, checkpoint_every=EVERY)
+    assert report_a.metrics.executed == 3
+    # copy the shared cache into the new cluster dir wholesale
+    os.makedirs(str(tmp_path / "b"))
+    import shutil
+    shutil.copytree(str(tmp_path / "a" / "cache"),
+                    str(tmp_path / "b" / "cache"))
+    report_b = run_clustered(jobs, str(tmp_path / "b"), nodes=0,
+                             batches=2, checkpoint_every=EVERY)
+    assert report_b.metrics.cache_hits == 3
+    assert report_b.metrics.executed == 0
+    with open(report_a.aggregate_path, "rb") as handle:
+        bytes_a = handle.read()
+    with open(report_b.aggregate_path, "rb") as handle:
+        assert handle.read() == bytes_a

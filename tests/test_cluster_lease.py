@@ -1,0 +1,193 @@
+"""Lease lifecycle edge cases on an injectable clock.
+
+The scenarios the cluster's correctness hangs on, each pinned exactly:
+renewal arriving *exactly at* expiry, claiming an expired-but-never-
+released lease, a revived stale holder being fenced at every surface
+(renew, check, and the result store's fenced append), and a heartbeat
+writer that silently dies between renewals.
+"""
+
+import os
+
+import pytest
+
+from repro.cluster.lease import FENCE_NAME, Lease, LeaseManager
+from repro.errors import StaleLeaseError
+from repro.fleet.store import ResultStore
+from repro.resilience.journal import AdmissionJournal
+
+
+class FakeClock:
+    def __init__(self, now=1_000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def manager(root, node, clock, ttl_s=10.0, journal=False):
+    j = AdmissionJournal(str(root), name="cluster.jsonl") if journal \
+        else None
+    return LeaseManager(str(root), node, ttl_s=ttl_s, clock=clock,
+                        journal=j)
+
+
+def test_claim_and_read_roundtrip(tmp_path, clock):
+    mgr = manager(tmp_path, "n1", clock)
+    lease = mgr.claim("batch-0000")
+    assert lease is not None
+    assert lease.node == "n1" and lease.token == 1
+    assert lease.expires_at == clock.now + 10.0
+    assert mgr.read("batch-0000") == lease
+    assert mgr.leases() == [lease]
+
+
+def test_live_lease_is_not_claimable(tmp_path, clock):
+    a = manager(tmp_path, "n1", clock)
+    b = manager(tmp_path, "n2", clock)
+    assert a.claim("batch-0000") is not None
+    clock.advance(9.999)
+    assert b.claim("batch-0000") is None
+
+
+def test_renewal_exactly_at_expiry_succeeds(tmp_path, clock):
+    """Expiry is strict: at exactly ``expires_at`` the holder still holds."""
+    a = manager(tmp_path, "n1", clock)
+    b = manager(tmp_path, "n2", clock)
+    lease = a.claim("batch-0000")
+    clock.advance(10.0)             # clock() == expires_at, not past it
+    assert b.claim("batch-0000") is None     # not expired yet
+    renewed = a.renew(lease)
+    assert renewed is not None
+    assert renewed.token == lease.token      # renewal never changes tokens
+    assert renewed.renewals == 1
+    assert renewed.expires_at == clock.now + 10.0
+
+
+def test_claim_of_expired_but_unreleased_lease(tmp_path, clock):
+    """A dead node never releases; one tick past expiry its work migrates."""
+    a = manager(tmp_path, "n1", clock, journal=True)
+    b = manager(tmp_path, "n2", clock, journal=True)
+    old = a.claim("batch-0000")
+    clock.advance(10.0 + 1e-6)
+    taken = b.claim("batch-0000")
+    assert taken is not None
+    assert taken.node == "n2"
+    assert taken.token > old.token           # fencing token monotonic
+    ops = [(r["op"], r.get("previous_node"))
+           for r in b.journal.replay() if r["op"] == "takeover"]
+    assert ops == [("takeover", "n1")]
+
+
+def test_revived_stale_holder_is_fenced_everywhere(tmp_path, clock):
+    """A paused-then-revived node must be rejected at renew, check, and
+    the store append — and the store must stay byte-unchanged."""
+    a = manager(tmp_path, "n1", clock)
+    b = manager(tmp_path, "n2", clock)
+    stale = a.claim("batch-0000")
+    clock.advance(11.0)                      # n1 "pauses" past its TTL
+    assert b.claim("batch-0000") is not None  # work migrated to n2
+    # revived n1: renew refuses...
+    assert a.renew(stale) is None
+    # ...check raises...
+    with pytest.raises(StaleLeaseError):
+        a.check(stale)
+    # ...and a fenced commit writes nothing
+    store = ResultStore(str(tmp_path))
+    with pytest.raises(StaleLeaseError):
+        store.append({"job_id": "j1", "status": "ok"},
+                     fence=a.fence_for(stale))
+    assert store.load() == []
+    assert not os.path.exists(store.path)
+    # the *current* holder's fence still passes
+    current = b.read("batch-0000")
+    store.append({"job_id": "j1", "status": "ok"},
+                 fence=b.fence_for(current))
+    assert [r["job_id"] for r in store.load()] == ["j1"]
+
+
+def test_heartbeat_writer_dying_between_renewals(tmp_path, clock):
+    """A holder that renews for a while then silently stops loses the
+    lease one TTL after its *last* renewal, not its claim."""
+    a = manager(tmp_path, "n1", clock)
+    b = manager(tmp_path, "n2", clock)
+    lease = a.claim("batch-0000")
+    for _ in range(3):                       # healthy heartbeats...
+        clock.advance(5.0)
+        lease = a.renew(lease)
+        assert lease is not None
+    died_at = clock.now                      # ...then the writer dies
+    clock.advance(10.0)                      # exactly one TTL later:
+    assert b.claim("batch-0000") is None     # still within the grace
+    clock.advance(1e-6)
+    taken = b.claim("batch-0000")
+    assert taken is not None and taken.node == "n2"
+    assert taken.token > lease.token
+    assert taken.claimed_at > died_at
+    # the dead holder's buffered lease object is now poison
+    assert a.renew(lease) is None
+    with pytest.raises(StaleLeaseError):
+        a.check(lease)
+
+
+def test_release_only_while_held(tmp_path, clock):
+    a = manager(tmp_path, "n1", clock)
+    b = manager(tmp_path, "n2", clock)
+    lease = a.claim("batch-0000")
+    clock.advance(20.0)
+    b.claim("batch-0000")
+    assert a.release(lease) is False         # fenced: not ours to drop
+    assert b.read("batch-0000") is not None  # n2's lease untouched
+    current = b.read("batch-0000")
+    assert b.release(current) is True
+    assert b.read("batch-0000") is None
+
+
+def test_fence_tokens_survive_a_damaged_counter_file(tmp_path, clock):
+    """Losing fence.json must never reissue a token: the watermark is
+    recovered from the surviving lease files."""
+    a = manager(tmp_path, "n1", clock)
+    lease = a.claim("batch-0000")
+    a.claim("batch-0001")
+    os.unlink(os.path.join(a.lease_dir, FENCE_NAME))
+    clock.advance(11.0)
+    b = manager(tmp_path, "n2", clock)
+    taken = b.claim("batch-0000")
+    assert taken.token > 2                   # strictly above both issued
+
+
+def test_damaged_lease_record_is_claimable_not_fatal(tmp_path, clock):
+    a = manager(tmp_path, "n1", clock)
+    lease = a.claim("batch-0000")
+    with open(a._path("batch-0000"), "w") as handle:
+        handle.write('{"garbage": tru')
+    with pytest.warns(RuntimeWarning):
+        assert a.read("batch-0000") is None
+    b = manager(tmp_path, "n2", clock)
+    with pytest.warns(RuntimeWarning):
+        taken = b.claim("batch-0000")
+    assert taken is not None
+    # the fencing token still moved forward (recovered watermark), so
+    # the original holder cannot commit over the takeover
+    assert taken.token > 0
+    with pytest.raises(StaleLeaseError):
+        a.check(lease)
+
+
+def test_ttl_must_be_positive(tmp_path, clock):
+    with pytest.raises(ValueError):
+        LeaseManager(str(tmp_path), "n1", ttl_s=0.0, clock=clock)
+
+
+def test_lease_record_roundtrip():
+    lease = Lease(resource="batch-0000", node="n1", token=3,
+                  claimed_at=1.0, expires_at=11.0, renewals=2)
+    assert Lease.from_record(lease.to_record()) == lease

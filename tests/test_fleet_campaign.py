@@ -304,6 +304,40 @@ def test_store_tail_holds_position_on_shrink(tmp_path):
     assert records2 == [] and offset2 == offset
 
 
+def test_store_tail_holds_position_on_same_size_rewrite(tmp_path):
+    """A rewrite that does NOT shrink the file must not desync the tailer.
+
+    Cluster finalization rewrites the store with the same records sorted
+    by job id — roughly the same byte count — so a tailer's offset can
+    land mid-line in the new content.  The tailer must detect the lost
+    record boundary (the byte before its offset is no longer a newline)
+    and hold position silently instead of warning about "damage" it
+    manufactured itself.
+    """
+    import warnings as _warnings
+    from repro.fleet import ResultStore
+    store = ResultStore(str(tmp_path))
+    for job_id in ("b", "c", "a"):              # commit order != sorted
+        store.append({"job_id": job_id, "payload": {"ipc": 0.5}})
+    records, _ = store.tail(0)
+    assert len(records) == 3
+    # a finalize-style rewrite happens under the tailer: same records,
+    # sorted — the byte count barely moves but every boundary shifts
+    store.rewrite(sorted((r for r in store.load()),
+                         key=lambda r: r["job_id"]))
+    content = open(store.path, "rb").read()
+    first_line_end = content.index(b"\n") + 1
+    mid_offset = first_line_end + 7             # provably mid-record now
+    assert content[mid_offset - 1:mid_offset] != b"\n"
+    with _warnings.catch_warnings():
+        _warnings.simplefilter("error")         # any warning fails the test
+        held = store.tail(mid_offset)
+    assert held == ([], mid_offset)
+    # an aligned offset on the rewritten file still works normally
+    records2, _ = store.tail(first_line_end)
+    assert [r["job_id"] for r in records2] == ["b", "c"]
+
+
 def test_store_tail_missing_file(tmp_path):
     from repro.fleet import ResultStore
     store = ResultStore(str(tmp_path))
